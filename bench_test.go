@@ -1,0 +1,287 @@
+package odin
+
+// Benchmarks, one per table and figure of the paper's evaluation (§5).
+// Each benchmark drives the same code paths as the corresponding
+// cmd/odin-bench experiment; custom metrics report the figures' units
+// (cycles for execution duration, ms for recompilation latency) alongside
+// Go's wall-clock ns/op.
+
+import (
+	"sync"
+	"testing"
+
+	"odin/internal/bench"
+	"odin/internal/binrw"
+	"odin/internal/core"
+	"odin/internal/cov"
+	"odin/internal/dbi"
+	"odin/internal/progen"
+	"odin/internal/sancov"
+	"odin/internal/toolchain"
+	"odin/internal/vm"
+)
+
+var (
+	prepOnce sync.Once
+	prepData map[string]*bench.ProgramData
+	prepErr  error
+)
+
+func prepared(b *testing.B, name string) *bench.ProgramData {
+	b.Helper()
+	prepOnce.Do(func() {
+		prepData = map[string]*bench.ProgramData{}
+		for _, n := range []string{"woff2", "harfbuzz", "libjpeg", "sqlite"} {
+			p, ok := progen.ByName(n)
+			if !ok {
+				b.Fatalf("no profile %s", n)
+			}
+			pd, err := bench.Prepare(p, 150)
+			if err != nil {
+				prepErr = err
+				return
+			}
+			prepData[n] = pd
+		}
+	})
+	if prepErr != nil {
+		b.Fatal(prepErr)
+	}
+	pd, ok := prepData[name]
+	if !ok {
+		b.Fatalf("program %s not prepared", name)
+	}
+	return pd
+}
+
+// BenchmarkFig3PipelineStages measures the full static build pipeline
+// (frontend, middle end + instrumentation, back end, linker) on libxml2.
+func BenchmarkFig3PipelineStages(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.RunFig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(r.Frontend.Microseconds())/1000, "frontend-ms")
+			b.ReportMetric(float64(r.Optimize.Microseconds())/1000, "optimize-ms")
+			b.ReportMetric(float64(r.CodeGen.Microseconds())/1000, "codegen-ms")
+			b.ReportMetric(float64(r.Link.Microseconds())/1000, "link-ms")
+		}
+	}
+}
+
+// BenchmarkFig8Tools measures one corpus replay per coverage tool on woff2,
+// reporting the normalized execution duration (Figure 8's bars).
+func BenchmarkFig8Tools(b *testing.B) {
+	pd := prepared(b, "woff2")
+	replayExe := func(b *testing.B, mk func() (*vm.Machine, error)) {
+		mach, err := mk()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var cycles int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cycles = 0
+			for _, in := range pd.Corpus {
+				_, _, c, err := vm.RunProgram(mach, in)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += c
+			}
+		}
+		b.ReportMetric(float64(cycles), "cycles/replay")
+	}
+
+	b.Run("Baseline", func(b *testing.B) {
+		replayExe(b, func() (*vm.Machine, error) {
+			exe, _, err := toolchain.BuildPreserving(pd.Module, 2)
+			return vm.New(exe), err
+		})
+	})
+	b.Run("SanCov", func(b *testing.B) {
+		replayExe(b, func() (*vm.Machine, error) {
+			exe, _, err := sancov.Build(pd.Module, 2)
+			if err != nil {
+				return nil, err
+			}
+			return vm.New(exe), nil
+		})
+	})
+	b.Run("OdinCov-NoPrune", func(b *testing.B) {
+		replayExe(b, func() (*vm.Machine, error) {
+			tool, err := cov.New(pd.Module, core.Options{}, false)
+			if err != nil {
+				return nil, err
+			}
+			return tool.Machine(), nil
+		})
+	})
+	b.Run("OdinCov-Pruned", func(b *testing.B) {
+		// Steady state: probes pruned by a warmup replay.
+		tool, err := cov.New(pd.Module, core.Options{}, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, in := range pd.Corpus {
+			if res := tool.RunInput(in); res.Err != nil {
+				b.Fatal(res.Err)
+			}
+			if _, err := tool.MaybePrune(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		replayExe(b, func() (*vm.Machine, error) { return tool.Machine(), nil })
+	})
+	b.Run("DrCov", func(b *testing.B) {
+		replayExe(b, func() (*vm.Machine, error) {
+			exe, _, err := toolchain.BuildPreserving(pd.Module, 2)
+			if err != nil {
+				return nil, err
+			}
+			texe, _ := dbi.Instrument(exe, true)
+			return vm.New(texe), nil
+		})
+	})
+	b.Run("libInst", func(b *testing.B) {
+		replayExe(b, func() (*vm.Machine, error) {
+			exe, _, err := toolchain.BuildPreserving(pd.Module, 2)
+			if err != nil {
+				return nil, err
+			}
+			rexe, _ := binrw.Instrument(exe)
+			return vm.New(rexe), nil
+		})
+	})
+}
+
+// BenchmarkFig10PartitionVariants measures corpus replay under each
+// partition variant on harfbuzz (the paper's blind-partitioning worst case).
+func BenchmarkFig10PartitionVariants(b *testing.B) {
+	pd := prepared(b, "harfbuzz")
+	for _, variant := range []core.Variant{core.VariantOne, core.VariantOdin, core.VariantMax} {
+		b.Run(variant.String(), func(b *testing.B) {
+			eng, err := core.New(pd.Module, core.Options{Variant: variant})
+			if err != nil {
+				b.Fatal(err)
+			}
+			exe, _, err := eng.BuildAll()
+			if err != nil {
+				b.Fatal(err)
+			}
+			mach := vm.New(exe)
+			var cycles int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cycles = 0
+				for _, in := range pd.Corpus {
+					_, _, c, err := vm.RunProgram(mach, in)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles += c
+				}
+			}
+			b.ReportMetric(float64(cycles), "cycles/replay")
+		})
+	}
+}
+
+// BenchmarkFig11Recompile measures one on-the-fly fragment recompilation
+// (probe removal -> schedule -> rebuild) per variant on libjpeg.
+func BenchmarkFig11Recompile(b *testing.B) {
+	pd := prepared(b, "libjpeg")
+	for _, variant := range []core.Variant{core.VariantOne, core.VariantOdin, core.VariantMax} {
+		b.Run(variant.String(), func(b *testing.B) {
+			tool, err := cov.New(pd.Module, core.Options{Variant: variant}, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids := tool.Engine.Manager.Active()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Toggle one probe so a single fragment is dirty.
+				id := ids[i%len(ids)]
+				if err := tool.Engine.Manager.MarkChanged(id); err != nil {
+					b.Fatal(err)
+				}
+				sched, err := tool.Engine.Schedule()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := sched.Rebuild(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig12WorstCase measures recompiling sqlite's interpreter-function
+// fragment — the paper's worst case — against the whole-program rebuild.
+func BenchmarkFig12WorstCase(b *testing.B) {
+	pd := prepared(b, "sqlite")
+	b.Run("vdbe-fragment", func(b *testing.B) {
+		tool, err := cov.New(pd.Module, core.Options{Variant: core.VariantOdin}, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Find a probe targeting the big-switch function.
+		mgrID := -1
+		for i, p := range tool.Probes {
+			if p.FuncName == "vdbe_exec" {
+				mgrID = tool.Engine.Manager.Active()[i]
+				break
+			}
+		}
+		if mgrID < 0 {
+			b.Fatal("no vdbe_exec probe")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := tool.Engine.Manager.MarkChanged(mgrID); err != nil {
+				b.Fatal(err)
+			}
+			sched, err := tool.Engine.Schedule()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := sched.Rebuild(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("whole-program", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := toolchain.BuildPreserving(pd.Module, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkHeadlineRecompilation measures the end-to-end single-probe
+// on-the-fly recompilation latency (the paper's 82 ms headline).
+func BenchmarkHeadlineRecompilation(b *testing.B) {
+	pd := prepared(b, "woff2")
+	tool, err := cov.New(pd.Module, core.Options{}, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := tool.Engine.Manager.Active()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tool.Engine.Manager.MarkChanged(ids[i%len(ids)]); err != nil {
+			b.Fatal(err)
+		}
+		sched, err := tool.Engine.Schedule()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := sched.Rebuild(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Command odin-bench regenerates the paper's evaluation tables and figures
+// (§5) on the generated 13-program suite.
+//
+// Usage:
+//
+//	odin-bench [-experiment all|fig3|fig8|fig9|fig10|fig11|fig12|headline]
+//	           [-campaign N] [-programs a,b,c]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"odin/internal/bench"
+	"odin/internal/progen"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "which experiment to run: all, fig3, fig8, fig9, fig10, fig11, fig12, headline, ablation, codegen")
+	campaign := flag.Int("campaign", 400, "fuzzing iterations used to generate each replay corpus")
+	programs := flag.String("programs", "", "comma-separated subset of programs (default: all 13)")
+	flag.Parse()
+
+	if err := run(*experiment, *campaign, *programs); err != nil {
+		fmt.Fprintf(os.Stderr, "odin-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment string, campaign int, programs string) error {
+	w := os.Stdout
+
+	if experiment == "fig3" {
+		r, err := bench.RunFig3()
+		if err != nil {
+			return err
+		}
+		bench.PrintFig3(w, r)
+		return nil
+	}
+
+	profiles := progen.Suite()
+	if programs != "" {
+		var sel []progen.Profile
+		for _, name := range strings.Split(programs, ",") {
+			p, ok := progen.ByName(strings.TrimSpace(name))
+			if !ok {
+				return fmt.Errorf("unknown program %q", name)
+			}
+			sel = append(sel, p)
+		}
+		profiles = sel
+	}
+	fmt.Fprintf(w, "preparing %d programs (campaign %d iterations each)...\n", len(profiles), campaign)
+	var progs []*bench.ProgramData
+	for _, p := range profiles {
+		pd, err := bench.Prepare(p, campaign)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %-11s corpus=%d\n", pd.Name, len(pd.Corpus))
+		progs = append(progs, pd)
+	}
+	fmt.Fprintln(w)
+
+	needFig8 := experiment == "all" || experiment == "fig8" || experiment == "fig9" || experiment == "headline"
+	needFig10 := experiment == "all" || experiment == "fig10" || experiment == "fig11" || experiment == "fig12"
+
+	var f8 *bench.Fig8Result
+	if needFig8 {
+		var err error
+		f8, err = bench.RunFig8(progs)
+		if err != nil {
+			return err
+		}
+	}
+	var rows []bench.VariantResult
+	if needFig10 {
+		var err error
+		rows, err = bench.RunFig10(progs)
+		if err != nil {
+			return err
+		}
+	}
+
+	show := func(name string) bool { return experiment == "all" || experiment == name }
+	if experiment == "all" {
+		r, err := bench.RunFig3()
+		if err != nil {
+			return err
+		}
+		bench.PrintFig3(w, r)
+		fmt.Fprintln(w)
+	}
+	if show("fig8") {
+		bench.PrintFig8(w, f8)
+		fmt.Fprintln(w)
+	}
+	if show("fig9") {
+		bench.PrintFig9(w, bench.Summarize(f8))
+		fmt.Fprintln(w)
+	}
+	if show("fig10") {
+		bench.PrintFig10(w, rows, bench.SummarizeFig10(rows))
+		fmt.Fprintln(w)
+	}
+	if show("fig11") {
+		bench.PrintFig11(w, bench.Fig11(rows))
+		fmt.Fprintln(w)
+	}
+	if show("fig12") {
+		bench.PrintFig12(w, bench.Fig12(rows))
+		fmt.Fprintln(w)
+	}
+	if show("ablation") {
+		rows, err := bench.RunAblation(progs)
+		if err != nil {
+			return err
+		}
+		bench.PrintAblation(w, rows)
+		fmt.Fprintln(w)
+	}
+	if show("codegen") {
+		rows, err := bench.RunCodegenAblation(progs)
+		if err != nil {
+			return err
+		}
+		bench.PrintCodegenAblation(w, rows)
+		fmt.Fprintln(w)
+	}
+	if show("headline") {
+		h, err := bench.Headline(f8, progs)
+		if err != nil {
+			return err
+		}
+		bench.PrintHeadline(w, h)
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+// Command odin-partition surveys a program and prints its partition plan:
+// symbol classification (Bond / Copy-on-use / Fixed), fragments, imports,
+// clones, and internalization decisions (§3.2).
+//
+// Usage:
+//
+//	odin-partition [-variant odin|one|max] [-program NAME | -file program.ir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"odin/internal/core"
+	"odin/internal/ir"
+	"odin/internal/irtext"
+	"odin/internal/progen"
+)
+
+func main() {
+	variant := flag.String("variant", "odin", "partition variant: odin, one, max")
+	program := flag.String("program", "libxml2", "suite program to partition")
+	file := flag.String("file", "", "textual IR file to partition instead of a suite program")
+	classify := flag.Bool("classify", true, "print per-symbol classification")
+	flag.Parse()
+
+	if err := run(*variant, *program, *file, *classify); err != nil {
+		fmt.Fprintf(os.Stderr, "odin-partition: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(variantName, program, file string, classify bool) error {
+	var v core.Variant
+	switch variantName {
+	case "odin":
+		v = core.VariantOdin
+	case "one":
+		v = core.VariantOne
+	case "max":
+		v = core.VariantMax
+	default:
+		return fmt.Errorf("unknown variant %q", variantName)
+	}
+
+	var m *ir.Module
+	if file != "" {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		m, err = irtext.Parse(file, string(src))
+		if err != nil {
+			return err
+		}
+	} else {
+		p, ok := progen.ByName(program)
+		if !ok {
+			return fmt.Errorf("unknown program %q (try one of the 13 suite names)", program)
+		}
+		m = p.Generate()
+	}
+	if err := ir.Verify(m); err != nil {
+		return err
+	}
+
+	plan, err := core.Partition(m, v, 2)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("program: %s — %d symbols, %d IR instructions\n",
+		m.Name, len(m.DefinedSymbols()), m.NumInstrs())
+	if classify {
+		fmt.Println("classification:")
+		for _, s := range m.DefinedSymbols() {
+			extra := ""
+			if !plan.Exported[s] {
+				if _, owned := plan.FragOf[s]; owned {
+					extra = " (internalized)"
+				}
+			}
+			fmt.Printf("  %-24s %s%s\n", "@"+s, plan.Class.Cat[s], extra)
+		}
+	}
+	fmt.Print(plan.Describe())
+	return nil
+}

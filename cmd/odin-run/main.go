@@ -1,0 +1,138 @@
+// Command odin-run is the toolchain driver: it compiles a textual-IR
+// program and executes it, or interprets it directly, printing the result,
+// output, and cycle count. It is the quickest way to poke at the IR,
+// optimizer, and code generator.
+//
+// Usage:
+//
+//	odin-run [-O 2] [-interp] [-input "bytes"] [-fn main] [-dump] file.ir
+//	odin-run -program sqlite -input "select"      # run a suite program
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"odin/internal/interp"
+	"odin/internal/ir"
+	"odin/internal/irtext"
+	"odin/internal/progen"
+	"odin/internal/rt"
+	"odin/internal/toolchain"
+	"odin/internal/vm"
+)
+
+func main() {
+	level := flag.Int("O", 2, "optimization level (0-2)")
+	useInterp := flag.Bool("interp", false, "use the reference interpreter instead of compiling")
+	input := flag.String("input", "", "fuzz input bytes (for programs with @fuzz_target)")
+	fn := flag.String("fn", "", "function to run (default: fuzz_target if present, else main)")
+	dump := flag.Bool("dump", false, "print the optimized IR instead of running")
+	program := flag.String("program", "", "run a generated suite program instead of a file")
+	flag.Parse()
+
+	if err := run(*level, *useInterp, *input, *fn, *dump, *program, flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "odin-run: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(level int, useInterp bool, input, fn string, dump bool, program string, args []string) error {
+	var m *ir.Module
+	switch {
+	case program != "":
+		p, ok := progen.ByName(program)
+		if !ok {
+			return fmt.Errorf("unknown suite program %q", program)
+		}
+		m = p.Generate()
+	case len(args) == 1:
+		src, err := os.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+		m, err = irtext.Parse(args[0], string(src))
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need exactly one .ir file or -program NAME")
+	}
+	if err := ir.Verify(m); err != nil {
+		return err
+	}
+
+	if dump {
+		clone, _ := ir.CloneModule(m)
+		exe, st, err := toolchain.Build(clone, level)
+		if err != nil {
+			return err
+		}
+		fmt.Print(ir.Print(clone))
+		fmt.Fprintf(os.Stderr, "; %d funcs, %d machine instrs; opt %v, codegen %v, link %v\n",
+			len(exe.Funcs), exe.CodeSize(), st.Optimize, st.CodeGen, st.Link)
+		return nil
+	}
+
+	if fn == "" {
+		fn = "main"
+		if m.LookupFunc("fuzz_target") != nil {
+			fn = "fuzz_target"
+		}
+	}
+
+	if useInterp {
+		env := rt.NewEnv()
+		ip, err := interp.New(m, env)
+		if err != nil {
+			return err
+		}
+		var ret int64
+		if fn == "fuzz_target" {
+			p, n, err := env.WriteInput([]byte(input))
+			if err != nil {
+				return err
+			}
+			ret, err = ip.Run(fn, p, n)
+			if err != nil {
+				return err
+			}
+		} else {
+			var err error
+			ret, err = ip.Run(fn)
+			if err != nil {
+				return err
+			}
+		}
+		fmt.Printf("%s", env.Out.String())
+		fmt.Fprintf(os.Stderr, "; interp: @%s = %d (%d steps)\n", fn, ret, env.Steps)
+		return nil
+	}
+
+	exe, st, err := toolchain.BuildPreserving(m, level)
+	if err != nil {
+		return err
+	}
+	mach := vm.New(exe)
+	var ret int64
+	if fn == "fuzz_target" {
+		p, n, err := mach.Env.WriteInput([]byte(input))
+		if err != nil {
+			return err
+		}
+		ret, err = mach.Run(fn, p, n)
+		if err != nil {
+			return err
+		}
+	} else {
+		ret, err = mach.Run(fn)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%s", mach.Env.Out.String())
+	fmt.Fprintf(os.Stderr, "; @%s = %d (%d cycles; build: opt %v, codegen %v, link %v)\n",
+		fn, ret, mach.Cycles, st.Optimize, st.CodeGen, st.Link)
+	return nil
+}

@@ -1,0 +1,132 @@
+// CmpLog / input-to-state correspondence with OdinCmp (§2.1, §4).
+//
+// The target checks a 4-byte magic word one byte at a time — classic
+// fuzzing roadblocks that random mutation cannot pass. CmpProbes record the
+// operands of every comparison. Because Odin instruments BEFORE
+// optimization, the recorded left operands are direct copies of input
+// bytes (the input-to-state prerequisite of REDQUEEN); the solver finds
+// the observed value in the input and substitutes the constant the program
+// compared it against. Each round defeats one roadblock. Once a comparison
+// is solved, its probe is pruned via on-the-fly recompilation.
+//
+// Had the probes been applied after optimization, a comparison like
+// "b == 79" could have been transformed into "(b - 32) == 47" (or folded
+// away entirely, Figure 2): the observed operand 47 would not appear in the
+// input and substitution would fail. TestCmpToolObservesOriginalOperands in
+// internal/cov exercises exactly that property.
+//
+// Run with: go run ./examples/cmplog
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"odin/internal/core"
+	"odin/internal/cov"
+	"odin/internal/irtext"
+)
+
+const program = `
+func @fuzz_target(%data: ptr, %len: i64) -> i64 {
+entry:
+  %ok = icmp sge i64 %len, 4
+  condbr %ok, check0, fail
+check0:
+  %b0 = load i8, %data
+  %c0 = icmp eq i8 %b0, 79         ; 'O'
+  condbr %c0, check1, fail
+check1:
+  %p1 = gep %data, 1, scale 1
+  %b1 = load i8, %p1
+  %c1 = icmp eq i8 %b1, 68         ; 'D'
+  condbr %c1, check2, fail
+check2:
+  %p2 = gep %data, 2, scale 1
+  %b2 = load i8, %p2
+  %c2 = icmp eq i8 %b2, 73         ; 'I'
+  condbr %c2, check3, fail
+check3:
+  %p3 = gep %data, 3, scale 1
+  %b3 = load i8, %p3
+  %c3 = icmp eq i8 %b3, 78         ; 'N'
+  condbr %c3, win, fail
+win:
+  ret i64 1000
+fail:
+  ret i64 0
+}
+`
+
+func main() {
+	m, err := irtext.Parse("cmplog", program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tool, err := cov.NewCmpTool(m, core.Options{Variant: core.VariantOdin})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("installed %d comparison probes\n\n", len(tool.Probes))
+
+	input := []byte("AAAA")
+	solved := map[int64]bool{}
+	for round := 1; round <= 8; round++ {
+		for _, p := range tool.Probes {
+			p.Observed = nil
+		}
+		res := tool.RunInput(input)
+		if res.Err != nil {
+			log.Fatal(res.Err)
+		}
+		fmt.Printf("round %d: input %q -> return %d\n", round, input, res.Ret)
+		if res.Ret == 1000 {
+			fmt.Println("\nmagic word passed — all roadblocks solved.")
+			break
+		}
+		// Input-to-state: find an unsolved comparison whose observed
+		// left operand is a direct copy of an input byte, and patch
+		// that byte to the right operand.
+		progress := false
+		for _, p := range tool.Probes {
+			if solved[p.ID] || len(p.Observed) == 0 {
+				continue
+			}
+			ob := p.Observed[len(p.Observed)-1]
+			lhs, rhs := byte(ob[0]), byte(ob[1])
+			if lhs == rhs {
+				continue // already passing
+			}
+			if i := bytes.IndexByte(input, lhs); i >= 0 {
+				fmt.Printf("  cmp probe %d observed (%d, %d): input[%d] %q -> %q\n",
+					p.ID, ob[0], ob[1], i, lhs, rhs)
+				input[i] = rhs
+				solved[p.ID] = true
+				progress = true
+				break
+			}
+			fmt.Printf("  cmp probe %d observed (%d, %d): value not found in input — operands are NOT input-to-state\n",
+				p.ID, ob[0], ob[1])
+		}
+		if !progress {
+			fmt.Println("  no solvable comparison this round")
+		}
+	}
+
+	// Retire the solved probes: the comparisons are no longer roadblocks
+	// (both outcomes taken), so their overhead can go.
+	for _, p := range tool.Probes {
+		if solved[p.ID] {
+			p.Solved = true
+		}
+	}
+	before := tool.RunInput(input).Cycles
+	pruned, err := tool.PruneSolved()
+	if err != nil {
+		log.Fatal(err)
+	}
+	after := tool.RunInput(input).Cycles
+	fmt.Printf("\npruned %d solved probes via recompilation: %d -> %d cycles per exec\n",
+		pruned, before, after)
+}

@@ -1,0 +1,79 @@
+// Edge coverage and function tracing — two further instrumentation schemes
+// on the same framework, showing the generality claim of §6.2: because Odin
+// regenerates code rather than patching it, any IR-level scheme plugs in.
+//
+//   - EdgeTool implements AFL-style edge coverage by splitting CFG edges
+//     with fresh blocks — a layout change no lightweight binary
+//     instrumenter can perform (§6.3).
+//   - TraceTool implements XRay-style function entry/exit tracing; hot
+//     functions that drown the log are retired on the fly.
+//
+// Run with: go run ./examples/edge-profile
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"odin/internal/core"
+	"odin/internal/cov"
+	"odin/internal/progen"
+)
+
+func main() {
+	profile := progen.Demo()
+	input := []byte("profiling input 0123456789")
+
+	// --- Edge coverage -------------------------------------------------
+	edges, err := cov.NewEdgeTool(profile.Generate(), core.Options{}, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("edge tool: %d edge probes installed\n", len(edges.Probes))
+	res := edges.RunInput(input)
+	if res.Err != nil {
+		log.Fatal(res.Err)
+	}
+	fmt.Printf("  input %q covers %d/%d edges (%d cycles)\n",
+		input, edges.CoveredEdges(), len(edges.Probes), res.Cycles)
+	pruned, err := edges.MaybePrune()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2 := edges.RunInput(input)
+	fmt.Printf("  pruned %d covered edges via recompilation: %d -> %d cycles\n\n",
+		pruned, res.Cycles, res2.Cycles)
+
+	// --- Function tracing ----------------------------------------------
+	trace, err := cov.NewTraceTool(profile.Generate(), core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace tool: %d functions traced\n", len(trace.Probes))
+	res = trace.RunInput(input)
+	if res.Err != nil {
+		log.Fatal(res.Err)
+	}
+	fmt.Printf("  %d trace events (%d cycles); call counts:\n", len(trace.Events), res.Cycles)
+	var hottest *cov.FuncProbe
+	for _, p := range trace.Probes {
+		if p.Calls > 0 {
+			fmt.Printf("    %-12s %4d calls\n", p.FuncName, p.Calls)
+		}
+		if hottest == nil || p.Calls > hottest.Calls {
+			hottest = p
+		}
+	}
+	// The hottest function floods the log: retire its probe on the fly.
+	if hottest != nil && hottest.Calls > 0 {
+		eventsBefore := len(trace.Events)
+		if _, err := trace.Retire(hottest.FuncName); err != nil {
+			log.Fatal(err)
+		}
+		res2 := trace.RunInput(input)
+		fmt.Printf("  retired %s: %d -> %d events, %d -> %d cycles\n",
+			hottest.FuncName, eventsBefore, len(trace.Events), res.Cycles, res2.Cycles)
+		fmt.Printf("  (remaining functions still traced: %d probes active)\n",
+			trace.Engine.Manager.NumActive())
+	}
+}

@@ -1,0 +1,198 @@
+// Sanitizer-check pruning — the paper's §7 future-work application.
+//
+// UBSan-style checks have a high false-positive rate: a single noisy check
+// can abort every execution and stall a whole fuzzing campaign. ASAP-style
+// systems profile first and rebuild once, losing checks not seen in the
+// profile. With Odin, a check probe that fires on well-formed inputs is
+// simply removed the moment it triggers, through an on-the-fly
+// recompilation, and the campaign continues with every other check intact.
+//
+// The target's checksum routine contains three overflow-style checks; one
+// of them is miscalibrated and trips on ordinary inputs.
+//
+// Run with: go run ./examples/sanitizer-pruning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"odin/internal/core"
+	"odin/internal/ir"
+	"odin/internal/irtext"
+	"odin/internal/rt"
+	"odin/internal/vm"
+)
+
+const program = `
+declare func @write_byte(%b: i64) -> void
+func @checksum(%data: ptr, %len: i64) -> i64 {
+entry:
+  br head
+head:
+  %i = phi i64 [0, entry], [%i2, latch]
+  %acc = phi i64 [0, entry], [%acc2, latch]
+  %c = icmp slt i64 %i, %len
+  condbr %c, body, exit
+body:
+  %p = gep %data, %i, scale 1
+  %b = load i8, %p
+  %b64 = zext i8 %b to i64
+  %shifted = mul i64 %acc, 31
+  %acc2 = add i64 %shifted, %b64
+  br latch
+latch:
+  %i2 = add i64 %i, 1
+  br head
+exit:
+  ret i64 %acc
+}
+func @fuzz_target(%data: ptr, %len: i64) -> i64 {
+entry:
+  %sum = call i64 @checksum(ptr %data, i64 %len)
+  %low = and i64 %sum, 255
+  call void @write_byte(i64 %low)
+  ret i64 %sum
+}
+`
+
+// checkProbe is a UBSan-style value check: it calls the checker hook with
+// the instruction's result; the hook aborts the execution when the value
+// violates the check's (possibly miscalibrated) bound.
+type checkProbe struct {
+	id    int64
+	fn    string
+	instr *ir.Instr // instruction in the pristine IR whose result is checked
+	bound int64
+	name  string
+	fired bool
+	mgrID int
+}
+
+func (p *checkProbe) PatchTarget() string { return p.fn }
+
+func (p *checkProbe) Instrument(s *core.Sched) error {
+	mapped, ok := s.Map(p.instr).(*ir.Instr)
+	if !ok || mapped.Parent == nil {
+		return fmt.Errorf("check %d: instruction not scheduled", p.id)
+	}
+	blk := mapped.Parent
+	idx := -1
+	for i, in := range blk.Instrs {
+		if in == mapped {
+			idx = i
+			break
+		}
+	}
+	hook := s.LookupFunction("__ubsan_check", &ir.FuncType{Params: []ir.Type{ir.I64, ir.I64}, Ret: ir.Void})
+	b := ir.NewBuilder()
+	b.SetInsertBefore(blk, idx+1) // after the checked instruction
+	b.Call(ir.Void, hook.Name, ir.Const(ir.I64, p.id), mapped)
+	return nil
+}
+
+func main() {
+	m, err := irtext.Parse("santarget", program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := core.New(m, core.Options{
+		Variant:       core.VariantOdin,
+		ExtraBuiltins: []string{"__ubsan_check"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Install checks on the multiply and both adds of the checksum loop.
+	// The bound on the multiply is miscalibrated: any nontrivial input
+	// overflows it.
+	cs := engine.Pristine.LookupFunc("checksum")
+	var probes []*checkProbe
+	for _, b := range cs.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpMul || in.Op == ir.OpAdd {
+				// Adds get a sign check (bound 0); the multiply gets an
+				// overflow bound that is far too tight — the false
+				// positive.
+				bound := int64(0)
+				name := "sign-check-" + in.Name
+				if in.Op == ir.OpMul {
+					bound = 1 << 12
+					name = "overflow-check-" + in.Name + " (miscalibrated)"
+				}
+				p := &checkProbe{id: int64(len(probes)), fn: "checksum", instr: in, bound: bound, name: name}
+				p.mgrID = engine.Manager.Add(p)
+				probes = append(probes, p)
+			}
+		}
+	}
+	exe, _, err := engine.BuildAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("installed %d sanitizer checks on @checksum\n\n", len(probes))
+
+	// Inputs short enough that the checksum stays in range: the sign
+	// checks are sound, only the overflow bound is miscalibrated.
+	inputs := [][]byte{
+		[]byte("hello"),
+		[]byte("well formed"),
+		[]byte("ordinary in"),
+	}
+	for round := 0; ; round++ {
+		mach := vm.New(exe)
+		var tripped *checkProbe
+		mach.Env.Builtins["__ubsan_check"] = func(env *rt.Env, args []int64) (int64, error) {
+			p := probes[args[0]]
+			v := args[1]
+			failed := false
+			if p.bound > 0 {
+				failed = v > p.bound || v < -p.bound
+			} else {
+				failed = v < 0
+			}
+			if failed {
+				tripped = p
+				return 0, rt.Trapf("ubsan: %s failed on value %d", p.name, v)
+			}
+			return 0, nil
+		}
+		in := inputs[round%len(inputs)]
+		ptr, n, err := mach.Env.WriteInput(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ret, err := mach.Run("fuzz_target", ptr, n)
+		if err == nil {
+			fmt.Printf("exec %q -> checksum %d (all remaining checks passed)\n", in, ret)
+			if round >= len(inputs)-1 {
+				break
+			}
+			continue
+		}
+		fmt.Printf("exec %q aborted: %v\n", in, err)
+		if tripped == nil {
+			log.Fatalf("trap without a tripped check: %v", err)
+		}
+		// §7: the faulty probe is removed immediately and the campaign
+		// continues — no profile-rebuild cycle, no lost checks.
+		fmt.Printf("  -> removing %s and recompiling on the fly\n", tripped.name)
+		if err := engine.Manager.Remove(tripped.mgrID); err != nil {
+			log.Fatal(err)
+		}
+		sched, err := engine.Schedule()
+		if err != nil {
+			log.Fatal(err)
+		}
+		var stats *core.RebuildStats
+		exe, stats, err = sched.Rebuild()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  -> %d fragment(s) recompiled in %v; %d checks still active\n\n",
+			len(stats.Fragments), stats.Total, engine.Manager.NumActive())
+	}
+	fmt.Printf("\ncampaign continued with %d of %d checks — only the noisy one was dropped.\n",
+		engine.Manager.NumActive(), len(probes))
+}

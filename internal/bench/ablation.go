@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"odin/internal/core"
+	"odin/internal/vm"
+)
+
+// AblationVariants isolates the two partitioning mechanisms of §3.2: Bond
+// clustering preserves interprocedural optimization; Copy-on-use cloning
+// preserves constant-inspecting local optimization. Each ablation disables
+// exactly one, with OnePartition (all context) and MaxPartition (no
+// context) as the bookends.
+var AblationVariants = []core.Variant{
+	core.VariantOne, core.VariantOdin, core.VariantNoClone, core.VariantNoBond, core.VariantMax,
+}
+
+// AblationRow is one program's execution overhead under each mechanism mix.
+type AblationRow struct {
+	Program    string
+	Normalized map[core.Variant]float64
+	Fragments  map[core.Variant]int
+}
+
+// RunAblation measures non-instrumented execution under each variant.
+func RunAblation(progs []*ProgramData) ([]AblationRow, error) {
+	var out []AblationRow
+	for _, pd := range progs {
+		base, err := baselineCycles(pd)
+		if err != nil {
+			return nil, err
+		}
+		row := AblationRow{
+			Program:    pd.Name,
+			Normalized: map[core.Variant]float64{},
+			Fragments:  map[core.Variant]int{},
+		}
+		for _, v := range AblationVariants {
+			eng, err := core.New(pd.Module, core.Options{Variant: v})
+			if err != nil {
+				return nil, err
+			}
+			exe, _, err := eng.BuildAll()
+			if err != nil {
+				return nil, err
+			}
+			cycles, err := replay(vm.New(exe), pd.Corpus, pd.Repeats)
+			if err != nil {
+				return nil, err
+			}
+			row.Normalized[v] = float64(cycles) / float64(base)
+			row.Fragments[v] = len(eng.Plan.Fragments)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// PrintAblation renders the mechanism ablation table.
+func PrintAblation(w io.Writer, rows []AblationRow) {
+	fmt.Fprintf(w, "Ablation — contribution of each partitioning mechanism (normalized duration)\n")
+	fmt.Fprintf(w, "%-11s", "program")
+	for _, v := range AblationVariants {
+		fmt.Fprintf(w, " %18s", v)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-11s", r.Program)
+		for _, v := range AblationVariants {
+			fmt.Fprintf(w, " %12.3f (%3d)", r.Normalized[v], r.Fragments[v])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "(fragment counts in parentheses; NoClone drops copy-on-use cloning, NoBond drops bond clustering)")
+}

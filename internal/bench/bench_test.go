@@ -1,0 +1,252 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"odin/internal/core"
+	"odin/internal/progen"
+)
+
+// prepSmall prepares a representative subset (fast-running) of the suite.
+func prepSmall(t *testing.T, names ...string) []*ProgramData {
+	t.Helper()
+	var out []*ProgramData
+	for _, n := range names {
+		p, ok := progen.ByName(n)
+		if !ok {
+			t.Fatalf("no profile %s", n)
+		}
+		pd, err := Prepare(p, 120)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, pd)
+	}
+	return out
+}
+
+func TestPrepareProducesCorpus(t *testing.T) {
+	pds := prepSmall(t, "woff2")
+	if len(pds[0].Corpus) < 2 {
+		t.Fatalf("corpus too small: %d", len(pds[0].Corpus))
+	}
+	// Deterministic.
+	pd2, err := Prepare(pds[0].Profile, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pd2.Corpus) != len(pds[0].Corpus) {
+		t.Fatalf("corpus not deterministic: %d vs %d", len(pd2.Corpus), len(pds[0].Corpus))
+	}
+}
+
+// TestFig8Shape checks the qualitative claims of Figures 8/9 on a subset:
+// OdinCov has the lowest overhead; libInst by far the highest; the ordering
+// OdinCov < SanCov, NoPrune, DrCov < libInst holds per program.
+func TestFig8Shape(t *testing.T) {
+	pds := prepSmall(t, "woff2", "x509", "libjpeg")
+	res, err := RunFig8(pds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byProg := map[string]map[string]float64{}
+	for _, r := range res.Rows {
+		if byProg[r.Program] == nil {
+			byProg[r.Program] = map[string]float64{}
+		}
+		byProg[r.Program][r.Tool] = r.Normalized
+		if r.Normalized < 0.9 {
+			t.Errorf("%s/%s normalized %.3f < 0.9 (instrumented faster than baseline?)", r.Program, r.Tool, r.Normalized)
+		}
+	}
+	for prog, tools := range byProg {
+		oc, sc, np, dc, li := tools[ToolOdinCov], tools[ToolSanCov], tools[ToolOdinCovNoPrune], tools[ToolDrCov], tools[ToolLibInst]
+		if !(oc < sc && oc < np && oc < dc && oc < li) {
+			t.Errorf("%s: OdinCov (%.3f) not lowest: sancov=%.3f noprune=%.3f drcov=%.3f libinst=%.3f",
+				prog, oc, sc, np, dc, li)
+		}
+		if !(li > dc && li > np && li > sc) {
+			t.Errorf("%s: libInst (%.3f) not highest", prog, li)
+		}
+		if li < 3 {
+			t.Errorf("%s: libInst overhead (%.3f) implausibly low", prog, li)
+		}
+		if np <= sc {
+			t.Errorf("%s: NoPrune (%.3f) should be slower than SanCov (%.3f) — instrument-first costs", prog, np, sc)
+		}
+	}
+	sum := Summarize(res)
+	if sum.RatioVsSanCov <= 1 {
+		t.Errorf("OdinCov not better than SanCov: ratio %.2f", sum.RatioVsSanCov)
+	}
+	if sum.RatioVsDrCov <= sum.RatioVsSanCov {
+		t.Errorf("DrCov ratio (%.2f) should exceed SanCov ratio (%.2f)", sum.RatioVsDrCov, sum.RatioVsSanCov)
+	}
+	if len(res.OdinRebuildMillis) == 0 {
+		t.Error("no rebuild latencies recorded")
+	}
+	var buf bytes.Buffer
+	PrintFig8(&buf, res)
+	PrintFig9(&buf, sum)
+	t.Logf("\n%s", buf.String())
+}
+
+// TestFig10Shape checks the Table 1 / Figure 10 claims on a subset
+// featuring the paper's two extremes: harfbuzz (IPO-heavy) and libjpeg
+// (self-contained).
+func TestFig10Shape(t *testing.T) {
+	pds := prepSmall(t, "harfbuzz", "libjpeg", "woff2")
+	rows, err := RunFig10(pds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := map[string]map[core.Variant]VariantResult{}
+	for _, r := range rows {
+		if grid[r.Program] == nil {
+			grid[r.Program] = map[core.Variant]VariantResult{}
+		}
+		grid[r.Program][r.Variant] = r
+	}
+	for prog, g := range grid {
+		one, odin, max := g[core.VariantOne], g[core.VariantOdin], g[core.VariantMax]
+		// Odin close to OnePartition; Max notably worse on IPO-heavy.
+		if odin.Normalized > one.Normalized*1.10 {
+			t.Errorf("%s: Odin (%.3f) much slower than OnePartition (%.3f)", prog, odin.Normalized, one.Normalized)
+		}
+		if max.Normalized < odin.Normalized*0.99 {
+			t.Errorf("%s: MaxPartition (%.3f) faster than Odin (%.3f)?", prog, max.Normalized, odin.Normalized)
+		}
+		if !(one.Fragments == 1 && odin.Fragments > 1 && max.Fragments >= odin.Fragments) {
+			t.Errorf("%s: fragment counts odd: one=%d odin=%d max=%d", prog, one.Fragments, odin.Fragments, max.Fragments)
+		}
+	}
+	hb := grid["harfbuzz"][core.VariantMax].Normalized
+	lj := grid["libjpeg"][core.VariantMax].Normalized
+	if hb <= lj {
+		t.Errorf("MaxPartition: harfbuzz (%.3f) should suffer more than libjpeg (%.3f)", hb, lj)
+	}
+	if hb < 1.2 {
+		t.Errorf("harfbuzz under MaxPartition only %.3f; expected substantial IPO loss", hb)
+	}
+
+	s := SummarizeFig10(rows)
+	f11 := Fig11(rows)
+	for _, r := range f11 {
+		if n := r.Normalized[core.VariantOdin]; n <= 0 || n >= 1 {
+			t.Errorf("%s: Odin fragment recompile share %.3f not in (0,1)", r.Program, n)
+		}
+		if r.Normalized[core.VariantMax] > r.Normalized[core.VariantOdin]*1.5 {
+			t.Errorf("%s: Max avg fragment (%.4f) should not exceed Odin (%.4f)",
+				r.Program, r.Normalized[core.VariantMax], r.Normalized[core.VariantOdin])
+		}
+	}
+	f12 := Fig12(rows)
+	for _, r := range f12 {
+		if r.WorstMS[core.VariantOne] < r.WorstMS[core.VariantOdin] {
+			t.Errorf("%s: whole-program compile should bound the worst fragment", r.Program)
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig10(&buf, rows, s)
+	PrintFig11(&buf, f11)
+	PrintFig12(&buf, f12)
+	t.Logf("\n%s", buf.String())
+}
+
+func TestFig3Breakdown(t *testing.T) {
+	r, err := RunFig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Total() <= 0 {
+		t.Fatal("no time measured")
+	}
+	// The linker must be a tiny share (paper: 0.15%); the middle end the
+	// dominant compiler stage.
+	if r.Share(r.Link) > 0.2 {
+		t.Errorf("linker share %.1f%% too large", r.Share(r.Link)*100)
+	}
+	if r.Optimize < r.Link {
+		t.Errorf("optimize (%v) should dominate link (%v)", r.Optimize, r.Link)
+	}
+	var buf bytes.Buffer
+	PrintFig3(&buf, r)
+	t.Logf("\n%s", buf.String())
+}
+
+func TestHeadline(t *testing.T) {
+	pds := prepSmall(t, "woff2")
+	res, err := RunFig8(pds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Headline(res, pds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Rebuilds == 0 || h.MeanRebuildMS <= 0 {
+		t.Fatalf("no rebuilds measured: %+v", h)
+	}
+	var buf bytes.Buffer
+	PrintHeadline(&buf, h)
+	t.Logf("\n%s", buf.String())
+}
+
+// TestAblationShape: disabling Bond clustering must cost more than full
+// Odin; MaxPartition (both mechanisms off) must be the worst or tied.
+func TestAblationShape(t *testing.T) {
+	pds := prepSmall(t, "harfbuzz", "lcms")
+	rows, err := RunAblation(pds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		odin := r.Normalized[core.VariantOdin]
+		noBond := r.Normalized[core.VariantNoBond]
+		noClone := r.Normalized[core.VariantNoClone]
+		max := r.Normalized[core.VariantMax]
+		one := r.Normalized[core.VariantOne]
+		if odin > one*1.05 {
+			t.Errorf("%s: Odin (%.3f) far above OnePartition (%.3f)", r.Program, odin, one)
+		}
+		if noBond < odin*0.99 {
+			t.Errorf("%s: NoBond (%.3f) beats Odin (%.3f)?", r.Program, noBond, odin)
+		}
+		if noClone < odin*0.99 {
+			t.Errorf("%s: NoClone (%.3f) beats Odin (%.3f)?", r.Program, noClone, odin)
+		}
+		if max < noBond*0.99 || max < noClone*0.99 {
+			t.Errorf("%s: Max (%.3f) beats an ablation (noBond %.3f, noClone %.3f)", r.Program, max, noBond, noClone)
+		}
+		if r.Fragments[core.VariantNoBond] < r.Fragments[core.VariantOdin] {
+			t.Errorf("%s: NoBond has fewer fragments than Odin", r.Program)
+		}
+	}
+	var buf bytes.Buffer
+	PrintAblation(&buf, rows)
+	t.Logf("\n%s", buf.String())
+}
+
+// TestCodegenAblation: the register cache speeds the baseline up, and the
+// blind-partitioning penalty survives (is not an artifact of) the naive
+// back end.
+func TestCodegenAblation(t *testing.T) {
+	pds := prepSmall(t, "harfbuzz", "woff2")
+	rows, err := RunCodegenAblation(pds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.CachedCycles >= r.PlainCycles {
+			t.Errorf("%s: register cache no win: %d -> %d", r.Program, r.PlainCycles, r.CachedCycles)
+		}
+		if r.MaxRatioCached < 1.01 && r.MaxRatioPlain > 1.05 {
+			t.Errorf("%s: MaxPartition penalty vanished under the better back end: %.3f -> %.3f",
+				r.Program, r.MaxRatioPlain, r.MaxRatioCached)
+		}
+	}
+	var buf bytes.Buffer
+	PrintCodegenAblation(&buf, rows)
+	t.Logf("\n%s", buf.String())
+}

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"odin/internal/codegen"
+	"odin/internal/core"
+	"odin/internal/ir"
+	"odin/internal/toolchain"
+	"odin/internal/vm"
+)
+
+// CodegenRow reports one program's execution cost under each code-generation
+// strategy. This ablation probes the cost model's sensitivity: a better
+// back end makes every remaining overhead relatively larger, so the headline
+// partition effect (Figure 10) must not hinge on the naive generator.
+type CodegenRow struct {
+	Program string
+	// PlainCycles / CachedCycles are whole-program corpus-replay costs
+	// without and with the store-through register cache.
+	PlainCycles  int64
+	CachedCycles int64
+	// MaxRatioPlain / MaxRatioCached are MaxPartition's normalized
+	// execution durations under each generator.
+	MaxRatioPlain  float64
+	MaxRatioCached float64
+}
+
+// Speedup returns the register cache's improvement factor.
+func (r CodegenRow) Speedup() float64 {
+	if r.CachedCycles == 0 {
+		return 0
+	}
+	return float64(r.PlainCycles) / float64(r.CachedCycles)
+}
+
+// RunCodegenAblation measures each program's replay under both generators,
+// plus the blind-partitioning overhead under both.
+func RunCodegenAblation(progs []*ProgramData) ([]CodegenRow, error) {
+	var out []CodegenRow
+	for _, pd := range progs {
+		row := CodegenRow{Program: pd.Name}
+		for _, cached := range []bool{false, true} {
+			cg := codegen.Options{RegCache: cached}
+
+			whole, _ := ir.CloneModule(pd.Module)
+			exe, _, err := toolchain.BuildOpts(whole, 2, cg)
+			if err != nil {
+				return nil, err
+			}
+			base, err := replay(vm.New(exe), pd.Corpus, pd.Repeats)
+			if err != nil {
+				return nil, err
+			}
+
+			eng, err := core.New(pd.Module, core.Options{
+				Variant: core.VariantMax,
+				Codegen: cg,
+			})
+			if err != nil {
+				return nil, err
+			}
+			exeM, _, err := eng.BuildAll()
+			if err != nil {
+				return nil, err
+			}
+			maxCycles, err := replay(vm.New(exeM), pd.Corpus, pd.Repeats)
+			if err != nil {
+				return nil, err
+			}
+
+			ratio := float64(maxCycles) / float64(base)
+			if cached {
+				row.CachedCycles = base
+				row.MaxRatioCached = ratio
+			} else {
+				row.PlainCycles = base
+				row.MaxRatioPlain = ratio
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// PrintCodegenAblation renders the table.
+func PrintCodegenAblation(w io.Writer, rows []CodegenRow) {
+	fmt.Fprintf(w, "Codegen ablation — store-through register cache (codegen.Options.RegCache)\n")
+	fmt.Fprintf(w, "%-11s %14s %14s %9s %18s %18s\n",
+		"program", "plain cycles", "cached cycles", "speedup", "Max/plain", "Max/cached")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-11s %14d %14d %8.2fx %18.3f %18.3f\n",
+			r.Program, r.PlainCycles, r.CachedCycles, r.Speedup(),
+			r.MaxRatioPlain, r.MaxRatioCached)
+	}
+	fmt.Fprintln(w, "(Max/... = MaxPartition's normalized duration under each generator; the blind-")
+	fmt.Fprintln(w, " partitioning penalty must survive a better back end for Figure 10 to be robust)")
+}

@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"time"
+
+	"odin/internal/core"
+	"odin/internal/vm"
+)
+
+// Variants in the Table 1 / Figure 10 order.
+var AllVariants = []core.Variant{core.VariantOne, core.VariantOdin, core.VariantMax}
+
+// VariantResult is one bar of Figure 10 plus the recompilation measurements
+// Figures 11 and 12 read off the same builds.
+type VariantResult struct {
+	Program string
+	Variant core.Variant
+	// Normalized execution duration vs. the compiler's original
+	// non-instrumented output (Figure 10).
+	Normalized float64
+	// Fragments is the fragment count of the plan.
+	Fragments int
+	// AvgFragMS / WorstFragMS are per-fragment middle+backend compile
+	// times (Figures 11 and 12).
+	AvgFragMS   float64
+	WorstFragMS float64
+	// WholeMS is the whole-program middle+backend time (the OnePartition
+	// denominator of Figure 11).
+	WholeMS float64
+	// LinkMS is the full executable link time (Figure 12's lower bars).
+	LinkMS float64
+}
+
+// RunFig10 builds each program under each partition variant with no
+// instrumentation and replays the corpus.
+func RunFig10(progs []*ProgramData) ([]VariantResult, error) {
+	var out []VariantResult
+	for _, pd := range progs {
+		base, err := baselineCycles(pd)
+		if err != nil {
+			return nil, err
+		}
+		var wholeMS float64
+		for _, variant := range AllVariants {
+			eng, err := core.New(pd.Module, core.Options{Variant: variant})
+			if err != nil {
+				return nil, err
+			}
+			exe, stats, err := eng.BuildAll()
+			if err != nil {
+				return nil, err
+			}
+			cycles, err := replay(vm.New(exe), pd.Corpus, pd.Repeats)
+			if err != nil {
+				return nil, err
+			}
+			var sum, worst time.Duration
+			for _, fc := range stats.Fragments {
+				d := fc.MiddleBackEnd()
+				sum += d
+				if d > worst {
+					worst = d
+				}
+			}
+			avgMS := float64(sum.Microseconds()) / 1000.0 / float64(len(stats.Fragments))
+			res := VariantResult{
+				Program:     pd.Name,
+				Variant:     variant,
+				Normalized:  float64(cycles) / float64(base),
+				Fragments:   len(eng.Plan.Fragments),
+				AvgFragMS:   avgMS,
+				WorstFragMS: float64(worst.Microseconds()) / 1000.0,
+				LinkMS:      float64(stats.LinkDur.Microseconds()) / 1000.0,
+			}
+			if variant == core.VariantOne {
+				wholeMS = float64(sum.Microseconds()) / 1000.0
+			}
+			res.WholeMS = wholeMS
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+// Fig10Summary aggregates the Table 1 claims.
+type Fig10Summary struct {
+	// AvgOverhead maps variant -> mean overhead (normalized - 1).
+	AvgOverhead map[core.Variant]float64
+	// OdinVsOne is the mean extra overhead of Odin over OnePartition
+	// (the paper's 0.31%).
+	OdinVsOne float64
+	// MaxWorstProgram and MaxBestProgram identify Figure 10's extremes
+	// under blind partitioning.
+	MaxWorstProgram string
+	MaxWorst        float64
+	MaxBestProgram  string
+	MaxBest         float64
+}
+
+// SummarizeFig10 computes the Table 1 aggregate view.
+func SummarizeFig10(rows []VariantResult) *Fig10Summary {
+	s := &Fig10Summary{AvgOverhead: map[core.Variant]float64{}}
+	byVar := map[core.Variant][]float64{}
+	var odinSum, oneSum float64
+	var n int
+	s.MaxBest = 1e18
+	for _, r := range rows {
+		byVar[r.Variant] = append(byVar[r.Variant], r.Normalized-1)
+		switch r.Variant {
+		case core.VariantOdin:
+			odinSum += r.Normalized
+			n++
+		case core.VariantOne:
+			oneSum += r.Normalized
+		case core.VariantMax:
+			if r.Normalized-1 > s.MaxWorst {
+				s.MaxWorst = r.Normalized - 1
+				s.MaxWorstProgram = r.Program
+			}
+			if r.Normalized-1 < s.MaxBest {
+				s.MaxBest = r.Normalized - 1
+				s.MaxBestProgram = r.Program
+			}
+		}
+	}
+	for v, xs := range byVar {
+		s.AvgOverhead[v] = mean(xs)
+	}
+	if n > 0 {
+		s.OdinVsOne = (odinSum - oneSum) / float64(n)
+	}
+	return s
+}
+
+// Fig11Row is one program's bar triple in Figure 11: average per-fragment
+// recompile time normalized to recompiling the whole program.
+type Fig11Row struct {
+	Program string
+	// Normalized maps variant -> avg fragment time / whole-program time.
+	Normalized map[core.Variant]float64
+	// AvgMS maps variant -> absolute average per-fragment ms.
+	AvgMS map[core.Variant]float64
+}
+
+// Fig11 derives the Figure 11 view from Figure 10's build measurements.
+func Fig11(rows []VariantResult) []Fig11Row {
+	byProg := map[string]*Fig11Row{}
+	var order []string
+	for _, r := range rows {
+		row, ok := byProg[r.Program]
+		if !ok {
+			row = &Fig11Row{
+				Program:    r.Program,
+				Normalized: map[core.Variant]float64{},
+				AvgMS:      map[core.Variant]float64{},
+			}
+			byProg[r.Program] = row
+			order = append(order, r.Program)
+		}
+		if r.WholeMS > 0 {
+			row.Normalized[r.Variant] = r.AvgFragMS / r.WholeMS
+		}
+		row.AvgMS[r.Variant] = r.AvgFragMS
+	}
+	var out []Fig11Row
+	for _, p := range order {
+		out = append(out, *byProg[p])
+	}
+	return out
+}
+
+// Fig12Row is one program's worst-case recompilation bar: the slowest
+// fragment's compile time stacked on the link time.
+type Fig12Row struct {
+	Program string
+	// WorstMS maps variant -> slowest fragment middle+backend ms.
+	WorstMS map[core.Variant]float64
+	// LinkMS maps variant -> executable link ms.
+	LinkMS map[core.Variant]float64
+}
+
+// Fig12 derives the Figure 12 view from Figure 10's build measurements.
+func Fig12(rows []VariantResult) []Fig12Row {
+	byProg := map[string]*Fig12Row{}
+	var order []string
+	for _, r := range rows {
+		row, ok := byProg[r.Program]
+		if !ok {
+			row = &Fig12Row{
+				Program: r.Program,
+				WorstMS: map[core.Variant]float64{},
+				LinkMS:  map[core.Variant]float64{},
+			}
+			byProg[r.Program] = row
+			order = append(order, r.Program)
+		}
+		row.WorstMS[r.Variant] = r.WorstFragMS
+		row.LinkMS[r.Variant] = r.LinkMS
+	}
+	var out []Fig12Row
+	for _, p := range order {
+		out = append(out, *byProg[p])
+	}
+	return out
+}

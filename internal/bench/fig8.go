@@ -1,0 +1,229 @@
+package bench
+
+import (
+	"errors"
+	"sort"
+
+	"odin/internal/binrw"
+	"odin/internal/core"
+	"odin/internal/cov"
+	"odin/internal/dbi"
+	"odin/internal/rt"
+	"odin/internal/sancov"
+	"odin/internal/toolchain"
+	"odin/internal/vm"
+)
+
+// Tool names, in the paper's Figure 8 order.
+const (
+	ToolOdinCov        = "OdinCov"
+	ToolSanCov         = "SanCov"
+	ToolOdinCovNoPrune = "OdinCov-NoPrune"
+	ToolDrCov          = "DrCov"
+	ToolLibInst        = "libInst"
+)
+
+// AllTools lists the Figure 8 tools in presentation order.
+var AllTools = []string{ToolOdinCov, ToolSanCov, ToolOdinCovNoPrune, ToolDrCov, ToolLibInst}
+
+// ToolResult is one bar of Figure 8.
+type ToolResult struct {
+	Program string
+	Tool    string
+	// Normalized is instrumented cycles divided by baseline cycles
+	// (1.0 = no overhead).
+	Normalized float64
+	// Cycles and Baseline are the raw measurements.
+	Cycles   int64
+	Baseline int64
+}
+
+// Fig8Result carries the full grid plus the recompilation latencies the
+// OdinCov runs incurred (feeding the headline metric).
+type Fig8Result struct {
+	Rows []ToolResult
+	// OdinRebuildMillis are per-rebuild on-the-fly recompilation
+	// latencies (ms) observed during OdinCov pruning.
+	OdinRebuildMillis []float64
+}
+
+// runOdinCov measures OdinCov the way the paper does: the corpus is
+// replayed on the instrumented program from a cold cache, with
+// Untracer-style pruning (a recompilation of the affected fragments) after
+// each input that found new coverage. The measured duration therefore
+// includes the executions that still carry probes; pruning pays off across
+// the replay. Recompilation latencies are collected separately (they are
+// reported by Figures 11/12 and the headline metric, not as execution
+// time).
+func runOdinCov(pd *ProgramData, prune bool) (int64, []float64, error) {
+	tool, err := cov.New(pd.Module, core.Options{Variant: core.VariantOdin}, prune)
+	if err != nil {
+		return 0, nil, err
+	}
+	var rebuilds []float64
+	var total int64
+	repeats := pd.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	for r := 0; r < repeats; r++ {
+		for _, in := range pd.Corpus {
+			res := tool.RunInput(in)
+			if res.Err != nil {
+				var trap *rt.TrapError
+				if !errors.As(res.Err, &trap) {
+					return 0, nil, res.Err
+				}
+			}
+			total += res.Cycles
+			if prune {
+				n := len(tool.Rebuilds)
+				if _, err := tool.MaybePrune(); err != nil {
+					return 0, nil, err
+				}
+				for _, st := range tool.Rebuilds[n:] {
+					rebuilds = append(rebuilds, float64(st.Total.Microseconds())/1000.0)
+				}
+			}
+		}
+	}
+	return total, rebuilds, nil
+}
+
+// RunFig8 measures every tool on every prepared program.
+func RunFig8(progs []*ProgramData) (*Fig8Result, error) {
+	out := &Fig8Result{}
+	for _, pd := range progs {
+		base, err := baselineCycles(pd)
+		if err != nil {
+			return nil, err
+		}
+		add := func(tool string, cycles int64) {
+			out.Rows = append(out.Rows, ToolResult{
+				Program: pd.Name, Tool: tool,
+				Normalized: float64(cycles) / float64(base),
+				Cycles:     cycles, Baseline: base,
+			})
+		}
+
+		// OdinCov (with pruning) and OdinCov-NoPrune.
+		cy, rebuilds, err := runOdinCov(pd, true)
+		if err != nil {
+			return nil, err
+		}
+		add(ToolOdinCov, cy)
+		out.OdinRebuildMillis = append(out.OdinRebuildMillis, rebuilds...)
+
+		cy, _, err = runOdinCov(pd, false)
+		if err != nil {
+			return nil, err
+		}
+		add(ToolOdinCovNoPrune, cy)
+
+		// SanCov.
+		exe, _, err := sancov.Build(pd.Module, 2)
+		if err != nil {
+			return nil, err
+		}
+		cy, err = replay(vm.New(exe), pd.Corpus, pd.Repeats)
+		if err != nil {
+			return nil, err
+		}
+		add(ToolSanCov, cy)
+
+		// DrCov: translation cost paid once per campaign (first
+		// executions populate the code cache).
+		plain, _, err := toolchain.BuildPreserving(pd.Module, 2)
+		if err != nil {
+			return nil, err
+		}
+		dexe, dmeta := dbi.Instrument(plain, true)
+		cy, err = replay(vm.New(dexe), pd.Corpus, pd.Repeats)
+		if err != nil {
+			return nil, err
+		}
+		add(ToolDrCov, cy+dmeta.TranslationCycles)
+
+		// libInst.
+		lexe, _ := binrw.Instrument(plain)
+		cy, err = replay(vm.New(lexe), pd.Corpus, pd.Repeats)
+		if err != nil {
+			return nil, err
+		}
+		add(ToolLibInst, cy)
+	}
+	return out, nil
+}
+
+// Fig9Summary aggregates Figure 8 rows into the Figure 9 distribution view
+// and the §5.1 headline ratios.
+type Fig9Summary struct {
+	// MedianOverhead maps tool -> median of (normalized - 1).
+	MedianOverhead map[string]float64
+	// RatioVsSanCov and RatioVsDrCov compare median overheads against
+	// OdinCov (the "3x" / "17x" claims).
+	RatioVsSanCov float64
+	RatioVsDrCov  float64
+	// NoPruneVsSanCov is the mean duration ratio NoPrune/SanCov (§5.1
+	// reports +23%); PruneGain is the mean duration ratio
+	// NoPrune/OdinCov (§5.1 reports ~22% improvement).
+	NoPruneVsSanCov float64
+	PruneGain       float64
+}
+
+// Summarize computes Figure 9 from Figure 8 rows.
+func Summarize(r *Fig8Result) *Fig9Summary {
+	byTool := map[string][]float64{}
+	byProgTool := map[string]map[string]float64{}
+	for _, row := range r.Rows {
+		byTool[row.Tool] = append(byTool[row.Tool], row.Normalized-1)
+		if byProgTool[row.Program] == nil {
+			byProgTool[row.Program] = map[string]float64{}
+		}
+		byProgTool[row.Program][row.Tool] = row.Normalized
+	}
+	s := &Fig9Summary{MedianOverhead: map[string]float64{}}
+	for tool, xs := range byTool {
+		s.MedianOverhead[tool] = median(xs)
+	}
+	if o := s.MedianOverhead[ToolOdinCov]; o > 0 {
+		s.RatioVsSanCov = s.MedianOverhead[ToolSanCov] / o
+		s.RatioVsDrCov = s.MedianOverhead[ToolDrCov] / o
+	}
+	var npVsSc, gain []float64
+	for _, tools := range byProgTool {
+		if sc, ok := tools[ToolSanCov]; ok && sc > 0 {
+			npVsSc = append(npVsSc, tools[ToolOdinCovNoPrune]/sc)
+		}
+		if oc, ok := tools[ToolOdinCov]; ok && oc > 0 {
+			gain = append(gain, tools[ToolOdinCovNoPrune]/oc)
+		}
+	}
+	s.NoPruneVsSanCov = mean(npVsSc)
+	s.PruneGain = mean(gain)
+	return s
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t / float64(len(xs))
+}

@@ -1,0 +1,99 @@
+// Package binpatch provides the generic machine-code rewriting machinery
+// shared by the binary-level instrumentation baselines (DrCov-style dynamic
+// translation and DynInst-style static rewriting): inserting instruction
+// sequences at chosen points of a linked function while remapping every
+// branch target.
+//
+// Working at this level illustrates the paper's point about lowered
+// representations (§6.3): the rewriter sees block leaders and instructions,
+// not IR structure, and inserted code must pay for register stealing and
+// context switching because no optimizer will ever see it again.
+package binpatch
+
+import (
+	"odin/internal/link"
+	"odin/internal/mir"
+)
+
+// Insertion is a sequence of instructions to insert before an instruction
+// index of a function.
+type Insertion struct {
+	At   int
+	Code []mir.Inst
+}
+
+// RewriteFunc inserts the given sequences into f's code, remapping branch
+// targets so that a branch to an instruction lands on the code inserted
+// before it (inserted code is part of the destination). Insertions must be
+// sorted by At; multiple insertions at the same index are concatenated in
+// order.
+func RewriteFunc(f *link.Func, insertions []Insertion) {
+	if len(insertions) == 0 {
+		return
+	}
+	old := f.Code
+	insAt := make(map[int][]mir.Inst)
+	total := 0
+	for _, ins := range insertions {
+		insAt[ins.At] = append(insAt[ins.At], ins.Code...)
+		total += len(ins.Code)
+	}
+	newCode := make([]mir.Inst, 0, len(old)+total)
+	isOrig := make([]bool, 0, len(old)+total)
+	remap := make([]int, len(old)+1)
+	for i, in := range old {
+		remap[i] = len(newCode)
+		for _, x := range insAt[i] {
+			newCode = append(newCode, x)
+			isOrig = append(isOrig, false)
+		}
+		newCode = append(newCode, in)
+		isOrig = append(isOrig, true)
+	}
+	remap[len(old)] = len(newCode)
+	// Branch targets point at the start of the destination's insertion
+	// group, so a branch into a block executes the inserted probe code.
+	// Inserted instructions must not carry branches.
+	for i := range newCode {
+		in := &newCode[i]
+		if isOrig[i] && (in.Op == mir.Jmp || in.Op == mir.JmpIf) {
+			in.Target = remap[in.Target]
+		}
+	}
+	f.Code = newCode
+	// Block leader positions move with the remap.
+	for i, s := range f.BlockStarts {
+		f.BlockStarts[i] = remap[s]
+	}
+}
+
+// CloneExecutable deep-copies an executable so rewriting never mutates the
+// caller's image.
+func CloneExecutable(exe *link.Executable) *link.Executable {
+	ne := &link.Executable{
+		FuncIdx:  map[string]int{},
+		Data:     append([]byte(nil), exe.Data...),
+		DataAddr: map[string]int64{},
+		Builtins: append([]string(nil), exe.Builtins...),
+		Symbols:  map[string]link.Symbol{},
+	}
+	for n, i := range exe.FuncIdx {
+		ne.FuncIdx[n] = i
+	}
+	for n, a := range exe.DataAddr {
+		ne.DataAddr[n] = a
+	}
+	for n, s := range exe.Symbols {
+		ne.Symbols[n] = s
+	}
+	for _, f := range exe.Funcs {
+		ne.Funcs = append(ne.Funcs, link.Func{
+			Name:        f.Name,
+			Code:        append([]mir.Inst(nil), f.Code...),
+			NumBlocks:   f.NumBlocks,
+			BlockStarts: append([]int(nil), f.BlockStarts...),
+			Object:      f.Object,
+		})
+	}
+	return ne
+}

@@ -1,0 +1,152 @@
+package binpatch
+
+import (
+	"math/rand"
+	"testing"
+
+	"odin/internal/interp"
+	"odin/internal/irtext"
+	"odin/internal/link"
+	"odin/internal/mir"
+	"odin/internal/rt"
+	"odin/internal/toolchain"
+	"odin/internal/vm"
+)
+
+func TestRewriteRemapsBranches(t *testing.T) {
+	f := &link.Func{
+		Name: "f",
+		Code: []mir.Inst{
+			{Op: mir.MovImm, Rd: mir.R0, Imm: 1}, // 0
+			{Op: mir.JmpIf, Rs1: mir.R0, Target: 3},
+			{Op: mir.MovImm, Rd: mir.R0, Imm: 2},
+			{Op: mir.Jmp, Target: 0}, // 3: loop back to 0
+		},
+		NumBlocks:   2,
+		BlockStarts: []int{0, 3},
+	}
+	RewriteFunc(f, []Insertion{
+		{At: 0, Code: []mir.Inst{{Op: mir.Nop}, {Op: mir.Nop}}},
+		{At: 3, Code: []mir.Inst{{Op: mir.CostSim, Imm: 5}}},
+	})
+	if len(f.Code) != 7 {
+		t.Fatalf("code length = %d, want 7", len(f.Code))
+	}
+	// Block starts moved to the head of their insertion groups.
+	if f.BlockStarts[0] != 0 || f.BlockStarts[1] != 5 {
+		t.Fatalf("block starts = %v", f.BlockStarts)
+	}
+	// JmpIf originally -> 3 must land on the inserted CostSim (index 5).
+	if f.Code[3].Op != mir.JmpIf || f.Code[3].Target != 5 {
+		t.Fatalf("jmpif = %+v", f.Code[3])
+	}
+	// Jmp originally -> 0 must land on the first inserted Nop (index 0).
+	if f.Code[6].Op != mir.Jmp || f.Code[6].Target != 0 {
+		t.Fatalf("jmp = %+v", f.Code[6])
+	}
+}
+
+func TestRewriteNoInsertionsIsNoop(t *testing.T) {
+	f := &link.Func{Code: []mir.Inst{{Op: mir.Ret}}, BlockStarts: []int{0}}
+	RewriteFunc(f, nil)
+	if len(f.Code) != 1 {
+		t.Fatal("no-op rewrite changed code")
+	}
+}
+
+func TestCloneExecutableIsolation(t *testing.T) {
+	m := irtext.MustParse("p", `
+func @main() -> i64 {
+entry:
+  ret i64 5
+}
+`)
+	exe, _, err := toolchain.Build(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := CloneExecutable(exe)
+	clone.Funcs[0].Code[0] = mir.Inst{Op: mir.Trap}
+	clone.FuncIdx["extra"] = 99
+	if exe.Funcs[0].Code[0].Op == mir.Trap {
+		t.Fatal("clone shares code with original")
+	}
+	if _, ok := exe.FuncIdx["extra"]; ok {
+		t.Fatal("clone shares maps with original")
+	}
+}
+
+// TestRewritePreservesSemanticsRandom: inserting pure-cost instructions at
+// every block leader of real compiled programs must never change results.
+func TestRewritePreservesSemanticsRandom(t *testing.T) {
+	src := `
+func @collatz(%n: i64) -> i64 {
+entry:
+  br head
+head:
+  %v = phi i64 [%n, entry], [%next, latch]
+  %steps = phi i64 [0, entry], [%steps2, latch]
+  %done = icmp sle i64 %v, 1
+  condbr %done, exit, body
+body:
+  %odd = and i64 %v, 1
+  %isodd = icmp eq i64 %odd, 1
+  condbr %isodd, oddcase, evencase
+oddcase:
+  %t = mul i64 %v, 3
+  %t2 = add i64 %t, 1
+  br latch
+evencase:
+  %h = ashr i64 %v, 1
+  br latch
+latch:
+  %next = phi i64 [%t2, oddcase], [%h, evencase]
+  %steps2 = add i64 %steps, 1
+  br head
+exit:
+  ret i64 %steps
+}
+`
+	m := irtext.MustParse("p", src)
+	exe, _, err := toolchain.Build(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		clone := CloneExecutable(exe)
+		for fi := range clone.Funcs {
+			f := &clone.Funcs[fi]
+			var ins []Insertion
+			for _, s := range f.BlockStarts {
+				n := rng.Intn(3) + 1
+				var code []mir.Inst
+				for k := 0; k < n; k++ {
+					code = append(code, mir.Inst{Op: mir.CostSim, Imm: int64(rng.Intn(10) + 1)})
+				}
+				ins = append(ins, Insertion{At: s, Code: code})
+			}
+			RewriteFunc(f, ins)
+		}
+		for _, n := range []int64{1, 6, 7, 27, 97} {
+			mach := vm.New(clone)
+			got, err := mach.Run("collatz", n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ip, err := interp.New(m, newEnv())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ip.Run("collatz", n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("trial %d: collatz(%d) = %d, want %d", trial, n, got, want)
+			}
+		}
+	}
+}
+
+func newEnv() *rt.Env { return rt.NewEnv() }

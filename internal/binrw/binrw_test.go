@@ -1,0 +1,115 @@
+package binrw
+
+import (
+	"testing"
+
+	"odin/internal/dbi"
+	"odin/internal/irtext"
+	"odin/internal/toolchain"
+	"odin/internal/vm"
+)
+
+const progSrc = `
+declare func @write_byte(%b: i64) -> void
+func @classify(%b: i64) -> i64 internal noinline {
+entry:
+  %c1 = icmp sge i64 %b, 97
+  condbr %c1, upper, low
+upper:
+  %c2 = icmp sle i64 %b, 122
+  condbr %c2, yes, low
+yes:
+  ret i64 1
+low:
+  ret i64 0
+}
+func @fuzz_target(%data: ptr, %len: i64) -> i64 {
+entry:
+  br head
+head:
+  %i = phi i64 [0, entry], [%i2, next]
+  %acc = phi i64 [0, entry], [%acc2, next]
+  %c = icmp slt i64 %i, %len
+  condbr %c, body, exit
+body:
+  %p = gep %data, %i, scale 1
+  %b = load i8, %p
+  %b64 = zext i8 %b to i64
+  %r = call i64 @classify(i64 %b64)
+  %acc2 = add i64 %acc, %r
+  br next
+next:
+  %i2 = add i64 %i, 1
+  br head
+exit:
+  call void @write_byte(i64 %acc)
+  ret i64 %acc
+}
+`
+
+func TestLibInstSemanticsAndCoverage(t *testing.T) {
+	m := irtext.MustParse("p", progSrc)
+	plain, _, err := toolchain.BuildPreserving(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte("hello!")
+
+	machP := vm.New(plain)
+	retP, outP, base, err := vm.RunProgram(machP, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, meta := Instrument(plain)
+	mach := vm.New(exe)
+	ret, out, cycles, err := vm.RunProgram(mach, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != retP || out != outP {
+		t.Fatalf("rewriting changed semantics")
+	}
+	if CoveredBlocks(mach, meta) == 0 {
+		t.Fatal("no coverage recorded")
+	}
+	ratio := float64(cycles) / float64(base)
+	if ratio < 3 {
+		t.Fatalf("libInst overhead ratio %.1f implausibly low (trampolines should dominate)", ratio)
+	}
+}
+
+// TestToolOverheadOrdering pins the qualitative shape of Figure 9:
+// plain < DrCov < libInst in execution cycles on the same input.
+func TestToolOverheadOrdering(t *testing.T) {
+	m := irtext.MustParse("p", progSrc)
+	plain, _, err := toolchain.BuildPreserving(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte("the quick brown fox JUMPS over 13 lazy dogs")
+
+	machP := vm.New(plain)
+	_, _, base, err := vm.RunProgram(machP, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drcovExe, _ := dbi.Instrument(plain, true)
+	machD := vm.New(drcovExe)
+	_, _, drcov, err := vm.RunProgram(machD, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	libExe, _ := Instrument(plain)
+	machL := vm.New(libExe)
+	_, _, lib, err := vm.RunProgram(machL, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(base < drcov && drcov < lib) {
+		t.Fatalf("ordering violated: base=%d drcov=%d libinst=%d", base, drcov, lib)
+	}
+	if float64(lib)/float64(base) < 2*float64(drcov)/float64(base) {
+		t.Fatalf("libInst (%0.1fx) should be far above DrCov (%0.1fx)",
+			float64(lib)/float64(base), float64(drcov)/float64(base))
+	}
+}

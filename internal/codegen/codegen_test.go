@@ -1,0 +1,302 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"odin/internal/ir"
+	"odin/internal/irtext"
+	"odin/internal/mir"
+)
+
+func compileOne(t *testing.T, src string) *mirFuncs {
+	t.Helper()
+	m := irtext.MustParse("m", src)
+	ir.MustVerify(m)
+	o, err := CompileModule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := &mirFuncs{byName: map[string][]mir.Inst{}, starts: map[string][]int{}}
+	for _, f := range o.Funcs {
+		fs.byName[f.Name] = f.Code
+		fs.starts[f.Name] = f.BlockStarts
+	}
+	fs.obj = o
+	return fs
+}
+
+type mirFuncs struct {
+	byName map[string][]mir.Inst
+	starts map[string][]int
+	obj    interface{ CodeSize() int }
+}
+
+func TestPrologueStoresParams(t *testing.T) {
+	fs := compileOne(t, `
+func @f(%a: i64, %b: i64) -> i64 {
+entry:
+  %r = add i64 %a, %b
+  ret i64 %r
+}
+`)
+	code := fs.byName["f"]
+	if code[0].Op != mir.Enter {
+		t.Fatalf("first instr %v, want enter", code[0])
+	}
+	// Two parameter spills from r0 and r1.
+	if code[1].Op != mir.Store || code[1].Rs2 != mir.R0 {
+		t.Fatalf("param 0 spill: %v", code[1])
+	}
+	if code[2].Op != mir.Store || code[2].Rs2 != mir.R1 {
+		t.Fatalf("param 1 spill: %v", code[2])
+	}
+	// Epilogue: leave then ret, with matching frame size.
+	last := code[len(code)-1]
+	leave := code[len(code)-2]
+	if last.Op != mir.Ret || leave.Op != mir.Leave || leave.Imm != code[0].Imm {
+		t.Fatalf("epilogue wrong: %v %v", leave, last)
+	}
+}
+
+func TestBlockStartsCoverEveryBlock(t *testing.T) {
+	fs := compileOne(t, `
+func @f(%x: i64) -> i64 {
+a:
+  %c = icmp sgt i64 %x, 0
+  condbr %c, b, c
+b:
+  ret i64 1
+c:
+  ret i64 2
+}
+`)
+	starts := fs.starts["f"]
+	if len(starts) != 3 {
+		t.Fatalf("block starts = %v, want 3 entries", starts)
+	}
+	for i := 1; i < len(starts); i++ {
+		if starts[i] <= starts[i-1] {
+			t.Fatalf("block starts not increasing: %v", starts)
+		}
+	}
+}
+
+func TestTooManyArgsRejected(t *testing.T) {
+	m := ir.NewModule("m")
+	sig := &ir.FuncType{Params: []ir.Type{ir.I64, ir.I64, ir.I64, ir.I64, ir.I64, ir.I64, ir.I64}, Ret: ir.Void}
+	f := ir.NewFunc(m, "f", sig, []string{"a", "b", "c", "d", "e", "g", "h"})
+	blk := f.AddBlock("entry")
+	b := ir.NewBuilder()
+	b.SetBlock(blk)
+	b.Ret(nil)
+	_, err := CompileModule(m)
+	if err == nil || !strings.Contains(err.Error(), "register-argument ABI") {
+		t.Fatalf("7-param function accepted: %v", err)
+	}
+}
+
+func TestCounterIncLowering(t *testing.T) {
+	fs := compileOne(t, `
+global @ctrs : [4 x i8] = zero
+func @f() -> void {
+entry:
+  covinc @ctrs, 2
+  ret void
+}
+`)
+	code := fs.byName["f"]
+	// The intrinsic must lower to exactly lea/load/add/store (4 instrs)
+	// so coverage probes cost what a hardware inc-byte costs.
+	var seq []mir.Op
+	for _, in := range code {
+		switch in.Op {
+		case mir.Lea, mir.Load, mir.ALUImm, mir.Store:
+			seq = append(seq, in.Op)
+		}
+	}
+	want := []mir.Op{mir.Lea, mir.Load, mir.ALUImm, mir.Store}
+	if len(seq) != 4 {
+		t.Fatalf("covinc lowered to %v, want %v", seq, want)
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("covinc sequence %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestPhiLoweredViaEdgeStubs(t *testing.T) {
+	fs := compileOne(t, `
+func @f(%x: i64) -> i64 {
+entry:
+  %c = icmp sgt i64 %x, 0
+  condbr %c, pos, neg
+pos:
+  %a = add i64 %x, 1
+  br join
+neg:
+  %b = sub i64 0, %x
+  br join
+join:
+  %r = phi i64 [%a, pos], [%b, neg]
+  ret i64 %r
+}
+`)
+	code := fs.byName["f"]
+	// Every branch target must be in range and every JmpIf/Jmp resolved.
+	for i, in := range code {
+		if in.Op == mir.Jmp || in.Op == mir.JmpIf {
+			if in.Target < 0 || in.Target >= len(code) {
+				t.Fatalf("instr %d: unresolved branch %v", i, in)
+			}
+		}
+	}
+}
+
+func TestAllocaRejectsNonPositiveCount(t *testing.T) {
+	m := ir.NewModule("m")
+	f := ir.NewFunc(m, "f", &ir.FuncType{Ret: ir.Void}, nil)
+	blk := f.AddBlock("entry")
+	b := ir.NewBuilder()
+	b.SetBlock(blk)
+	b.Alloca(ir.I64, 0)
+	b.Ret(nil)
+	if _, err := CompileModule(m); err == nil {
+		t.Fatal("zero-count alloca accepted")
+	}
+}
+
+func TestDeclarationsBecomeImports(t *testing.T) {
+	m := irtext.MustParse("m", `
+declare func @ext(%x: i64) -> i64
+declare global @gext : i64
+func @f() -> i64 {
+entry:
+  %v = load i64, @gext
+  %r = call i64 @ext(i64 %v)
+  ret i64 %r
+}
+`)
+	o, err := CompileModule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imports := strings.Join(o.Imports, ",")
+	if !strings.Contains(imports, "ext") || !strings.Contains(imports, "gext") {
+		t.Fatalf("imports = %v", o.Imports)
+	}
+	if len(o.Funcs) != 1 || len(o.Datas) != 0 {
+		t.Fatalf("decl emitted as definition: %d funcs %d datas", len(o.Funcs), len(o.Datas))
+	}
+}
+
+func TestInternalLinkageMapsToLocal(t *testing.T) {
+	fs := compileOne(t, `
+const @priv : [1 x i8] internal = bytes"\07"
+func @hidden() -> i64 internal {
+entry:
+  ret i64 1
+}
+func @public() -> i64 {
+entry:
+  %r = call i64 @hidden()
+  ret i64 %r
+}
+`)
+	o := fs.obj.(interface{ CodeSize() int })
+	_ = o
+	m := irtext.MustParse("m", `
+const @priv : [1 x i8] internal = bytes"\07"
+func @hidden() -> i64 internal {
+entry:
+  ret i64 1
+}
+func @public() -> i64 {
+entry:
+  %r = call i64 @hidden()
+  ret i64 %r
+}
+`)
+	obj2, err := CompileModule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range obj2.Funcs {
+		want := mir.Global
+		if f.Name == "hidden" {
+			want = mir.Local
+		}
+		if f.Linkage != want {
+			t.Fatalf("%s linkage = %v, want %v", f.Name, f.Linkage, want)
+		}
+	}
+	if obj2.Datas[0].Linkage != mir.Local {
+		t.Fatal("internal global not local")
+	}
+}
+
+func TestPeepholeForwardsStoreLoad(t *testing.T) {
+	fs := compileOne(t, `
+func @f(%x: i64) -> i64 {
+entry:
+  %a = add i64 %x, 1
+  %b = mul i64 %a, 3
+  ret i64 %b
+}
+`)
+	code := fs.byName["f"]
+	// The chain a->b must use store-to-load forwarding: at least one
+	// MovReg replacing a Load, and never load8 immediately after store8
+	// of the same slot.
+	movs := 0
+	for i := 0; i+1 < len(code); i++ {
+		if code[i].Op == mir.Store && code[i+1].Op == mir.Load &&
+			code[i].Rs1 == mir.SP && code[i+1].Rs1 == mir.SP &&
+			code[i].Imm == code[i+1].Imm && code[i].Size == 8 && code[i+1].Size == 8 {
+			t.Fatalf("unforwarded store/load pair at %d: %v ; %v", i, code[i], code[i+1])
+		}
+		if code[i+1].Op == mir.MovReg || code[i+1].Op == mir.Nop {
+			movs++
+		}
+	}
+	if movs == 0 {
+		t.Fatalf("no forwarding happened:\n%v", code)
+	}
+}
+
+func TestPeepholeRespectsBranchTargets(t *testing.T) {
+	// A loop whose header loads a slot that the latch stores: the load at
+	// the branch target must NOT be forwarded (a jump from elsewhere
+	// would see a stale register).
+	fs := compileOne(t, `
+func @f(%n: i64) -> i64 {
+entry:
+  br head
+head:
+  %i = phi i64 [0, entry], [%i2, body]
+  %c = icmp slt i64 %i, %n
+  condbr %c, body, exit
+body:
+  %i2 = add i64 %i, 1
+  br head
+exit:
+  ret i64 %i
+}
+`)
+	code := fs.byName["f"]
+	// Every jump target must be an original instruction whose semantics
+	// don't depend on fall-through register state: validated by executing
+	// (covered elsewhere); here assert structural sanity: targets in
+	// range and not pointing at a MovReg produced by forwarding.
+	for _, in := range code {
+		if in.Op == mir.Jmp || in.Op == mir.JmpIf {
+			if in.Target < 0 || in.Target >= len(code) {
+				t.Fatalf("bad target %d", in.Target)
+			}
+			if code[in.Target].Op == mir.MovReg || code[in.Target].Op == mir.Nop {
+				t.Fatalf("branch targets a forwarded instruction: %v", code[in.Target])
+			}
+		}
+	}
+}

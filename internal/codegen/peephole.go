@@ -1,0 +1,46 @@
+package codegen
+
+import "odin/internal/mir"
+
+// peephole performs machine-level cleanups on a function's final code. It is
+// instruction-count-preserving (replacements, never insertions or
+// deletions), so branch targets stay valid without remapping.
+//
+// Patterns:
+//
+//	store8 [sp+o], rX ; load8 rY, [sp+o]   ->   store8 ... ; mov rY, rX
+//	mov rX, rX                             ->   nop
+//
+// The forwarded load must not be a branch target: a jump landing on it
+// would observe rX's value from a different path. Leaders are computed from
+// the actual branch targets.
+func peephole(code []mir.Inst) {
+	leader := make([]bool, len(code)+1)
+	leader[0] = true
+	for _, in := range code {
+		if in.Op == mir.Jmp || in.Op == mir.JmpIf {
+			if in.Target >= 0 && in.Target < len(leader) {
+				leader[in.Target] = true
+			}
+		}
+		// Fall-through after a conditional branch begins a new leader
+		// only for the purposes of block structure, not register state:
+		// the fall-through path executes the preceding store, so
+		// forwarding across it stays sound. Only explicit jump targets
+		// invalidate forwarding.
+	}
+	for i := 0; i+1 < len(code); i++ {
+		st := &code[i]
+		ld := &code[i+1]
+		if st.Op == mir.Store && ld.Op == mir.Load &&
+			st.Size == 8 && ld.Size == 8 &&
+			st.Rs1 == mir.SP && ld.Rs1 == mir.SP &&
+			st.Imm == ld.Imm && !leader[i+1] {
+			rd, rs := ld.Rd, st.Rs2
+			*ld = mir.Inst{Op: mir.MovReg, Rd: rd, Rs1: rs}
+			if rd == rs {
+				*ld = mir.Inst{Op: mir.Nop}
+			}
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package codegen
+
+import (
+	"math/rand"
+	"testing"
+
+	"odin/internal/interp"
+	"odin/internal/ir"
+	"odin/internal/irtext"
+	"odin/internal/link"
+	"odin/internal/mir"
+	"odin/internal/obj"
+	"odin/internal/opt"
+	"odin/internal/progen"
+	"odin/internal/rt"
+	"odin/internal/vm"
+)
+
+func buildExe(t *testing.T, m *ir.Module, opts Options) *link.Executable {
+	t.Helper()
+	o, err := CompileModuleOpts(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var builtins []string
+	for n := range rt.StdlibSigs {
+		builtins = append(builtins, n)
+	}
+	exe, err := link.Link([]*obj.Object{o}, builtins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exe
+}
+
+const chainSrc = `
+func @f(%x: i64, %y: i64) -> i64 {
+entry:
+  %a = add i64 %x, %y
+  %b = mul i64 %a, %a
+  %c = xor i64 %b, %a
+  %d = add i64 %c, %b
+  %e = sub i64 %d, %x
+  ret i64 %e
+}
+`
+
+func TestRegCacheReducesCycles(t *testing.T) {
+	run := func(opts Options) int64 {
+		m := irtext.MustParse("m", chainSrc)
+		exe := buildExe(t, m, opts)
+		mach := vm.New(exe)
+		r, err := mach.Run("f", 7, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Semantics: cross-check against the interpreter.
+		ip, err := interp.New(m, rt.NewEnv())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ip.Run("f", 7, 9)
+		if err != nil || r != want {
+			t.Fatalf("result %d, want %d (%v)", r, want, err)
+		}
+		return mach.Cycles
+	}
+	plain := run(Options{})
+	cached := run(Options{RegCache: true})
+	if cached >= plain {
+		t.Fatalf("register cache did not help: %d -> %d cycles", plain, cached)
+	}
+}
+
+func TestRegCacheInvalidatedAcrossCalls(t *testing.T) {
+	// g clobbers every register it likes; f must reload x after the call.
+	src := `
+func @g(%v: i64) -> i64 {
+entry:
+  %a = add i64 %v, 1
+  %b = mul i64 %a, %a
+  %c = xor i64 %b, %a
+  %d = add i64 %c, %b
+  %e = sub i64 %d, %v
+  %h = add i64 %e, %c
+  %i = xor i64 %h, %d
+  ret i64 %i
+}
+func @f(%x: i64) -> i64 {
+entry:
+  %twice = add i64 %x, %x
+  %r = call i64 @g(i64 %twice)
+  %sum = add i64 %r, %twice
+  ret i64 %sum
+}
+`
+	m := irtext.MustParse("m", src)
+	exe := buildExe(t, m, Options{RegCache: true})
+	mach := vm.New(exe)
+	got, err := mach.Run("f", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, _ := interp.New(m, rt.NewEnv())
+	want, err := ip.Run("f", 5)
+	if err != nil || got != want {
+		t.Fatalf("f(5) = %d, want %d (%v)", got, want, err)
+	}
+}
+
+// TestRegCacheDifferentialRandom: random loop programs behave identically
+// with and without the register cache, at O0 and O2.
+func TestRegCacheDifferentialRandom(t *testing.T) {
+	var totalPlain, totalCached int64
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomCacheProgram(rng)
+		ir.MustVerify(m)
+		for _, level := range []int{0, 2} {
+			mc, _ := ir.CloneModule(m)
+			opt.Optimize(mc, &opt.Options{Level: level})
+			plain := buildExe(t, mc, Options{})
+			cached := buildExe(t, mc, Options{RegCache: true})
+			for trial := 0; trial < 4; trial++ {
+				x := rng.Int63n(200) - 100
+				y := rng.Int63n(200) - 100
+				mp, mq := vm.New(plain), vm.New(cached)
+				rp, errP := mp.Run("main", x, y)
+				rq, errQ := mq.Run("main", x, y)
+				if (errP == nil) != (errQ == nil) || (errP == nil && rp != rq) {
+					t.Fatalf("seed %d level %d main(%d,%d): plain=%d/%v cached=%d/%v",
+						seed, level, x, y, rp, errP, rq, errQ)
+				}
+				if errP != nil {
+					continue
+				}
+				totalPlain += mp.Cycles
+				totalCached += mq.Cycles
+				// The local heuristic may regress by a copy or two on
+				// adversarial code (a cached value whose next use sits
+				// behind a call); anything beyond that is a bug.
+				if mq.Cycles > mp.Cycles+4 {
+					t.Fatalf("seed %d: cache materially slower: %d -> %d", seed, mp.Cycles, mq.Cycles)
+				}
+			}
+		}
+	}
+	if totalCached >= totalPlain {
+		t.Fatalf("cache not an aggregate win: %d -> %d cycles", totalPlain, totalCached)
+	}
+}
+
+func randomCacheProgram(rng *rand.Rand) *ir.Module {
+	m := ir.NewModule("rc")
+	h := ir.NewFunc(m, "helper", &ir.FuncType{Params: []ir.Type{ir.I64}, Ret: ir.I64}, []string{"v"})
+	h.Linkage = ir.Internal
+	h.NoInline = true
+	bld := ir.NewBuilder()
+	bld.SetBlock(h.AddBlock("entry"))
+	var hv ir.Value = h.Params[0]
+	for i := 0; i < rng.Intn(8)+2; i++ {
+		ops := []ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpXor, ir.OpAnd, ir.OpOr}
+		hv = bld.Bin(ops[rng.Intn(len(ops))], hv, ir.Const(ir.I64, rng.Int63n(50)+1))
+	}
+	bld.Ret(hv)
+
+	f := ir.NewFunc(m, "main", &ir.FuncType{Params: []ir.Type{ir.I64, ir.I64}, Ret: ir.I64}, []string{"x", "y"})
+	entry := f.AddBlock("entry")
+	head := f.AddBlock("head")
+	body := f.AddBlock("body")
+	exit := f.AddBlock("exit")
+	bld.SetBlock(entry)
+	n := bld.And(f.Params[0], ir.Const(ir.I64, 7))
+	bld.Br(head)
+	bld.SetBlock(head)
+	iPhi := bld.Phi(ir.I64, []ir.Value{ir.Const(ir.I64, 0), nil}, []*ir.Block{entry, nil})
+	accPhi := bld.Phi(ir.I64, []ir.Value{f.Params[1], nil}, []*ir.Block{entry, nil})
+	cond := bld.ICmp(ir.PredSLT, iPhi, n)
+	bld.CondBr(cond, body, exit)
+	bld.SetBlock(body)
+	// Long straight-line chains with heavy value reuse: the cache's
+	// best and riskiest case.
+	var acc ir.Value = accPhi
+	vals := []ir.Value{accPhi, iPhi, f.Params[0], f.Params[1]}
+	for k := 0; k < rng.Intn(14)+4; k++ {
+		ops := []ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpXor, ir.OpAnd, ir.OpOr}
+		a := vals[rng.Intn(len(vals))]
+		b := vals[rng.Intn(len(vals))]
+		nv := bld.Bin(ops[rng.Intn(len(ops))], a, b)
+		vals = append(vals, nv)
+		acc = nv
+	}
+	if rng.Intn(2) == 0 {
+		acc = bld.Call(ir.I64, "helper", acc)
+		post := bld.Add(acc, vals[rng.Intn(len(vals))])
+		acc = post
+	}
+	i2 := bld.Add(iPhi, ir.Const(ir.I64, 1))
+	bld.Br(head)
+	iPhi.Operands[1] = i2
+	iPhi.Incoming[1] = body
+	accPhi.Operands[1] = acc
+	accPhi.Incoming[1] = body
+	bld.SetBlock(exit)
+	bld.Ret(accPhi)
+	return m
+}
+
+// TestRegCacheOnSuitePrograms: the full workload suite runs identically
+// under the register cache.
+func TestRegCacheOnSuitePrograms(t *testing.T) {
+	inputs := [][]byte{{1}, []byte("register cache differential"), {0, 9, 250, 66}}
+	for _, name := range []string{"woff2", "harfbuzz", "sqlite"} {
+		p, _ := progen.ByName(name)
+		m := p.Generate()
+		mc, _ := ir.CloneModule(m)
+		opt.Optimize(mc, &opt.Options{Level: 2})
+		plain := buildExe(t, mc, Options{})
+		cached := buildExe(t, mc, Options{RegCache: true})
+		for _, in := range inputs {
+			mp, mq := vm.New(plain), vm.New(cached)
+			rp, op, cp, errP := vm.RunProgram(mp, in)
+			rq, oq, cq, errQ := vm.RunProgram(mq, in)
+			if errP != nil || errQ != nil {
+				t.Fatalf("%s: %v / %v", name, errP, errQ)
+			}
+			if rp != rq || op != oq {
+				t.Fatalf("%s input %v: (%d,%q) != (%d,%q)", name, in, rp, op, rq, oq)
+			}
+			if cq > cp+cp/100 {
+				t.Fatalf("%s: cache materially slower: %d -> %d", name, cp, cq)
+			}
+		}
+	}
+}
+
+// TestRegCacheUsesPoolRegistersOnly: cached copies must live in r6..r11,
+// never in scratch or argument registers.
+func TestRegCacheUsesPoolRegistersOnly(t *testing.T) {
+	m := irtext.MustParse("m", chainSrc)
+	o, err := CompileModuleOpts(m, Options{RegCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range o.Funcs[0].Code {
+		if in.Op == mir.MovReg && in.Rd >= mir.R6 && in.Rd <= mir.R11 {
+			return // found at least one pool copy
+		}
+	}
+	t.Fatal("no pool-register copies emitted")
+}

@@ -1,0 +1,127 @@
+// Package core implements Odin itself: on-demand instrumentation with
+// on-the-fly recompilation (paper §3).
+//
+// Before fuzzing starts, the engine surveys the target program with a trial
+// optimization run, classifies every symbol (Bond / Copy-on-use / Fixed),
+// and partitions the program into code fragments (§3.2, Algorithm 1). During
+// fuzzing, when the fuzzer changes probe state, the scheduler locates the
+// fragments to recompile (§3.3, Algorithm 2), materializes a temporary IR
+// for the user's patch logic, splits it back into fragments, re-optimizes
+// and re-generates code for just those fragments, and relinks the machine
+// code cache into a fresh executable (Figure 5, Figure 7).
+package core
+
+import (
+	"odin/internal/ir"
+	"odin/internal/opt"
+)
+
+// Category classifies a symbol for partitioning (§3.2 step 1).
+type Category int
+
+// Symbol categories.
+const (
+	// Fixed symbols are defined as-is with a stable ABI; every symbol
+	// belongs here by default.
+	Fixed Category = iota
+	// Bond symbols must be defined together with other symbols so that
+	// interprocedural optimization can proceed.
+	Bond
+	// CopyOnUse symbols are cloned into each fragment that references
+	// them, giving local optimization enough context.
+	CopyOnUse
+)
+
+func (c Category) String() string {
+	switch c {
+	case Bond:
+		return "bond"
+	case CopyOnUse:
+		return "copy-on-use"
+	}
+	return "fixed"
+}
+
+// Classification is the survey result the partitioner consumes.
+type Classification struct {
+	// Cat maps each defined symbol to its category.
+	Cat map[string]Category
+	// BondPairs are symbol pairs that must be clustered for optimization
+	// (from the trial run's interprocedural log).
+	BondPairs [][2]string
+	// InnatePairs are symbol pairs that must be clustered for correctness
+	// (alias/aliasee, COMDAT groups).
+	InnatePairs [][2]string
+	// CopyUsers maps each copy-on-use symbol to the functions that
+	// inspect it.
+	CopyUsers map[string][]string
+}
+
+// Classify surveys module m: it gathers innate constraints from the IR and
+// optimization requirements from a trial optimization run on a clone
+// (the clone is discarded; m is not modified).
+func Classify(m *ir.Module, optLevel int) *Classification {
+	cls := &Classification{
+		Cat:       map[string]Category{},
+		CopyUsers: map[string][]string{},
+	}
+	for _, name := range m.DefinedSymbols() {
+		cls.Cat[name] = Fixed
+	}
+
+	// Innate constraints from symbol semantics (§2.3): aliases must be
+	// compiled with their aliasee; COMDAT group members stay together.
+	for _, a := range m.Aliases {
+		cls.InnatePairs = append(cls.InnatePairs, [2]string{a.Name, a.Target})
+	}
+	comdat := map[string]string{} // group -> first member
+	for _, f := range m.Funcs {
+		if f.IsDecl() || f.Comdat == "" {
+			continue
+		}
+		if first, ok := comdat[f.Comdat]; ok {
+			cls.InnatePairs = append(cls.InnatePairs, [2]string{first, f.Name})
+		} else {
+			comdat[f.Comdat] = f.Name
+		}
+	}
+
+	// Trial optimization on a clone, with dependency logging.
+	clone, _ := ir.CloneModule(m)
+	rep := &opt.Report{}
+	opt.Optimize(clone, &opt.Options{Level: optLevel, Report: rep})
+	rep.Dedup()
+
+	for _, bp := range rep.Bonds {
+		// Only bond symbols that exist in the pristine module (the
+		// trial run may synthesize symbols, e.g. .puts strings).
+		if m.Lookup(bp[0]) == nil || m.Lookup(bp[1]) == nil {
+			continue
+		}
+		cls.BondPairs = append(cls.BondPairs, bp)
+		// The transformed symbol is categorized Bond (Figure 6: neg).
+		cls.Cat[bp[0]] = Bond
+	}
+	for _, cu := range rep.CopyUses {
+		sym, user := cu[0], cu[1]
+		g := m.LookupGlobal(sym)
+		if g == nil || m.Lookup(user) == nil {
+			continue
+		}
+		// Only clonable symbols become Copy-on-use: internal constants
+		// whose identity is not observable. Semantically non-clonable
+		// symbols are bonded with their users instead (§3.2 step 1).
+		if g.Const && g.Linkage == ir.Internal && !g.Decl {
+			if cls.Cat[sym] == Fixed {
+				cls.Cat[sym] = CopyOnUse
+			}
+			cls.CopyUsers[sym] = append(cls.CopyUsers[sym], user)
+		} else {
+			cls.BondPairs = append(cls.BondPairs, [2]string{sym, user})
+			if cls.Cat[sym] == Fixed {
+				cls.Cat[sym] = Bond
+			}
+		}
+	}
+	return cls
+}

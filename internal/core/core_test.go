@@ -1,0 +1,568 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"odin/internal/interp"
+	"odin/internal/ir"
+	"odin/internal/irtext"
+	"odin/internal/rt"
+	"odin/internal/vm"
+)
+
+// figure6Src is the paper's Figure 6 source program. The three helper
+// functions are noinline so that, as in the paper's simplification, only
+// dead-argument elimination and instruction combining fire.
+const figure6Src = `
+global @n : i32 internal = zero
+const @fmt : [4 x i8] internal = bytes"\68\69\0a\00"
+declare func @printf(%f: ptr) -> i32
+func @add() -> i32 internal noinline {
+entry:
+  %v = load i32, @n
+  %v2 = add i32 %v, 1
+  store i32 %v2, @n
+  ret i32 %v2
+}
+func @neg(%x: i32) -> i32 internal noinline {
+entry:
+  %v = load i32, @n
+  %r = sub i32 0, %v
+  ret i32 %r
+}
+func @show() -> void noinline {
+entry:
+  %r = call i32 @printf(ptr @fmt)
+  ret void
+}
+func @main() -> i32 {
+entry:
+  call void @show()
+  %a = call i32 @add()
+  %r = call i32 @neg(i32 %a)
+  ret i32 %r
+}
+`
+
+func fragWith(t *testing.T, plan *Plan, sym string) *Fragment {
+	t.Helper()
+	id, ok := plan.FragOf[sym]
+	if !ok {
+		t.Fatalf("symbol %q not in any fragment", sym)
+	}
+	return plan.Fragments[id]
+}
+
+// TestFigure6Partition reproduces the paper's partition walkthrough exactly:
+// fragments {main, neg}, {show + local fmt}, {add}, {n}; neg internalized;
+// n imported where used.
+func TestFigure6Partition(t *testing.T) {
+	m := irtext.MustParse("fig6", figure6Src)
+	ir.MustVerify(m)
+	plan, err := Partition(m, VariantOdin, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s", plan.Describe())
+
+	if len(plan.Fragments) != 4 {
+		t.Fatalf("fragments = %d, want 4:\n%s", len(plan.Fragments), plan.Describe())
+	}
+	// Classification (step 1).
+	if got := plan.Class.Cat["neg"]; got != Bond {
+		t.Errorf("neg category = %s, want bond", got)
+	}
+	if got := plan.Class.Cat["fmt"]; got != CopyOnUse {
+		t.Errorf("fmt category = %s, want copy-on-use", got)
+	}
+	for _, s := range []string{"main", "show", "add", "n"} {
+		if got := plan.Class.Cat[s]; got != Fixed {
+			t.Errorf("%s category = %s, want fixed", s, got)
+		}
+	}
+	// Fragment #0: main and neg bonded.
+	f0 := fragWith(t, plan, "main")
+	if plan.FragOf["neg"] != f0.ID {
+		t.Errorf("neg not bonded with main: %s", plan.Describe())
+	}
+	// n is imported by the main/neg fragment.
+	if !containsStr(f0.Imports, "n") {
+		t.Errorf("fragment #%d does not import n: %v", f0.ID, f0.Imports)
+	}
+	// Fragment with show clones fmt locally.
+	fShow := fragWith(t, plan, "show")
+	if !containsStr(fShow.Clones, "fmt") {
+		t.Errorf("show fragment does not clone fmt: %+v", fShow)
+	}
+	// add and n get their own fragments.
+	fAdd := fragWith(t, plan, "add")
+	fN := fragWith(t, plan, "n")
+	if fAdd.ID == f0.ID || fN.ID == f0.ID || fAdd.ID == fN.ID || fShow.ID == f0.ID {
+		t.Errorf("unexpected clustering: %s", plan.Describe())
+	}
+	// Internalization (step 4): neg local, others exported.
+	if plan.Exported["neg"] {
+		t.Error("neg should be internalized")
+	}
+	for _, s := range []string{"main", "show", "add", "n"} {
+		if !plan.Exported[s] {
+			t.Errorf("%s should be exported", s)
+		}
+	}
+	// fmt is cloned, not a fragment member.
+	if _, ok := plan.FragOf["fmt"]; ok {
+		t.Error("fmt should not own a fragment")
+	}
+}
+
+func containsStr(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPartitionVariants(t *testing.T) {
+	m := irtext.MustParse("fig6", figure6Src)
+	one, err := Partition(m, VariantOne, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one.Fragments) != 1 {
+		t.Fatalf("OnePartition fragments = %d", len(one.Fragments))
+	}
+	max, err := Partition(m, VariantMax, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Max: every defined symbol alone (no aliases/comdats here): main,
+	// neg, show, add, n, fmt = 6.
+	if len(max.Fragments) != 6 {
+		t.Fatalf("MaxPartition fragments = %d, want 6:\n%s", len(max.Fragments), max.Describe())
+	}
+}
+
+func TestPartitionInnateAlias(t *testing.T) {
+	src := `
+func @real() -> i64 {
+entry:
+  ret i64 5
+}
+alias @aka = @real
+func @other() -> i64 {
+entry:
+  ret i64 6
+}
+`
+	m := irtext.MustParse("m", src)
+	for _, v := range []Variant{VariantOdin, VariantMax} {
+		plan, err := Partition(m, v, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.FragOf["real"] != plan.FragOf["aka"] {
+			t.Fatalf("%s: alias not clustered with aliasee:\n%s", v, plan.Describe())
+		}
+		if plan.FragOf["other"] == plan.FragOf["real"] {
+			t.Fatalf("%s: unrelated symbol clustered:\n%s", v, plan.Describe())
+		}
+	}
+}
+
+func TestPartitionComdat(t *testing.T) {
+	src := `
+func @t1() -> i64 comdat(grp) {
+entry:
+  ret i64 1
+}
+func @t2() -> i64 comdat(grp) {
+entry:
+  ret i64 2
+}
+`
+	m := irtext.MustParse("m", src)
+	plan, err := Partition(m, VariantMax, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.FragOf["t1"] != plan.FragOf["t2"] {
+		t.Fatalf("comdat group split:\n%s", plan.Describe())
+	}
+}
+
+// buildAndRun builds the module through the engine and runs fn, also running
+// the pristine module on the interpreter and comparing.
+func buildAndRun(t *testing.T, src string, variant Variant, fn string, args ...int64) (*Engine, int64) {
+	t.Helper()
+	m := irtext.MustParse("m", src)
+	ir.MustVerify(m)
+	e, err := New(m, Options{Variant: variant})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, _, err := e.BuildAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := vm.New(exe)
+	got, errV := mach.Run(fn, args...)
+
+	ip, err := interp.New(m, rt.NewEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, errI := ip.Run(fn, args...)
+	if (errV == nil) != (errI == nil) {
+		t.Fatalf("%s trap mismatch: vm=%v interp=%v", variant, errV, errI)
+	}
+	if errV == nil {
+		if got != want {
+			t.Fatalf("%s: result %d, interp %d", variant, got, want)
+		}
+		if mo, io := mach.Env.Out.String(), ip.Env.Out.String(); mo != io {
+			t.Fatalf("%s: output %q, interp %q", variant, mo, io)
+		}
+	}
+	return e, got
+}
+
+func TestEngineEndToEndAllVariants(t *testing.T) {
+	for _, v := range []Variant{VariantOdin, VariantOne, VariantMax} {
+		_, got := buildAndRun(t, figure6Src, v, "main")
+		if got != -1 {
+			t.Fatalf("%s: main() = %d, want -1", v, got)
+		}
+	}
+}
+
+const loopProgSrc = `
+global @acc : i64 = zero
+func @step(%x: i64, %unused: i64) -> i64 internal {
+entry:
+  %v = load i64, @acc
+  %n = add i64 %v, %x
+  store i64 %n, @acc
+  ret i64 %n
+}
+func @main(%n: i64) -> i64 {
+entry:
+  br head
+head:
+  %i = phi i64 [0, entry], [%i2, body]
+  %c = icmp slt i64 %i, %n
+  condbr %c, body, exit
+body:
+  %r = call i64 @step(i64 %i, i64 99)
+  %i2 = add i64 %i, 1
+  br head
+exit:
+  %f = load i64, @acc
+  ret i64 %f
+}
+`
+
+func TestEngineLoopProgramAllVariants(t *testing.T) {
+	for _, v := range []Variant{VariantOdin, VariantOne, VariantMax} {
+		_, got := buildAndRun(t, loopProgSrc, v, "main", 10)
+		if got != 45 {
+			t.Fatalf("%s: main(10) = %d, want 45", v, got)
+		}
+	}
+}
+
+// hookProbe is a self-applying probe that inserts a call to the
+// "__test_hit" hook at the top of a specific pristine basic block.
+type hookProbe struct {
+	fnName string
+	block  *ir.Block
+	id     int64
+}
+
+func (p *hookProbe) PatchTarget() string { return p.fnName }
+
+func (p *hookProbe) Instrument(s *Sched) error {
+	nb := s.MapBlock(p.block)
+	if nb == nil {
+		return fmt.Errorf("block not in this recompilation")
+	}
+	hook := s.LookupFunction("__test_hit", &ir.FuncType{Params: []ir.Type{ir.I64}, Ret: ir.Void})
+	idx := len(nb.Phis())
+	b := ir.NewBuilder()
+	b.SetInsertBefore(nb, idx)
+	b.Call(ir.Void, hook.Name, ir.Const(ir.I64, p.id))
+	return nil
+}
+
+func TestProbeLifecycle(t *testing.T) {
+	m := irtext.MustParse("m", loopProgSrc)
+	e, err := New(m, Options{Variant: VariantOdin, ExtraBuiltins: []string{"__test_hit"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Probe the body of @step (entry block) using the PRISTINE module's
+	// block object, per the framework contract.
+	stepFn := e.Pristine.LookupFunc("step")
+	probe := &hookProbe{fnName: "step", block: stepFn.Blocks[0], id: 7}
+	pid := e.Manager.Add(probe)
+
+	exe, stats, err := e.BuildAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Fragments) != len(e.Plan.Fragments) {
+		t.Fatalf("initial build compiled %d fragments, want all %d", len(stats.Fragments), len(e.Plan.Fragments))
+	}
+
+	var hits []int64
+	runWithHook := func() int64 {
+		mach := vm.New(exe)
+		hits = nil
+		mach.Env.Builtins["__test_hit"] = func(env *rt.Env, args []int64) (int64, error) {
+			hits = append(hits, args[0])
+			return 0, nil
+		}
+		r, err := mach.Run("main", 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	if r := runWithHook(); r != 10 {
+		t.Fatalf("main(5) = %d, want 10", r)
+	}
+	if len(hits) != 5 {
+		t.Fatalf("probe fired %d times, want 5", len(hits))
+	}
+
+	// Remove the probe: only step's fragment must recompile.
+	if err := e.Manager.Remove(pid); err != nil {
+		t.Fatal(err)
+	}
+	sched, err := e.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.ActiveProbes) != 0 {
+		t.Fatalf("removed probe still scheduled: %d active", len(sched.ActiveProbes))
+	}
+	stepFrag := e.Plan.FragOf["step"]
+	if len(sched.Fragments()) != 1 || sched.Fragments()[0] != stepFrag {
+		t.Fatalf("schedule recompiles %v, want just fragment %d", sched.Fragments(), stepFrag)
+	}
+	exe2, stats2, err := sched.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats2.Fragments) != 1 {
+		t.Fatalf("rebuild compiled %d fragments, want 1", len(stats2.Fragments))
+	}
+	exe = exe2
+	if r := runWithHook(); r != 10 {
+		t.Fatalf("after removal: main(5) = %d, want 10", r)
+	}
+	if len(hits) != 0 {
+		t.Fatalf("probe fired %d times after removal, want 0", len(hits))
+	}
+}
+
+// TestScheduleReappliesUnchangedProbes: two probes in one fragment; changing
+// one schedules both (back-propagation, Algorithm 2 lines 13-17).
+func TestScheduleReappliesUnchangedProbes(t *testing.T) {
+	src := `
+func @a(%x: i64) -> i64 internal noinline {
+entry:
+  %r = add i64 %x, 1
+  ret i64 %r
+}
+func @main(%x: i64) -> i64 {
+entry:
+  %r = call i64 @a(i64 %x)
+  %r2 = add i64 %r, 100
+  ret i64 %r2
+}
+`
+	m := irtext.MustParse("m", src)
+	e, err := New(m, Options{Variant: VariantOne, ExtraBuiltins: []string{"__test_hit"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := &hookProbe{fnName: "a", block: e.Pristine.LookupFunc("a").Blocks[0], id: 1}
+	pm := &hookProbe{fnName: "main", block: e.Pristine.LookupFunc("main").Blocks[0], id: 2}
+	e.Manager.Add(pa)
+	idMain := e.Manager.Add(pm)
+	if _, _, err := e.BuildAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Change only the main probe; with OnePartition both probes share the
+	// fragment, so BOTH must be re-applied.
+	if err := e.Manager.MarkChanged(idMain); err != nil {
+		t.Fatal(err)
+	}
+	sched, err := e.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.ActiveProbes) != 2 {
+		t.Fatalf("ActiveProbes = %d, want 2 (unchanged probe must be re-applied)", len(sched.ActiveProbes))
+	}
+	exe, _, err := sched.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := vm.New(exe)
+	var hits []int64
+	mach.Env.Builtins["__test_hit"] = func(env *rt.Env, args []int64) (int64, error) {
+		hits = append(hits, args[0])
+		return 0, nil
+	}
+	if r, err := mach.Run("main", 1); err != nil || r != 102 {
+		t.Fatalf("run: %d, %v", r, err)
+	}
+	if len(hits) != 2 {
+		t.Fatalf("hits = %v, want both probes", hits)
+	}
+}
+
+// TestCacheReuse: rebuilding an unrelated fragment must not recompile
+// others, and the relinked executable still works.
+func TestCacheReuse(t *testing.T) {
+	m := irtext.MustParse("fig6", figure6Src)
+	e, err := New(m, Options{Variant: VariantOdin, ExtraBuiltins: []string{"__test_hit"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.BuildAll(); err != nil {
+		t.Fatal(err)
+	}
+	nFrags := len(e.Plan.Fragments)
+	// Probe @add; only its fragment recompiles.
+	p := &hookProbe{fnName: "add", block: e.Pristine.LookupFunc("add").Blocks[0], id: 1}
+	e.Manager.Add(p)
+	sched, err := e.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, stats, err := sched.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Fragments) != 1 {
+		t.Fatalf("recompiled %d fragments, want 1 (cache must be reused; total %d)", len(stats.Fragments), nFrags)
+	}
+	mach := vm.New(exe)
+	mach.Env.Builtins["__test_hit"] = func(env *rt.Env, args []int64) (int64, error) { return 0, nil }
+	if r, err := mach.Run("main"); err != nil || r != -1 {
+		t.Fatalf("after patch: main() = %d, %v", r, err)
+	}
+	if out := mach.Env.Out.String(); out != "hi\n" {
+		t.Fatalf("output = %q, want hi", out)
+	}
+}
+
+// TestInstrumentFirstPreservesFeedback: with a probe in the upper-bound
+// block of islower, the Odin build must keep both comparisons (correct
+// instrumentation), while the plain optimized build folds them.
+func TestInstrumentFirstPreservesFeedback(t *testing.T) {
+	src := `
+func @islower(%chr: i8) -> i1 {
+test_lb:
+  %cmp1 = icmp sge i8 %chr, 97
+  condbr %cmp1, test_ub, end
+test_ub:
+  %cmp2 = icmp sle i8 %chr, 122
+  br end
+end:
+  %r = phi i1 [0, test_lb], [%cmp2, test_ub]
+  ret i1 %r
+}
+`
+	m := irtext.MustParse("m", src)
+	e, err := New(m, Options{ExtraBuiltins: []string{"__test_hit"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := e.Pristine.LookupFunc("islower")
+	e.Manager.Add(&hookProbe{fnName: "islower", block: f.Blocks[1], id: 42})
+	exe, _, err := e.BuildAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := vm.New(exe)
+	var hits int
+	mach.Env.Builtins["__test_hit"] = func(env *rt.Env, args []int64) (int64, error) {
+		hits++
+		return 0, nil
+	}
+	// 'b' passes the lower bound: probe must fire. '!' fails it: no fire.
+	if r, err := mach.Run("islower", 'b'); err != nil || r != 1 {
+		t.Fatalf("islower(b) = %d, %v", r, err)
+	}
+	if hits != 1 {
+		t.Fatalf("probe hits = %d, want 1", hits)
+	}
+	if r, err := mach.Run("islower", '!'); err != nil || r != 0 {
+		t.Fatalf("islower(!) = %d, %v", r, err)
+	}
+	if hits != 1 {
+		t.Fatalf("probe hits = %d, want still 1 (path feedback preserved)", hits)
+	}
+}
+
+// TestRebuildTwiceFails: a Sched is single-use.
+func TestRebuildTwiceFails(t *testing.T) {
+	m := irtext.MustParse("m", loopProgSrc)
+	e, err := New(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := e.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sched.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sched.Rebuild(); err == nil {
+		t.Fatal("second Rebuild should fail")
+	}
+}
+
+func TestManagerBasics(t *testing.T) {
+	pm := NewPatchManager()
+	p1 := &hookProbe{fnName: "f"}
+	id1 := pm.Add(p1)
+	id2 := pm.Add(&hookProbe{fnName: "g"})
+	if pm.NumActive() != 2 {
+		t.Fatalf("active = %d", pm.NumActive())
+	}
+	got, ok := pm.Get(id1)
+	if !ok || got != Probe(p1) {
+		t.Fatal("Get failed")
+	}
+	if err := pm.Remove(id1); err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.Remove(id1); err != nil {
+		t.Fatal("double remove should be a no-op, not an error")
+	}
+	if pm.NumActive() != 1 {
+		t.Fatalf("active after remove = %d", pm.NumActive())
+	}
+	if err := pm.Remove(999); err == nil {
+		t.Fatal("removing unknown probe should error")
+	}
+	if err := pm.MarkChanged(999); err == nil {
+		t.Fatal("marking unknown probe should error")
+	}
+	active := pm.Active()
+	if len(active) != 1 || active[0] != id2 {
+		t.Fatalf("Active() = %v", active)
+	}
+	if !strings.Contains(fmt.Sprint(pm.dirty()), "f") {
+		t.Fatalf("dirty = %v", pm.dirty())
+	}
+}

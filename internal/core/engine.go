@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"odin/internal/codegen"
+	"odin/internal/ir"
+	"odin/internal/link"
+	"odin/internal/obj"
+	"odin/internal/toolchain"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Variant selects the partition scheme (default VariantOdin).
+	Variant Variant
+	// OptLevel is the per-fragment optimization level (default 2).
+	OptLevel int
+	// ExtraBuiltins lists instrumentation hook symbols the linker may
+	// bind calls to (e.g. "__odin_cov_hit").
+	ExtraBuiltins []string
+	// Codegen selects back-end strategies for fragment compilation.
+	Codegen codegen.Options
+}
+
+// FragCompile records one fragment recompilation, the unit of Figures 11/12.
+type FragCompile struct {
+	FragID int
+	// Materialize covers temporary-IR split and fragment module
+	// construction; Opt and CodeGen are the compiler middle end and back
+	// end the paper's recompilation-cost figures measure.
+	Materialize time.Duration
+	Opt         time.Duration
+	CodeGen     time.Duration
+	// Instrs is the machine code size of the fragment after compilation.
+	Instrs int
+}
+
+// MiddleBackEnd is the compiler time the paper's Figures 11/12 count.
+func (fc FragCompile) MiddleBackEnd() time.Duration { return fc.Opt + fc.CodeGen }
+
+// RebuildStats describes one on-the-fly recompilation.
+type RebuildStats struct {
+	Fragments []FragCompile
+	LinkDur   time.Duration
+	Total     time.Duration
+}
+
+// Engine is the Odin instrumentation framework instance for one program.
+// It owns the pristine whole-program IR, the partition plan, the probe
+// manager, and the machine-code cache.
+type Engine struct {
+	// Pristine is the unmodified whole-program IR. Probes hold references
+	// into it; recompilations instrument temporary copies (§4).
+	Pristine *ir.Module
+	Plan     *Plan
+	Manager  *PatchManager
+
+	opts  Options
+	cache map[int]*obj.Object
+	exe   *link.Executable
+	// neverBuilt tracks fragments that have no cache entry yet.
+	neverBuilt map[int]bool
+	// History accumulates rebuild statistics for the experiment harness.
+	History []RebuildStats
+}
+
+// New surveys and partitions the program, returning an engine whose cache is
+// cold (the first Rebuild compiles everything).
+func New(m *ir.Module, opts Options) (*Engine, error) {
+	if opts.OptLevel == 0 {
+		opts.OptLevel = 2
+	}
+	if err := ir.Verify(m); err != nil {
+		return nil, fmt.Errorf("core: input module: %w", err)
+	}
+	pristine, _ := ir.CloneModule(m)
+	plan, err := Partition(pristine, opts.Variant, opts.OptLevel)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		Pristine:   pristine,
+		Plan:       plan,
+		Manager:    NewPatchManager(),
+		opts:       opts,
+		cache:      map[int]*obj.Object{},
+		neverBuilt: map[int]bool{},
+	}
+	for _, f := range plan.Fragments {
+		e.neverBuilt[f.ID] = true
+	}
+	return e, nil
+}
+
+// Executable returns the most recently linked program image, or nil before
+// the first rebuild.
+func (e *Engine) Executable() *link.Executable { return e.exe }
+
+// Builtins returns the full linker builtin list for this engine.
+func (e *Engine) Builtins() []string {
+	return toolchain.StdBuiltins(e.opts.ExtraBuiltins...)
+}
+
+// BuildAll runs a full schedule-instrument-rebuild cycle, applying every
+// active probe that implements Instrumenter. It is both the initial build
+// and the convenience path for tools whose probes are self-applying.
+func (e *Engine) BuildAll() (*link.Executable, *RebuildStats, error) {
+	sched, err := e.Schedule()
+	if err != nil {
+		return nil, nil, err
+	}
+	return sched.finish()
+}
+
+// affectedFragments computes the fragment set that must be recompiled for
+// the current dirty symbols (the symbol-to-fragment propagation of
+// Algorithm 2), plus fragments never built.
+func (e *Engine) affectedFragments(dirtySyms []string) []int {
+	set := map[int]bool{}
+	for id := range e.neverBuilt {
+		set[id] = true
+	}
+	for _, s := range dirtySyms {
+		for _, id := range e.Plan.FragmentsOf(s) {
+			set[id] = true
+		}
+	}
+	var out []int
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// linkAll links the current cache contents.
+func (e *Engine) linkAll() (*link.Executable, error) {
+	ids := make([]int, 0, len(e.cache))
+	for id := range e.cache {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	objs := make([]*obj.Object, 0, len(ids))
+	for _, id := range ids {
+		objs = append(objs, e.cache[id])
+	}
+	return link.Link(objs, e.Builtins())
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"odin/internal/ir"
+	"odin/internal/progen"
+)
+
+// checkPlanInvariants asserts the structural guarantees every partition
+// plan must provide, whatever the variant.
+func checkPlanInvariants(t *testing.T, m *ir.Module, plan *Plan) {
+	t.Helper()
+	defined := map[string]bool{}
+	for _, s := range m.DefinedSymbols() {
+		defined[s] = true
+	}
+	// 1. Fragment membership: every member is defined, owned exactly once.
+	owner := map[string]int{}
+	for _, f := range plan.Fragments {
+		for _, s := range f.Members {
+			if !defined[s] {
+				t.Fatalf("%s: fragment %d member %q not a defined symbol", plan.Variant, f.ID, s)
+			}
+			if prev, dup := owner[s]; dup {
+				t.Fatalf("%s: symbol %q in fragments %d and %d", plan.Variant, s, prev, f.ID)
+			}
+			owner[s] = f.ID
+		}
+	}
+	// 2. Every defined symbol is either owned or (copy-on-use and cloned
+	// wherever referenced).
+	for s := range defined {
+		if _, ok := owner[s]; ok {
+			continue
+		}
+		if plan.Class.Cat[s] != CopyOnUse {
+			t.Fatalf("%s: symbol %q neither owned nor copy-on-use", plan.Variant, s)
+		}
+	}
+	// 3. Imports resolve: to another fragment's member or to an external
+	// declaration of the pristine module (bound to builtins at link time).
+	for _, f := range plan.Fragments {
+		for _, imp := range f.Imports {
+			if _, ok := owner[imp]; ok {
+				continue
+			}
+			sym := m.Lookup(imp)
+			if sym == nil || !sym.IsDecl() {
+				t.Fatalf("%s: fragment %d imports unresolvable %q", plan.Variant, f.ID, imp)
+			}
+		}
+		// 4. Clones are copy-on-use constants, never owned elsewhere.
+		for _, c := range f.Clones {
+			if plan.Class.Cat[c] != CopyOnUse {
+				t.Fatalf("%s: fragment %d clones non-copy-on-use %q", plan.Variant, f.ID, c)
+			}
+			if _, ok := owner[c]; ok {
+				t.Fatalf("%s: cloned symbol %q also owns a fragment", plan.Variant, c)
+			}
+		}
+	}
+	// 5. Cross-fragment imports are exported.
+	for _, f := range plan.Fragments {
+		for _, imp := range f.Imports {
+			if fid, ok := owner[imp]; ok && fid != f.ID && !plan.Exported[imp] {
+				t.Fatalf("%s: %q imported across fragments but internalized", plan.Variant, imp)
+			}
+		}
+	}
+	// 6. Innate pairs co-located (aliases with aliasees, comdat groups).
+	for _, p := range plan.Class.InnatePairs {
+		if owner[p[0]] != owner[p[1]] {
+			t.Fatalf("%s: innate pair %v split across fragments %d/%d",
+				plan.Variant, p, owner[p[0]], owner[p[1]])
+		}
+	}
+	// 7. Originally-external symbols stay exported.
+	for s := range defined {
+		if sym := m.Lookup(s); sym.GetLinkage() == ir.External && !plan.Exported[s] {
+			t.Fatalf("%s: externally-visible %q internalized", plan.Variant, s)
+		}
+	}
+}
+
+func TestPlanInvariantsOnSuite(t *testing.T) {
+	for _, p := range progen.Suite() {
+		m := p.Generate()
+		for _, v := range []Variant{VariantOdin, VariantOne, VariantMax, VariantNoBond, VariantNoClone} {
+			plan, err := Partition(m, v, 2)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", p.Name, v, err)
+			}
+			checkPlanInvariants(t, m, plan)
+		}
+	}
+}
+
+// TestPlanInvariantsQuick drives the partitioner over randomized program
+// shapes.
+func TestPlanInvariantsQuick(t *testing.T) {
+	prop := func(seed uint64, parsers, tiny, dead, tables uint8) bool {
+		p := progen.Profile{
+			Name:               "rand",
+			Seed:               seed,
+			Parsers:            int(parsers%6) + 1,
+			ParserLoopBlocks:   1,
+			TinyHelpers:        int(tiny % 12),
+			DeadArgHelpers:     int(dead % 8),
+			HelperCallDensity:  50,
+			HelperCallsPerIter: int(tiny % 4),
+			ConstTables:        int(tables % 5),
+			PrintfStrings:      int(tables % 3),
+			Aliases:            int(parsers % 2),
+			MagicsPerParser:    2,
+			JunkArith:          2,
+		}
+		m := p.Generate()
+		for _, v := range []Variant{VariantOdin, VariantMax, VariantNoBond, VariantNoClone} {
+			plan, err := Partition(m, v, 2)
+			if err != nil {
+				t.Logf("partition failed: %v", err)
+				return false
+			}
+			checkPlanInvariants(t, m, plan)
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPartitionDeterministic: the same module partitions identically.
+func TestPartitionDeterministic(t *testing.T) {
+	p, _ := progen.ByName("libxml2")
+	m := p.Generate()
+	a, err := Partition(m, VariantOdin, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Partition(m, VariantOdin, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Describe() != b.Describe() {
+		t.Fatalf("nondeterministic partition:\n%s\nvs\n%s", a.Describe(), b.Describe())
+	}
+}

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"odin/internal/ir"
+)
+
+// Variant selects the partition scheme (Table 1 of the paper).
+type Variant int
+
+// Partition variants.
+const (
+	// VariantOdin is the surveyed partition: fragments sized to preserve
+	// every optimization while staying small.
+	VariantOdin Variant = iota
+	// VariantOne places the whole program in a single fragment: best
+	// optimization, slowest recompilation.
+	VariantOne
+	// VariantMax creates as many fragments as correctness allows: fastest
+	// recompilation, worst optimization.
+	VariantMax
+	// VariantNoBond is an ablation: copy-on-use cloning stays enabled but
+	// Bond clustering is disabled, so interprocedural optimization loses
+	// its context while local constant folds keep theirs.
+	VariantNoBond
+	// VariantNoClone is the complementary ablation: Bond clustering stays
+	// enabled but copy-on-use symbols are imported instead of cloned, so
+	// local optimizations that inspect constants miss.
+	VariantNoClone
+)
+
+func (v Variant) String() string {
+	switch v {
+	case VariantOne:
+		return "Odin-OnePartition"
+	case VariantMax:
+		return "Odin-MaxPartition"
+	case VariantNoBond:
+		return "Odin-NoBond"
+	case VariantNoClone:
+		return "Odin-NoClone"
+	}
+	return "Odin"
+}
+
+// bonds reports whether the variant clusters Bond pairs.
+func (v Variant) bonds() bool { return v == VariantOdin || v == VariantNoClone }
+
+// clones reports whether the variant clones copy-on-use symbols.
+func (v Variant) clones() bool { return v == VariantOdin || v == VariantNoBond }
+
+// Fragment is a recompilation unit: a set of symbols compiled together into
+// one object file.
+type Fragment struct {
+	ID int
+	// Members are the symbols defined by this fragment.
+	Members []string
+	// Imports are symbols declared (defined elsewhere).
+	Imports []string
+	// Clones are copy-on-use symbols cloned locally (marked internal).
+	Clones []string
+}
+
+// Plan is the partition scheme for a program.
+type Plan struct {
+	Variant   Variant
+	Fragments []*Fragment
+	// FragOf maps each defined, non-cloned symbol to its fragment.
+	FragOf map[string]int
+	// Exported marks symbols that keep external linkage: either
+	// externally visible in the original program or imported by another
+	// fragment (§3.2 step 4 decides the rest are internalized).
+	Exported map[string]bool
+	Class    *Classification
+}
+
+// unionFind is the cluster structure used by Algorithm 1.
+type unionFind struct {
+	parent map[string]string
+}
+
+func newUnionFind() *unionFind { return &unionFind{parent: map[string]string{}} }
+
+func (u *unionFind) find(x string) string {
+	p, ok := u.parent[x]
+	if !ok {
+		u.parent[x] = x
+		return x
+	}
+	if p == x {
+		return x
+	}
+	root := u.find(p)
+	u.parent[x] = root
+	return root
+}
+
+func (u *unionFind) union(a, b string) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		// Deterministic: smaller name becomes root.
+		if ra < rb {
+			u.parent[rb] = ra
+		} else {
+			u.parent[ra] = rb
+		}
+	}
+}
+
+// Partition creates the fragment plan for module m (Algorithm 1 plus steps
+// 3 and 4 of §3.2).
+func Partition(m *ir.Module, variant Variant, optLevel int) (*Plan, error) {
+	cls := Classify(m, optLevel)
+	plan := &Plan{
+		Variant:  variant,
+		FragOf:   map[string]int{},
+		Exported: map[string]bool{},
+		Class:    cls,
+	}
+	defined := m.DefinedSymbols()
+
+	if variant == VariantOne {
+		frag := &Fragment{ID: 0, Members: append([]string(nil), defined...)}
+		plan.Fragments = []*Fragment{frag}
+		for _, s := range defined {
+			plan.FragOf[s] = 0
+		}
+	} else {
+		// Algorithm 1: join innate pairs (always, for correctness) and
+		// Bond pairs (when the variant preserves interprocedural
+		// optimization); copy-on-use symbols form no fragments when the
+		// variant clones them.
+		u := newUnionFind()
+		isClone := func(s string) bool {
+			return variant.clones() && cls.Cat[s] == CopyOnUse
+		}
+		var owners []string
+		for _, s := range defined {
+			if !isClone(s) {
+				owners = append(owners, s)
+				u.find(s)
+			}
+		}
+		for _, p := range cls.InnatePairs {
+			u.union(p[0], p[1])
+		}
+		if variant.bonds() {
+			for _, p := range cls.BondPairs {
+				if isClone(p[0]) || isClone(p[1]) {
+					continue
+				}
+				u.union(p[0], p[1])
+			}
+		}
+		buildClusters(plan, owners, u)
+	}
+
+	if err := resolveFragmentRefs(m, plan); err != nil {
+		return nil, err
+	}
+	decideExports(m, plan)
+	return plan, nil
+}
+
+// buildClusters materializes union-find clusters as fragments, in
+// deterministic (first-member declaration order) sequence.
+func buildClusters(plan *Plan, symbols []string, u *unionFind) {
+	clusterOf := map[string]*Fragment{}
+	for _, s := range symbols {
+		root := u.find(s)
+		frag, ok := clusterOf[root]
+		if !ok {
+			frag = &Fragment{ID: len(plan.Fragments)}
+			plan.Fragments = append(plan.Fragments, frag)
+			clusterOf[root] = frag
+		}
+		frag.Members = append(frag.Members, s)
+		plan.FragOf[s] = frag.ID
+	}
+}
+
+// resolveFragmentRefs is step 3: for every fragment, scan member references
+// and record what must be imported or cloned. Cloning recurses, since a
+// cloned symbol may reference previously-unseen symbols.
+func resolveFragmentRefs(m *ir.Module, plan *Plan) error {
+	for _, frag := range plan.Fragments {
+		member := map[string]bool{}
+		for _, s := range frag.Members {
+			member[s] = true
+		}
+		cloned := map[string]bool{}
+		imported := map[string]bool{}
+		var visit func(sym string) error
+		visit = func(sym string) error {
+			for _, ref := range m.References(sym) {
+				if member[ref] || cloned[ref] || imported[ref] {
+					continue
+				}
+				if plan.Variant.clones() && plan.Class.Cat[ref] == CopyOnUse {
+					cloned[ref] = true
+					if err := visit(ref); err != nil {
+						return err
+					}
+					continue
+				}
+				// Importing requires the symbol to be defined in some
+				// fragment (or be a runtime builtin resolved at link).
+				imported[ref] = true
+			}
+			return nil
+		}
+		for _, s := range frag.Members {
+			if err := visit(s); err != nil {
+				return err
+			}
+		}
+		frag.Clones = sortedKeys(cloned)
+		frag.Imports = sortedKeys(imported)
+	}
+	return nil
+}
+
+// decideExports is step 4: a symbol keeps external linkage if the original
+// program exports it or another fragment imports it; everything else is
+// internalized so intra-fragment optimization can proceed.
+func decideExports(m *ir.Module, plan *Plan) {
+	for _, name := range m.DefinedSymbols() {
+		if sym := m.Lookup(name); sym != nil && sym.GetLinkage() == ir.External {
+			plan.Exported[name] = true
+		}
+	}
+	for _, frag := range plan.Fragments {
+		for _, imp := range frag.Imports {
+			if _, defined := plan.FragOf[imp]; defined {
+				plan.Exported[imp] = true
+			}
+		}
+	}
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FragmentsOf returns the fragment IDs containing or cloning the given
+// symbol. A copy-on-use symbol lives in every fragment that cloned it; a
+// regular symbol lives in exactly one.
+func (p *Plan) FragmentsOf(sym string) []int {
+	if id, ok := p.FragOf[sym]; ok {
+		return []int{id}
+	}
+	var out []int
+	for _, f := range p.Fragments {
+		for _, c := range f.Clones {
+			if c == sym {
+				out = append(out, f.ID)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Describe renders the plan for tooling.
+func (p *Plan) Describe() string {
+	s := fmt.Sprintf("%s: %d fragments\n", p.Variant, len(p.Fragments))
+	for _, f := range p.Fragments {
+		s += fmt.Sprintf("#%d members=%v", f.ID, f.Members)
+		if len(f.Clones) > 0 {
+			s += fmt.Sprintf(" clones=%v", f.Clones)
+		}
+		if len(f.Imports) > 0 {
+			s += fmt.Sprintf(" imports=%v", f.Imports)
+		}
+		s += "\n"
+	}
+	return s
+}

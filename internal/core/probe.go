@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Probe is one unit of instrumentation following the OOP paradigm of §4:
+// each instance targets one patch site. Probe implementations freely carry
+// probe-specific information (the instruction to instrument, dynamic
+// profiling annotations, pointers into the program IR).
+type Probe interface {
+	// PatchTarget returns the symbol name of the function the framework
+	// must recompile to apply or remove this probe.
+	PatchTarget() string
+}
+
+// Instrumenter is a probe that knows how to apply itself to the temporary
+// IR during a recompilation. Probes implementing only Probe can instead be
+// applied by user patch logic iterating Sched.ActiveProbes.
+type Instrumenter interface {
+	Probe
+	// Instrument patches the temporary IR through the scheduler's value
+	// mapping.
+	Instrument(s *Sched) error
+}
+
+type probeEntry struct {
+	id     int
+	probe  Probe
+	active bool
+}
+
+// PatchManager tracks dynamic adding, removing, and changing of probes (§4).
+type PatchManager struct {
+	probes map[int]*probeEntry
+	nextID int
+	// dirtySymbols accumulates patch targets whose instrumentation state
+	// changed since the last rebuild.
+	dirtySymbols map[string]bool
+}
+
+// NewPatchManager returns an empty manager.
+func NewPatchManager() *PatchManager {
+	return &PatchManager{
+		probes:       map[int]*probeEntry{},
+		dirtySymbols: map[string]bool{},
+	}
+}
+
+// Add registers a probe and returns its ID. The probe starts active.
+func (pm *PatchManager) Add(p Probe) int {
+	id := pm.nextID
+	pm.nextID++
+	pm.probes[id] = &probeEntry{id: id, probe: p, active: true}
+	pm.dirtySymbols[p.PatchTarget()] = true
+	return id
+}
+
+// Remove deactivates the probe; the overhead disappears at the next rebuild.
+func (pm *PatchManager) Remove(id int) error {
+	e, ok := pm.probes[id]
+	if !ok {
+		return fmt.Errorf("core: no probe %d", id)
+	}
+	if !e.active {
+		return nil
+	}
+	e.active = false
+	pm.dirtySymbols[e.probe.PatchTarget()] = true
+	return nil
+}
+
+// Get returns the probe with the given ID.
+func (pm *PatchManager) Get(id int) (Probe, bool) {
+	e, ok := pm.probes[id]
+	if !ok {
+		return nil, false
+	}
+	return e.probe, true
+}
+
+// MarkChanged records that the probe's logic changed (e.g. its annotation
+// now requires different instrumentation), scheduling its target for
+// recompilation.
+func (pm *PatchManager) MarkChanged(id int) error {
+	e, ok := pm.probes[id]
+	if !ok {
+		return fmt.Errorf("core: no probe %d", id)
+	}
+	pm.dirtySymbols[e.probe.PatchTarget()] = true
+	return nil
+}
+
+// IsActive reports whether the probe with the given ID is active.
+func (pm *PatchManager) IsActive(id int) bool {
+	e, ok := pm.probes[id]
+	return ok && e.active
+}
+
+// Active returns the IDs of all active probes, sorted.
+func (pm *PatchManager) Active() []int {
+	var out []int
+	for id, e := range pm.probes {
+		if e.active {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NumActive returns the count of active probes.
+func (pm *PatchManager) NumActive() int {
+	n := 0
+	for _, e := range pm.probes {
+		if e.active {
+			n++
+		}
+	}
+	return n
+}
+
+// dirty returns the changed symbol set, sorted.
+func (pm *PatchManager) dirty() []string {
+	return sortedKeys(pm.dirtySymbols)
+}
+
+// clearDirty resets the changed set after a successful rebuild.
+func (pm *PatchManager) clearDirty() {
+	pm.dirtySymbols = map[string]bool{}
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"odin/internal/codegen"
+	"odin/internal/ir"
+	"odin/internal/link"
+	"odin/internal/opt"
+)
+
+// Sched is one recompilation in flight (§3.3, Figure 7). It exposes the
+// temporary IR, the original-to-temporary value mapping, and the minimum set
+// of probes the user must (re-)apply.
+type Sched struct {
+	engine *Engine
+
+	// ActiveProbes is P̃ from Algorithm 2: every active probe whose target
+	// is recompiled this round — both probes the user just changed and
+	// unchanged probes that live in affected fragments and must be
+	// re-applied because their fragment is recompiled.
+	ActiveProbes []Probe
+
+	// Temp is the temporary IR: clones of every changed symbol. User
+	// patch logic instruments this module, never the pristine IR, so
+	// reverting instrumentation is free (§4).
+	Temp *ir.Module
+
+	vmap      *ir.ValueMap
+	fragments []int
+	done      bool
+}
+
+// Schedule runs Algorithm 2: it detects changed probes, propagates changed
+// symbols to fragments, back-propagates fragments to probes, and extracts
+// the temporary IR.
+func (e *Engine) Schedule() (*Sched, error) {
+	// Lines 2-6: symbols with changed probes.
+	changed := map[string]bool{}
+	for _, s := range e.Manager.dirty() {
+		changed[s] = true
+	}
+	// Lines 7-11: propagate to fragments (plus never-built fragments);
+	// every symbol of an affected fragment is recompiled.
+	frags := e.affectedFragments(sortedKeys(changed))
+	extract := map[string]bool{}
+	for _, id := range frags {
+		f := e.Plan.Fragments[id]
+		for _, s := range f.Members {
+			extract[s] = true
+		}
+		for _, s := range f.Clones {
+			extract[s] = true
+		}
+	}
+	// Lines 12-17: back-propagate to probes. Note the paper's remark:
+	// this is not repeated to convergence — it only adds unchanged
+	// probes whose fragments' caches remain valid.
+	sched := &Sched{engine: e, fragments: frags}
+	for _, id := range e.Manager.Active() {
+		p, _ := e.Manager.Get(id)
+		if extract[p.PatchTarget()] {
+			sched.ActiveProbes = append(sched.ActiveProbes, p)
+		}
+	}
+	// Line 18: extract the temporary IR.
+	temp, vmap, err := extractIR(e.Pristine, extract)
+	if err != nil {
+		return nil, err
+	}
+	sched.Temp = temp
+	sched.vmap = vmap
+	return sched, nil
+}
+
+// extractIR clones the symbols in set out of pristine into a fresh module,
+// adding declarations for everything else they reference.
+func extractIR(pristine *ir.Module, set map[string]bool) (*ir.Module, *ir.ValueMap, error) {
+	temp := ir.NewModule(pristine.Name + ".tmp")
+	vmap := ir.NewValueMap()
+	// Globals first so function operand remapping finds them.
+	for _, g := range pristine.Globals {
+		if set[g.Name] && !g.Decl {
+			ng := ir.CloneGlobalInto(temp, g, g.Name)
+			vmap.Values[g] = ng
+		}
+	}
+	// Pre-clone functions, then register, as CloneModule does.
+	var cloned []*ir.Func
+	for _, f := range pristine.Funcs {
+		if set[f.Name] && !f.IsDecl() {
+			nf := ir.CloneFuncInto(nil, f, f.Name, vmap)
+			cloned = append(cloned, nf)
+			vmap.Values[f] = nf
+		}
+	}
+	for _, nf := range cloned {
+		temp.AddFunc(nf)
+	}
+	// Remap any operands that referenced symbols cloned later, and add
+	// declarations for references outside the set.
+	for _, f := range temp.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				for i, op := range in.Operands {
+					in.Operands[i] = vmap.MapValue(op)
+				}
+			}
+		}
+	}
+	for _, a := range pristine.Aliases {
+		if set[a.Name] {
+			temp.AddAlias(&ir.Alias{Name: a.Name, Target: a.Target, Linkage: a.Linkage})
+		}
+	}
+	if err := addMissingDecls(temp, pristine, nil); err != nil {
+		return nil, nil, err
+	}
+	return temp, vmap, nil
+}
+
+// Map translates a value of the pristine module (a probe's stored reference)
+// into the corresponding value of the temporary IR.
+func (s *Sched) Map(v ir.Value) ir.Value { return s.vmap.MapValue(v) }
+
+// MapBlock translates a pristine basic block into its temporary-IR clone,
+// or nil when the block's function is not part of this recompilation.
+func (s *Sched) MapBlock(b *ir.Block) *ir.Block {
+	nb := s.vmap.MapBlock(b)
+	if nb == b {
+		return nil
+	}
+	return nb
+}
+
+// MapFunc translates a pristine function to its temporary-IR clone, or nil.
+func (s *Sched) MapFunc(name string) *ir.Func {
+	f := s.Temp.LookupFunc(name)
+	if f == nil || f.IsDecl() {
+		return nil
+	}
+	return f
+}
+
+// LookupFunction returns (creating if needed) a declaration of a runtime
+// function in the temporary IR, for patch logic to call.
+func (s *Sched) LookupFunction(name string, sig *ir.FuncType) *ir.Func {
+	if f := s.Temp.LookupFunc(name); f != nil {
+		return f
+	}
+	return ir.NewDecl(s.Temp, name, sig)
+}
+
+// Fragments returns the IDs of the fragments this schedule recompiles.
+func (s *Sched) Fragments() []int { return s.fragments }
+
+// Rebuild applies self-applying probes, splits the instrumented temporary
+// IR back into fragments, re-optimizes and re-generates code for each, and
+// relinks the machine-code cache into a fresh executable (Figure 7).
+func (s *Sched) Rebuild() (*link.Executable, *RebuildStats, error) {
+	return s.finish()
+}
+
+func (s *Sched) finish() (*link.Executable, *RebuildStats, error) {
+	if s.done {
+		return nil, nil, fmt.Errorf("core: schedule already rebuilt")
+	}
+	s.done = true
+	e := s.engine
+	t0 := time.Now()
+
+	// Apply self-applying probes. User patch logic for other probe types
+	// has already run against s.Temp by the time Rebuild is called.
+	for _, p := range s.ActiveProbes {
+		if inst, ok := p.(Instrumenter); ok {
+			if err := inst.Instrument(s); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	if err := ir.Verify(s.Temp); err != nil {
+		return nil, nil, fmt.Errorf("core: instrumented temporary IR invalid: %w", err)
+	}
+
+	stats := &RebuildStats{}
+	for _, id := range s.fragments {
+		frag := e.Plan.Fragments[id]
+		tm0 := time.Now()
+		fm, err := e.materialize(frag, s.Temp)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: fragment %d: %w", id, err)
+		}
+		matDur := time.Since(tm0)
+
+		to := time.Now()
+		opt.Optimize(fm, &opt.Options{Level: e.opts.OptLevel})
+		optDur := time.Since(to)
+		if err := ir.Verify(fm); err != nil {
+			return nil, nil, fmt.Errorf("core: fragment %d after optimization: %w", id, err)
+		}
+
+		tc := time.Now()
+		o, err := codegen.CompileModuleOpts(fm, e.opts.Codegen)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: fragment %d: %w", id, err)
+		}
+		cgDur := time.Since(tc)
+
+		e.cache[id] = o
+		delete(e.neverBuilt, id)
+		stats.Fragments = append(stats.Fragments, FragCompile{
+			FragID:      id,
+			Materialize: matDur,
+			Opt:         optDur,
+			CodeGen:     cgDur,
+			Instrs:      o.CodeSize(),
+		})
+	}
+
+	tl := time.Now()
+	exe, err := e.linkAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.LinkDur = time.Since(tl)
+	stats.Total = time.Since(t0)
+	e.exe = exe
+	e.Manager.clearDirty()
+	e.History = append(e.History, *stats)
+	return exe, stats, nil
+}

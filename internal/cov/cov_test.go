@@ -1,0 +1,286 @@
+package cov
+
+import (
+	"testing"
+
+	"odin/internal/core"
+	"odin/internal/interp"
+	"odin/internal/ir"
+	"odin/internal/irtext"
+)
+
+const progSrc = `
+declare func @write_byte(%b: i64) -> void
+func @classify(%b: i64) -> i64 internal noinline {
+entry:
+  %c1 = icmp sge i64 %b, 97
+  condbr %c1, upper, low
+upper:
+  %c2 = icmp sle i64 %b, 122
+  condbr %c2, yes, low
+yes:
+  ret i64 1
+low:
+  ret i64 0
+}
+func @fuzz_target(%data: ptr, %len: i64) -> i64 {
+entry:
+  br head
+head:
+  %i = phi i64 [0, entry], [%i2, next]
+  %acc = phi i64 [0, entry], [%acc2, next]
+  %c = icmp slt i64 %i, %len
+  condbr %c, body, exit
+body:
+  %p = gep %data, %i, scale 1
+  %b = load i8, %p
+  %b64 = zext i8 %b to i64
+  %r = call i64 @classify(i64 %b64)
+  %acc2 = add i64 %acc, %r
+  br next
+next:
+  %i2 = add i64 %i, 1
+  br head
+exit:
+  call void @write_byte(i64 %acc)
+  ret i64 %acc
+}
+`
+
+func newTool(t *testing.T, prune bool) (*Tool, *ir.Module) {
+	t.Helper()
+	m := irtext.MustParse("p", progSrc)
+	ir.MustVerify(m)
+	tool, err := New(m, core.Options{Variant: core.VariantOdin}, prune)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tool, m
+}
+
+func TestOdinCovSemanticsPreserved(t *testing.T) {
+	tool, m := newTool(t, true)
+	for _, input := range [][]byte{nil, []byte("a"), []byte("Hello, world!"), []byte("zzz!!!")} {
+		res := tool.RunInput(input)
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		wantRet, wantOut, err := interp.RunProgram(m, input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ret != wantRet || res.Out != wantOut {
+			t.Fatalf("input %q: ret=%d/%d out=%q/%q", input, res.Ret, wantRet, res.Out, wantOut)
+		}
+	}
+}
+
+func TestOdinCovProbesCoverOriginalBlocks(t *testing.T) {
+	tool, m := newTool(t, false)
+	// One probe per pristine basic block.
+	want := 0
+	for _, f := range m.Funcs {
+		if !f.IsDecl() {
+			want += len(f.Blocks)
+		}
+	}
+	if len(tool.Probes) != want {
+		t.Fatalf("probes = %d, want %d", len(tool.Probes), want)
+	}
+	// "b!" covers classify's yes path and low path.
+	res := tool.RunInput([]byte("b!"))
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	covered := map[string]bool{}
+	for _, p := range tool.Probes {
+		if p.Hits > 0 {
+			covered[p.FuncName+":"+p.Block.Name] = true
+		}
+	}
+	for _, blk := range []string{"classify:entry", "classify:upper", "classify:yes", "classify:low"} {
+		if !covered[blk] {
+			t.Errorf("block %s not covered: %v", blk, covered)
+		}
+	}
+}
+
+// TestOdinCovFeedbackFinerThanPostOpt: the three input classes of the
+// classify bounds check must produce three distinct coverage sets — the
+// §2.2 correctness property SanCov loses.
+func TestOdinCovFeedbackFinerThanPostOpt(t *testing.T) {
+	sets := map[string]string{}
+	for _, in := range []string{"!", "~", "b"} {
+		tool, _ := newTool(t, false)
+		res := tool.RunInput([]byte(in))
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		key := ""
+		for _, p := range tool.Probes {
+			if p.FuncName == "classify" && p.Hits > 0 {
+				key += p.Block.Name + ","
+			}
+		}
+		sets[in] = key
+	}
+	if sets["!"] == sets["~"] || sets["!"] == sets["b"] || sets["~"] == sets["b"] {
+		t.Fatalf("coverage sets not distinct: %v", sets)
+	}
+}
+
+func TestOdinCovPruneReducesOverhead(t *testing.T) {
+	tool, _ := newTool(t, true)
+	input := []byte("some mixed INPUT with lower and UPPER 0123")
+
+	before := tool.RunInput(input)
+	if before.Err != nil {
+		t.Fatal(before.Err)
+	}
+	activeBefore := tool.ActiveProbes()
+	pruned, err := tool.MaybePrune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned == 0 {
+		t.Fatal("nothing pruned despite coverage")
+	}
+	if tool.ActiveProbes() >= activeBefore {
+		t.Fatalf("active probes did not drop: %d -> %d", activeBefore, tool.ActiveProbes())
+	}
+	after := tool.RunInput(input)
+	if after.Err != nil {
+		t.Fatal(after.Err)
+	}
+	if after.Ret != before.Ret || after.Out != before.Out {
+		t.Fatalf("pruning changed semantics")
+	}
+	if after.Cycles >= before.Cycles {
+		t.Fatalf("pruning did not speed up: %d -> %d cycles", before.Cycles, after.Cycles)
+	}
+	// Coverage state is retained on the Go side even after pruning.
+	if tool.CoveredCount() == 0 {
+		t.Fatal("coverage lost after pruning")
+	}
+	// A second prune with no new coverage is a no-op.
+	pruned2, err := tool.MaybePrune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned2 != 0 {
+		t.Fatalf("second prune removed %d probes, want 0", pruned2)
+	}
+}
+
+func TestOdinCovNoPruneKeepsProbes(t *testing.T) {
+	tool, _ := newTool(t, false)
+	res := tool.RunInput([]byte("abc"))
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	n := tool.ActiveProbes()
+	pruned, err := tool.MaybePrune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned != 0 || tool.ActiveProbes() != n {
+		t.Fatal("NoPrune variant pruned probes")
+	}
+}
+
+func TestOdinCovNewCoverageAfterPrune(t *testing.T) {
+	tool, _ := newTool(t, true)
+	// Cover only the low path first.
+	if res := tool.RunInput([]byte("!")); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if _, err := tool.MaybePrune(); err != nil {
+		t.Fatal(err)
+	}
+	covBefore := tool.CoveredCount()
+	// Now a lowercase input must still reveal the yes path.
+	if res := tool.RunInput([]byte("b")); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if tool.CoveredCount() <= covBefore {
+		t.Fatalf("new coverage not detected after pruning: %d -> %d", covBefore, tool.CoveredCount())
+	}
+}
+
+func TestCmpToolObservesOriginalOperands(t *testing.T) {
+	m := irtext.MustParse("p", progSrc)
+	tool, err := NewCmpTool(m, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tool.Probes) == 0 {
+		t.Fatal("no comparison probes")
+	}
+	res := tool.RunInput([]byte("b"))
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	// The classify lower-bound comparison must have observed the raw
+	// input byte 'b' (98) against 97 — not a shifted value.
+	found := false
+	for _, p := range tool.Probes {
+		if p.FuncName != "classify" {
+			continue
+		}
+		for _, ob := range p.Observed {
+			if ob[0] == 98 && ob[1] == 97 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		var all [][2]int64
+		for _, p := range tool.Probes {
+			all = append(all, p.Observed...)
+		}
+		t.Fatalf("original operands (98, 97) not observed: %v", all)
+	}
+}
+
+func TestCmpToolPruneSolved(t *testing.T) {
+	m := irtext.MustParse("p", progSrc)
+	tool, err := NewCmpTool(m, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tool.RunInput([]byte("abcdefgh"))
+	if before.Err != nil {
+		t.Fatal(before.Err)
+	}
+	for _, p := range tool.Probes {
+		p.Solved = true
+	}
+	pruned, err := tool.PruneSolved()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned != len(tool.Probes) {
+		t.Fatalf("pruned %d of %d", pruned, len(tool.Probes))
+	}
+	nObserved := 0
+	for _, p := range tool.Probes {
+		p.Observed = nil
+		nObserved = 0
+	}
+	after := tool.RunInput([]byte("abcdefgh"))
+	if after.Err != nil {
+		t.Fatal(after.Err)
+	}
+	for _, p := range tool.Probes {
+		nObserved += len(p.Observed)
+	}
+	if nObserved != 0 {
+		t.Fatalf("solved probes still observing: %d", nObserved)
+	}
+	if after.Cycles >= before.Cycles {
+		t.Fatalf("pruning cmp probes did not speed up: %d -> %d", before.Cycles, after.Cycles)
+	}
+	if after.Ret != before.Ret || after.Out != before.Out {
+		t.Fatal("pruning changed semantics")
+	}
+}

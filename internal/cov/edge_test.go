@@ -1,0 +1,224 @@
+package cov
+
+import (
+	"testing"
+
+	"odin/internal/core"
+	"odin/internal/interp"
+	"odin/internal/ir"
+	"odin/internal/irtext"
+)
+
+func newEdgeTool(t *testing.T, prune bool) (*EdgeTool, *ir.Module) {
+	t.Helper()
+	m := irtext.MustParse("p", progSrc)
+	tool, err := NewEdgeTool(m, core.Options{Variant: core.VariantOdin}, prune)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tool, m
+}
+
+func TestEdgeToolSemanticsPreserved(t *testing.T) {
+	tool, m := newEdgeTool(t, false)
+	for _, in := range [][]byte{nil, []byte("a"), []byte("Mixed INPUT 42")} {
+		res := tool.RunInput(in)
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		wantRet, wantOut, err := interp.RunProgram(m, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ret != wantRet || res.Out != wantOut {
+			t.Fatalf("input %q: (%d,%q) != (%d,%q)", in, res.Ret, res.Out, wantRet, wantOut)
+		}
+	}
+}
+
+// TestEdgeCoverageFinerThanBlocks: a block reachable via two different
+// predecessors yields one block-coverage fact but two distinct edge facts.
+func TestEdgeCoverageFinerThanBlocks(t *testing.T) {
+	// classify's "low" block is reached from entry (lower-bound fail) and
+	// from upper (upper-bound fail): two distinct edges.
+	edgeSets := map[string]string{}
+	for _, in := range []string{"!", "~"} { // below 'a' vs above 'z'
+		tool, _ := newEdgeTool(t, false)
+		if res := tool.RunInput([]byte(in)); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		key := ""
+		for _, p := range tool.Probes {
+			if p.FuncName == "classify" && p.Hits > 0 {
+				key += p.From.Name + ">" + p.To.Name + ";"
+			}
+		}
+		edgeSets[in] = key
+	}
+	if edgeSets["!"] == edgeSets["~"] {
+		t.Fatalf("edge coverage identical for distinct paths: %v", edgeSets)
+	}
+}
+
+func TestEdgePruning(t *testing.T) {
+	tool, _ := newEdgeTool(t, true)
+	input := []byte("prune these edges 123 ABC xyz")
+	before := tool.RunInput(input)
+	if before.Err != nil {
+		t.Fatal(before.Err)
+	}
+	covered := tool.CoveredEdges()
+	if covered == 0 {
+		t.Fatal("no edges covered")
+	}
+	pruned, err := tool.MaybePrune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned != covered {
+		t.Fatalf("pruned %d, covered %d", pruned, covered)
+	}
+	after := tool.RunInput(input)
+	if after.Err != nil {
+		t.Fatal(after.Err)
+	}
+	if after.Ret != before.Ret || after.Out != before.Out {
+		t.Fatal("pruning changed semantics")
+	}
+	if after.Cycles >= before.Cycles {
+		t.Fatalf("pruning did not help: %d -> %d", before.Cycles, after.Cycles)
+	}
+}
+
+func TestSplitEdgeUpdatesPhis(t *testing.T) {
+	src := `
+func @f(%c: i1) -> i64 {
+entry:
+  condbr %c, a, b
+a:
+  br join
+b:
+  br join
+join:
+  %r = phi i64 [1, a], [2, b]
+  ret i64 %r
+}
+`
+	m := irtext.MustParse("m", src)
+	f := m.LookupFunc("f")
+	a, join := f.Blocks[1], f.Blocks[3]
+	mid, err := SplitEdge(a, join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir.MustVerify(m)
+	phi := join.Phis()[0]
+	found := false
+	for _, inc := range phi.Incoming {
+		if inc == mid {
+			found = true
+		}
+		if inc == a {
+			t.Fatal("phi still lists the old predecessor")
+		}
+	}
+	if !found {
+		t.Fatal("phi does not list the split block")
+	}
+	// Splitting a non-edge fails (entry has no direct edge to join).
+	if _, err := SplitEdge(f.Entry(), join); err == nil {
+		t.Fatal("split of non-edge accepted")
+	}
+}
+
+func TestTraceToolRecordsCallSequence(t *testing.T) {
+	m := irtext.MustParse("p", progSrc)
+	tool, err := NewTraceTool(m, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := tool.RunInput([]byte("ab"))
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	wantRet, wantOut, err := interp.RunProgram(m, []byte("ab"))
+	if err != nil || res.Ret != wantRet || res.Out != wantOut {
+		t.Fatalf("tracing changed semantics: %v", err)
+	}
+	if len(tool.Events) == 0 {
+		t.Fatal("no events")
+	}
+	// Entries and exits must balance per probe.
+	depth := map[int64]int{}
+	for _, e := range tool.Events {
+		if e.Enter {
+			depth[e.ProbeID]++
+		} else {
+			depth[e.ProbeID]--
+		}
+		if depth[e.ProbeID] < 0 {
+			t.Fatalf("exit before enter for probe %d", e.ProbeID)
+		}
+	}
+	for id, d := range depth {
+		if d != 0 {
+			t.Fatalf("probe %d unbalanced: %d", id, d)
+		}
+	}
+	// classify must have been entered twice (two input bytes).
+	var classifyID int64 = -1
+	for _, p := range tool.Probes {
+		if p.FuncName == "classify" {
+			classifyID = p.ID
+		}
+	}
+	if classifyID < 0 {
+		t.Fatal("no classify probe")
+	}
+	enters := 0
+	for _, e := range tool.Events {
+		if e.Enter && e.ProbeID == classifyID {
+			enters++
+		}
+	}
+	if enters != 2 {
+		t.Fatalf("classify entered %d times, want 2", enters)
+	}
+}
+
+func TestTraceToolRetire(t *testing.T) {
+	m := irtext.MustParse("p", progSrc)
+	tool, err := NewTraceTool(m, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tool.RunInput([]byte("abcd"))
+	if before.Err != nil {
+		t.Fatal(before.Err)
+	}
+	retired, err := tool.Retire("classify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retired != 1 {
+		t.Fatalf("retired = %d", retired)
+	}
+	after := tool.RunInput([]byte("abcd"))
+	if after.Err != nil {
+		t.Fatal(after.Err)
+	}
+	for _, e := range after.Out {
+		_ = e
+	}
+	for _, ev := range tool.Events {
+		if tool.Probes[ev.ProbeID].FuncName == "classify" {
+			t.Fatal("retired function still traced")
+		}
+	}
+	if after.Cycles >= before.Cycles {
+		t.Fatalf("retiring did not speed up: %d -> %d", before.Cycles, after.Cycles)
+	}
+	if after.Ret != before.Ret || after.Out != before.Out {
+		t.Fatal("retiring changed semantics")
+	}
+}

@@ -1,0 +1,164 @@
+package cov
+
+import (
+	"testing"
+
+	"odin/internal/core"
+	"odin/internal/ir"
+	"odin/internal/irtext"
+	"odin/internal/rt"
+	"odin/internal/vm"
+)
+
+// TestMixedProbesOneEngine reproduces the §2.1 AFL++ scenario the Odin way:
+// instead of building two binaries (fast coverage + slow CmpLog) and
+// switching between them, ONE engine carries both probe kinds and retires
+// each the moment it stops paying its way — block probes when covered,
+// comparison probes when solved.
+func TestMixedProbesOneEngine(t *testing.T) {
+	src := `
+declare func @write_byte(%b: i64) -> void
+func @check(%b: i64) -> i64 internal noinline {
+entry:
+  %c = icmp eq i64 %b, 77
+  condbr %c, yes, no
+yes:
+  ret i64 1
+no:
+  ret i64 0
+}
+func @fuzz_target(%data: ptr, %len: i64) -> i64 {
+entry:
+  %ok = icmp sge i64 %len, 1
+  condbr %ok, have, out
+have:
+  %b = load i8, %data
+  %b64 = zext i8 %b to i64
+  %r = call i64 @check(i64 %b64)
+  br out
+out:
+  %res = phi i64 [0, entry], [%r, have]
+  call void @write_byte(i64 %res)
+  ret i64 %res
+}
+`
+	m := irtext.MustParse("mixed", src)
+	eng, err := core.New(m, core.Options{
+		Variant:       core.VariantOdin,
+		ExtraBuiltins: []string{HitHook, CmpHook},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Block probes on every block, cmp probes on every constant compare —
+	// both kinds registered with the same PatchManager.
+	var blockProbes []*BlockProbe
+	var blockIDs []int
+	var cmpProbes []*CmpProbe
+	var cmpIDs []int
+	for _, f := range eng.Pristine.Funcs {
+		for _, b := range f.Blocks {
+			bp := &BlockProbe{ID: int64(len(blockProbes)), FuncName: f.Name, Block: b}
+			blockProbes = append(blockProbes, bp)
+			blockIDs = append(blockIDs, eng.Manager.Add(bp))
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpICmp {
+					if _, isC := ir.IsConstValue(in.Operands[1]); isC {
+						cp := &CmpProbe{ID: int64(len(cmpProbes)), FuncName: f.Name, Cmp: in}
+						cmpProbes = append(cmpProbes, cp)
+						cmpIDs = append(cmpIDs, eng.Manager.Add(cp))
+					}
+				}
+			}
+		}
+	}
+	if len(cmpProbes) == 0 {
+		t.Fatal("no cmp probes")
+	}
+	exe, _, err := eng.BuildAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bind := func() *vm.Machine {
+		mach := vm.New(exe)
+		mach.Env.Builtins[HitHook] = func(env *rt.Env, args []int64) (int64, error) {
+			blockProbes[args[0]].Hits++
+			return 0, nil
+		}
+		mach.Env.Builtins[CmpHook] = func(env *rt.Env, args []int64) (int64, error) {
+			p := cmpProbes[args[0]]
+			p.Observed = append(p.Observed, [2]int64{args[1], args[2]})
+			return 0, nil
+		}
+		return mach
+	}
+
+	run := func(mach *vm.Machine, input []byte) (int64, int64) {
+		ret, _, cycles, err := vm.RunProgram(mach, input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ret, cycles
+	}
+
+	mach := bind()
+	ret, costBefore := run(mach, []byte{10})
+	if ret != 0 {
+		t.Fatalf("ret = %d", ret)
+	}
+	// The cmp probe observed the raw input byte vs the magic 77 — use the
+	// input-to-state answer to pass the roadblock.
+	var solved *CmpProbe
+	for _, p := range cmpProbes {
+		for _, ob := range p.Observed {
+			if ob[0] == 10 && ob[1] == 77 {
+				solved = p
+			}
+		}
+	}
+	if solved == nil {
+		t.Fatal("roadblock comparison not observed")
+	}
+	if ret, _ := run(mach, []byte{77}); ret != 1 {
+		t.Fatal("magic input did not pass")
+	}
+
+	// Retire: the solved cmp probe AND all covered block probes in one
+	// schedule — mixed probe kinds, one recompilation.
+	for i, p := range blockProbes {
+		if p.Hits > 0 {
+			if err := eng.Manager.Remove(blockIDs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i, p := range cmpProbes {
+		if p == solved {
+			if err := eng.Manager.Remove(cmpIDs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	sched, err := eng.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, _, err = sched.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach = bind()
+	solved.Observed = nil
+	ret, costAfter := run(mach, []byte{77})
+	if ret != 1 {
+		t.Fatalf("behaviour changed after mixed retirement: %d", ret)
+	}
+	if len(solved.Observed) != 0 {
+		t.Fatal("solved cmp probe still reporting")
+	}
+	if costAfter >= costBefore {
+		t.Fatalf("mixed retirement did not reduce cost: %d -> %d", costBefore, costAfter)
+	}
+}

@@ -1,0 +1,139 @@
+package dbi
+
+import (
+	"testing"
+
+	"odin/internal/interp"
+	"odin/internal/irtext"
+	"odin/internal/toolchain"
+	"odin/internal/vm"
+)
+
+const progSrc = `
+declare func @write_byte(%b: i64) -> void
+func @classify(%b: i64) -> i64 internal noinline {
+entry:
+  %c1 = icmp sge i64 %b, 97
+  condbr %c1, upper, low
+upper:
+  %c2 = icmp sle i64 %b, 122
+  condbr %c2, yes, low
+yes:
+  ret i64 1
+low:
+  ret i64 0
+}
+func @fuzz_target(%data: ptr, %len: i64) -> i64 {
+entry:
+  br head
+head:
+  %i = phi i64 [0, entry], [%i2, next]
+  %acc = phi i64 [0, entry], [%acc2, next]
+  %c = icmp slt i64 %i, %len
+  condbr %c, body, exit
+body:
+  %p = gep %data, %i, scale 1
+  %b = load i8, %p
+  %b64 = zext i8 %b to i64
+  %r = call i64 @classify(i64 %b64)
+  %acc2 = add i64 %acc, %r
+  br next
+next:
+  %i2 = add i64 %i, 1
+  br head
+exit:
+  call void @write_byte(i64 %acc)
+  ret i64 %acc
+}
+`
+
+func TestDrCovSemanticsAndOverhead(t *testing.T) {
+	m := irtext.MustParse("p", progSrc)
+	plain, _, err := toolchain.BuildPreserving(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte("abc XYZ 012 def")
+
+	machP := vm.New(plain)
+	retP, outP, base, err := vm.RunProgram(machP, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exe, meta := Instrument(plain, true)
+	mach := vm.New(exe)
+	ret, out, cycles, err := vm.RunProgram(mach, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != retP || out != outP {
+		t.Fatalf("translation changed semantics: ret=%d/%d out=%q/%q", ret, retP, out, outP)
+	}
+	wantRet, wantOut, err := interp.RunProgram(m, input)
+	if err != nil || ret != wantRet || out != wantOut {
+		t.Fatalf("diverged from reference: %v", err)
+	}
+	if cycles <= base {
+		t.Fatalf("translation free? base=%d dbi=%d", base, cycles)
+	}
+	if meta.NumBlocks == 0 || meta.TranslationCycles <= 0 {
+		t.Fatalf("bad meta: %+v", meta)
+	}
+	if CoveredBlocks(mach, meta) == 0 {
+		t.Fatal("no DrCov coverage recorded")
+	}
+	if CoveredBlocks(mach, meta) > meta.NumBlocks {
+		t.Fatal("coverage exceeds block count")
+	}
+}
+
+func TestNullToolCheaperThanDrCov(t *testing.T) {
+	m := irtext.MustParse("p", progSrc)
+	plain, _, err := toolchain.BuildPreserving(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte("abcdefghijklmnop")
+
+	null, _ := Instrument(plain, false)
+	machN := vm.New(null)
+	_, _, nullCycles, err := vm.RunProgram(machN, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drcov, _ := Instrument(plain, true)
+	machD := vm.New(drcov)
+	_, _, covCycles, err := vm.RunProgram(machD, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nullCycles >= covCycles {
+		t.Fatalf("null tool (%d) not cheaper than DrCov (%d)", nullCycles, covCycles)
+	}
+}
+
+func TestDrCovCoverageMatchesExecution(t *testing.T) {
+	m := irtext.MustParse("p", progSrc)
+	plain, _, err := toolchain.BuildPreserving(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, meta := Instrument(plain, true)
+	mach := vm.New(exe)
+	// Empty input: the loop body never runs; fewer blocks covered than
+	// with a non-empty input.
+	_, _, _, err = vm.RunProgram(mach, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	few := CoveredBlocks(mach, meta)
+	_, _, _, err = vm.RunProgram(mach, []byte("a!"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	more := CoveredBlocks(mach, meta)
+	if few == 0 || more <= few {
+		t.Fatalf("coverage not input-sensitive: %d vs %d", few, more)
+	}
+}

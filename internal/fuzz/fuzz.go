@@ -1,0 +1,160 @@
+// Package fuzz implements a deterministic coverage-guided fuzzer in the
+// AFL mold: a corpus of interesting inputs, havoc-style mutation, and
+// feedback-driven retention. It is the substrate the paper's use case
+// needs — Odin is "an instrumentation library that cooperates with a fuzzer
+// closely" (§1) — and it generates the replay corpora the experiments use.
+package fuzz
+
+import (
+	"odin/internal/prng"
+
+	"fmt"
+	"sort"
+)
+
+// Feedback is what the instrumented target reports for one execution.
+type Feedback struct {
+	// NewCoverage indicates the input triggered a previously-unseen
+	// probe.
+	NewCoverage bool
+	// Crashed indicates a bug-revealing execution (trap, abort).
+	Crashed bool
+	// Cycles is the execution cost.
+	Cycles int64
+}
+
+// Target abstracts the instrumented program (OdinCov tool, SanCov build,
+// DBI translation, ...). Execute must be deterministic for a given input.
+type Target interface {
+	Execute(input []byte) (Feedback, error)
+}
+
+// Entry is one corpus element.
+type Entry struct {
+	Data []byte
+	// FoundAt is the iteration the entry was discovered.
+	FoundAt int
+}
+
+// Stats summarizes a campaign.
+type Stats struct {
+	Execs       int
+	CorpusSize  int
+	Crashes     int
+	TotalCycles int64
+}
+
+// Options configures a fuzzing campaign.
+type Options struct {
+	Seed   uint64
+	MaxLen int
+	// Seeds are the initial corpus; a single empty-ish input is used if
+	// none are given.
+	Seeds [][]byte
+	// Dictionary tokens are spliced into inputs by a dedicated mutator
+	// (the AFL -x feature); format keywords and magic sequences belong
+	// here.
+	Dictionary [][]byte
+}
+
+// Fuzzer drives one campaign.
+type Fuzzer struct {
+	target Target
+	rng    *prng.RNG
+	maxLen int
+	dict   [][]byte
+
+	Corpus  []Entry
+	Crashes []Entry
+	Stats   Stats
+}
+
+// New creates a fuzzer for the target.
+func New(target Target, opts Options) *Fuzzer {
+	f := &Fuzzer{
+		target: target,
+		rng:    prng.NewRNG(opts.Seed),
+		maxLen: opts.MaxLen,
+		dict:   opts.Dictionary,
+	}
+	if f.maxLen <= 0 {
+		f.maxLen = 256
+	}
+	seeds := opts.Seeds
+	if len(seeds) == 0 {
+		seeds = [][]byte{[]byte("seed")}
+	}
+	for _, s := range seeds {
+		f.Corpus = append(f.Corpus, Entry{Data: append([]byte(nil), s...)})
+	}
+	return f
+}
+
+// Run executes up to iters fuzz iterations, returning the campaign stats.
+// Initial seeds are executed first so their coverage is accounted.
+func (f *Fuzzer) Run(iters int) (Stats, error) {
+	for _, e := range f.Corpus {
+		fb, err := f.target.Execute(e.Data)
+		if err != nil {
+			return f.Stats, fmt.Errorf("fuzz: seed execution: %w", err)
+		}
+		f.account(fb)
+	}
+	for i := 0; i < iters; i++ {
+		parent := f.pick()
+		child := f.mutate(parent)
+		fb, err := f.target.Execute(child)
+		if err != nil {
+			return f.Stats, fmt.Errorf("fuzz: iteration %d: %w", i, err)
+		}
+		f.account(fb)
+		if fb.Crashed {
+			f.Crashes = append(f.Crashes, Entry{Data: child, FoundAt: f.Stats.Execs})
+			continue
+		}
+		if fb.NewCoverage {
+			f.Corpus = append(f.Corpus, Entry{Data: child, FoundAt: f.Stats.Execs})
+		}
+	}
+	f.Stats.CorpusSize = len(f.Corpus)
+	return f.Stats, nil
+}
+
+func (f *Fuzzer) account(fb Feedback) {
+	f.Stats.Execs++
+	f.Stats.TotalCycles += fb.Cycles
+	if fb.Crashed {
+		f.Stats.Crashes++
+	}
+}
+
+// pick selects a corpus parent, biased toward recent discoveries.
+func (f *Fuzzer) pick() []byte {
+	n := len(f.Corpus)
+	if n == 0 {
+		return nil
+	}
+	// Square-biased index: favors the newest third of the corpus.
+	r := f.rng.Intn(n * n)
+	idx := 0
+	for idx*idx <= r && idx < n-1 {
+		idx++
+	}
+	return f.Corpus[idx].Data
+}
+
+// CorpusBytes returns a deterministic snapshot of the corpus data, sorted
+// for stable replay order.
+func (f *Fuzzer) CorpusBytes() [][]byte {
+	out := make([][]byte, len(f.Corpus))
+	for i, e := range f.Corpus {
+		out[i] = e.Data
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		return string(out[i]) < string(out[j])
+	})
+	return out
+}

@@ -1,0 +1,183 @@
+package fuzz
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"odin/internal/core"
+	"odin/internal/cov"
+	"odin/internal/prng"
+	"odin/internal/progen"
+	"odin/internal/rt"
+)
+
+// covTarget adapts the OdinCov tool as a fuzz target with Untracer-style
+// pruning after every discovery.
+type covTarget struct {
+	tool  *cov.Tool
+	prune bool
+	seen  int
+}
+
+func (c *covTarget) Execute(input []byte) (Feedback, error) {
+	res := c.tool.RunInput(input)
+	fb := Feedback{Cycles: res.Cycles}
+	if res.Err != nil {
+		var trap *rt.TrapError
+		if errors.As(res.Err, &trap) {
+			fb.Crashed = true
+			return fb, nil
+		}
+		return fb, res.Err
+	}
+	if n := c.tool.CoveredCount(); n > c.seen {
+		c.seen = n
+		fb.NewCoverage = true
+		if c.prune {
+			if _, err := c.tool.MaybePrune(); err != nil {
+				return fb, err
+			}
+		}
+	}
+	return fb, nil
+}
+
+func newDemoTarget(t *testing.T, prune bool) *covTarget {
+	t.Helper()
+	m := progen.Demo().Generate()
+	tool, err := cov.New(m, core.Options{Variant: core.VariantOdin}, prune)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &covTarget{tool: tool, prune: prune}
+}
+
+func TestCampaignFindsPlantedBug(t *testing.T) {
+	target := newDemoTarget(t, true)
+	f := New(target, Options{
+		Seed:   1,
+		MaxLen: 16,
+		Seeds:  [][]byte{{0x42, 0, 0, 0}},
+		// Format dictionary, as a fuzzer operator would supply (AFL -x).
+		Dictionary: [][]byte{{0x42, 0x55, 0x47}, {0x55, 0x47}},
+	})
+	stats, err := f.Run(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Crashes == 0 {
+		t.Fatalf("campaign found no crashes in %d execs (corpus %d)", stats.Execs, stats.CorpusSize)
+	}
+	found := false
+	for _, c := range f.Crashes {
+		if len(c.Data) >= 4 && c.Data[0] == 0x42 && strings.Contains(string(c.Data[1:]), "BUG") {
+			found = true
+		}
+	}
+	if !found {
+		t.Logf("crash inputs: %q", f.Crashes)
+	}
+}
+
+func TestCampaignGrowsCorpus(t *testing.T) {
+	target := newDemoTarget(t, false)
+	f := New(target, Options{Seed: 2, MaxLen: 24})
+	stats, err := f.Run(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CorpusSize <= 1 {
+		t.Fatalf("corpus did not grow: %d", stats.CorpusSize)
+	}
+	if stats.Execs != 600+1 {
+		t.Fatalf("execs = %d, want 601", stats.Execs)
+	}
+	if stats.TotalCycles <= 0 {
+		t.Fatal("no cycles accounted")
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	run := func() (Stats, [][]byte) {
+		target := newDemoTarget(t, false)
+		f := New(target, Options{Seed: 7, MaxLen: 20})
+		stats, err := f.Run(300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats, f.CorpusBytes()
+	}
+	s1, c1 := run()
+	s2, c2 := run()
+	if s1 != s2 {
+		t.Fatalf("stats differ: %+v vs %+v", s1, s2)
+	}
+	if len(c1) != len(c2) {
+		t.Fatalf("corpus sizes differ: %d vs %d", len(c1), len(c2))
+	}
+	for i := range c1 {
+		if string(c1[i]) != string(c2[i]) {
+			t.Fatalf("corpus entry %d differs", i)
+		}
+	}
+}
+
+func TestMutateRespectsMaxLen(t *testing.T) {
+	f := &Fuzzer{rng: prng.NewRNG(3), maxLen: 8}
+	f.Corpus = []Entry{{Data: []byte("abcdefgh")}}
+	for i := 0; i < 2000; i++ {
+		child := f.mutate(f.Corpus[0].Data)
+		if len(child) > 8 {
+			t.Fatalf("child length %d exceeds max 8", len(child))
+		}
+	}
+}
+
+func TestMutateFromEmpty(t *testing.T) {
+	f := &Fuzzer{rng: prng.NewRNG(4), maxLen: 8}
+	f.Corpus = []Entry{{Data: nil}}
+	child := f.mutate(nil)
+	if len(child) == 0 {
+		t.Fatal("mutation of empty input stayed empty")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := prng.NewRNG(42), prng.NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("rng not deterministic")
+		}
+	}
+	if prng.NewRNG(0).Uint64() == 0 {
+		t.Fatal("zero seed not remapped")
+	}
+	r := prng.NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	if prng.NewRNG(1).Intn(0) != 0 {
+		t.Fatal("Intn(0) should be 0")
+	}
+}
+
+func TestPickBiasAndSafety(t *testing.T) {
+	f := &Fuzzer{rng: prng.NewRNG(9)}
+	if f.pick() != nil {
+		t.Fatal("pick on empty corpus should be nil")
+	}
+	f.Corpus = []Entry{{Data: []byte("a")}, {Data: []byte("b")}, {Data: []byte("c")}}
+	counts := map[string]int{}
+	for i := 0; i < 3000; i++ {
+		counts[string(f.pick())]++
+	}
+	if counts["a"]+counts["b"]+counts["c"] != 3000 {
+		t.Fatalf("pick returned unknown entries: %v", counts)
+	}
+	if counts["c"] <= counts["a"] {
+		t.Fatalf("recency bias missing: %v", counts)
+	}
+}

@@ -1,0 +1,86 @@
+package fuzz
+
+// interestingValues are the boundary constants classic fuzzers inject.
+var interestingValues = []int64{0, 1, -1, 16, 32, 64, 100, 127, -128, 255, 256, 512, 1000, 1024, 4096, 32767, -32768}
+
+// mutate derives a child input from a parent via a havoc-style stack of
+// random mutations.
+func (f *Fuzzer) mutate(parent []byte) []byte {
+	child := append([]byte(nil), parent...)
+	steps := 1 + f.rng.Intn(6)
+	for s := 0; s < steps; s++ {
+		if len(child) == 0 {
+			child = append(child, f.rng.Byte())
+			continue
+		}
+		nCases := 8
+		if len(f.dict) > 0 {
+			nCases = 9
+		}
+		switch f.rng.Intn(nCases) {
+		case 0: // bit flip
+			i := f.rng.Intn(len(child))
+			child[i] ^= 1 << uint(f.rng.Intn(8))
+		case 1: // random byte
+			child[f.rng.Intn(len(child))] = f.rng.Byte()
+		case 2: // arithmetic +-
+			i := f.rng.Intn(len(child))
+			child[i] = byte(int(child[i]) + f.rng.Intn(35) - 17)
+		case 3: // interesting value
+			i := f.rng.Intn(len(child))
+			child[i] = byte(interestingValues[f.rng.Intn(len(interestingValues))])
+		case 4: // insert byte
+			if len(child) < f.maxLen {
+				i := f.rng.Intn(len(child) + 1)
+				child = append(child, 0)
+				copy(child[i+1:], child[i:])
+				child[i] = f.rng.Byte()
+			}
+		case 5: // delete byte
+			if len(child) > 1 {
+				i := f.rng.Intn(len(child))
+				child = append(child[:i], child[i+1:]...)
+			}
+		case 6: // duplicate region
+			if len(child) < f.maxLen-4 && len(child) >= 2 {
+				start := f.rng.Intn(len(child) - 1)
+				end := start + 1 + f.rng.Intn(min(4, len(child)-start-1)+1)
+				if end > len(child) {
+					end = len(child)
+				}
+				child = append(child, child[start:end]...)
+			}
+		case 8: // overwrite with a dictionary token
+			tok := f.dict[f.rng.Intn(len(f.dict))]
+			i := f.rng.Intn(len(child))
+			for j := 0; j < len(tok) && i+j < len(child); j++ {
+				child[i+j] = tok[j]
+			}
+			if i+len(tok) > len(child) && len(child)+len(tok) <= f.maxLen {
+				child = append(child[:i], tok...)
+			}
+		case 7: // splice with another corpus entry
+			other := f.pick()
+			if len(other) > 0 && len(child) > 0 {
+				ci := f.rng.Intn(len(child))
+				oi := f.rng.Intn(len(other))
+				spliced := append([]byte(nil), child[:ci]...)
+				spliced = append(spliced, other[oi:]...)
+				if len(spliced) > 0 {
+					child = spliced
+				}
+			}
+		}
+	}
+	if len(child) > f.maxLen {
+		child = child[:f.maxLen]
+	}
+	return child
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

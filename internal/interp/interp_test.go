@@ -1,0 +1,370 @@
+package interp
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"odin/internal/ir"
+	"odin/internal/irtext"
+	"odin/internal/rt"
+)
+
+const isLowerSrc = `
+func @islower(%chr: i8) -> i1 {
+test_lb:
+  %cmp1 = icmp sge i8 %chr, 97
+  condbr %cmp1, test_ub, end
+test_ub:
+  %cmp2 = icmp sle i8 %chr, 122
+  br end
+end:
+  %r = phi i1 [0, test_lb], [%cmp2, test_ub]
+  ret i1 %r
+}
+`
+
+// The optimized form from Figure 2: offset = chr - 'a'; r = (u8)offset < 26.
+const isLowerOptSrc = `
+func @islower(%chr: i8) -> i1 {
+entry:
+  %offset = add i8 %chr, -97
+  %r = icmp ult i8 %offset, 26
+  ret i1 %r
+}
+`
+
+func TestIsLowerBothForms(t *testing.T) {
+	for _, src := range []string{isLowerSrc, isLowerOptSrc} {
+		m := irtext.MustParse("m", src)
+		env := rt.NewEnv()
+		ip, err := New(m, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := 0; c < 256; c++ {
+			signed := ir.TruncToWidth(int64(c), ir.I8)
+			got, err := ip.Run("islower", signed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := int64(0)
+			if c >= 'a' && c <= 'z' {
+				want = 1
+			}
+			if got != want {
+				t.Fatalf("islower(%d) = %d, want %d", c, got, want)
+			}
+		}
+	}
+}
+
+func TestFigure4Program(t *testing.T) {
+	// The paper's Figure 4 program: foo prints hello, main calls foo.
+	src := `
+const @str : [7 x i8] = bytes"\68\65\6c\6c\6f\0a\00"
+declare func @printf(%fmt: ptr) -> i32
+func @foo(%unused: i32) -> void internal {
+entry:
+  %r = call i32 @printf(ptr @str)
+  ret void
+}
+func @main() -> i32 {
+entry:
+  call void @foo(i32 1)
+  ret i32 0
+}
+`
+	m := irtext.MustParse("m", src)
+	ir.MustVerify(m)
+	env := rt.NewEnv()
+	ip, err := New(m, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret, err := ip.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != 0 || env.Out.String() != "hello\n" {
+		t.Fatalf("ret=%d out=%q", ret, env.Out.String())
+	}
+}
+
+func TestLoopSum(t *testing.T) {
+	src := `
+func @sum(%n: i64) -> i64 {
+entry:
+  br head
+head:
+  %i = phi i64 [0, entry], [%i2, body]
+  %acc = phi i64 [0, entry], [%acc2, body]
+  %c = icmp slt i64 %i, %n
+  condbr %c, body, exit
+body:
+  %acc2 = add i64 %acc, %i
+  %i2 = add i64 %i, 1
+  br head
+exit:
+  ret i64 %acc
+}
+`
+	m := irtext.MustParse("m", src)
+	ir.MustVerify(m)
+	ip, err := New(m, rt.NewEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ip.Run("sum", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4950 {
+		t.Fatalf("sum(100) = %d, want 4950", got)
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	src := `
+global @cells : [8 x i64] = zero
+func @main() -> i64 {
+entry:
+  %p = gep @cells, 3, scale 8
+  store i64 42, %p
+  %buf = alloca i8, 16
+  store i8 7, %buf
+  %q = gep %buf, 1, scale 1
+  store i8 9, %q
+  %a = load i64, %p
+  %b = load i8, %buf
+  %c = load i8, %q
+  %b64 = zext i8 %b to i64
+  %c64 = zext i8 %c to i64
+  %s1 = add i64 %a, %b64
+  %s2 = add i64 %s1, %c64
+  ret i64 %s2
+}
+`
+	m := irtext.MustParse("m", src)
+	ir.MustVerify(m)
+	ip, err := New(m, rt.NewEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ip.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 58 {
+		t.Fatalf("main() = %d, want 58", got)
+	}
+}
+
+func TestSwitchDispatch(t *testing.T) {
+	src := `
+func @classify(%x: i64) -> i64 {
+entry:
+  switch i64 %x [1: one, 2: two, 5: five] default other
+one:
+  ret i64 100
+two:
+  ret i64 200
+five:
+  ret i64 500
+other:
+  ret i64 -1
+}
+`
+	m := irtext.MustParse("m", src)
+	ip, err := New(m, rt.NewEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[int64]int64{1: 100, 2: 200, 5: 500, 0: -1, 7: -1}
+	for in, want := range cases {
+		got, err := ip.Run("classify", in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("classify(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestTraps(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"div zero", "func @f() -> i64 {\nentry:\n  %x = sdiv i64 1, 0\n  ret i64 %x\n}", "sdiv by zero"},
+		{"unreachable", "func @f() -> i64 {\nentry:\n  unreachable\n}", "unreachable"},
+		{"null load", "func @f() -> i64 {\nentry:\n  %x = load i64, 0\n  ret i64 %x\n}", "out-of-bounds"},
+		{"abort", "declare func @abort() -> void\nfunc @f() -> i64 {\nentry:\n  call void @abort()\n  ret i64 0\n}", "abort"},
+	}
+	for _, c := range cases {
+		m := irtext.MustParse("m", c.src)
+		ip, err := New(m, rt.NewEnv())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = ip.Run("f")
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestInfiniteLoopHitsStepLimit(t *testing.T) {
+	src := "func @f() -> void {\nentry:\n  br entry\n}"
+	m := irtext.MustParse("m", src)
+	env := rt.NewEnv()
+	env.StepLimit = 10000
+	ip, err := New(m, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ip.Run("f"); err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Fatalf("err = %v, want step limit trap", err)
+	}
+}
+
+func TestRecursionDepthLimit(t *testing.T) {
+	src := "func @f(%n: i64) -> i64 {\nentry:\n  %m = add i64 %n, 1\n  %r = call i64 @f(i64 %m)\n  ret i64 %r\n}"
+	m := irtext.MustParse("m", src)
+	ip, err := New(m, rt.NewEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ip.Run("f", 0); err == nil || !strings.Contains(err.Error(), "call depth") {
+		t.Fatalf("err = %v, want call depth trap", err)
+	}
+}
+
+func TestAliasCall(t *testing.T) {
+	src := `
+func @real() -> i64 {
+entry:
+  ret i64 77
+}
+alias @aka = @real
+func @main() -> i64 {
+entry:
+  %r = call i64 @aka()
+  ret i64 %r
+}
+`
+	m := irtext.MustParse("m", src)
+	ir.MustVerify(m)
+	ip, err := New(m, rt.NewEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ip.Run("main")
+	if err != nil || got != 77 {
+		t.Fatalf("got %d, %v; want 77", got, err)
+	}
+}
+
+func TestEvalBinOpMatchesGo(t *testing.T) {
+	prop := func(a, b int64) bool {
+		for _, op := range []ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor} {
+			got, err := EvalBinOp(op, a, b, ir.I64)
+			if err != nil {
+				return false
+			}
+			var want int64
+			switch op {
+			case ir.OpAdd:
+				want = a + b
+			case ir.OpSub:
+				want = a - b
+			case ir.OpMul:
+				want = a * b
+			case ir.OpAnd:
+				want = a & b
+			case ir.OpOr:
+				want = a | b
+			case ir.OpXor:
+				want = a ^ b
+			}
+			if got != want {
+				return false
+			}
+		}
+		// Division semantics.
+		if b != 0 {
+			got, err := EvalBinOp(ir.OpSDiv, a, b, ir.I64)
+			if err != nil {
+				return false
+			}
+			want := a / b
+			if a == -1<<63 && b == -1 {
+				want = a
+			}
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvalBinOpNarrowWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		a8 := int64(int8(rng.Int63()))
+		b8 := int64(int8(rng.Int63()))
+		got, err := EvalBinOp(ir.OpAdd, a8, b8, ir.I8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(int8(a8 + b8))
+		if got != want {
+			t.Fatalf("i8 add(%d,%d) = %d, want %d", a8, b8, got, want)
+		}
+		gotm, err := EvalBinOp(ir.OpMul, a8, b8, ir.I8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantm := int64(int8(a8 * b8)); gotm != wantm {
+			t.Fatalf("i8 mul(%d,%d) = %d, want %d", a8, b8, gotm, wantm)
+		}
+	}
+}
+
+func TestRunProgramFuzzTarget(t *testing.T) {
+	src := `
+declare func @write_byte(%b: i64) -> void
+func @fuzz_target(%data: ptr, %len: i64) -> i64 {
+entry:
+  %c = icmp sge i64 %len, 1
+  condbr %c, haveone, done
+haveone:
+  %b = load i8, %data
+  %b64 = zext i8 %b to i64
+  call void @write_byte(i64 %b64)
+  ret i64 %b64
+done:
+  ret i64 0
+}
+`
+	m := irtext.MustParse("m", src)
+	ir.MustVerify(m)
+	ret, out, err := RunProgram(m, []byte{65, 66})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != 65 || out != "A" {
+		t.Fatalf("ret=%d out=%q", ret, out)
+	}
+	ret, out, err = RunProgram(m, nil)
+	if err != nil || ret != 0 || out != "" {
+		t.Fatalf("empty input: ret=%d out=%q err=%v", ret, out, err)
+	}
+}

@@ -1,0 +1,194 @@
+package ir
+
+import "fmt"
+
+// Builder provides a convenient, positioned API for constructing IR, in the
+// style of llvm::IRBuilder. Instrumentation patch logic is written against
+// this type.
+type Builder struct {
+	fn  *Func
+	blk *Block
+	// insertAt, when >= 0, is the index new instructions are inserted at
+	// (advancing as instructions are added); -1 means append at the end.
+	insertAt int
+}
+
+// NewBuilder returns a builder with no insertion point.
+func NewBuilder() *Builder { return &Builder{insertAt: -1} }
+
+// NewFunc creates a function with named parameters and registers it in m.
+// paramNames and sig.Params must have equal length.
+func NewFunc(m *Module, name string, sig *FuncType, paramNames []string) *Func {
+	if len(paramNames) != len(sig.Params) {
+		panic(fmt.Sprintf("ir: %d param names for %d params in %q", len(paramNames), len(sig.Params), name))
+	}
+	f := &Func{Name: name, Sig: sig}
+	for i, pn := range paramNames {
+		f.Params = append(f.Params, &Param{Nam: pn, Typ: sig.Params[i], Index: i})
+	}
+	if m != nil {
+		m.AddFunc(f)
+	}
+	return f
+}
+
+// NewDecl creates a function declaration (external symbol, no body).
+// Parameters are synthesized with placeholder names so the declaration
+// prints and re-parses with its full signature.
+func NewDecl(m *Module, name string, sig *FuncType) *Func {
+	f := &Func{Name: name, Sig: sig, Linkage: External}
+	for i, pt := range sig.Params {
+		f.Params = append(f.Params, &Param{Nam: "a" + itoa(i), Typ: pt, Index: i})
+	}
+	if m != nil {
+		m.AddFunc(f)
+	}
+	return f
+}
+
+// SetBlock positions the builder at the end of block b.
+func (bld *Builder) SetBlock(b *Block) {
+	bld.blk = b
+	bld.fn = b.Parent
+	bld.insertAt = -1
+}
+
+// SetInsertBefore positions the builder so new instructions are inserted
+// before the instruction currently at index idx of block b.
+func (bld *Builder) SetInsertBefore(b *Block, idx int) {
+	bld.blk = b
+	bld.fn = b.Parent
+	bld.insertAt = idx
+}
+
+// Block returns the current insertion block.
+func (bld *Builder) Block() *Block { return bld.blk }
+
+// Func returns the function owning the insertion block.
+func (bld *Builder) Func() *Func { return bld.fn }
+
+func (bld *Builder) insert(in *Instr) *Instr {
+	if bld.blk == nil {
+		panic("ir: builder has no insertion block")
+	}
+	if in.HasResult() && in.Name == "" {
+		in.Name = bld.fn.NextName("t")
+	}
+	if bld.insertAt >= 0 {
+		bld.blk.InsertBefore(bld.insertAt, in)
+		bld.insertAt++
+	} else {
+		bld.blk.Append(in)
+	}
+	return in
+}
+
+// Bin emits a binary operation.
+func (bld *Builder) Bin(op Op, a, b Value) *Instr {
+	if !op.IsBinOp() {
+		panic("ir: Bin called with non-binary op " + op.String())
+	}
+	return bld.insert(&Instr{Op: op, Typ: a.Type(), Operands: []Value{a, b}})
+}
+
+// Add, Sub, Mul, And, Or, Xor, Shl emit the corresponding binary operation.
+func (bld *Builder) Add(a, b Value) *Instr { return bld.Bin(OpAdd, a, b) }
+func (bld *Builder) Sub(a, b Value) *Instr { return bld.Bin(OpSub, a, b) }
+func (bld *Builder) Mul(a, b Value) *Instr { return bld.Bin(OpMul, a, b) }
+func (bld *Builder) And(a, b Value) *Instr { return bld.Bin(OpAnd, a, b) }
+func (bld *Builder) Or(a, b Value) *Instr  { return bld.Bin(OpOr, a, b) }
+func (bld *Builder) Xor(a, b Value) *Instr { return bld.Bin(OpXor, a, b) }
+func (bld *Builder) Shl(a, b Value) *Instr { return bld.Bin(OpShl, a, b) }
+
+// ICmp emits an integer comparison.
+func (bld *Builder) ICmp(p Pred, a, b Value) *Instr {
+	return bld.insert(&Instr{Op: OpICmp, Typ: I1, Pred: p, Operands: []Value{a, b}})
+}
+
+// Select emits a conditional select.
+func (bld *Builder) Select(cond, a, b Value) *Instr {
+	return bld.insert(&Instr{Op: OpSelect, Typ: a.Type(), Operands: []Value{cond, a, b}})
+}
+
+// ZExt, SExt, Trunc emit width conversions to type t.
+func (bld *Builder) ZExt(v Value, t ScalarType) *Instr {
+	return bld.insert(&Instr{Op: OpZExt, Typ: t, Operands: []Value{v}})
+}
+func (bld *Builder) SExt(v Value, t ScalarType) *Instr {
+	return bld.insert(&Instr{Op: OpSExt, Typ: t, Operands: []Value{v}})
+}
+func (bld *Builder) Trunc(v Value, t ScalarType) *Instr {
+	return bld.insert(&Instr{Op: OpTrunc, Typ: t, Operands: []Value{v}})
+}
+
+// Alloca emits a stack allocation of count elements of type elem.
+func (bld *Builder) Alloca(elem Type, count int64) *Instr {
+	return bld.insert(&Instr{Op: OpAlloca, Typ: Ptr, ElemType: elem, AllocaCount: count})
+}
+
+// Load emits a typed load from ptr.
+func (bld *Builder) Load(t ScalarType, ptr Value) *Instr {
+	return bld.insert(&Instr{Op: OpLoad, Typ: t, ElemType: t, Operands: []Value{ptr}})
+}
+
+// Store emits a store of val (of scalar type) to ptr.
+func (bld *Builder) Store(val, ptr Value) *Instr {
+	return bld.insert(&Instr{Op: OpStore, Typ: Void, ElemType: val.Type(), Operands: []Value{val, ptr}})
+}
+
+// GEP emits ptr + idx*scale.
+func (bld *Builder) GEP(ptr, idx Value, scale int64) *Instr {
+	return bld.insert(&Instr{Op: OpGEP, Typ: Ptr, Scale: scale, Operands: []Value{ptr, idx}})
+}
+
+// Call emits a direct call to the named symbol with result type ret.
+func (bld *Builder) Call(ret Type, callee string, args ...Value) *Instr {
+	return bld.insert(&Instr{Op: OpCall, Typ: ret, Callee: callee, Operands: args})
+}
+
+// Ret emits a return; v may be nil for void returns.
+func (bld *Builder) Ret(v Value) *Instr {
+	in := &Instr{Op: OpRet, Typ: Void}
+	if v != nil {
+		in.Operands = []Value{v}
+	}
+	return bld.insert(in)
+}
+
+// Br emits an unconditional branch.
+func (bld *Builder) Br(dst *Block) *Instr {
+	return bld.insert(&Instr{Op: OpBr, Typ: Void, Targets: []*Block{dst}})
+}
+
+// CondBr emits a conditional branch.
+func (bld *Builder) CondBr(cond Value, t, f *Block) *Instr {
+	return bld.insert(&Instr{Op: OpCondBr, Typ: Void, Operands: []Value{cond}, Targets: []*Block{t, f}})
+}
+
+// Switch emits a switch terminator; cases[i] branches to targets[i], and the
+// final element of targets is the default destination.
+func (bld *Builder) Switch(v Value, cases []int64, targets []*Block) *Instr {
+	if len(targets) != len(cases)+1 {
+		panic("ir: switch needs len(cases)+1 targets")
+	}
+	return bld.insert(&Instr{Op: OpSwitch, Typ: Void, Operands: []Value{v}, Cases: cases, Targets: targets})
+}
+
+// CounterInc emits the coverage-counter intrinsic: byte idx of the counter
+// array behind ptr is incremented (wrapping, 8-bit).
+func (bld *Builder) CounterInc(counters Value, idx int64) *Instr {
+	return bld.insert(&Instr{Op: OpCounterInc, Typ: Void, Scale: idx, Operands: []Value{counters}})
+}
+
+// Unreachable emits an unreachable terminator.
+func (bld *Builder) Unreachable() *Instr {
+	return bld.insert(&Instr{Op: OpUnreachable, Typ: Void})
+}
+
+// Phi emits a phi node with the given incoming (value, block) pairs.
+func (bld *Builder) Phi(t Type, vals []Value, blocks []*Block) *Instr {
+	if len(vals) != len(blocks) {
+		panic("ir: phi values/blocks mismatch")
+	}
+	return bld.insert(&Instr{Op: OpPhi, Typ: t, Operands: vals, Incoming: blocks})
+}

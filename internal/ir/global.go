@@ -1,0 +1,229 @@
+package ir
+
+// Linkage controls the visibility of a global symbol across translation
+// units, mirroring the distinction Odin's partitioner manipulates
+// (§3.2 step 4, "Internalize Symbols").
+type Linkage int
+
+// Linkage kinds.
+const (
+	// External symbols are visible to and referencable from other
+	// object files.
+	External Linkage = iota
+	// Internal symbols are local to their translation unit.
+	Internal
+)
+
+func (l Linkage) String() string {
+	if l == Internal {
+		return "internal"
+	}
+	return "external"
+}
+
+// Global is a named module-level symbol: a function, a global variable, or
+// an alias. The value of a Global used as an operand is its address.
+type Global interface {
+	Value
+	// GlobalName returns the symbol name (without the '@' sigil).
+	GlobalName() string
+	// GetLinkage returns the symbol's linkage.
+	GetLinkage() Linkage
+	// SetLinkage updates the symbol's linkage.
+	SetLinkage(Linkage)
+	// IsDecl reports whether this is a declaration (no definition here).
+	IsDecl() bool
+}
+
+// Func is a function definition or declaration.
+type Func struct {
+	Name    string
+	Sig     *FuncType
+	Params  []*Param
+	Blocks  []*Block
+	Linkage Linkage
+
+	// NoInline marks functions the inliner must skip.
+	NoInline bool
+	// Comdat, when non-empty, names a COMDAT-like group: all symbols in
+	// the same group must be compiled into the same fragment (an innate
+	// partition constraint, §2.3).
+	Comdat string
+
+	nameCounter int
+}
+
+// GlobalName implements Global.
+func (f *Func) GlobalName() string { return f.Name }
+
+// GetLinkage implements Global.
+func (f *Func) GetLinkage() Linkage { return f.Linkage }
+
+// SetLinkage implements Global.
+func (f *Func) SetLinkage(l Linkage) { f.Linkage = l }
+
+// IsDecl implements Global: a function with no blocks is a declaration.
+func (f *Func) IsDecl() bool { return len(f.Blocks) == 0 }
+
+// Type implements Value; a function used as an operand is a pointer.
+func (f *Func) Type() Type { return Ptr }
+
+// Ref implements Value.
+func (f *Func) Ref() string { return "@" + f.Name }
+
+// Entry returns the entry block.
+func (f *Func) Entry() *Block { return f.Blocks[0] }
+
+// NextName produces a fresh unique local value name with the given prefix.
+func (f *Func) NextName(prefix string) string {
+	f.nameCounter++
+	return prefix + itoa(f.nameCounter)
+}
+
+// AddBlock appends a new empty block with a unique label.
+func (f *Func) AddBlock(label string) *Block {
+	b := &Block{Name: f.uniqueLabel(label), Parent: f}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// UniqueLabel returns label, suffixed if needed so it collides with no
+// existing block label in f. It does not create a block.
+func (f *Func) UniqueLabel(label string) string { return f.uniqueLabel(label) }
+
+func (f *Func) uniqueLabel(label string) string {
+	used := make(map[string]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		used[b.Name] = true
+	}
+	if !used[label] {
+		return label
+	}
+	for i := 1; ; i++ {
+		cand := label + "." + itoa(i)
+		if !used[cand] {
+			return cand
+		}
+	}
+}
+
+// BlockIndex returns the position of b in f.Blocks, or -1.
+func (f *Func) BlockIndex(b *Block) int {
+	for i, bb := range f.Blocks {
+		if bb == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// RemoveBlock deletes block b from the function.
+func (f *Func) RemoveBlock(b *Block) {
+	for i, bb := range f.Blocks {
+		if bb == b {
+			f.Blocks = append(f.Blocks[:i], f.Blocks[i+1:]...)
+			return
+		}
+	}
+}
+
+// Preds returns a map from block to its predecessors, in deterministic
+// (function block order) sequence.
+func (f *Func) Preds() map[*Block][]*Block {
+	preds := make(map[*Block][]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	return preds
+}
+
+// NumInstrs returns the total instruction count of the function body.
+func (f *Func) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// GlobalVar is a module-level variable or constant with optional initializer.
+type GlobalVar struct {
+	Name    string
+	Elem    Type // pointee type
+	Init    []byte
+	Linkage Linkage
+	Const   bool // constant data (clonable by the partitioner)
+	Decl    bool // declaration only
+}
+
+// GlobalName implements Global.
+func (g *GlobalVar) GlobalName() string { return g.Name }
+
+// GetLinkage implements Global.
+func (g *GlobalVar) GetLinkage() Linkage { return g.Linkage }
+
+// SetLinkage implements Global.
+func (g *GlobalVar) SetLinkage(l Linkage) { g.Linkage = l }
+
+// IsDecl implements Global.
+func (g *GlobalVar) IsDecl() bool { return g.Decl }
+
+// Type implements Value; a global used as an operand is its address.
+func (g *GlobalVar) Type() Type { return Ptr }
+
+// Ref implements Value.
+func (g *GlobalVar) Ref() string { return "@" + g.Name }
+
+// Size returns the storage size of the variable.
+func (g *GlobalVar) Size() int64 { return g.Elem.Size() }
+
+// Alias creates a second name for an existing symbol. Because relocations
+// cannot be applied to symbols, the aliasee must be *defined* in the same
+// translation unit — the canonical innate partition constraint from §2.3.
+type Alias struct {
+	Name    string
+	Target  string // aliasee symbol name
+	Linkage Linkage
+}
+
+// GlobalName implements Global.
+func (a *Alias) GlobalName() string { return a.Name }
+
+// GetLinkage implements Global.
+func (a *Alias) GetLinkage() Linkage { return a.Linkage }
+
+// SetLinkage implements Global.
+func (a *Alias) SetLinkage(l Linkage) { a.Linkage = l }
+
+// IsDecl implements Global; aliases are always definitions.
+func (a *Alias) IsDecl() bool { return false }
+
+// Type implements Value.
+func (a *Alias) Type() Type { return Ptr }
+
+// Ref implements Value.
+func (a *Alias) Ref() string { return "@" + a.Name }
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	if neg {
+		pos--
+		buf[pos] = '-'
+	}
+	return string(buf[pos:])
+}

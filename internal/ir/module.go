@@ -1,0 +1,181 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Module is a translation unit: an ordered collection of global symbols.
+// It is the unit LLVM lowers to an object file, and therefore the unit a
+// fragment is materialized as before recompilation.
+type Module struct {
+	Name    string
+	Funcs   []*Func
+	Globals []*GlobalVar
+	Aliases []*Alias
+
+	symbols map[string]Global
+}
+
+// NewModule creates an empty module.
+func NewModule(name string) *Module {
+	return &Module{Name: name, symbols: make(map[string]Global)}
+}
+
+// AddFunc registers a function in the module. It panics on duplicate names,
+// which always indicates a bug in a transformation.
+func (m *Module) AddFunc(f *Func) *Func {
+	m.register(f)
+	m.Funcs = append(m.Funcs, f)
+	return f
+}
+
+// AddGlobal registers a global variable in the module.
+func (m *Module) AddGlobal(g *GlobalVar) *GlobalVar {
+	m.register(g)
+	m.Globals = append(m.Globals, g)
+	return g
+}
+
+// AddAlias registers an alias in the module.
+func (m *Module) AddAlias(a *Alias) *Alias {
+	m.register(a)
+	m.Aliases = append(m.Aliases, a)
+	return a
+}
+
+func (m *Module) register(g Global) {
+	if m.symbols == nil {
+		m.symbols = make(map[string]Global)
+	}
+	name := g.GlobalName()
+	if _, dup := m.symbols[name]; dup {
+		panic(fmt.Sprintf("ir: duplicate symbol %q in module %q", name, m.Name))
+	}
+	m.symbols[name] = g
+}
+
+// Lookup returns the symbol with the given name, or nil.
+func (m *Module) Lookup(name string) Global {
+	return m.symbols[name]
+}
+
+// LookupFunc returns the function with the given name, or nil.
+func (m *Module) LookupFunc(name string) *Func {
+	f, _ := m.symbols[name].(*Func)
+	return f
+}
+
+// LookupGlobal returns the global variable with the given name, or nil.
+func (m *Module) LookupGlobal(name string) *GlobalVar {
+	g, _ := m.symbols[name].(*GlobalVar)
+	return g
+}
+
+// RemoveSymbol deletes the named symbol from the module. It is a no-op if
+// the symbol does not exist.
+func (m *Module) RemoveSymbol(name string) {
+	g, ok := m.symbols[name]
+	if !ok {
+		return
+	}
+	delete(m.symbols, name)
+	switch g.(type) {
+	case *Func:
+		for i, f := range m.Funcs {
+			if f.Name == name {
+				m.Funcs = append(m.Funcs[:i], m.Funcs[i+1:]...)
+				break
+			}
+		}
+	case *GlobalVar:
+		for i, gv := range m.Globals {
+			if gv.Name == name {
+				m.Globals = append(m.Globals[:i], m.Globals[i+1:]...)
+				break
+			}
+		}
+	case *Alias:
+		for i, a := range m.Aliases {
+			if a.Name == name {
+				m.Aliases = append(m.Aliases[:i], m.Aliases[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// SymbolNames returns all symbol names in sorted order.
+func (m *Module) SymbolNames() []string {
+	names := make([]string, 0, len(m.symbols))
+	for n := range m.symbols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DefinedSymbols returns the names of all symbols defined (not merely
+// declared) in the module, in declaration order: functions, globals, aliases.
+func (m *Module) DefinedSymbols() []string {
+	var out []string
+	for _, f := range m.Funcs {
+		if !f.IsDecl() {
+			out = append(out, f.Name)
+		}
+	}
+	for _, g := range m.Globals {
+		if !g.IsDecl() {
+			out = append(out, g.Name)
+		}
+	}
+	for _, a := range m.Aliases {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+// References returns the set of symbol names referenced by the body or
+// initializer of the named symbol (not including itself). For aliases it is
+// the aliasee. Order is deterministic (first-use order).
+func (m *Module) References(name string) []string {
+	g := m.Lookup(name)
+	if g == nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	var out []string
+	add := func(n string) {
+		if n != name && !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	switch s := g.(type) {
+	case *Alias:
+		add(s.Target)
+	case *Func:
+		for _, b := range s.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == OpCall && in.Callee != "" {
+					add(in.Callee)
+				}
+				for _, op := range in.Operands {
+					if gv, ok := op.(Global); ok {
+						add(gv.GlobalName())
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// NumInstrs returns the total instruction count across all functions.
+func (m *Module) NumInstrs() int {
+	n := 0
+	for _, f := range m.Funcs {
+		n += f.NumInstrs()
+	}
+	return n
+}

@@ -1,0 +1,173 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the module in the textual IR format accepted by
+// package irtext. The format is stable and round-trips.
+func Print(m *Module) string {
+	var sb strings.Builder
+	for _, g := range m.Globals {
+		printGlobal(&sb, g)
+	}
+	for _, a := range m.Aliases {
+		link := ""
+		if a.Linkage == Internal {
+			link = " internal"
+		}
+		fmt.Fprintf(&sb, "alias @%s = @%s%s\n", a.Name, a.Target, link)
+	}
+	for _, f := range m.Funcs {
+		printFunc(&sb, f)
+	}
+	return sb.String()
+}
+
+func printGlobal(sb *strings.Builder, g *GlobalVar) {
+	kw := "global"
+	if g.Const {
+		kw = "const"
+	}
+	if g.Decl {
+		fmt.Fprintf(sb, "declare %s @%s : %s\n", kw, g.Name, g.Elem)
+		return
+	}
+	link := ""
+	if g.Linkage == Internal {
+		link = " internal"
+	}
+	fmt.Fprintf(sb, "%s @%s : %s%s = %s\n", kw, g.Name, g.Elem, link, formatInit(g.Init))
+}
+
+func formatInit(init []byte) string {
+	if len(init) == 0 {
+		return "zero"
+	}
+	var sb strings.Builder
+	sb.WriteString("bytes\"")
+	for _, b := range init {
+		fmt.Fprintf(&sb, "\\%02x", b)
+	}
+	sb.WriteString("\"")
+	return sb.String()
+}
+
+func printFunc(sb *strings.Builder, f *Func) {
+	if f.IsDecl() {
+		fmt.Fprintf(sb, "declare func @%s%s\n", f.Name, sigString(f))
+		return
+	}
+	var attrs []string
+	if f.Linkage == Internal {
+		attrs = append(attrs, "internal")
+	}
+	if f.NoInline {
+		attrs = append(attrs, "noinline")
+	}
+	if f.Comdat != "" {
+		attrs = append(attrs, "comdat("+f.Comdat+")")
+	}
+	attrStr := ""
+	if len(attrs) > 0 {
+		attrStr = " " + strings.Join(attrs, " ")
+	}
+	fmt.Fprintf(sb, "func @%s%s%s {\n", f.Name, sigString(f), attrStr)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(sb, "%s:\n", b.Name)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(sb, "  %s\n", FormatInstr(in))
+		}
+	}
+	sb.WriteString("}\n")
+}
+
+func sigString(f *Func) string {
+	var sb strings.Builder
+	sb.WriteString("(")
+	for i, p := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%%%s: %s", p.Nam, p.Typ)
+	}
+	fmt.Fprintf(&sb, ") -> %s", f.Sig.Ret)
+	return sb.String()
+}
+
+func operandRef(v Value) string {
+	if v == nil {
+		return "<nil>"
+	}
+	return v.Ref()
+}
+
+// FormatInstr renders one instruction in textual form.
+func FormatInstr(in *Instr) string {
+	var sb strings.Builder
+	if in.HasResult() {
+		fmt.Fprintf(&sb, "%%%s = ", in.Name)
+	}
+	switch {
+	case in.Op.IsBinOp():
+		fmt.Fprintf(&sb, "%s %s %s, %s", in.Op, in.Typ, operandRef(in.Operands[0]), operandRef(in.Operands[1]))
+	case in.Op == OpICmp:
+		fmt.Fprintf(&sb, "icmp %s %s %s, %s", in.Pred, in.Operands[0].Type(), operandRef(in.Operands[0]), operandRef(in.Operands[1]))
+	case in.Op == OpSelect:
+		fmt.Fprintf(&sb, "select %s %s, %s, %s", in.Typ, operandRef(in.Operands[0]), operandRef(in.Operands[1]), operandRef(in.Operands[2]))
+	case in.Op.IsConversion():
+		fmt.Fprintf(&sb, "%s %s %s to %s", in.Op, in.Operands[0].Type(), operandRef(in.Operands[0]), in.Typ)
+	case in.Op == OpAlloca:
+		fmt.Fprintf(&sb, "alloca %s, %d", in.ElemType, in.AllocaCount)
+	case in.Op == OpLoad:
+		fmt.Fprintf(&sb, "load %s, %s", in.Typ, operandRef(in.Operands[0]))
+	case in.Op == OpStore:
+		fmt.Fprintf(&sb, "store %s %s, %s", in.Operands[0].Type(), operandRef(in.Operands[0]), operandRef(in.Operands[1]))
+	case in.Op == OpGEP:
+		fmt.Fprintf(&sb, "gep %s, %s, scale %d", operandRef(in.Operands[0]), operandRef(in.Operands[1]), in.Scale)
+	case in.Op == OpCall:
+		fmt.Fprintf(&sb, "call %s @%s(", in.Type(), in.Callee)
+		for i, a := range in.Operands {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "%s %s", a.Type(), operandRef(a))
+		}
+		sb.WriteString(")")
+	case in.Op == OpRet:
+		if len(in.Operands) == 0 {
+			sb.WriteString("ret void")
+		} else {
+			fmt.Fprintf(&sb, "ret %s %s", in.Operands[0].Type(), operandRef(in.Operands[0]))
+		}
+	case in.Op == OpBr:
+		fmt.Fprintf(&sb, "br %s", in.Targets[0].Name)
+	case in.Op == OpCondBr:
+		fmt.Fprintf(&sb, "condbr %s, %s, %s", operandRef(in.Operands[0]), in.Targets[0].Name, in.Targets[1].Name)
+	case in.Op == OpSwitch:
+		fmt.Fprintf(&sb, "switch %s %s [", in.Operands[0].Type(), operandRef(in.Operands[0]))
+		for i, c := range in.Cases {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "%d: %s", c, in.Targets[i].Name)
+		}
+		fmt.Fprintf(&sb, "] default %s", in.Targets[len(in.Cases)].Name)
+	case in.Op == OpUnreachable:
+		sb.WriteString("unreachable")
+	case in.Op == OpCounterInc:
+		fmt.Fprintf(&sb, "covinc %s, %d", operandRef(in.Operands[0]), in.Scale)
+	case in.Op == OpPhi:
+		fmt.Fprintf(&sb, "phi %s ", in.Typ)
+		for i := range in.Operands {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "[%s, %s]", operandRef(in.Operands[i]), in.Incoming[i].Name)
+		}
+	default:
+		fmt.Fprintf(&sb, "<bad op %d>", int(in.Op))
+	}
+	return sb.String()
+}

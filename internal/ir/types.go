@@ -1,0 +1,193 @@
+// Package ir defines the intermediate representation used throughout the
+// Odin reproduction: a typed, SSA-based IR with modules, global values
+// (functions, variables, aliases), basic blocks, and instructions.
+//
+// The IR mirrors the structural features of LLVM IR that Odin's algorithms
+// depend on: symbol linkage, cross-symbol references, aliases, and function
+// bodies made of basic blocks in SSA form with phi nodes.
+package ir
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Type is the interface implemented by all IR types.
+type Type interface {
+	// String returns the textual spelling of the type.
+	String() string
+	// Size returns the size of a value of this type in bytes.
+	Size() int64
+	// Equal reports whether t and u denote the same type.
+	Equal(u Type) bool
+}
+
+// ScalarType is a primitive value type.
+type ScalarType int
+
+// Scalar type kinds.
+const (
+	Void ScalarType = iota // no value
+	I1                     // boolean
+	I8                     // 8-bit integer
+	I16                    // 16-bit integer
+	I32                    // 32-bit integer
+	I64                    // 64-bit integer
+	Ptr                    // pointer (64-bit address)
+)
+
+func (t ScalarType) String() string {
+	switch t {
+	case Void:
+		return "void"
+	case I1:
+		return "i1"
+	case I8:
+		return "i8"
+	case I16:
+		return "i16"
+	case I32:
+		return "i32"
+	case I64:
+		return "i64"
+	case Ptr:
+		return "ptr"
+	}
+	return "badtype" + strconv.Itoa(int(t))
+}
+
+// Size returns the storage size in bytes. I1 occupies one byte in memory.
+func (t ScalarType) Size() int64 {
+	switch t {
+	case Void:
+		return 0
+	case I1, I8:
+		return 1
+	case I16:
+		return 2
+	case I32:
+		return 4
+	case I64, Ptr:
+		return 8
+	}
+	return 0
+}
+
+// Bits returns the logical bit width of an integer type (Ptr counts as 64).
+func (t ScalarType) Bits() int {
+	switch t {
+	case I1:
+		return 1
+	case I8:
+		return 8
+	case I16:
+		return 16
+	case I32:
+		return 32
+	case I64, Ptr:
+		return 64
+	}
+	return 0
+}
+
+// Equal implements Type.
+func (t ScalarType) Equal(u Type) bool {
+	s, ok := u.(ScalarType)
+	return ok && s == t
+}
+
+// IsInteger reports whether t is one of the integer types (including I1).
+func (t ScalarType) IsInteger() bool {
+	switch t {
+	case I1, I8, I16, I32, I64:
+		return true
+	}
+	return false
+}
+
+// ArrayType is a fixed-length homogeneous array, used for global data.
+type ArrayType struct {
+	Elem Type
+	Len  int64
+}
+
+func (t *ArrayType) String() string {
+	return fmt.Sprintf("[%d x %s]", t.Len, t.Elem)
+}
+
+// Size implements Type.
+func (t *ArrayType) Size() int64 { return t.Len * t.Elem.Size() }
+
+// Equal implements Type.
+func (t *ArrayType) Equal(u Type) bool {
+	a, ok := u.(*ArrayType)
+	return ok && a.Len == t.Len && a.Elem.Equal(t.Elem)
+}
+
+// FuncType describes a function signature.
+type FuncType struct {
+	Params []Type
+	Ret    Type
+}
+
+func (t *FuncType) String() string {
+	s := "("
+	for i, p := range t.Params {
+		if i > 0 {
+			s += ", "
+		}
+		s += p.String()
+	}
+	return s + ") -> " + t.Ret.String()
+}
+
+// Size implements Type; function types have no storage size.
+func (t *FuncType) Size() int64 { return 0 }
+
+// Equal implements Type.
+func (t *FuncType) Equal(u Type) bool {
+	f, ok := u.(*FuncType)
+	if !ok || len(f.Params) != len(t.Params) || !f.Ret.Equal(t.Ret) {
+		return false
+	}
+	for i := range t.Params {
+		if !f.Params[i].Equal(t.Params[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TruncToWidth truncates v to the bit width of t, preserving two's
+// complement signedness (the result is sign-extended back to int64 so that
+// arithmetic in the interpreter behaves like hardware of that width).
+func TruncToWidth(v int64, t ScalarType) int64 {
+	switch t {
+	case I1:
+		return v & 1
+	case I8:
+		return int64(int8(v))
+	case I16:
+		return int64(int16(v))
+	case I32:
+		return int64(int32(v))
+	default:
+		return v
+	}
+}
+
+// ZeroExtend interprets v as an unsigned value of type t widened to 64 bits.
+func ZeroExtend(v int64, t ScalarType) uint64 {
+	switch t {
+	case I1:
+		return uint64(v) & 1
+	case I8:
+		return uint64(uint8(v))
+	case I16:
+		return uint64(uint16(v))
+	case I32:
+		return uint64(uint32(v))
+	default:
+		return uint64(v)
+	}
+}

@@ -1,0 +1,65 @@
+package ir
+
+import "fmt"
+
+// Value is anything that can appear as an instruction operand: constants,
+// function parameters, instruction results, and global symbols (whose value
+// is their address).
+type Value interface {
+	// Type returns the type of the value.
+	Type() Type
+	// Ref returns the operand spelling used by the printer, e.g. "%x",
+	// "@main", or "42".
+	Ref() string
+}
+
+// ConstInt is an integer constant of a specific scalar type.
+type ConstInt struct {
+	Val int64
+	Typ ScalarType
+}
+
+// Const returns a constant of the given integer type, truncated to its width.
+func Const(t ScalarType, v int64) *ConstInt {
+	return &ConstInt{Val: TruncToWidth(v, t), Typ: t}
+}
+
+// True and False are canonical i1 constants, freshly allocated per call so
+// callers may never mutate shared state.
+func True() *ConstInt  { return Const(I1, 1) }
+func False() *ConstInt { return Const(I1, 0) }
+
+// Type implements Value.
+func (c *ConstInt) Type() Type { return c.Typ }
+
+// Ref implements Value.
+func (c *ConstInt) Ref() string { return fmt.Sprintf("%d", c.Val) }
+
+// Param is a formal function parameter.
+type Param struct {
+	Nam string
+	Typ Type
+	// Index is the position in the parameter list; maintained by Func.
+	Index int
+}
+
+// Type implements Value.
+func (p *Param) Type() Type { return p.Typ }
+
+// Ref implements Value.
+func (p *Param) Ref() string { return "%" + p.Nam }
+
+// IsConstValue reports whether v is a compile-time integer constant and
+// returns it if so.
+func IsConstValue(v Value) (int64, bool) {
+	if c, ok := v.(*ConstInt); ok {
+		return c.Val, true
+	}
+	return 0, false
+}
+
+// IsConstEq reports whether v is the integer constant k.
+func IsConstEq(v Value, k int64) bool {
+	c, ok := IsConstValue(v)
+	return ok && c == k
+}

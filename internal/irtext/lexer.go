@@ -1,0 +1,140 @@
+// Package irtext parses the textual IR format emitted by ir.Print. The
+// format round-trips: Parse(ir.Print(m)) produces a module that prints
+// identically. It plays the role of the compiler frontend in the Figure 3
+// pipeline-breakdown experiment.
+package irtext
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF    tokKind = iota
+	tokIdent          // bare word: func, add, i64, label names
+	tokGlobal         // @name
+	tokLocal          // %name
+	tokInt            // integer literal
+	tokString         // bytes"..." payload (decoded)
+	tokPunct          // single punctuation: ( ) { } [ ] , : = -> "
+)
+
+type token struct {
+	kind tokKind
+	text string // for punct, the punctuation itself; "->"" is one token
+	val  int64
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (lx *lexer) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("irtext: line %d: %s", lx.line, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == ';': // comment to end of line
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, line: lx.line}, nil
+
+scan:
+	c := lx.src[lx.pos]
+	switch {
+	case c == '@' || c == '%':
+		start := lx.pos + 1
+		p := start
+		for p < len(lx.src) && isIdentChar(lx.src[p]) {
+			p++
+		}
+		if p == start {
+			return token{}, lx.errf("empty name after %q", string(c))
+		}
+		lx.pos = p
+		if c == '@' {
+			return token{kind: tokGlobal, text: lx.src[start:p], line: lx.line}, nil
+		}
+		return token{kind: tokLocal, text: lx.src[start:p], line: lx.line}, nil
+	case c == '-' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '>':
+		lx.pos += 2
+		return token{kind: tokPunct, text: "->", line: lx.line}, nil
+	case c == '-' || unicode.IsDigit(rune(c)):
+		start := lx.pos
+		p := lx.pos + 1
+		for p < len(lx.src) && unicode.IsDigit(rune(lx.src[p])) {
+			p++
+		}
+		var v int64
+		if _, err := fmt.Sscanf(lx.src[start:p], "%d", &v); err != nil {
+			return token{}, lx.errf("bad integer %q", lx.src[start:p])
+		}
+		lx.pos = p
+		return token{kind: tokInt, val: v, line: lx.line}, nil
+	case strings.ContainsRune("(){}[],:=", rune(c)):
+		lx.pos++
+		return token{kind: tokPunct, text: string(c), line: lx.line}, nil
+	case isIdentStart(c):
+		start := lx.pos
+		p := lx.pos
+		for p < len(lx.src) && isIdentChar(lx.src[p]) {
+			p++
+		}
+		word := lx.src[start:p]
+		lx.pos = p
+		// bytes"..." literal: hex-escaped payload.
+		if word == "bytes" && lx.pos < len(lx.src) && lx.src[lx.pos] == '"' {
+			lx.pos++
+			var out []byte
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '"' {
+				if lx.src[lx.pos] != '\\' || lx.pos+2 >= len(lx.src) {
+					return token{}, lx.errf("bad bytes literal")
+				}
+				var b byte
+				if _, err := fmt.Sscanf(lx.src[lx.pos+1:lx.pos+3], "%02x", &b); err != nil {
+					return token{}, lx.errf("bad hex escape in bytes literal")
+				}
+				out = append(out, b)
+				lx.pos += 3
+			}
+			if lx.pos >= len(lx.src) {
+				return token{}, lx.errf("unterminated bytes literal")
+			}
+			lx.pos++ // closing quote
+			return token{kind: tokString, text: string(out), line: lx.line}, nil
+		}
+		return token{kind: tokIdent, text: word, line: lx.line}, nil
+	default:
+		return token{}, lx.errf("unexpected character %q", string(c))
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || c == '.' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

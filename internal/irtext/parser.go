@@ -1,0 +1,889 @@
+package irtext
+
+import (
+	"fmt"
+
+	"odin/internal/ir"
+)
+
+// Parse builds a module from its textual representation.
+func Parse(name, src string) (*ir.Module, error) {
+	p := &parser{lx: newLexer(src), m: ir.NewModule(name)}
+	if err := p.run(); err != nil {
+		return nil, err
+	}
+	return p.m, nil
+}
+
+// MustParse is Parse that panics on error; intended for tests and fixtures.
+func MustParse(name, src string) *ir.Module {
+	m, err := Parse(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+type globalFixup struct {
+	instr *ir.Instr
+	idx   int
+	name  string
+	line  int
+}
+
+type parser struct {
+	lx     *lexer
+	m      *ir.Module
+	tok    token
+	peeked *token
+	gfix   []globalFixup
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("irtext: line %d: %s", p.tok.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) advance() error {
+	if p.peeked != nil {
+		p.tok = *p.peeked
+		p.peeked = nil
+		return nil
+	}
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) peek() (token, error) {
+	if p.peeked == nil {
+		t, err := p.lx.next()
+		if err != nil {
+			return token{}, err
+		}
+		p.peeked = &t
+	}
+	return *p.peeked, nil
+}
+
+func (p *parser) expectPunct(s string) error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if p.tok.kind != tokPunct || p.tok.text != s {
+		return p.errf("expected %q, got %q", s, p.tok.text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if err := p.advance(); err != nil {
+		return "", err
+	}
+	if p.tok.kind != tokIdent {
+		return "", p.errf("expected identifier, got %q", p.tok.text)
+	}
+	return p.tok.text, nil
+}
+
+func (p *parser) expectGlobal() (string, error) {
+	if err := p.advance(); err != nil {
+		return "", err
+	}
+	if p.tok.kind != tokGlobal {
+		return "", p.errf("expected @name, got %q", p.tok.text)
+	}
+	return p.tok.text, nil
+}
+
+func (p *parser) run() error {
+	for {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if p.tok.kind == tokEOF {
+			break
+		}
+		if p.tok.kind != tokIdent {
+			return p.errf("expected top-level keyword, got %q", p.tok.text)
+		}
+		var err error
+		switch p.tok.text {
+		case "global", "const":
+			err = p.parseGlobalVar(p.tok.text == "const", false)
+		case "declare":
+			err = p.parseDeclare()
+		case "alias":
+			err = p.parseAlias()
+		case "func":
+			err = p.parseFunc()
+		default:
+			err = p.errf("unknown top-level keyword %q", p.tok.text)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	// Resolve module-level operand fixups (globals referenced before or
+	// after their declaration point).
+	for _, fx := range p.gfix {
+		g := p.m.Lookup(fx.name)
+		if g == nil {
+			return fmt.Errorf("irtext: line %d: undefined symbol @%s", fx.line, fx.name)
+		}
+		fx.instr.Operands[fx.idx] = g
+	}
+	return nil
+}
+
+func (p *parser) parseType() (ir.Type, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokPunct && p.tok.text == "[" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokInt {
+			return nil, p.errf("expected array length")
+		}
+		n := p.tok.val
+		if x, err := p.expectIdent(); err != nil || x != "x" {
+			return nil, p.errf("expected 'x' in array type")
+		}
+		elem, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		return &ir.ArrayType{Elem: elem, Len: n}, nil
+	}
+	if p.tok.kind != tokIdent {
+		return nil, p.errf("expected type, got %q", p.tok.text)
+	}
+	return scalarByName(p.tok.text, p)
+}
+
+func scalarByName(s string, p *parser) (ir.ScalarType, error) {
+	switch s {
+	case "void":
+		return ir.Void, nil
+	case "i1":
+		return ir.I1, nil
+	case "i8":
+		return ir.I8, nil
+	case "i16":
+		return ir.I16, nil
+	case "i32":
+		return ir.I32, nil
+	case "i64":
+		return ir.I64, nil
+	case "ptr":
+		return ir.Ptr, nil
+	}
+	return ir.Void, p.errf("unknown type %q", s)
+}
+
+func (p *parser) parseGlobalVar(isConst, isDecl bool) error {
+	name, err := p.expectGlobal()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct(":"); err != nil {
+		return err
+	}
+	typ, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	g := &ir.GlobalVar{Name: name, Elem: typ, Const: isConst, Decl: isDecl}
+	if isDecl {
+		p.m.AddGlobal(g)
+		return nil
+	}
+	// Optional "internal" before "=".
+	nt, err := p.peek()
+	if err != nil {
+		return err
+	}
+	if nt.kind == tokIdent && nt.text == "internal" {
+		g.Linkage = ir.Internal
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	if err := p.expectPunct("="); err != nil {
+		return err
+	}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	switch {
+	case p.tok.kind == tokIdent && p.tok.text == "zero":
+		g.Init = nil
+	case p.tok.kind == tokString:
+		g.Init = []byte(p.tok.text)
+	default:
+		return p.errf("expected initializer, got %q", p.tok.text)
+	}
+	p.m.AddGlobal(g)
+	return nil
+}
+
+func (p *parser) parseDeclare() error {
+	kw, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	switch kw {
+	case "global", "const":
+		return p.parseGlobalVar(kw == "const", true)
+	case "func":
+		name, err := p.expectGlobal()
+		if err != nil {
+			return err
+		}
+		sig, paramNames, err := p.parseSig()
+		if err != nil {
+			return err
+		}
+		// A declaration keeps its source parameter names (a function
+		// with no blocks is a declaration).
+		ir.NewFunc(p.m, name, sig, paramNames)
+		return nil
+	}
+	return p.errf("unknown declare kind %q", kw)
+}
+
+func (p *parser) parseAlias() error {
+	name, err := p.expectGlobal()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return err
+	}
+	target, err := p.expectGlobal()
+	if err != nil {
+		return err
+	}
+	a := &ir.Alias{Name: name, Target: target}
+	nt, err := p.peek()
+	if err != nil {
+		return err
+	}
+	if nt.kind == tokIdent && nt.text == "internal" {
+		a.Linkage = ir.Internal
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	p.m.AddAlias(a)
+	return nil
+}
+
+func (p *parser) parseSig() (*ir.FuncType, []string, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, nil, err
+	}
+	sig := &ir.FuncType{}
+	var names []string
+	for {
+		nt, err := p.peek()
+		if err != nil {
+			return nil, nil, err
+		}
+		if nt.kind == tokPunct && nt.text == ")" {
+			if err := p.advance(); err != nil {
+				return nil, nil, err
+			}
+			break
+		}
+		if len(names) > 0 {
+			if err := p.expectPunct(","); err != nil {
+				return nil, nil, err
+			}
+		}
+		if err := p.advance(); err != nil {
+			return nil, nil, err
+		}
+		if p.tok.kind != tokLocal {
+			return nil, nil, p.errf("expected %%param, got %q", p.tok.text)
+		}
+		names = append(names, p.tok.text)
+		if err := p.expectPunct(":"); err != nil {
+			return nil, nil, err
+		}
+		t, err := p.parseType()
+		if err != nil {
+			return nil, nil, err
+		}
+		sig.Params = append(sig.Params, t)
+	}
+	if err := p.expectPunct("->"); err != nil {
+		return nil, nil, err
+	}
+	ret, err := p.parseType()
+	if err != nil {
+		return nil, nil, err
+	}
+	sig.Ret = ret
+	return sig, names, nil
+}
+
+// funcParse holds per-function parse state.
+type funcParse struct {
+	f      *ir.Func
+	locals map[string]ir.Value
+	blocks map[string]*ir.Block
+	// lfix are local-value forward references: operand idx of instr
+	// refers to local name (used by phis and loops).
+	lfix []globalFixup
+	// bfix are block forward references: Targets[idx] of instr refers to
+	// label name.
+	bfix []globalFixup
+}
+
+func (p *parser) parseFunc() error {
+	name, err := p.expectGlobal()
+	if err != nil {
+		return err
+	}
+	sig, paramNames, err := p.parseSig()
+	if err != nil {
+		return err
+	}
+	f := ir.NewFunc(p.m, name, sig, paramNames)
+	fp := &funcParse{f: f, locals: map[string]ir.Value{}, blocks: map[string]*ir.Block{}}
+	for _, prm := range f.Params {
+		fp.locals[prm.Nam] = prm
+	}
+	// Attributes until "{".
+	for {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if p.tok.kind == tokPunct && p.tok.text == "{" {
+			break
+		}
+		if p.tok.kind != tokIdent {
+			return p.errf("expected attribute or '{', got %q", p.tok.text)
+		}
+		switch p.tok.text {
+		case "internal":
+			f.Linkage = ir.Internal
+		case "noinline":
+			f.NoInline = true
+		case "comdat":
+			if err := p.expectPunct("("); err != nil {
+				return err
+			}
+			grp, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			f.Comdat = grp
+			if err := p.expectPunct(")"); err != nil {
+				return err
+			}
+		default:
+			return p.errf("unknown function attribute %q", p.tok.text)
+		}
+	}
+	// Body: labels and instructions until "}".
+	var cur *ir.Block
+	for {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if p.tok.kind == tokPunct && p.tok.text == "}" {
+			break
+		}
+		// Label: identifier immediately followed by ':'.
+		if p.tok.kind == tokIdent {
+			nt, err := p.peek()
+			if err != nil {
+				return err
+			}
+			if nt.kind == tokPunct && nt.text == ":" {
+				label := p.tok.text
+				if err := p.advance(); err != nil { // consume ':'
+					return err
+				}
+				cur = fp.getBlock(label)
+				if f.BlockIndex(cur) < 0 {
+					cur.Parent = f
+					f.Blocks = append(f.Blocks, cur)
+				}
+				continue
+			}
+		}
+		if cur == nil {
+			return p.errf("instruction before first label in @%s", f.Name)
+		}
+		if err := p.parseInstr(fp, cur); err != nil {
+			return err
+		}
+	}
+	// Resolve local forward references.
+	for _, fx := range fp.lfix {
+		v, ok := fp.locals[fx.name]
+		if !ok {
+			return fmt.Errorf("irtext: line %d: undefined local %%%s in @%s", fx.line, fx.name, f.Name)
+		}
+		fx.instr.Operands[fx.idx] = v
+	}
+	// Resolve block references.
+	for _, fx := range fp.bfix {
+		b, ok := fp.blocks[fx.name]
+		if !ok || f.BlockIndex(b) < 0 {
+			return fmt.Errorf("irtext: line %d: undefined label %s in @%s", fx.line, fx.name, f.Name)
+		}
+		fx.instr.Targets[fx.idx] = b
+	}
+	// Resolve phi incoming blocks (stored as names during parse).
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpPhi {
+				continue
+			}
+			for i, ib := range in.Incoming {
+				if ib.Parent == nil { // name placeholder
+					real, ok := fp.blocks[ib.Name]
+					if !ok || f.BlockIndex(real) < 0 {
+						return fmt.Errorf("irtext: undefined phi label %s in @%s", ib.Name, f.Name)
+					}
+					in.Incoming[i] = real
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (fp *funcParse) getBlock(label string) *ir.Block {
+	if b, ok := fp.blocks[label]; ok {
+		return b
+	}
+	b := &ir.Block{Name: label}
+	fp.blocks[label] = b
+	return b
+}
+
+// parseOperand parses one operand reference (constant, %local, or @global)
+// typed as t. The instruction and operand index are used to register fixups
+// for forward references.
+func (p *parser) parseOperand(fp *funcParse, in *ir.Instr, idx int, t ir.Type) error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	switch p.tok.kind {
+	case tokInt:
+		st, ok := t.(ir.ScalarType)
+		if !ok {
+			return p.errf("constant operand with non-scalar type %s", t)
+		}
+		in.Operands[idx] = ir.Const(st, p.tok.val)
+		return nil
+	case tokLocal:
+		if v, ok := fp.locals[p.tok.text]; ok {
+			in.Operands[idx] = v
+			return nil
+		}
+		fp.lfix = append(fp.lfix, globalFixup{instr: in, idx: idx, name: p.tok.text, line: p.tok.line})
+		return nil
+	case tokGlobal:
+		if g := p.m.Lookup(p.tok.text); g != nil {
+			in.Operands[idx] = g
+			return nil
+		}
+		p.gfix = append(p.gfix, globalFixup{instr: in, idx: idx, name: p.tok.text, line: p.tok.line})
+		return nil
+	}
+	return p.errf("expected operand, got %q", p.tok.text)
+}
+
+// parseTarget records a branch-target label into in.Targets[idx].
+func (p *parser) parseTarget(fp *funcParse, in *ir.Instr, idx int) error {
+	lbl, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	fp.bfix = append(fp.bfix, globalFixup{instr: in, idx: idx, name: lbl, line: p.tok.line})
+	return nil
+}
+
+var binOps = map[string]ir.Op{
+	"add": ir.OpAdd, "sub": ir.OpSub, "mul": ir.OpMul, "sdiv": ir.OpSDiv,
+	"udiv": ir.OpUDiv, "srem": ir.OpSRem, "urem": ir.OpURem, "and": ir.OpAnd,
+	"or": ir.OpOr, "xor": ir.OpXor, "shl": ir.OpShl, "lshr": ir.OpLShr,
+	"ashr": ir.OpAShr,
+}
+
+var convOps = map[string]ir.Op{
+	"zext": ir.OpZExt, "sext": ir.OpSExt, "trunc": ir.OpTrunc,
+}
+
+var predByName = map[string]ir.Pred{
+	"eq": ir.PredEQ, "ne": ir.PredNE, "slt": ir.PredSLT, "sle": ir.PredSLE,
+	"sgt": ir.PredSGT, "sge": ir.PredSGE, "ult": ir.PredULT, "ule": ir.PredULE,
+	"ugt": ir.PredUGT, "uge": ir.PredUGE,
+}
+
+// parseInstr parses one instruction; the current token is its first token.
+func (p *parser) parseInstr(fp *funcParse, cur *ir.Block) error {
+	resultName := ""
+	if p.tok.kind == tokLocal {
+		resultName = p.tok.text
+		if err := p.expectPunct("="); err != nil {
+			return err
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	if p.tok.kind != tokIdent {
+		return p.errf("expected opcode, got %q", p.tok.text)
+	}
+	opWord := p.tok.text
+	in := &ir.Instr{Name: resultName}
+	appendIt := func() {
+		cur.Append(in)
+		if resultName != "" {
+			fp.locals[resultName] = in
+		}
+	}
+
+	if op, ok := binOps[opWord]; ok {
+		t, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		in.Op, in.Typ, in.Operands = op, t, make([]ir.Value, 2)
+		if err := p.parseOperand(fp, in, 0, t); err != nil {
+			return err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return err
+		}
+		if err := p.parseOperand(fp, in, 1, t); err != nil {
+			return err
+		}
+		appendIt()
+		return nil
+	}
+	if op, ok := convOps[opWord]; ok {
+		from, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		in.Op, in.Operands = op, make([]ir.Value, 1)
+		if err := p.parseOperand(fp, in, 0, from); err != nil {
+			return err
+		}
+		if kw, err := p.expectIdent(); err != nil || kw != "to" {
+			return p.errf("expected 'to' in conversion")
+		}
+		to, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		in.Typ = to
+		appendIt()
+		return nil
+	}
+
+	switch opWord {
+	case "icmp":
+		predName, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		pred, ok := predByName[predName]
+		if !ok {
+			return p.errf("unknown predicate %q", predName)
+		}
+		t, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		in.Op, in.Typ, in.Pred, in.Operands = ir.OpICmp, ir.I1, pred, make([]ir.Value, 2)
+		if err := p.parseOperand(fp, in, 0, t); err != nil {
+			return err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return err
+		}
+		if err := p.parseOperand(fp, in, 1, t); err != nil {
+			return err
+		}
+	case "select":
+		t, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		in.Op, in.Typ, in.Operands = ir.OpSelect, t, make([]ir.Value, 3)
+		if err := p.parseOperand(fp, in, 0, ir.I1); err != nil {
+			return err
+		}
+		for i := 1; i <= 2; i++ {
+			if err := p.expectPunct(","); err != nil {
+				return err
+			}
+			if err := p.parseOperand(fp, in, i, t); err != nil {
+				return err
+			}
+		}
+	case "alloca":
+		t, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return err
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if p.tok.kind != tokInt {
+			return p.errf("expected alloca count")
+		}
+		in.Op, in.Typ, in.ElemType, in.AllocaCount = ir.OpAlloca, ir.Ptr, t, p.tok.val
+	case "load":
+		t, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return err
+		}
+		in.Op, in.Typ, in.ElemType, in.Operands = ir.OpLoad, t, t, make([]ir.Value, 1)
+		if err := p.parseOperand(fp, in, 0, ir.Ptr); err != nil {
+			return err
+		}
+	case "store":
+		t, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		in.Op, in.Typ, in.ElemType, in.Operands = ir.OpStore, ir.Void, t, make([]ir.Value, 2)
+		if err := p.parseOperand(fp, in, 0, t); err != nil {
+			return err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return err
+		}
+		if err := p.parseOperand(fp, in, 1, ir.Ptr); err != nil {
+			return err
+		}
+	case "gep":
+		in.Op, in.Typ, in.Operands = ir.OpGEP, ir.Ptr, make([]ir.Value, 2)
+		if err := p.parseOperand(fp, in, 0, ir.Ptr); err != nil {
+			return err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return err
+		}
+		if err := p.parseOperand(fp, in, 1, ir.I64); err != nil {
+			return err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return err
+		}
+		if kw, err := p.expectIdent(); err != nil || kw != "scale" {
+			return p.errf("expected 'scale'")
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if p.tok.kind != tokInt {
+			return p.errf("expected scale value")
+		}
+		in.Scale = p.tok.val
+	case "call":
+		ret, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		callee, err := p.expectGlobal()
+		if err != nil {
+			return err
+		}
+		in.Op, in.Typ, in.Callee = ir.OpCall, ret, callee
+		if err := p.expectPunct("("); err != nil {
+			return err
+		}
+		for {
+			nt, err := p.peek()
+			if err != nil {
+				return err
+			}
+			if nt.kind == tokPunct && nt.text == ")" {
+				if err := p.advance(); err != nil {
+					return err
+				}
+				break
+			}
+			if len(in.Operands) > 0 {
+				if err := p.expectPunct(","); err != nil {
+					return err
+				}
+			}
+			at, err := p.parseType()
+			if err != nil {
+				return err
+			}
+			in.Operands = append(in.Operands, nil)
+			if err := p.parseOperand(fp, in, len(in.Operands)-1, at); err != nil {
+				return err
+			}
+		}
+	case "ret":
+		in.Op, in.Typ = ir.OpRet, ir.Void
+		t, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		if !t.Equal(ir.Void) {
+			in.Operands = make([]ir.Value, 1)
+			if err := p.parseOperand(fp, in, 0, t); err != nil {
+				return err
+			}
+		}
+	case "br":
+		in.Op, in.Typ, in.Targets = ir.OpBr, ir.Void, make([]*ir.Block, 1)
+		if err := p.parseTarget(fp, in, 0); err != nil {
+			return err
+		}
+	case "condbr":
+		in.Op, in.Typ = ir.OpCondBr, ir.Void
+		in.Operands = make([]ir.Value, 1)
+		in.Targets = make([]*ir.Block, 2)
+		if err := p.parseOperand(fp, in, 0, ir.I1); err != nil {
+			return err
+		}
+		for i := 0; i < 2; i++ {
+			if err := p.expectPunct(","); err != nil {
+				return err
+			}
+			if err := p.parseTarget(fp, in, i); err != nil {
+				return err
+			}
+		}
+	case "switch":
+		t, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		in.Op, in.Typ, in.Operands = ir.OpSwitch, ir.Void, make([]ir.Value, 1)
+		if err := p.parseOperand(fp, in, 0, t); err != nil {
+			return err
+		}
+		if err := p.expectPunct("["); err != nil {
+			return err
+		}
+		for {
+			nt, err := p.peek()
+			if err != nil {
+				return err
+			}
+			if nt.kind == tokPunct && nt.text == "]" {
+				if err := p.advance(); err != nil {
+					return err
+				}
+				break
+			}
+			if len(in.Cases) > 0 {
+				if err := p.expectPunct(","); err != nil {
+					return err
+				}
+			}
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if p.tok.kind != tokInt {
+				return p.errf("expected case value")
+			}
+			in.Cases = append(in.Cases, p.tok.val)
+			if err := p.expectPunct(":"); err != nil {
+				return err
+			}
+			in.Targets = append(in.Targets, nil)
+			if err := p.parseTarget(fp, in, len(in.Targets)-1); err != nil {
+				return err
+			}
+		}
+		if kw, err := p.expectIdent(); err != nil || kw != "default" {
+			return p.errf("expected 'default'")
+		}
+		in.Targets = append(in.Targets, nil)
+		if err := p.parseTarget(fp, in, len(in.Targets)-1); err != nil {
+			return err
+		}
+	case "unreachable":
+		in.Op, in.Typ = ir.OpUnreachable, ir.Void
+	case "covinc":
+		in.Op, in.Typ, in.Operands = ir.OpCounterInc, ir.Void, make([]ir.Value, 1)
+		if err := p.parseOperand(fp, in, 0, ir.Ptr); err != nil {
+			return err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return err
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if p.tok.kind != tokInt {
+			return p.errf("expected covinc counter index")
+		}
+		in.Scale = p.tok.val
+	case "phi":
+		t, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		in.Op, in.Typ = ir.OpPhi, t
+		for {
+			nt, err := p.peek()
+			if err != nil {
+				return err
+			}
+			if !(nt.kind == tokPunct && (nt.text == "[" || nt.text == ",")) {
+				break
+			}
+			if nt.text == "," {
+				if err := p.advance(); err != nil {
+					return err
+				}
+			}
+			if err := p.expectPunct("["); err != nil {
+				return err
+			}
+			in.Operands = append(in.Operands, nil)
+			if err := p.parseOperand(fp, in, len(in.Operands)-1, t); err != nil {
+				return err
+			}
+			if err := p.expectPunct(","); err != nil {
+				return err
+			}
+			lbl, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			// Placeholder block carrying only the label name;
+			// resolved after the function body is complete.
+			in.Incoming = append(in.Incoming, &ir.Block{Name: lbl})
+			if err := p.expectPunct("]"); err != nil {
+				return err
+			}
+		}
+	default:
+		return p.errf("unknown opcode %q", opWord)
+	}
+	appendIt()
+	return nil
+}

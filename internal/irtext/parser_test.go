@@ -1,0 +1,342 @@
+package irtext
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"odin/internal/ir"
+)
+
+const isLowerSrc = `
+; bool islower(char chr) — Figure 2 of the paper, unoptimized form.
+func @islower(%chr: i8) -> i1 {
+test_lb:
+  %cmp1 = icmp sge i8 %chr, 97
+  condbr %cmp1, test_ub, end
+test_ub:
+  %cmp2 = icmp sle i8 %chr, 122
+  br end
+end:
+  %r = phi i1 [0, test_lb], [%cmp2, test_ub]
+  ret i1 %r
+}
+`
+
+func TestParseIsLower(t *testing.T) {
+	m, err := Parse("m", isLowerSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	f := m.LookupFunc("islower")
+	if f == nil || len(f.Blocks) != 3 {
+		t.Fatalf("bad parse: %v", f)
+	}
+	phi := f.Blocks[2].Instrs[0]
+	if phi.Op != ir.OpPhi || len(phi.Incoming) != 2 {
+		t.Fatalf("bad phi: %v", ir.FormatInstr(phi))
+	}
+	if phi.Incoming[0] != f.Blocks[0] || phi.Incoming[1] != f.Blocks[1] {
+		t.Fatal("phi incoming blocks not resolved to function blocks")
+	}
+}
+
+func TestRoundTripIsLower(t *testing.T) {
+	m := MustParse("m", isLowerSrc)
+	printed := ir.Print(m)
+	m2, err := Parse("m", printed)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, printed)
+	}
+	if got := ir.Print(m2); got != printed {
+		t.Fatalf("round trip mismatch:\n--- first ---\n%s\n--- second ---\n%s", printed, got)
+	}
+}
+
+const fullFeatureSrc = `
+const @str : [6 x i8] = bytes"\68\65\6c\6c\6f\00"
+global @counter : i64 internal = zero
+declare global @extvar : i64
+declare func @printf(%fmt: ptr) -> i32
+alias @entry_alias = @main
+func @helper(%x: i64, %y: i64) -> i64 internal noinline comdat(grp1) {
+entry:
+  %a = add i64 %x, %y
+  %b = sub i64 %a, 1
+  %c = mul i64 %b, %b
+  %d = sdiv i64 %c, 3
+  %e = udiv i64 %d, 2
+  %f = srem i64 %e, 7
+  %g = urem i64 %f, 5
+  %h = and i64 %g, 255
+  %i = or i64 %h, 16
+  %j = xor i64 %i, 3
+  %k = shl i64 %j, 2
+  %l = lshr i64 %k, 1
+  %n = ashr i64 %l, 1
+  %p = alloca i64, 4
+  store i64 %n, %p
+  %q = gep %p, 1, scale 8
+  store i64 %a, %q
+  %v = load i64, %p
+  %t = trunc i64 %v to i8
+  %z = zext i8 %t to i64
+  %s = sext i8 %t to i64
+  %cond = icmp eq i64 %z, %s
+  %sel = select i64 %cond, %z, %s
+  ret i64 %sel
+}
+func @main() -> i64 {
+entry:
+  %g = load i64, @counter
+  switch i64 %g [0: zero_case, 1: one_case] default other
+zero_case:
+  %r0 = call i64 @helper(i64 1, i64 2)
+  br done
+one_case:
+  %r1 = call i64 @helper(i64 3, i64 4)
+  br done
+other:
+  %c0 = call i32 @printf(ptr @str)
+  unreachable
+done:
+  %r = phi i64 [%r0, zero_case], [%r1, one_case]
+  ret i64 %r
+}
+`
+
+func TestRoundTripFullFeature(t *testing.T) {
+	m, err := Parse("m", fullFeatureSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	printed := ir.Print(m)
+	m2, err := Parse("m", printed)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, printed)
+	}
+	if got := ir.Print(m2); got != printed {
+		t.Fatalf("round trip mismatch:\n%s\n----\n%s", printed, got)
+	}
+	if g := m.LookupGlobal("str"); g == nil || !g.Const || string(g.Init) != "hello\x00" {
+		t.Fatal("const global mis-parsed")
+	}
+	if g := m.LookupGlobal("counter"); g == nil || g.Linkage != ir.Internal {
+		t.Fatal("internal global mis-parsed")
+	}
+	if f := m.LookupFunc("helper"); f == nil || !f.NoInline || f.Comdat != "grp1" || f.Linkage != ir.Internal {
+		t.Fatal("function attributes mis-parsed")
+	}
+	if len(m.Aliases) != 1 || m.Aliases[0].Target != "main" {
+		t.Fatal("alias mis-parsed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"garbage", "what is this"},
+		{"bad type", "func @f() -> i99 {\nentry:\n  ret void\n}"},
+		{"missing brace", "func @f() -> void {\nentry:\n  ret void\n"},
+		{"undefined local", "func @f() -> i64 {\nentry:\n  ret i64 %nope\n}"},
+		{"undefined label", "func @f() -> void {\nentry:\n  br nowhere\n}"},
+		{"undefined global", "func @f() -> void {\nentry:\n  %x = load i64, @nope\n  ret void\n}"},
+		{"bad opcode", "func @f() -> void {\nentry:\n  frobnicate i64 1, 2\n}"},
+		{"instr before label", "func @f() -> void {\n  ret void\n}"},
+		{"bad predicate", "func @f() -> i1 {\nentry:\n  %x = icmp zz i64 1, 2\n  ret i1 %x\n}"},
+		{"unterminated bytes", `const @s : [1 x i8] = bytes"\00`},
+		{"bad escape", `const @s : [1 x i8] = bytes"\zz"`},
+	}
+	for _, c := range cases {
+		if _, err := Parse("m", c.src); err == nil {
+			t.Errorf("%s: expected parse error", c.name)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := "; leading comment\nfunc @f() -> i64 { ; trailing\nentry: ; block comment\n  ret i64 42\n}\n"
+	m, err := Parse("m", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseNegativeConstants(t *testing.T) {
+	m := MustParse("m", "func @f() -> i64 {\nentry:\n  %x = add i64 -5, -10\n  ret i64 %x\n}\n")
+	in := m.LookupFunc("f").Blocks[0].Instrs[0]
+	a, _ := ir.IsConstValue(in.Operands[0])
+	b, _ := ir.IsConstValue(in.Operands[1])
+	if a != -5 || b != -10 {
+		t.Fatalf("negative constants: got %d, %d", a, b)
+	}
+}
+
+func TestParseForwardLocalReference(t *testing.T) {
+	// A value defined in a later block used by an earlier phi via a loop.
+	src := `
+func @loop(%n: i64) -> i64 {
+entry:
+  br head
+head:
+  %i = phi i64 [0, entry], [%next, body]
+  %cond = icmp slt i64 %i, %n
+  condbr %cond, body, exit
+body:
+  %next = add i64 %i, 1
+  br head
+exit:
+  ret i64 %i
+}
+`
+	m, err := Parse("m", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randModule builds a random (but always well-formed) module for the
+// round-trip property test.
+func randModule(rng *rand.Rand) *ir.Module {
+	m := ir.NewModule("rand")
+	nGlobals := rng.Intn(4)
+	for i := 0; i < nGlobals; i++ {
+		sz := int64(rng.Intn(8) + 1)
+		init := make([]byte, sz)
+		rng.Read(init)
+		m.AddGlobal(&ir.GlobalVar{
+			Name:    "g" + string(rune('a'+i)),
+			Elem:    &ir.ArrayType{Elem: ir.I8, Len: sz},
+			Init:    init,
+			Const:   rng.Intn(2) == 0,
+			Linkage: ir.Linkage(rng.Intn(2)),
+		})
+	}
+	nFuncs := rng.Intn(3) + 1
+	for fi := 0; fi < nFuncs; fi++ {
+		f := ir.NewFunc(m, "f"+string(rune('a'+fi)), &ir.FuncType{Params: []ir.Type{ir.I64, ir.I64}, Ret: ir.I64}, []string{"x", "y"})
+		entry := f.AddBlock("entry")
+		exit := f.AddBlock("exit")
+		b := ir.NewBuilder()
+		b.SetBlock(entry)
+		var last ir.Value = f.Params[0]
+		n := rng.Intn(12) + 1
+		ops := []ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor}
+		for i := 0; i < n; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				last = b.Bin(ops[rng.Intn(len(ops))], last, ir.Const(ir.I64, int64(rng.Intn(100)-50)))
+			case 1:
+				last = b.Bin(ops[rng.Intn(len(ops))], last, f.Params[1])
+			case 2:
+				c := b.ICmp(ir.Pred(rng.Intn(10)), last, ir.Const(ir.I64, int64(rng.Intn(10))))
+				last = b.Select(c, last, f.Params[1])
+			}
+		}
+		b.Br(exit)
+		b.SetBlock(exit)
+		b.Ret(last)
+	}
+	return m
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randModule(rng)
+		if err := ir.Verify(m); err != nil {
+			t.Logf("generator produced invalid module: %v", err)
+			return false
+		}
+		printed := ir.Print(m)
+		m2, err := Parse("rand", printed)
+		if err != nil {
+			t.Logf("parse: %v\n%s", err, printed)
+			return false
+		}
+		if ir.Print(m2) != printed {
+			t.Logf("round-trip mismatch")
+			return false
+		}
+		return ir.Verify(m2) == nil
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsePreservesBlockOrder(t *testing.T) {
+	m := MustParse("m", fullFeatureSrc)
+	f := m.LookupFunc("main")
+	want := []string{"entry", "zero_case", "one_case", "other", "done"}
+	for i, b := range f.Blocks {
+		if b.Name != want[i] {
+			t.Fatalf("block %d = %q, want %q", i, b.Name, want[i])
+		}
+	}
+	if !strings.Contains(ir.Print(m), "switch i64 %g [0: zero_case, 1: one_case] default other") {
+		t.Fatalf("switch printing changed:\n%s", ir.Print(m))
+	}
+}
+
+// TestParserNeverPanics: arbitrary byte soup must produce errors, not
+// panics.
+func TestParserNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	alphabet := []byte("func@%(){}[]:,->=i648 \n\tglobal const declare alias bytes\"\\zz phi br ret")
+	for trial := 0; trial < 3000; trial++ {
+		n := rng.Intn(200)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on input %q: %v", buf, r)
+				}
+			}()
+			_, _ = Parse("fuzz", string(buf))
+		}()
+	}
+}
+
+// TestParserMutatedValidPrograms: corrupting valid programs never panics,
+// and parses either fail or produce modules (possibly invalid, caught by
+// Verify without panicking).
+func TestParserMutatedValidPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	base := []byte(fullFeatureSrc)
+	for trial := 0; trial < 2000; trial++ {
+		buf := append([]byte(nil), base...)
+		for k := 0; k < rng.Intn(6)+1; k++ {
+			buf[rng.Intn(len(buf))] = byte(rng.Intn(128))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutated input: %v", r)
+				}
+			}()
+			if m, err := Parse("fuzz", string(buf)); err == nil {
+				_ = ir.Verify(m)
+			}
+		}()
+	}
+}

@@ -1,0 +1,236 @@
+// Package link combines object files into an executable image: it lays out
+// the data segment, resolves symbols across objects (respecting local
+// visibility), resolves aliases, and patches call/lea relocations. Unresolved
+// references fall back to the runtime builtin registry, which is how
+// instrumentation hooks and libc stubs bind.
+package link
+
+import (
+	"fmt"
+	"sort"
+
+	"odin/internal/mir"
+	"odin/internal/obj"
+	"odin/internal/rt"
+)
+
+// Executable is a fully linked program image.
+type Executable struct {
+	Funcs    []Func
+	FuncIdx  map[string]int // exported function name -> index
+	Data     []byte         // data segment image, loaded at rt.GlobalBase
+	DataAddr map[string]int64
+	Builtins []string // builtin index space (Call FuncIdx = -(idx+1))
+
+	// Symbols maps every resolved global symbol (including aliases) to a
+	// descriptor, for tooling and debuggers.
+	Symbols map[string]Symbol
+}
+
+// Func is a linked function.
+type Func struct {
+	Name        string
+	Code        []mir.Inst
+	NumBlocks   int
+	BlockStarts []int
+	// Object names which object file the function came from.
+	Object string
+}
+
+// Symbol describes a linked symbol.
+type Symbol struct {
+	Kind    string // "func", "data", "alias"
+	FuncIdx int    // valid for funcs (and aliases to funcs)
+	Addr    int64  // valid for data (and aliases to data)
+}
+
+// DupError reports a duplicate global symbol definition.
+type DupError struct{ Name, Obj1, Obj2 string }
+
+func (e *DupError) Error() string {
+	return fmt.Sprintf("link: duplicate symbol %q (defined in %s and %s)", e.Name, e.Obj1, e.Obj2)
+}
+
+// UndefError reports an unresolved reference.
+type UndefError struct{ Name, Obj string }
+
+func (e *UndefError) Error() string {
+	return fmt.Sprintf("link: undefined symbol %q referenced from %s", e.Name, e.Obj)
+}
+
+// Link combines the objects. builtinNames lists the runtime-provided
+// symbols (libc stubs and instrumentation hooks) that unresolved references
+// may bind to.
+func Link(objects []*obj.Object, builtinNames []string) (*Executable, error) {
+	for _, o := range objects {
+		if err := o.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	builtins := append([]string(nil), builtinNames...)
+	sort.Strings(builtins)
+	builtinIdx := map[string]int{}
+	for i, n := range builtins {
+		builtinIdx[n] = i
+	}
+
+	exe := &Executable{
+		FuncIdx:  map[string]int{},
+		DataAddr: map[string]int64{},
+		Builtins: builtins,
+		Symbols:  map[string]Symbol{},
+	}
+
+	// Pass 1: place functions and data; build per-object local tables and
+	// the global table; detect duplicate globals.
+	type objTables struct {
+		funcs map[string]int
+		datas map[string]int64
+	}
+	locals := make([]objTables, len(objects))
+	globalFunc := map[string]int{}
+	globalData := map[string]int64{}
+	definedIn := map[string]string{}
+
+	dataOff := int64(0)
+	for oi, o := range objects {
+		locals[oi] = objTables{funcs: map[string]int{}, datas: map[string]int64{}}
+		for _, f := range o.Funcs {
+			idx := len(exe.Funcs)
+			exe.Funcs = append(exe.Funcs, Func{
+				Name:        f.Name,
+				Code:        append([]mir.Inst(nil), f.Code...),
+				NumBlocks:   f.NumBlocks,
+				BlockStarts: append([]int(nil), f.BlockStarts...),
+				Object:      o.Name,
+			})
+			locals[oi].funcs[f.Name] = idx
+			if f.Linkage == mir.Global {
+				if prev, dup := definedIn[f.Name]; dup {
+					return nil, &DupError{f.Name, prev, o.Name}
+				}
+				definedIn[f.Name] = o.Name
+				globalFunc[f.Name] = idx
+			}
+		}
+		for _, d := range o.Datas {
+			addr := rt.GlobalBase + dataOff
+			dataOff += (d.Size + 7) &^ 7
+			locals[oi].datas[d.Name] = addr
+			if d.Linkage == mir.Global {
+				if prev, dup := definedIn[d.Name]; dup {
+					return nil, &DupError{d.Name, prev, o.Name}
+				}
+				definedIn[d.Name] = o.Name
+				globalData[d.Name] = addr
+			}
+		}
+	}
+	// Build the data image.
+	exe.Data = make([]byte, dataOff)
+	for oi, o := range objects {
+		for _, d := range o.Datas {
+			if d.Init != nil {
+				addr := locals[oi].datas[d.Name] - rt.GlobalBase
+				copy(exe.Data[addr:], d.Init)
+			}
+		}
+	}
+
+	// Pass 2: resolve aliases (alias target is same-object by Validate).
+	for oi, o := range objects {
+		for _, a := range o.Aliases {
+			if fi, ok := locals[oi].funcs[a.Target]; ok {
+				locals[oi].funcs[a.Name] = fi
+				if a.Linkage == mir.Global {
+					if prev, dup := definedIn[a.Name]; dup {
+						return nil, &DupError{a.Name, prev, o.Name}
+					}
+					definedIn[a.Name] = o.Name
+					globalFunc[a.Name] = fi
+				}
+				continue
+			}
+			if da, ok := locals[oi].datas[a.Target]; ok {
+				locals[oi].datas[a.Name] = da
+				if a.Linkage == mir.Global {
+					if prev, dup := definedIn[a.Name]; dup {
+						return nil, &DupError{a.Name, prev, o.Name}
+					}
+					definedIn[a.Name] = o.Name
+					globalData[a.Name] = da
+				}
+				continue
+			}
+			return nil, &UndefError{a.Target, o.Name}
+		}
+	}
+
+	// Function "addresses" for lea-of-function: synthetic, non-executable.
+	funcAddr := func(idx int) int64 { return rt.NullGuard + int64(idx)*16 }
+
+	// Pass 3: patch relocations.
+	fnBase := 0
+	for oi, o := range objects {
+		for range o.Funcs {
+			lf := &exe.Funcs[fnBase]
+			fnBase++
+			for ii := range lf.Code {
+				in := &lf.Code[ii]
+				if in.Sym == "" {
+					continue
+				}
+				switch in.Op {
+				case mir.Call:
+					if idx, ok := locals[oi].funcs[in.Sym]; ok {
+						in.FuncIdx = idx
+					} else if idx, ok := globalFunc[in.Sym]; ok {
+						in.FuncIdx = idx
+					} else if bi, ok := builtinIdx[in.Sym]; ok {
+						in.FuncIdx = -(bi + 1)
+					} else {
+						return nil, &UndefError{in.Sym, o.Name}
+					}
+				case mir.Lea:
+					if addr, ok := locals[oi].datas[in.Sym]; ok {
+						in.Imm += addr
+					} else if addr, ok := globalData[in.Sym]; ok {
+						in.Imm += addr
+					} else if idx, ok := locals[oi].funcs[in.Sym]; ok {
+						in.Imm += funcAddr(idx)
+					} else if idx, ok := globalFunc[in.Sym]; ok {
+						in.Imm += funcAddr(idx)
+					} else {
+						return nil, &UndefError{in.Sym, o.Name}
+					}
+				}
+			}
+		}
+	}
+
+	// Export tables.
+	for n, i := range globalFunc {
+		exe.FuncIdx[n] = i
+		exe.Symbols[n] = Symbol{Kind: "func", FuncIdx: i}
+	}
+	for n, a := range globalData {
+		exe.DataAddr[n] = a
+		exe.Symbols[n] = Symbol{Kind: "data", Addr: a}
+	}
+	return exe, nil
+}
+
+// Lookup returns the function index for an exported name.
+func (e *Executable) Lookup(name string) (int, bool) {
+	i, ok := e.FuncIdx[name]
+	return i, ok
+}
+
+// CodeSize returns the total number of machine instructions.
+func (e *Executable) CodeSize() int {
+	n := 0
+	for _, f := range e.Funcs {
+		n += len(f.Code)
+	}
+	return n
+}

@@ -1,0 +1,260 @@
+package link
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"odin/internal/mir"
+	"odin/internal/obj"
+	"odin/internal/rt"
+)
+
+// retFunc builds a function that returns imm.
+func retFunc(name string, linkage mir.Linkage, imm int64) obj.FuncSym {
+	return obj.FuncSym{
+		Name: name, Linkage: linkage,
+		Code: []mir.Inst{
+			{Op: mir.MovImm, Rd: mir.R0, Imm: imm},
+			{Op: mir.Ret},
+		},
+		NumBlocks: 1, BlockStarts: []int{0},
+	}
+}
+
+// callFunc builds a function that calls callee and returns its result.
+func callFunc(name, callee string, linkage mir.Linkage) obj.FuncSym {
+	return obj.FuncSym{
+		Name: name, Linkage: linkage,
+		Code: []mir.Inst{
+			{Op: mir.Call, Sym: callee},
+			{Op: mir.Ret},
+		},
+		NumBlocks: 1, BlockStarts: []int{0},
+	}
+}
+
+func TestLinkResolvesAcrossObjects(t *testing.T) {
+	o1 := &obj.Object{Name: "a", Funcs: []obj.FuncSym{callFunc("main", "helper", mir.Global)}}
+	o2 := &obj.Object{Name: "b", Funcs: []obj.FuncSym{retFunc("helper", mir.Global, 42)}}
+	exe, err := Link([]*obj.Object{o1, o2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi, ok := exe.Lookup("main")
+	if !ok {
+		t.Fatal("main not exported")
+	}
+	call := exe.Funcs[mi].Code[0]
+	if call.FuncIdx < 0 || exe.Funcs[call.FuncIdx].Name != "helper" {
+		t.Fatalf("call not resolved: %+v", call)
+	}
+}
+
+func TestLinkDuplicateGlobal(t *testing.T) {
+	o1 := &obj.Object{Name: "a", Funcs: []obj.FuncSym{retFunc("f", mir.Global, 1)}}
+	o2 := &obj.Object{Name: "b", Funcs: []obj.FuncSym{retFunc("f", mir.Global, 2)}}
+	_, err := Link([]*obj.Object{o1, o2}, nil)
+	var dup *DupError
+	if !errors.As(err, &dup) {
+		t.Fatalf("err = %v, want DupError", err)
+	}
+	if dup.Name != "f" {
+		t.Fatalf("dup symbol = %q", dup.Name)
+	}
+}
+
+func TestLinkLocalSymbolsDoNotCollide(t *testing.T) {
+	// Two objects each define a LOCAL "helper" returning different values
+	// plus a global caller; each caller must bind to its own object's
+	// local symbol — the mechanism Odin's copy-on-use clones rely on.
+	o1 := &obj.Object{Name: "a", Funcs: []obj.FuncSym{
+		retFunc("helper", mir.Local, 10),
+		callFunc("main1", "helper", mir.Global),
+	}}
+	o2 := &obj.Object{Name: "b", Funcs: []obj.FuncSym{
+		retFunc("helper", mir.Local, 20),
+		callFunc("main2", "helper", mir.Global),
+	}}
+	exe, err := Link([]*obj.Object{o1, o2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolve := func(caller string) int64 {
+		i, _ := exe.Lookup(caller)
+		callee := exe.Funcs[i].Code[0].FuncIdx
+		return exe.Funcs[callee].Code[0].Imm
+	}
+	if resolve("main1") != 10 || resolve("main2") != 20 {
+		t.Fatalf("local binding wrong: main1->%d main2->%d", resolve("main1"), resolve("main2"))
+	}
+	if _, exported := exe.Lookup("helper"); exported {
+		t.Fatal("local symbol leaked into the export table")
+	}
+}
+
+func TestLinkUndefinedSymbol(t *testing.T) {
+	o := &obj.Object{Name: "a", Funcs: []obj.FuncSym{callFunc("main", "missing", mir.Global)}}
+	_, err := Link([]*obj.Object{o}, nil)
+	var undef *UndefError
+	if !errors.As(err, &undef) || undef.Name != "missing" {
+		t.Fatalf("err = %v, want UndefError{missing}", err)
+	}
+}
+
+func TestLinkBindsBuiltins(t *testing.T) {
+	o := &obj.Object{Name: "a", Funcs: []obj.FuncSym{callFunc("main", "print_i64", mir.Global)}}
+	exe, err := Link([]*obj.Object{o}, []string{"print_i64", "puts"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, _ := exe.Lookup("main")
+	fi := exe.Funcs[i].Code[0].FuncIdx
+	if fi >= 0 {
+		t.Fatalf("builtin call not encoded negative: %d", fi)
+	}
+	if name := exe.Builtins[-(fi + 1)]; name != "print_i64" {
+		t.Fatalf("builtin index resolves to %q", name)
+	}
+}
+
+func TestLinkAliasSameObject(t *testing.T) {
+	o := &obj.Object{
+		Name:    "a",
+		Funcs:   []obj.FuncSym{retFunc("real", mir.Global, 7), callFunc("main", "aka", mir.Global)},
+		Aliases: []obj.AliasSym{{Name: "aka", Target: "real", Linkage: mir.Global}},
+	}
+	exe, err := Link([]*obj.Object{o}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, _ := exe.Lookup("main")
+	callee := exe.Funcs[i].Code[0].FuncIdx
+	if exe.Funcs[callee].Name != "real" {
+		t.Fatal("alias did not resolve to aliasee")
+	}
+	if ai, ok := exe.Lookup("aka"); !ok || ai != callee {
+		t.Fatal("alias not exported")
+	}
+}
+
+func TestLinkAliasCrossObjectRejected(t *testing.T) {
+	// The innate constraint: an alias must be defined with its aliasee.
+	o1 := &obj.Object{Name: "a", Funcs: []obj.FuncSym{retFunc("real", mir.Global, 7)}}
+	o2 := &obj.Object{Name: "b", Aliases: []obj.AliasSym{{Name: "aka", Target: "real", Linkage: mir.Global}}}
+	_, err := Link([]*obj.Object{o1, o2}, nil)
+	if err == nil || !strings.Contains(err.Error(), "not defined in the same object") {
+		t.Fatalf("cross-object alias accepted: %v", err)
+	}
+}
+
+func TestLinkDataLayoutAndInit(t *testing.T) {
+	o := &obj.Object{
+		Name: "a",
+		Datas: []obj.DataSym{
+			{Name: "g1", Linkage: mir.Global, Size: 3, Init: []byte{1, 2, 3}},
+			{Name: "g2", Linkage: mir.Global, Size: 8, Init: nil},
+			{Name: "g3", Linkage: mir.Local, Size: 4, Init: []byte{9, 9, 9, 9}},
+		},
+		Funcs: []obj.FuncSym{{
+			Name: "main", Linkage: mir.Global,
+			Code: []mir.Inst{
+				{Op: mir.Lea, Rd: mir.R0, Sym: "g1"},
+				{Op: mir.Lea, Rd: mir.R1, Sym: "g3", Imm: 2},
+				{Op: mir.Ret},
+			},
+			NumBlocks: 1, BlockStarts: []int{0},
+		}},
+	}
+	exe, err := Link([]*obj.Object{o}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, ok := exe.DataAddr["g1"]
+	if !ok || a1 < rt.GlobalBase {
+		t.Fatalf("g1 addr %#x", a1)
+	}
+	a2 := exe.DataAddr["g2"]
+	if a2 != a1+8 { // 3 bytes rounded to 8
+		t.Fatalf("g2 addr %#x, want %#x (8-aligned)", a2, a1+8)
+	}
+	if _, exported := exe.DataAddr["g3"]; exported {
+		t.Fatal("local data exported")
+	}
+	// Initializer placed in the image.
+	off := a1 - rt.GlobalBase
+	if exe.Data[off] != 1 || exe.Data[off+2] != 3 {
+		t.Fatal("init bytes misplaced")
+	}
+	// Lea relocation patched, including addend.
+	i, _ := exe.Lookup("main")
+	if exe.Funcs[i].Code[0].Imm != a1 {
+		t.Fatalf("lea g1 -> %#x, want %#x", exe.Funcs[i].Code[0].Imm, a1)
+	}
+	g3 := exe.Funcs[i].Code[1].Imm
+	if g3 != a2+8+2 { // g3 follows g2, plus addend 2
+		t.Fatalf("lea g3+2 -> %#x", g3)
+	}
+}
+
+func TestLinkLeaOfFunction(t *testing.T) {
+	o := &obj.Object{
+		Name: "a",
+		Funcs: []obj.FuncSym{retFunc("target", mir.Global, 1), {
+			Name: "main", Linkage: mir.Global,
+			Code: []mir.Inst{
+				{Op: mir.Lea, Rd: mir.R0, Sym: "target"},
+				{Op: mir.Ret},
+			},
+			NumBlocks: 1, BlockStarts: []int{0},
+		}},
+	}
+	exe, err := Link([]*obj.Object{o}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, _ := exe.Lookup("main")
+	if exe.Funcs[i].Code[0].Imm == 0 {
+		t.Fatal("function address not assigned")
+	}
+}
+
+func TestObjectValidate(t *testing.T) {
+	bad := &obj.Object{Name: "a", Funcs: []obj.FuncSym{
+		retFunc("f", mir.Global, 1),
+		retFunc("f", mir.Global, 2),
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("duplicate in-object symbol accepted")
+	}
+	badBranch := &obj.Object{Name: "b", Funcs: []obj.FuncSym{{
+		Name: "g", Linkage: mir.Global,
+		Code:      []mir.Inst{{Op: mir.Jmp, Target: 99}},
+		NumBlocks: 1, BlockStarts: []int{0},
+	}}}
+	if err := badBranch.Validate(); err == nil {
+		t.Fatal("out-of-range branch accepted")
+	}
+}
+
+func TestRelocs(t *testing.T) {
+	f := callFunc("main", "x", mir.Global)
+	rs := obj.Relocs(&f)
+	if len(rs) != 1 || rs[0] != 0 {
+		t.Fatalf("relocs = %v", rs)
+	}
+}
+
+func TestCodeSize(t *testing.T) {
+	o := &obj.Object{Name: "a", Funcs: []obj.FuncSym{retFunc("f", mir.Global, 1)}}
+	if o.CodeSize() != 2 {
+		t.Fatalf("obj code size = %d", o.CodeSize())
+	}
+	exe, err := Link([]*obj.Object{o}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exe.CodeSize() != 2 {
+		t.Fatalf("exe code size = %d", exe.CodeSize())
+	}
+}

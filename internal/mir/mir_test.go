@@ -1,0 +1,75 @@
+package mir
+
+import (
+	"strings"
+	"testing"
+
+	"odin/internal/ir"
+)
+
+func TestCycleCosts(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want int64
+	}{
+		{Inst{Op: MovImm}, 1},
+		{Inst{Op: ALU, ALUOp: ir.OpAdd}, 1},
+		{Inst{Op: ALU, ALUOp: ir.OpMul}, 3},
+		{Inst{Op: ALU, ALUOp: ir.OpSDiv}, 12},
+		{Inst{Op: ALUImm, ALUOp: ir.OpURem}, 12},
+		{Inst{Op: Load}, 3},
+		{Inst{Op: Store}, 3},
+		{Inst{Op: Call}, 2},
+		{Inst{Op: Ret}, 2},
+		{Inst{Op: Probe}, 6},
+		{Inst{Op: CostSim, Imm: 123}, 123},
+		{Inst{Op: Trap}, 0},
+		{Inst{Op: Jmp}, 1},
+	}
+	for _, c := range cases {
+		if got := c.in.Cycles(); got != c.want {
+			t.Errorf("%v cycles = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestInstStrings(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: MovReg, Rd: R1, Rs1: R2}, "mov r1, r2"},
+		{Inst{Op: MovImm, Rd: R0, Imm: -5}, "movi r0, -5"},
+		{Inst{Op: ALU, ALUOp: ir.OpAdd, Width: ir.I64, Rd: R0, Rs1: R1, Rs2: R2}, "add.i64 r0, r1, r2"},
+		{Inst{Op: Load, Rd: R3, Rs1: SP, Imm: 16, Size: 8}, "load8 r3, [sp+16]"},
+		{Inst{Op: Store, Rs1: R4, Imm: -8, Rs2: R5, Size: 1}, "store1 [r4-8], r5"},
+		{Inst{Op: Lea, Rd: R0, Sym: "counters", Imm: 4}, "lea r0, counters+4"},
+		{Inst{Op: Call, Sym: "puts"}, "call puts"},
+		{Inst{Op: JmpIf, Rs1: R2, Target: 9}, "jmpif r2, 9"},
+		{Inst{Op: Enter, Imm: 32}, "enter 32"},
+		{Inst{Op: Probe, ProbeAddr: 0x100}, "probe 0x100"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+	// Every opcode must have a printable name.
+	for op := Nop; op <= CostSim; op++ {
+		if strings.HasPrefix(op.String(), "mop(") {
+			t.Errorf("opcode %d has no name", int(op))
+		}
+	}
+}
+
+func TestRegString(t *testing.T) {
+	if R7.String() != "r7" || SP.String() != "sp" {
+		t.Fatalf("reg names: %s %s", R7, SP)
+	}
+}
+
+func TestLinkageString(t *testing.T) {
+	if Global.String() != "global" || Local.String() != "local" {
+		t.Fatal("linkage names wrong")
+	}
+}

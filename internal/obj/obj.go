@@ -1,0 +1,117 @@
+// Package obj defines the object-file format produced by the code generator
+// and consumed by the linker. An object corresponds to one lowered module
+// (in Odin's case, one fragment) and carries function code, data, aliases,
+// and symbol visibility.
+package obj
+
+import (
+	"fmt"
+
+	"odin/internal/mir"
+)
+
+// FuncSym is a compiled function.
+type FuncSym struct {
+	Name    string
+	Linkage mir.Linkage
+	Code    []mir.Inst
+	// NumBlocks is the number of IR basic blocks the function was
+	// compiled from; binary instrumenters use block leader metadata.
+	NumBlocks int
+	// BlockStarts are instruction indices beginning each basic block, in
+	// block order. Together with Code they are what a binary-level tool
+	// can recover (block leaders); IR-level structure is gone.
+	BlockStarts []int
+}
+
+// DataSym is a global variable or constant image.
+type DataSym struct {
+	Name    string
+	Linkage mir.Linkage
+	Size    int64
+	Init    []byte // nil means zero-initialized
+	Const   bool
+}
+
+// AliasSym creates an additional name for a symbol defined in the same
+// object. The same-object requirement is the innate partition constraint:
+// relocations cannot be applied to symbols, so the aliasee must be defined
+// where the alias is.
+type AliasSym struct {
+	Name    string
+	Target  string
+	Linkage mir.Linkage
+}
+
+// Object is one translation unit's compiled artifact.
+type Object struct {
+	Name    string
+	Funcs   []FuncSym
+	Datas   []DataSym
+	Aliases []AliasSym
+	// Imports are symbols referenced but not defined here (declarations).
+	Imports []string
+}
+
+// DefinedNames returns every symbol name defined in the object.
+func (o *Object) DefinedNames() []string {
+	var out []string
+	for _, f := range o.Funcs {
+		out = append(out, f.Name)
+	}
+	for _, d := range o.Datas {
+		out = append(out, d.Name)
+	}
+	for _, a := range o.Aliases {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+// Relocs returns the instruction indices in f that reference symbols and
+// require link-time resolution.
+func Relocs(f *FuncSym) []int {
+	var out []int
+	for i, in := range f.Code {
+		if (in.Op == mir.Call || in.Op == mir.Lea) && in.Sym != "" {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Validate checks object-level invariants, notably that aliases target
+// symbols defined in the same object.
+func (o *Object) Validate() error {
+	defined := map[string]bool{}
+	for _, n := range o.DefinedNames() {
+		if defined[n] {
+			return fmt.Errorf("obj %s: duplicate symbol %q", o.Name, n)
+		}
+		defined[n] = true
+	}
+	for _, a := range o.Aliases {
+		if !defined[a.Target] {
+			return fmt.Errorf("obj %s: alias %q targets %q, which is not defined in the same object", o.Name, a.Name, a.Target)
+		}
+	}
+	for _, f := range o.Funcs {
+		for i, in := range f.Code {
+			if in.Op == mir.Jmp || in.Op == mir.JmpIf {
+				if in.Target < 0 || in.Target >= len(f.Code) {
+					return fmt.Errorf("obj %s: func %s: instr %d branches out of range (%d)", o.Name, f.Name, i, in.Target)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CodeSize returns the total instruction count across functions.
+func (o *Object) CodeSize() int {
+	n := 0
+	for _, f := range o.Funcs {
+		n += len(f.Code)
+	}
+	return n
+}

@@ -1,0 +1,51 @@
+package obj
+
+import (
+	"testing"
+
+	"odin/internal/mir"
+)
+
+func TestDefinedNamesAndValidate(t *testing.T) {
+	o := &Object{
+		Name: "u",
+		Funcs: []FuncSym{{
+			Name: "f", Linkage: mir.Global,
+			Code:      []mir.Inst{{Op: mir.Ret}},
+			NumBlocks: 1, BlockStarts: []int{0},
+		}},
+		Datas:   []DataSym{{Name: "d", Size: 8}},
+		Aliases: []AliasSym{{Name: "a", Target: "f"}},
+		Imports: []string{"ext"},
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	names := o.DefinedNames()
+	if len(names) != 3 || names[0] != "f" || names[1] != "d" || names[2] != "a" {
+		t.Fatalf("defined = %v", names)
+	}
+	if o.CodeSize() != 1 {
+		t.Fatalf("code size = %d", o.CodeSize())
+	}
+}
+
+func TestValidateRejectsDanglingAlias(t *testing.T) {
+	o := &Object{Name: "u", Aliases: []AliasSym{{Name: "a", Target: "missing"}}}
+	if err := o.Validate(); err == nil {
+		t.Fatal("dangling alias accepted")
+	}
+}
+
+func TestRelocsFindsCallAndLea(t *testing.T) {
+	f := FuncSym{Code: []mir.Inst{
+		{Op: mir.MovImm},
+		{Op: mir.Call, Sym: "x"},
+		{Op: mir.Lea, Sym: "y"},
+		{Op: mir.Ret},
+	}}
+	rs := Relocs(&f)
+	if len(rs) != 2 || rs[0] != 1 || rs[1] != 2 {
+		t.Fatalf("relocs = %v", rs)
+	}
+}

@@ -1,0 +1,181 @@
+package opt
+
+import (
+	"odin/internal/interp"
+	"odin/internal/ir"
+)
+
+// ConstProp folds instructions whose operands are constants and resolves
+// conditional branches and switches on constants.
+type ConstProp struct{}
+
+// Name implements Pass.
+func (ConstProp) Name() string { return "constprop" }
+
+// Run implements Pass.
+func (ConstProp) Run(m *ir.Module, o *Options) bool {
+	changed := false
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		if foldFunc(f) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+func foldFunc(f *ir.Func) bool {
+	changed := false
+	// Iterate until no operand slot changes; a folded instruction whose
+	// value is never used again stops producing progress, so this
+	// terminates (each round rewrites at least one operand to a constant).
+	for round := 0; round < 64; round++ {
+		repl := map[ir.Value]ir.Value{}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if c, ok := foldInstr(in); ok {
+					repl[in] = c
+				}
+			}
+		}
+		rewrote := false
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				for i, op := range in.Operands {
+					if nv, ok := repl[op]; ok {
+						in.Operands[i] = nv
+						rewrote = true
+					}
+				}
+			}
+		}
+		if !rewrote {
+			break
+		}
+		changed = true
+	}
+	// Resolve constant control flow.
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil {
+			continue
+		}
+		switch t.Op {
+		case ir.OpCondBr:
+			c, ok := ir.IsConstValue(t.Operands[0])
+			if !ok {
+				continue
+			}
+			taken, dead := t.Targets[0], t.Targets[1]
+			if c == 0 {
+				taken, dead = dead, taken
+			}
+			if dead != taken {
+				removePhiIncoming(dead, b)
+			}
+			*t = ir.Instr{Op: ir.OpBr, Typ: ir.Void, Targets: []*ir.Block{taken}, Parent: b}
+			changed = true
+		case ir.OpSwitch:
+			v, ok := ir.IsConstValue(t.Operands[0])
+			if !ok {
+				continue
+			}
+			taken := t.Targets[len(t.Cases)]
+			for i, cv := range t.Cases {
+				if cv == v {
+					taken = t.Targets[i]
+					break
+				}
+			}
+			seen := map[*ir.Block]bool{taken: true}
+			for _, tgt := range t.Targets {
+				if !seen[tgt] {
+					seen[tgt] = true
+					removePhiIncoming(tgt, b)
+				}
+			}
+			*t = ir.Instr{Op: ir.OpBr, Typ: ir.Void, Targets: []*ir.Block{taken}, Parent: b}
+			changed = true
+		}
+	}
+	return changed
+}
+
+// foldInstr evaluates in when all relevant operands are constants.
+func foldInstr(in *ir.Instr) (*ir.ConstInt, bool) {
+	switch {
+	case in.Op.IsBinOp():
+		a, aok := ir.IsConstValue(in.Operands[0])
+		b, bok := ir.IsConstValue(in.Operands[1])
+		if !aok || !bok {
+			return nil, false
+		}
+		st, ok := in.Typ.(ir.ScalarType)
+		if !ok {
+			return nil, false
+		}
+		v, err := interp.EvalBinOp(in.Op, a, b, st)
+		if err != nil {
+			return nil, false // keep trapping division
+		}
+		return ir.Const(st, v), true
+	case in.Op == ir.OpICmp:
+		a, aok := ir.IsConstValue(in.Operands[0])
+		b, bok := ir.IsConstValue(in.Operands[1])
+		if !aok || !bok {
+			return nil, false
+		}
+		st, ok := in.Operands[0].Type().(ir.ScalarType)
+		if !ok {
+			return nil, false
+		}
+		if ir.EvalPred(in.Pred, a, b, st) {
+			return ir.Const(ir.I1, 1), true
+		}
+		return ir.Const(ir.I1, 0), true
+	case in.Op == ir.OpSelect:
+		c, ok := ir.IsConstValue(in.Operands[0])
+		if !ok {
+			return nil, false
+		}
+		var chosen ir.Value
+		if c != 0 {
+			chosen = in.Operands[1]
+		} else {
+			chosen = in.Operands[2]
+		}
+		if cv, ok := chosen.(*ir.ConstInt); ok {
+			return cv, true
+		}
+		return nil, false
+	case in.Op == ir.OpZExt:
+		a, ok := ir.IsConstValue(in.Operands[0])
+		if !ok {
+			return nil, false
+		}
+		from, _ := in.Operands[0].Type().(ir.ScalarType)
+		return ir.Const(in.Typ.(ir.ScalarType), int64(ir.ZeroExtend(a, from))), true
+	case in.Op == ir.OpSExt:
+		a, ok := ir.IsConstValue(in.Operands[0])
+		if !ok {
+			return nil, false
+		}
+		return ir.Const(in.Typ.(ir.ScalarType), a), true
+	case in.Op == ir.OpTrunc:
+		a, ok := ir.IsConstValue(in.Operands[0])
+		if !ok {
+			return nil, false
+		}
+		return ir.Const(in.Typ.(ir.ScalarType), a), true
+	case in.Op == ir.OpPhi:
+		if v, ok := singlePhiValue(in); ok {
+			if cv, ok := v.(*ir.ConstInt); ok {
+				return cv, true
+			}
+		}
+		return nil, false
+	}
+	return nil, false
+}

@@ -1,0 +1,95 @@
+package opt
+
+import (
+	"fmt"
+	"strings"
+
+	"odin/internal/ir"
+)
+
+// CSE performs local (per-block) common-subexpression elimination over pure
+// instructions: binary operations, comparisons, selects, conversions, and
+// address computations. Loads are not eliminated (stores and calls may
+// intervene); the pass is purely value-based.
+type CSE struct{}
+
+// Name implements Pass.
+func (CSE) Name() string { return "cse" }
+
+// Run implements Pass.
+func (CSE) Run(m *ir.Module, o *Options) bool {
+	changed := false
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		if cseFunc(f) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+func cseFunc(f *ir.Func) bool {
+	repl := map[ir.Value]ir.Value{}
+	for _, b := range f.Blocks {
+		seen := map[string]*ir.Instr{}
+		for _, in := range b.Instrs {
+			// Apply pending replacements to operands first so chains
+			// of duplicates collapse in one pass.
+			for i, op := range in.Operands {
+				if nv, ok := repl[op]; ok {
+					in.Operands[i] = nv
+				}
+			}
+			key, ok := cseKey(in)
+			if !ok {
+				continue
+			}
+			if prev, dup := seen[key]; dup {
+				repl[in] = prev
+				continue
+			}
+			seen[key] = in
+		}
+	}
+	if len(repl) == 0 {
+		return false
+	}
+	// Uses may extend beyond the defining block; rewrite once per
+	// function with the accumulated replacement set.
+	for _, bb := range f.Blocks {
+		for _, in := range bb.Instrs {
+			for i, op := range in.Operands {
+				if nv, ok := repl[op]; ok {
+					in.Operands[i] = nv
+				}
+			}
+		}
+	}
+	return true
+}
+
+// cseKey builds a structural identity for pure instructions.
+func cseKey(in *ir.Instr) (string, bool) {
+	switch {
+	case in.Op.IsBinOp(), in.Op == ir.OpICmp, in.Op == ir.OpSelect,
+		in.Op.IsConversion(), in.Op == ir.OpGEP:
+	default:
+		return "", false
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d|%s|%d|%d|", in.Op, in.Type(), in.Pred, in.Scale)
+	for _, op := range in.Operands {
+		switch v := op.(type) {
+		case *ir.ConstInt:
+			fmt.Fprintf(&sb, "c%d:%d;", v.Typ, v.Val)
+		case ir.Global:
+			fmt.Fprintf(&sb, "g%s;", v.GlobalName())
+		default:
+			// Identity of SSA values (params, instruction results).
+			fmt.Fprintf(&sb, "v%p;", op)
+		}
+	}
+	return sb.String(), true
+}

@@ -1,0 +1,112 @@
+package opt
+
+import "odin/internal/ir"
+
+// DCE removes instructions whose results are unused and which have no side
+// effects, plus blocks unreachable from the entry.
+type DCE struct{}
+
+// Name implements Pass.
+func (DCE) Name() string { return "dce" }
+
+// Run implements Pass.
+func (DCE) Run(m *ir.Module, o *Options) bool {
+	changed := false
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		if removeUnreachable(f) {
+			changed = true
+		}
+		for {
+			uses := useCounts(f)
+			removedAny := false
+			for _, b := range f.Blocks {
+				for i := len(b.Instrs) - 1; i >= 0; i-- {
+					in := b.Instrs[i]
+					if !in.HasResult() || uses[in] > 0 || hasSideEffects(in) {
+						continue
+					}
+					b.RemoveAt(i)
+					removedAny = true
+					changed = true
+				}
+			}
+			if !removedAny {
+				break
+			}
+		}
+	}
+	return changed
+}
+
+func removeUnreachable(f *ir.Func) bool {
+	reach := reachableBlocks(f)
+	if len(reach) == len(f.Blocks) {
+		return false
+	}
+	// Update phis in surviving blocks that had incoming edges from dead
+	// blocks, then drop the dead blocks.
+	var live []*ir.Block
+	for _, b := range f.Blocks {
+		if !reach[b] {
+			for _, s := range b.Succs() {
+				if reach[s] {
+					removePhiIncoming(s, b)
+				}
+			}
+			continue
+		}
+		live = append(live, b)
+	}
+	f.Blocks = live
+	return true
+}
+
+// GlobalDCE removes internal symbols that are unreachable from external
+// roots (exported functions, exported globals, and aliases).
+type GlobalDCE struct{}
+
+// Name implements Pass.
+func (GlobalDCE) Name() string { return "globaldce" }
+
+// Run implements Pass.
+func (GlobalDCE) Run(m *ir.Module, o *Options) bool {
+	live := map[string]bool{}
+	var queue []string
+	mark := func(n string) {
+		if !live[n] {
+			live[n] = true
+			queue = append(queue, n)
+		}
+	}
+	for _, f := range m.Funcs {
+		if f.Linkage == ir.External {
+			mark(f.Name)
+		}
+	}
+	for _, g := range m.Globals {
+		if g.Linkage == ir.External {
+			mark(g.Name)
+		}
+	}
+	for _, a := range m.Aliases {
+		mark(a.Name)
+	}
+	for len(queue) > 0 {
+		n := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, ref := range m.References(n) {
+			mark(ref)
+		}
+	}
+	changed := false
+	for _, name := range m.SymbolNames() {
+		if !live[name] {
+			m.RemoveSymbol(name)
+			changed = true
+		}
+	}
+	return changed
+}

@@ -1,0 +1,5 @@
+package opt
+
+import "odin/internal/rt"
+
+func newEnvForTest() *rt.Env { return rt.NewEnv() }

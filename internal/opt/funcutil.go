@@ -1,0 +1,132 @@
+package opt
+
+import "odin/internal/ir"
+
+// replaceUses rewrites every operand in f equal to old with new.
+func replaceUses(f *ir.Func, old, new ir.Value) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i, op := range in.Operands {
+				if op == old {
+					in.Operands[i] = new
+				}
+			}
+		}
+	}
+}
+
+// useCounts returns, for every instruction result in f, how many operand
+// slots reference it.
+func useCounts(f *ir.Func) map[ir.Value]int {
+	uses := make(map[ir.Value]int)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, op := range in.Operands {
+				switch op.(type) {
+				case *ir.Instr, *ir.Param:
+					uses[op]++
+				}
+			}
+		}
+	}
+	return uses
+}
+
+// hasSideEffects reports whether removing the instruction (assuming its
+// result is unused) could change program behaviour.
+func hasSideEffects(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpCall, ir.OpStore, ir.OpCounterInc:
+		return true
+	case ir.OpSDiv, ir.OpUDiv, ir.OpSRem, ir.OpURem:
+		// Division traps on zero; only removable when the divisor is a
+		// non-zero constant.
+		if c, ok := ir.IsConstValue(in.Operands[1]); ok && c != 0 {
+			return false
+		}
+		return true
+	case ir.OpLoad:
+		// Loads can trap on bad addresses; treat as removable only when
+		// loading from a known global or alloca.
+		switch p := in.Operands[0].(type) {
+		case *ir.GlobalVar:
+			return false
+		case *ir.Instr:
+			return p.Op != ir.OpAlloca
+		}
+		return true
+	}
+	return in.Op.IsTerminator()
+}
+
+// removePhiIncoming deletes the entry for pred from every phi in b.
+func removePhiIncoming(b *ir.Block, pred *ir.Block) {
+	for _, in := range b.Phis() {
+		for i, inc := range in.Incoming {
+			if inc == pred {
+				in.Incoming = append(in.Incoming[:i], in.Incoming[i+1:]...)
+				in.Operands = append(in.Operands[:i], in.Operands[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// retargetPhis rewrites phi incoming-block entries in b from oldPred to
+// newPred.
+func retargetPhis(b *ir.Block, oldPred, newPred *ir.Block) {
+	for _, in := range b.Phis() {
+		for i, inc := range in.Incoming {
+			if inc == oldPred {
+				in.Incoming[i] = newPred
+			}
+		}
+	}
+}
+
+// reachableBlocks returns the set of blocks reachable from the entry.
+func reachableBlocks(f *ir.Func) map[*ir.Block]bool {
+	seen := map[*ir.Block]bool{}
+	var stack []*ir.Block
+	if len(f.Blocks) > 0 {
+		stack = append(stack, f.Entry())
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		for _, s := range b.Succs() {
+			if !seen[s] {
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// singlePhiValue reports whether all of phi's incoming values are the same
+// value, returning it if so.
+func singlePhiValue(phi *ir.Instr) (ir.Value, bool) {
+	if len(phi.Operands) == 0 {
+		return nil, false
+	}
+	first := phi.Operands[0]
+	for _, op := range phi.Operands[1:] {
+		if !sameValue(op, first) {
+			return nil, false
+		}
+	}
+	return first, true
+}
+
+func sameValue(a, b ir.Value) bool {
+	if a == b {
+		return true
+	}
+	ca, aok := a.(*ir.ConstInt)
+	cb, bok := b.(*ir.ConstInt)
+	return aok && bok && ca.Val == cb.Val && ca.Typ == cb.Typ
+}

@@ -1,0 +1,178 @@
+package opt
+
+import "odin/internal/ir"
+
+const defaultInlineThreshold = 30
+
+// Inline performs bottom-up inlining of small defined functions. Inlining a
+// callee requires its definition to be present in the module being compiled;
+// the trial run therefore reports (callee, caller) Bond pairs so the
+// partitioner clusters them into one fragment.
+type Inline struct{}
+
+// Name implements Pass.
+func (Inline) Name() string { return "inline" }
+
+// Run implements Pass.
+func (Inline) Run(m *ir.Module, o *Options) bool {
+	threshold := defaultInlineThreshold
+	if o != nil && o.MaxInlineInstrs > 0 {
+		threshold = o.MaxInlineInstrs
+	}
+	changed := false
+	budget := 512 // per-run safety cap against pathological growth
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		for bi := 0; bi < len(f.Blocks); bi++ {
+			b := f.Blocks[bi]
+			for ii := 0; ii < len(b.Instrs); ii++ {
+				in := b.Instrs[ii]
+				if in.Op != ir.OpCall || budget <= 0 {
+					continue
+				}
+				callee := m.LookupFunc(in.Callee)
+				if !inlinable(m, f, callee, threshold) {
+					continue
+				}
+				if o != nil {
+					o.Report.AddBond(callee.Name, f.Name)
+				}
+				inlineCall(f, b, ii, in, callee)
+				budget--
+				changed = true
+				// The block was split; restart scanning this block.
+				ii = len(b.Instrs)
+			}
+		}
+	}
+	return changed
+}
+
+func inlinable(m *ir.Module, caller, callee *ir.Func, threshold int) bool {
+	if callee == nil || callee.IsDecl() || callee.NoInline || callee == caller {
+		return false
+	}
+	if callee.NumInstrs() > threshold {
+		return false
+	}
+	// Skip callees with allocas (we do not hoist them to the caller
+	// entry, so inlining into a loop would grow the stack per iteration).
+	for _, b := range callee.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpAlloca {
+				return false
+			}
+			// Avoid direct and mutual recursion blow-up.
+			if in.Op == ir.OpCall && (in.Callee == callee.Name || in.Callee == caller.Name) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// inlineCall splices callee's body into f at the call instruction, which is
+// b.Instrs[idx].
+func inlineCall(f *ir.Func, b *ir.Block, idx int, call *ir.Instr, callee *ir.Func) {
+	// 1. Split b after the call: instructions following the call move to a
+	// continuation block, which inherits b's place in the CFG.
+	cont := &ir.Block{Name: f.UniqueLabel("inl.cont"), Parent: f}
+	rest := b.Instrs[idx+1:]
+	b.Instrs = b.Instrs[:idx] // drop the call itself; terminator added below
+	for _, in := range rest {
+		cont.Append(in)
+	}
+	// Successors' phis must now name cont as the predecessor.
+	for _, s := range cont.Succs() {
+		retargetPhis(s, b, cont)
+	}
+	// Insert cont right after b in block order.
+	bi := f.BlockIndex(b)
+	f.Blocks = append(f.Blocks, nil)
+	copy(f.Blocks[bi+2:], f.Blocks[bi+1:])
+	f.Blocks[bi+1] = cont
+
+	// 2. Clone the callee body.
+	vmap := ir.NewValueMap()
+	for i, p := range callee.Params {
+		vmap.Values[p] = call.Operands[i]
+	}
+	clones := make([]*ir.Block, len(callee.Blocks))
+	for i, cb := range callee.Blocks {
+		nb := &ir.Block{Name: f.UniqueLabel("inl." + cb.Name), Parent: f}
+		clones[i] = nb
+		vmap.Blocks[cb] = nb
+	}
+	// Pre-register result placeholders for forward references (phis).
+	for _, cb := range callee.Blocks {
+		for _, in := range cb.Instrs {
+			if in.HasResult() {
+				vmap.Values[in] = &ir.Instr{Op: in.Op, Typ: in.Typ}
+			}
+		}
+	}
+	type retSite struct {
+		blk *ir.Block
+		val ir.Value
+	}
+	var rets []retSite
+	for i, cb := range callee.Blocks {
+		nb := clones[i]
+		for _, in := range cb.Instrs {
+			cl := ir.CloneInstr(in, vmap)
+			if in.HasResult() {
+				ph := vmap.Values[in].(*ir.Instr)
+				*ph = *cl
+				cl = ph
+				cl.Name = f.NextName("inl")
+			}
+			if cl.Op == ir.OpRet {
+				var rv ir.Value
+				if len(cl.Operands) > 0 {
+					rv = cl.Operands[0]
+				}
+				rets = append(rets, retSite{nb, rv})
+				nb.Append(&ir.Instr{Op: ir.OpBr, Typ: ir.Void, Targets: []*ir.Block{cont}})
+				continue
+			}
+			nb.Append(cl)
+		}
+	}
+	// Insert cloned blocks between b and cont.
+	insertAt := f.BlockIndex(cont)
+	tail := append([]*ir.Block(nil), f.Blocks[insertAt:]...)
+	f.Blocks = append(f.Blocks[:insertAt], clones...)
+	f.Blocks = append(f.Blocks, tail...)
+
+	// 3. b branches to the cloned entry.
+	b.Append(&ir.Instr{Op: ir.OpBr, Typ: ir.Void, Targets: []*ir.Block{clones[0]}})
+
+	// 4. Wire up the return value.
+	if call.HasResult() {
+		var rv ir.Value
+		switch len(rets) {
+		case 0:
+			// Callee never returns; the continuation is unreachable but
+			// must stay well-formed.
+			rv = ir.Const(ir.I64, 0)
+			if st, ok := call.Typ.(ir.ScalarType); ok {
+				rv = ir.Const(st, 0)
+			}
+		case 1:
+			rv = rets[0].val
+		default:
+			phi := &ir.Instr{Op: ir.OpPhi, Typ: call.Typ, Name: f.NextName("inl.ret")}
+			for _, r := range rets {
+				phi.Operands = append(phi.Operands, r.val)
+				phi.Incoming = append(phi.Incoming, r.blk)
+			}
+			cont.InsertBefore(0, phi)
+			rv = phi
+		}
+		replaceUses(f, call, rv)
+	}
+	// 5. If no return sites exist, cont is unreachable; DCE cleans it, but
+	// it must still verify: it does (it kept b's old terminator).
+}

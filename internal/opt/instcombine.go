@@ -1,0 +1,491 @@
+package opt
+
+import (
+	"strings"
+
+	"odin/internal/ir"
+)
+
+// InstCombine runs the classic peephole optimization. It implements, among
+// ordinary algebraic identities, the two §2.2 case studies:
+//
+//   - the islower range fold (Figure 2): a two-comparison bounds-check
+//     diamond collapses to `(unsigned)(x - lo) < span`, destroying both
+//     the branch (coverage feedback) and the original comparison operands
+//     (CmpLog/input-to-state feedback);
+//
+//   - the printf("s\n") -> puts("s") libcall rewrite (Figure 4), which is a
+//     local optimization that nevertheless requires access to the referenced
+//     constant global — the motivating example for Copy-on-use symbols.
+//
+// Like LLVM's pass, folds that inspect a constant global only fire when the
+// global is defined in the module being compiled; a fragment holding only a
+// declaration misses the optimization.
+type InstCombine struct{}
+
+// Name implements Pass.
+func (InstCombine) Name() string { return "instcombine" }
+
+// Run implements Pass.
+func (InstCombine) Run(m *ir.Module, o *Options) bool {
+	changed := false
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		if combineFunc(m, f, o) {
+			changed = true
+		}
+		if foldRangeChecks(f) {
+			changed = true
+		}
+		if rewritePrintfToPuts(m, f, o) {
+			changed = true
+		}
+		if foldConstGlobalLoads(m, f, o) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+func isPow2(v int64) (shift int64, ok bool) {
+	if v <= 0 || v&(v-1) != 0 {
+		return 0, false
+	}
+	for v != 1 {
+		v >>= 1
+		shift++
+	}
+	return shift, true
+}
+
+// combineFunc applies algebraic identities, returning whether it changed f.
+func combineFunc(m *ir.Module, f *ir.Func, o *Options) bool {
+	changed := false
+	for round := 0; round < 64; round++ {
+		repl := map[ir.Value]ir.Value{}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if v, ok := simplify(in); ok {
+					repl[in] = v
+					continue
+				}
+				if mutate(in) {
+					changed = true
+				}
+			}
+		}
+		rewrote := false
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				for i, op := range in.Operands {
+					if nv, ok := repl[op]; ok && nv != op {
+						in.Operands[i] = nv
+						rewrote = true
+					}
+				}
+			}
+		}
+		if !rewrote {
+			break
+		}
+		changed = true
+	}
+	return changed
+}
+
+// simplify returns a replacement value for in, if an identity applies.
+func simplify(in *ir.Instr) (ir.Value, bool) {
+	if in.Op.IsBinOp() {
+		x, y := in.Operands[0], in.Operands[1]
+		cy, yConst := ir.IsConstValue(y)
+		switch in.Op {
+		case ir.OpAdd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpLShr, ir.OpAShr:
+			if yConst && cy == 0 {
+				return x, true
+			}
+		case ir.OpSub:
+			if yConst && cy == 0 {
+				return x, true
+			}
+			if sameValue(x, y) {
+				return ir.Const(in.Typ.(ir.ScalarType), 0), true
+			}
+		case ir.OpMul:
+			if yConst && cy == 1 {
+				return x, true
+			}
+			if yConst && cy == 0 {
+				return ir.Const(in.Typ.(ir.ScalarType), 0), true
+			}
+		case ir.OpSDiv, ir.OpUDiv:
+			if yConst && cy == 1 {
+				return x, true
+			}
+		case ir.OpAnd:
+			st, stOK := in.Typ.(ir.ScalarType)
+			if yConst && cy == 0 {
+				return ir.Const(in.Typ.(ir.ScalarType), 0), true
+			}
+			if yConst && stOK && ir.TruncToWidth(cy, st) == ir.TruncToWidth(-1, st) {
+				return x, true
+			}
+			if sameValue(x, y) {
+				return x, true
+			}
+		}
+		if in.Op == ir.OpOr && sameValue(x, y) {
+			return x, true
+		}
+		if in.Op == ir.OpXor && sameValue(x, y) {
+			return ir.Const(in.Typ.(ir.ScalarType), 0), true
+		}
+		// add (add x, c1), c2 -> add x, (c1+c2)
+		if in.Op == ir.OpAdd && yConst {
+			if inner, ok := x.(*ir.Instr); ok && inner.Op == ir.OpAdd {
+				if c1, ok := ir.IsConstValue(inner.Operands[1]); ok {
+					st := in.Typ.(ir.ScalarType)
+					in.Operands[0] = inner.Operands[0]
+					in.Operands[1] = ir.Const(st, c1+cy)
+					// Mutated in place; not a replacement.
+					return nil, false
+				}
+			}
+		}
+	}
+	if in.Op == ir.OpSelect {
+		if sameValue(in.Operands[1], in.Operands[2]) {
+			return in.Operands[1], true
+		}
+		if c, ok := ir.IsConstValue(in.Operands[0]); ok {
+			if c != 0 {
+				return in.Operands[1], true
+			}
+			return in.Operands[2], true
+		}
+	}
+	// icmp eq/ne (add x, c1), c2 -> icmp eq/ne x, (c2-c1).
+	// This is the comparison-operand distortion from §2.2: the value the
+	// CmpLog probe would observe is shifted by c1.
+	if in.Op == ir.OpICmp && (in.Pred == ir.PredEQ || in.Pred == ir.PredNE) {
+		if c2, ok := ir.IsConstValue(in.Operands[1]); ok {
+			if inner, ok := in.Operands[0].(*ir.Instr); ok && inner.Op == ir.OpAdd {
+				if c1, ok := ir.IsConstValue(inner.Operands[1]); ok {
+					st := inner.Typ.(ir.ScalarType)
+					in.Operands[0] = inner.Operands[0]
+					in.Operands[1] = ir.Const(st, c2-c1)
+					return nil, false
+				}
+			}
+		}
+	}
+	return nil, false
+}
+
+// mutate rewrites in in place (strength reduction, canonicalization).
+func mutate(in *ir.Instr) bool {
+	changed := false
+	// Canonicalize commutative ops: constant on the right.
+	switch in.Op {
+	case ir.OpAdd, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor:
+		if _, lConst := ir.IsConstValue(in.Operands[0]); lConst {
+			if _, rConst := ir.IsConstValue(in.Operands[1]); !rConst {
+				in.Operands[0], in.Operands[1] = in.Operands[1], in.Operands[0]
+				changed = true
+			}
+		}
+	case ir.OpICmp:
+		if _, lConst := ir.IsConstValue(in.Operands[0]); lConst {
+			if _, rConst := ir.IsConstValue(in.Operands[1]); !rConst {
+				in.Operands[0], in.Operands[1] = in.Operands[1], in.Operands[0]
+				in.Pred = in.Pred.Swap()
+				changed = true
+			}
+		}
+	}
+	// Strength reduction.
+	if !in.Op.IsBinOp() || len(in.Operands) != 2 {
+		return changed
+	}
+	if c, ok := ir.IsConstValue(in.Operands[1]); ok {
+		switch in.Op {
+		case ir.OpMul:
+			if sh, p2 := isPow2(c); p2 {
+				in.Op = ir.OpShl
+				in.Operands[1] = ir.Const(in.Typ.(ir.ScalarType), sh)
+				changed = true
+			}
+		case ir.OpUDiv:
+			if sh, p2 := isPow2(c); p2 {
+				in.Op = ir.OpLShr
+				in.Operands[1] = ir.Const(in.Typ.(ir.ScalarType), sh)
+				changed = true
+			}
+		case ir.OpURem:
+			if _, p2 := isPow2(c); p2 {
+				in.Op = ir.OpAnd
+				in.Operands[1] = ir.Const(in.Typ.(ir.ScalarType), c-1)
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// foldRangeChecks recognizes the Figure 2 diamond:
+//
+//	A:  %cmp1 = icmp sge X, lo          ; single use
+//	    condbr %cmp1, B, E
+//	B:  %cmp2 = icmp sle X, hi          ; B contains only this and br E
+//	    br E
+//	E:  %r = phi i1 [0, A], [%cmp2, B]
+//
+// and rewrites it to `%off = add X, -lo; %r = icmp ult %off, hi-lo+1` in A,
+// removing the branch. Any side-effecting instruction in B — such as a
+// coverage probe inserted before optimization — blocks the fold, which is
+// precisely how instrument-first preserves feedback quality.
+func foldRangeChecks(f *ir.Func) bool {
+	changed := false
+	for _, a := range f.Blocks {
+		t := a.Term()
+		if t == nil || t.Op != ir.OpCondBr {
+			continue
+		}
+		cmp1, ok := t.Operands[0].(*ir.Instr)
+		if !ok || cmp1.Op != ir.OpICmp || cmp1.Parent != a {
+			continue
+		}
+		bBlk, eBlk := t.Targets[0], t.Targets[1]
+		if bBlk == eBlk || len(bBlk.Instrs) != 2 {
+			continue
+		}
+		cmp2 := bBlk.Instrs[0]
+		bt := bBlk.Term()
+		if cmp2.Op != ir.OpICmp || bt == nil || bt.Op != ir.OpBr || bt.Targets[0] != eBlk {
+			continue
+		}
+		// Normalize cmp1: need X >= lo with constant lo.
+		lo, hi, x, ok := normalizeRangePair(cmp1, cmp2)
+		if !ok || lo > hi {
+			continue
+		}
+		st, ok := x.Type().(ir.ScalarType)
+		if !ok || !st.IsInteger() || st == ir.I1 {
+			continue
+		}
+		span := hi - lo + 1
+		if span <= 0 || (st != ir.I64 && span >= 1<<uint(st.Bits())) {
+			continue
+		}
+		// E must start with the i1 phi merging false from A, cmp2 from B.
+		phis := eBlk.Phis()
+		if len(phis) != 1 {
+			continue
+		}
+		phi := phis[0]
+		if len(phi.Incoming) != 2 {
+			continue
+		}
+		matched := false
+		for i := range phi.Incoming {
+			j := 1 - i
+			if phi.Incoming[i] == a && phi.Incoming[j] == bBlk &&
+				ir.IsConstEq(phi.Operands[i], 0) && phi.Operands[j] == cmp2 {
+				matched = true
+			}
+		}
+		if !matched {
+			continue
+		}
+		// cmp1 must have no uses besides the condbr; cmp2 none besides phi.
+		uses := useCounts(f)
+		if uses[cmp1] != 1 || uses[cmp2] != 1 {
+			continue
+		}
+		// Rewrite: in A, replace cmp1 with off/ult pair and branch to E.
+		off := &ir.Instr{
+			Op: ir.OpAdd, Typ: st, Name: f.NextName("rng.off"),
+			Operands: []ir.Value{x, ir.Const(st, -lo)},
+		}
+		ult := &ir.Instr{
+			Op: ir.OpICmp, Typ: ir.I1, Pred: ir.PredULT, Name: f.NextName("rng.cmp"),
+			Operands: []ir.Value{off, ir.Const(st, span)},
+		}
+		// Replace cmp1 in place position: insert before terminator.
+		a.InsertBefore(len(a.Instrs)-1, off)
+		a.InsertBefore(len(a.Instrs)-1, ult)
+		// Remove the original cmp1.
+		for i, in := range a.Instrs {
+			if in == cmp1 {
+				a.RemoveAt(i)
+				break
+			}
+		}
+		// A now branches straight to E.
+		*t = ir.Instr{Op: ir.OpBr, Typ: ir.Void, Targets: []*ir.Block{eBlk}, Parent: a}
+		// Replace the phi with the combined comparison.
+		replaceUses(f, phi, ult)
+		removePhiIncomingBlock(phi, bBlk)
+		for i, in := range eBlk.Instrs {
+			if in == phi {
+				eBlk.RemoveAt(i)
+				break
+			}
+		}
+		// B is now unreachable; removed by DCE/SimplifyCFG.
+		changed = true
+	}
+	return changed
+}
+
+// normalizeRangePair extracts (lo, hi, x) from a lower-bound and upper-bound
+// comparison pair on the same value x with constant bounds.
+func normalizeRangePair(cmp1, cmp2 *ir.Instr) (lo, hi int64, x ir.Value, ok bool) {
+	lo, x1, ok1 := lowerBound(cmp1)
+	hi, x2, ok2 := upperBound(cmp2)
+	if !ok1 || !ok2 || x1 != x2 {
+		return 0, 0, nil, false
+	}
+	return lo, hi, x1, true
+}
+
+func lowerBound(cmp *ir.Instr) (int64, ir.Value, bool) {
+	c, ok := ir.IsConstValue(cmp.Operands[1])
+	if !ok {
+		return 0, nil, false
+	}
+	switch cmp.Pred {
+	case ir.PredSGE:
+		return c, cmp.Operands[0], true
+	case ir.PredSGT:
+		return c + 1, cmp.Operands[0], true
+	}
+	return 0, nil, false
+}
+
+func upperBound(cmp *ir.Instr) (int64, ir.Value, bool) {
+	c, ok := ir.IsConstValue(cmp.Operands[1])
+	if !ok {
+		return 0, nil, false
+	}
+	switch cmp.Pred {
+	case ir.PredSLE:
+		return c, cmp.Operands[0], true
+	case ir.PredSLT:
+		return c - 1, cmp.Operands[0], true
+	}
+	return 0, nil, false
+}
+
+// rewritePrintfToPuts performs the Figure 4 libcall simplification:
+// printf(s) where s is a defined constant string ending in "\n" and
+// containing no format specifiers becomes puts(s') with the newline
+// stripped. The fold requires inspecting the *definition* of the string —
+// a declaration is not enough — and reports the dependency as Copy-on-use.
+func rewritePrintfToPuts(m *ir.Module, f *ir.Func, o *Options) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpCall || in.Callee != "printf" || len(in.Operands) != 1 {
+				continue
+			}
+			g, ok := in.Operands[0].(*ir.GlobalVar)
+			if !ok || !g.Const || g.Decl || len(g.Init) < 2 {
+				continue
+			}
+			s := string(g.Init)
+			if !strings.HasSuffix(s, "\n\x00") || strings.Contains(s, "%") {
+				continue
+			}
+			if o != nil {
+				o.Report.AddCopyUse(g.Name, f.Name)
+			}
+			stripped := s[:len(s)-2] + "\x00"
+			newName := g.Name + ".puts"
+			ng := m.LookupGlobal(newName)
+			if ng == nil {
+				ng = m.AddGlobal(&ir.GlobalVar{
+					Name:    newName,
+					Elem:    &ir.ArrayType{Elem: ir.I8, Len: int64(len(stripped))},
+					Init:    []byte(stripped),
+					Linkage: ir.Internal,
+					Const:   true,
+				})
+			}
+			if m.LookupFunc("puts") == nil {
+				ir.NewDecl(m, "puts", &ir.FuncType{Params: []ir.Type{ir.Ptr}, Ret: ir.I32})
+			}
+			in.Callee = "puts"
+			in.Operands[0] = ng
+			changed = true
+		}
+	}
+	return changed
+}
+
+// foldConstGlobalLoads replaces loads from defined constant globals at
+// constant offsets with the loaded constant. Another Copy-on-use generator.
+func foldConstGlobalLoads(m *ir.Module, f *ir.Func, o *Options) bool {
+	repl := map[ir.Value]ir.Value{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpLoad {
+				continue
+			}
+			g, off, ok := constGlobalAddr(in.Operands[0])
+			if !ok || !g.Const || g.Decl || g.Init == nil {
+				continue
+			}
+			st, ok := in.Typ.(ir.ScalarType)
+			if !ok {
+				continue
+			}
+			size := st.Size()
+			if off < 0 || off+size > int64(len(g.Init)) {
+				continue
+			}
+			var v int64
+			for i := size - 1; i >= 0; i-- {
+				v = v<<8 | int64(g.Init[off+i])
+			}
+			if o != nil {
+				o.Report.AddCopyUse(g.Name, f.Name)
+			}
+			repl[in] = ir.Const(st, ir.TruncToWidth(v, st))
+		}
+	}
+	if len(repl) == 0 {
+		return false
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i, op := range in.Operands {
+				if nv, ok := repl[op]; ok {
+					in.Operands[i] = nv
+				}
+			}
+		}
+	}
+	return true
+}
+
+// constGlobalAddr recognizes @g or gep(@g, constIdx).
+func constGlobalAddr(v ir.Value) (*ir.GlobalVar, int64, bool) {
+	if g, ok := v.(*ir.GlobalVar); ok {
+		return g, 0, true
+	}
+	in, ok := v.(*ir.Instr)
+	if !ok || in.Op != ir.OpGEP {
+		return nil, 0, false
+	}
+	g, ok := in.Operands[0].(*ir.GlobalVar)
+	if !ok {
+		return nil, 0, false
+	}
+	idx, ok := ir.IsConstValue(in.Operands[1])
+	if !ok {
+		return nil, 0, false
+	}
+	return g, idx * in.Scale, true
+}

@@ -1,0 +1,273 @@
+package opt
+
+import (
+	"odin/internal/interp"
+	"odin/internal/ir"
+)
+
+// LoopUnroll fully unrolls small counted loops with compile-time-constant
+// trip counts — one of the passes the paper lists as committing "major
+// changes to a function's control-flow graph" (§2.2): after unrolling, one
+// source block becomes many machine blocks, and per-block coverage feedback
+// no longer maps onto the source CFG.
+//
+// The pattern handled is the canonical rotated loop:
+//
+//	P:  ... br H                     (unique preheader)
+//	H:  phis; %c = icmp <pred> iv, C; condbr %c, B, E
+//	B:  straight-line body ending in br H (unique latch)
+//
+// where iv is one of H's phis, stepped in B by a constant. The trip count
+// is found by symbolic execution of the induction sequence, so any
+// predicate and step sign is supported; loops longer than MaxUnrollTrips
+// iterations or with bodies over MaxUnrollBody instructions are left alone.
+type LoopUnroll struct{}
+
+// Unrolling limits.
+const (
+	MaxUnrollTrips = 8
+	MaxUnrollBody  = 24
+)
+
+// Name implements Pass.
+func (LoopUnroll) Name() string { return "loopunroll" }
+
+// Run implements Pass.
+func (LoopUnroll) Run(m *ir.Module, o *Options) bool {
+	changed := false
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		// One unroll per function per run keeps block lists stable.
+		if unrollOne(f) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+type loopShape struct {
+	pre, header, body, exit *ir.Block
+	phis                    []*ir.Instr
+	iv                      *ir.Instr // the induction phi
+	ivPreIdx, ivLatchIdx    int       // incoming indices from pre / body
+	cmp                     *ir.Instr
+	bound                   int64
+	init, step              int64
+	width                   ir.ScalarType
+}
+
+func unrollOne(f *ir.Func) bool {
+	for _, h := range f.Blocks {
+		shape, ok := matchLoop(f, h)
+		if !ok {
+			continue
+		}
+		trips, ok := tripCount(shape)
+		if !ok {
+			continue
+		}
+		applyUnroll(f, shape, trips)
+		return true
+	}
+	return false
+}
+
+// matchLoop recognizes the H/B pattern rooted at candidate header h.
+func matchLoop(f *ir.Func, h *ir.Block) (*loopShape, bool) {
+	term := h.Term()
+	if term == nil || term.Op != ir.OpCondBr {
+		return nil, false
+	}
+	body, exit := term.Targets[0], term.Targets[1]
+	if body == h || exit == h || body == exit {
+		return nil, false
+	}
+	// Body: single block ending in br h, sole pred h.
+	bt := body.Term()
+	if bt == nil || bt.Op != ir.OpBr || bt.Targets[0] != h {
+		return nil, false
+	}
+	if len(body.Instrs) > MaxUnrollBody || len(body.Phis()) > 0 {
+		return nil, false
+	}
+	preds := f.Preds()
+	if len(preds[body]) != 1 || len(preds[h]) != 2 {
+		return nil, false
+	}
+	var pre *ir.Block
+	for _, p := range preds[h] {
+		if p != body {
+			pre = p
+		}
+	}
+	if pre == nil || pre == body {
+		return nil, false
+	}
+	// Header contents: phis, then the compare, then the condbr.
+	phis := h.Phis()
+	if len(h.Instrs) != len(phis)+2 {
+		return nil, false
+	}
+	cmp := h.Instrs[len(phis)]
+	if cmp.Op != ir.OpICmp || term.Operands[0] != ir.Value(cmp) {
+		return nil, false
+	}
+	// cmp must compare a header phi against a constant.
+	iv, okIV := cmp.Operands[0].(*ir.Instr)
+	bound, okC := ir.IsConstValue(cmp.Operands[1])
+	if !okIV || !okC || iv.Op != ir.OpPhi || iv.Parent != h {
+		return nil, false
+	}
+	// The cmp result must feed only the condbr.
+	if useCounts(f)[cmp] != 1 {
+		return nil, false
+	}
+	shape := &loopShape{pre: pre, header: h, body: body, exit: exit, phis: phis, iv: iv, cmp: cmp, bound: bound}
+	// Locate incoming indices.
+	shape.ivPreIdx, shape.ivLatchIdx = -1, -1
+	for i, inc := range iv.Incoming {
+		if inc == pre {
+			shape.ivPreIdx = i
+		}
+		if inc == body {
+			shape.ivLatchIdx = i
+		}
+	}
+	if shape.ivPreIdx < 0 || shape.ivLatchIdx < 0 {
+		return nil, false
+	}
+	initV, ok := ir.IsConstValue(iv.Operands[shape.ivPreIdx])
+	if !ok {
+		return nil, false
+	}
+	// The latch value must be `add iv, constStep` computed in the body.
+	stepIn, ok := iv.Operands[shape.ivLatchIdx].(*ir.Instr)
+	if !ok || stepIn.Op != ir.OpAdd || stepIn.Parent != body || stepIn.Operands[0] != ir.Value(iv) {
+		return nil, false
+	}
+	step, ok := ir.IsConstValue(stepIn.Operands[1])
+	if !ok || step == 0 {
+		return nil, false
+	}
+	st, ok := iv.Typ.(ir.ScalarType)
+	if !ok || !st.IsInteger() {
+		return nil, false
+	}
+	// Every header phi needs incoming from exactly pre and body.
+	for _, phi := range phis {
+		if len(phi.Incoming) != 2 {
+			return nil, false
+		}
+	}
+	shape.init, shape.step, shape.width = initV, step, st
+	return shape, true
+}
+
+// tripCount symbolically executes the induction sequence.
+func tripCount(s *loopShape) (int, bool) {
+	iv := s.init
+	for trips := 0; trips <= MaxUnrollTrips; trips++ {
+		if !ir.EvalPred(s.cmp.Pred, iv, s.bound, s.width) {
+			return trips, true
+		}
+		next, err := interp.EvalBinOp(ir.OpAdd, iv, s.step, s.width)
+		if err != nil {
+			return 0, false
+		}
+		iv = next
+	}
+	return 0, false // too many iterations
+}
+
+// applyUnroll replaces the loop with trips copies of the body.
+func applyUnroll(f *ir.Func, s *loopShape, trips int) {
+	// cur tracks the running value of each header phi.
+	cur := map[ir.Value]ir.Value{}
+	latchVal := map[*ir.Instr]ir.Value{} // phi -> its incoming-from-body value
+	for _, phi := range s.phis {
+		for i, inc := range phi.Incoming {
+			if inc == s.pre {
+				cur[phi] = phi.Operands[i]
+			} else {
+				latchVal[phi] = phi.Operands[i]
+			}
+		}
+	}
+
+	lastBlock := s.pre
+	for k := 0; k < trips; k++ {
+		nb := &ir.Block{Name: f.UniqueLabel(s.body.Name + ".u"), Parent: f}
+		// Insert after lastBlock for readable ordering.
+		idx := f.BlockIndex(lastBlock) + 1
+		f.Blocks = append(f.Blocks, nil)
+		copy(f.Blocks[idx+1:], f.Blocks[idx:])
+		f.Blocks[idx] = nb
+
+		vmap := ir.NewValueMap()
+		for phi, v := range cur {
+			vmap.Values[phi] = v
+		}
+		for _, in := range s.body.Instrs {
+			if in.Op.IsTerminator() {
+				break
+			}
+			cl := ir.CloneInstr(in, vmap)
+			if cl.HasResult() {
+				cl.Name = f.NextName("u")
+				vmap.Values[in] = cl
+			}
+			nb.Append(cl)
+		}
+		// The clone's terminator provisionally targets the header; it is
+		// retargeted to the next clone (or the exit) below.
+		nb.Append(&ir.Instr{Op: ir.OpBr, Typ: ir.Void, Targets: []*ir.Block{s.header}})
+		// Wire the previous block (preheader or previous clone) here.
+		retargetTerm(lastBlock, s.header, nb)
+		// Advance phi state to the latch values, mapped into this clone.
+		next := map[ir.Value]ir.Value{}
+		for _, phi := range s.phis {
+			next[phi] = vmap.MapValue(latchVal[phi])
+		}
+		cur = next
+		lastBlock = nb
+	}
+	// The final edge (from the last clone, or straight from the preheader
+	// when the loop runs zero times) goes to the exit.
+	retargetTerm(lastBlock, s.header, s.exit)
+
+	// Exit phis: the edge from header becomes an edge from lastBlock, with
+	// header-phi values replaced by their final state.
+	for _, phi := range s.exit.Phis() {
+		for i, inc := range phi.Incoming {
+			if inc == s.header {
+				phi.Incoming[i] = lastBlock
+				if hv, ok := cur[phi.Operands[i]]; ok {
+					phi.Operands[i] = hv
+				}
+			}
+		}
+	}
+	// Any other use of a header phi outside the loop gets the final value.
+	for _, phi := range s.phis {
+		if fin, ok := cur[phi]; ok {
+			replaceUses(f, phi, fin)
+		}
+	}
+	f.RemoveBlock(s.header)
+	f.RemoveBlock(s.body)
+}
+
+// retargetTerm rewrites b's terminator targets from old to new.
+func retargetTerm(b *ir.Block, old, new *ir.Block) {
+	t := b.Term()
+	if t == nil {
+		return
+	}
+	for i, tgt := range t.Targets {
+		if tgt == old {
+			t.Targets[i] = new
+		}
+	}
+}

@@ -1,0 +1,368 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"odin/internal/interp"
+	"odin/internal/ir"
+	"odin/internal/irtext"
+)
+
+func TestCSEEliminatesDuplicates(t *testing.T) {
+	src := `
+func @f(%x: i64, %y: i64) -> i64 {
+entry:
+  %a = add i64 %x, %y
+  %b = add i64 %x, %y
+  %c = mul i64 %a, %b
+  %d = mul i64 %a, %b
+  %r = add i64 %c, %d
+  ret i64 %r
+}
+`
+	m := irtext.MustParse("m", src)
+	CSE{}.Run(m, nil)
+	DCE{}.Run(m, nil)
+	ir.MustVerify(m)
+	f := m.LookupFunc("f")
+	adds, muls := 0, 0
+	for _, in := range f.Blocks[0].Instrs {
+		switch in.Op {
+		case ir.OpAdd:
+			adds++
+		case ir.OpMul:
+			muls++
+		}
+	}
+	if adds != 2 || muls != 1 { // one x+y, one c+d... c==d so c+d stays, mul deduped
+		t.Fatalf("adds=%d muls=%d after CSE:\n%s", adds, muls, ir.Print(m))
+	}
+	// Semantics preserved.
+	ip, err := interp.New(m, newEnvForTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ip.Run("f", 3, 4)
+	if err != nil || got != 98 { // (7*7)+(7*7)
+		t.Fatalf("f(3,4) = %d, %v; want 98", got, err)
+	}
+}
+
+func TestCSEDoesNotMergeAcrossBlocks(t *testing.T) {
+	src := `
+func @f(%x: i64, %c: i1) -> i64 {
+entry:
+  %a = add i64 %x, 1
+  condbr %c, t, e
+t:
+  %b = add i64 %x, 1
+  ret i64 %b
+e:
+  ret i64 %a
+}
+`
+	m := irtext.MustParse("m", src)
+	CSE{}.Run(m, nil)
+	ir.MustVerify(m)
+	// Local CSE only: the duplicate in block t must survive (it is in a
+	// different block).
+	f := m.LookupFunc("f")
+	if len(f.Blocks[1].Instrs) != 2 {
+		t.Fatalf("cross-block CSE happened:\n%s", ir.Print(m))
+	}
+}
+
+func TestCSEDoesNotTouchLoads(t *testing.T) {
+	src := `
+global @g : i64 = zero
+func @f() -> i64 {
+entry:
+  %a = load i64, @g
+  store i64 42, @g
+  %b = load i64, @g
+  %r = add i64 %a, %b
+  ret i64 %r
+}
+`
+	m := irtext.MustParse("m", src)
+	CSE{}.Run(m, nil)
+	ir.MustVerify(m)
+	loads := 0
+	for _, in := range m.LookupFunc("f").Blocks[0].Instrs {
+		if in.Op == ir.OpLoad {
+			loads++
+		}
+	}
+	if loads != 2 {
+		t.Fatalf("loads merged across a store: %d", loads)
+	}
+}
+
+const countedLoopSrc = `
+func @f(%x: i64) -> i64 {
+entry:
+  br head
+head:
+  %i = phi i64 [0, entry], [%i2, body]
+  %acc = phi i64 [%x, entry], [%acc2, body]
+  %c = icmp slt i64 %i, 4
+  condbr %c, body, exit
+body:
+  %sq = mul i64 %acc, %acc
+  %acc2 = and i64 %sq, 1023
+  %i2 = add i64 %i, 1
+  br head
+exit:
+  ret i64 %acc
+}
+`
+
+func TestLoopUnrollCountedLoop(t *testing.T) {
+	m := irtext.MustParse("m", countedLoopSrc)
+	orig, _ := ir.CloneModule(m)
+	Optimize(m, &Options{Level: 2})
+	ir.MustVerify(m)
+	f := m.LookupFunc("f")
+	// The loop must be gone: no phis, no backedges.
+	for _, b := range f.Blocks {
+		if len(b.Phis()) > 0 {
+			t.Fatalf("phi survived unrolling:\n%s", ir.Print(m))
+		}
+		for _, s := range b.Succs() {
+			if f.BlockIndex(s) <= f.BlockIndex(b) {
+				t.Fatalf("backedge survived unrolling:\n%s", ir.Print(m))
+			}
+		}
+	}
+	// Differential check.
+	for _, x := range []int64{0, 1, 5, -3, 77} {
+		ipO, _ := interp.New(m, newEnvForTest())
+		got, err := ipO.Run("f", x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ipR, _ := interp.New(orig, newEnvForTest())
+		want, err := ipR.Run("f", x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("f(%d) = %d, want %d\n%s", x, got, want, ir.Print(m))
+		}
+	}
+}
+
+func TestLoopUnrollZeroTrips(t *testing.T) {
+	src := `
+func @f(%x: i64) -> i64 {
+entry:
+  br head
+head:
+  %i = phi i64 [9, entry], [%i2, body]
+  %acc = phi i64 [%x, entry], [%acc2, body]
+  %c = icmp slt i64 %i, 4
+  condbr %c, body, exit
+body:
+  %acc2 = add i64 %acc, 100
+  %i2 = add i64 %i, 1
+  br head
+exit:
+  ret i64 %acc
+}
+`
+	m := irtext.MustParse("m", src)
+	Optimize(m, &Options{Level: 2})
+	ir.MustVerify(m)
+	ip, _ := interp.New(m, newEnvForTest())
+	got, err := ip.Run("f", 55)
+	if err != nil || got != 55 {
+		t.Fatalf("zero-trip loop: f(55) = %d, %v", got, err)
+	}
+}
+
+func TestLoopUnrollSkipsLargeTripCounts(t *testing.T) {
+	src := `
+func @f() -> i64 {
+entry:
+  br head
+head:
+  %i = phi i64 [0, entry], [%i2, body]
+  %c = icmp slt i64 %i, 1000
+  condbr %c, body, exit
+body:
+  %i2 = add i64 %i, 1
+  br head
+exit:
+  ret i64 %i
+}
+`
+	m := irtext.MustParse("m", src)
+	changed := LoopUnroll{}.Run(m, nil)
+	if changed {
+		t.Fatal("1000-trip loop unrolled")
+	}
+}
+
+func TestLoopUnrollSkipsDataDependentBounds(t *testing.T) {
+	src := `
+func @f(%n: i64) -> i64 {
+entry:
+  br head
+head:
+  %i = phi i64 [0, entry], [%i2, body]
+  %c = icmp slt i64 %i, %n
+  condbr %c, body, exit
+body:
+  %i2 = add i64 %i, 1
+  br head
+exit:
+  ret i64 %i
+}
+`
+	m := irtext.MustParse("m", src)
+	if changed := (LoopUnroll{}).Run(m, nil); changed {
+		t.Fatal("data-dependent loop unrolled")
+	}
+}
+
+func TestLoopUnrollDuplicatesProbeCalls(t *testing.T) {
+	// §2.2 "missing/redundant basic blocks": unrolling clones the body —
+	// including any probe calls — so post-opt instrumentation placement
+	// would see four copies of one source block.
+	src := `
+declare func @probe(%id: i64) -> void
+func @f(%x: i64) -> i64 {
+entry:
+  br head
+head:
+  %i = phi i64 [0, entry], [%i2, body]
+  %acc = phi i64 [%x, entry], [%acc2, body]
+  %c = icmp slt i64 %i, 4
+  condbr %c, body, exit
+body:
+  call void @probe(i64 9)
+  %acc2 = add i64 %acc, %i
+  %i2 = add i64 %i, 1
+  br head
+exit:
+  ret i64 %acc
+}
+`
+	m := irtext.MustParse("m", src)
+	Optimize(m, &Options{Level: 2})
+	ir.MustVerify(m)
+	calls := 0
+	for _, b := range m.LookupFunc("f").Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCall && in.Callee == "probe" {
+				calls++
+			}
+		}
+	}
+	if calls != 4 {
+		t.Fatalf("probe call cloned %d times, want 4:\n%s", calls, ir.Print(m))
+	}
+}
+
+func TestLoopUnrollNegativeStep(t *testing.T) {
+	src := `
+func @f(%x: i64) -> i64 {
+entry:
+  br head
+head:
+  %i = phi i64 [6, entry], [%i2, body]
+  %acc = phi i64 [%x, entry], [%acc2, body]
+  %c = icmp sgt i64 %i, 0
+  condbr %c, body, exit
+body:
+  %acc2 = add i64 %acc, %i
+  %i2 = add i64 %i, -2
+  br head
+exit:
+  ret i64 %acc
+}
+`
+	m := irtext.MustParse("m", src)
+	orig, _ := ir.CloneModule(m)
+	Optimize(m, &Options{Level: 2})
+	ir.MustVerify(m)
+	ipO, _ := interp.New(m, newEnvForTest())
+	got, err := ipO.Run("f", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipR, _ := interp.New(orig, newEnvForTest())
+	want, _ := ipR.Run("f", 1)
+	if got != want { // 1 + 6 + 4 + 2 = 13
+		t.Fatalf("f(1) = %d, want %d", got, want)
+	}
+}
+
+// TestOptimizeDifferentialWithLoops: random constant-trip loops through the
+// full pipeline behave like the original.
+func TestOptimizeDifferentialWithLoops(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomLoopProgram(rng)
+		ir.MustVerify(m)
+		orig, _ := ir.CloneModule(m)
+		Optimize(m, &Options{Level: 2})
+		if err := ir.Verify(m); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, ir.Print(m))
+		}
+		for _, x := range []int64{0, 3, -9, 40} {
+			ipO, _ := interp.New(m, newEnvForTest())
+			got, errO := ipO.Run("main", x)
+			ipR, _ := interp.New(orig, newEnvForTest())
+			want, errR := ipR.Run("main", x)
+			if (errO == nil) != (errR == nil) || (errO == nil && got != want) {
+				t.Fatalf("seed %d x=%d: got %d/%v want %d/%v\n--- opt ---\n%s--- orig ---\n%s",
+					seed, x, got, errO, want, errR, ir.Print(m), ir.Print(orig))
+			}
+		}
+	}
+}
+
+func randomLoopProgram(rng *rand.Rand) *ir.Module {
+	m := ir.NewModule("loops")
+	f := ir.NewFunc(m, "main", &ir.FuncType{Params: []ir.Type{ir.I64}, Ret: ir.I64}, []string{"x"})
+	entry := f.AddBlock("entry")
+	head := f.AddBlock("head")
+	body := f.AddBlock("body")
+	exit := f.AddBlock("exit")
+	b := ir.NewBuilder()
+	b.SetBlock(entry)
+	b.Br(head)
+	b.SetBlock(head)
+	init := rng.Int63n(10)
+	bound := rng.Int63n(12)
+	step := rng.Int63n(3) + 1
+	iPhi := b.Phi(ir.I64, []ir.Value{ir.Const(ir.I64, init), nil}, []*ir.Block{entry, nil})
+	accPhi := b.Phi(ir.I64, []ir.Value{f.Params[0], nil}, []*ir.Block{entry, nil})
+	preds := []ir.Pred{ir.PredSLT, ir.PredSLE, ir.PredNE}
+	pred := preds[rng.Intn(len(preds))]
+	if pred == ir.PredNE {
+		// Guarantee termination: bound reachable from init by step.
+		delta := rng.Int63n(4) * step
+		bound = init + delta
+	}
+	c := b.ICmp(pred, iPhi, ir.Const(ir.I64, bound))
+	b.CondBr(c, body, exit)
+	b.SetBlock(body)
+	ops := []ir.Op{ir.OpAdd, ir.OpXor, ir.OpMul, ir.OpSub}
+	var acc ir.Value = accPhi
+	for k := 0; k < rng.Intn(4)+1; k++ {
+		acc = b.Bin(ops[rng.Intn(len(ops))], acc, iPhi)
+	}
+	i2 := b.Add(iPhi, ir.Const(ir.I64, step))
+	b.Br(head)
+	iPhi.Operands[1] = i2
+	iPhi.Incoming[1] = body
+	accPhi.Operands[1] = acc
+	accPhi.Incoming[1] = body
+	b.SetBlock(exit)
+	res := b.Add(accPhi, iPhi)
+	b.Ret(res)
+	return m
+}

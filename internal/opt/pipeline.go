@@ -1,0 +1,153 @@
+// Package opt implements the optimization pipeline: a pass manager and the
+// passes whose interplay with instrumentation the paper studies.
+//
+// Two features matter beyond ordinary optimization:
+//
+//  1. Passes only fire when the symbols they need are visible in the module
+//     being compiled. Interprocedural passes (inlining, dead-argument
+//     elimination) need callee/caller definitions; instruction combining
+//     needs referenced constants. Compiling a fragment that lacks those
+//     symbols silently loses the optimization — exactly the effect Odin's
+//     partitioner must avoid (paper §2.3, Figure 4).
+//
+//  2. A trial run records which symbol pairs each interprocedural
+//     optimization required ("Bond") and which constants local optimization
+//     inspected ("Copy-on-use") into a Report. Odin's partitioner consumes
+//     the report to build fragments that preserve every optimization
+//     (paper §3.2).
+package opt
+
+import (
+	"sort"
+
+	"odin/internal/ir"
+)
+
+// Report accumulates the optimization-dependency log of a trial run.
+type Report struct {
+	// Bonds lists symbol pairs that interprocedural optimization must see
+	// together (callee/caller for inlining and dead-argument elimination).
+	Bonds [][2]string
+	// CopyUses lists (constant symbol, using function) pairs local
+	// optimization needed; the partitioner clones such constants into the
+	// user's fragment.
+	CopyUses [][2]string
+}
+
+// AddBond records that a and b must be compiled together.
+func (r *Report) AddBond(a, b string) {
+	if r == nil || a == b {
+		return
+	}
+	r.Bonds = append(r.Bonds, [2]string{a, b})
+}
+
+// AddCopyUse records that function user inspected constant c.
+func (r *Report) AddCopyUse(c, user string) {
+	if r == nil {
+		return
+	}
+	r.CopyUses = append(r.CopyUses, [2]string{c, user})
+}
+
+// Dedup sorts and deduplicates the report, making it deterministic.
+func (r *Report) Dedup() {
+	r.Bonds = dedupPairs(r.Bonds)
+	r.CopyUses = dedupPairs(r.CopyUses)
+}
+
+func dedupPairs(ps [][2]string) [][2]string {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i][0] != ps[j][0] {
+			return ps[i][0] < ps[j][0]
+		}
+		return ps[i][1] < ps[j][1]
+	})
+	out := ps[:0]
+	for i, p := range ps {
+		if i == 0 || p != ps[i-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Options configures a pipeline run.
+type Options struct {
+	// Level 0 disables optimization entirely; 1 runs local passes only;
+	// 2 (default for experiments) adds interprocedural passes.
+	Level int
+	// Report, when non-nil, receives the dependency log.
+	Report *Report
+	// MaxInlineInstrs overrides the inliner size threshold (0 = default).
+	MaxInlineInstrs int
+	// SkipGlobalDCE keeps unreferenced internal symbols. Odin's fragment
+	// recompilations do NOT need it — a member another fragment imports
+	// is exported and therefore a global-DCE root — but tools that want
+	// to preserve dead internal code (e.g. to instrument it later without
+	// a repartition) can set it.
+	SkipGlobalDCE bool
+}
+
+// Pass is one transformation over a module. Run returns whether anything
+// changed.
+type Pass interface {
+	Name() string
+	Run(m *ir.Module, o *Options) bool
+}
+
+// localPasses returns the intraprocedural pass set.
+func localPasses() []Pass {
+	return []Pass{ConstProp{}, InstCombine{}, CSE{}, SimplifyCFG{}, DCE{}}
+}
+
+// Optimize runs the full pipeline at o.Level over the module, mimicking an
+// O2-style loop: local cleanup, interprocedural transforms, local cleanup,
+// global DCE. The module is verified before and after in debug builds via
+// the caller; Optimize itself only transforms.
+func Optimize(m *ir.Module, o *Options) {
+	if o == nil {
+		o = &Options{Level: 2}
+	}
+	if o.Level <= 0 {
+		return
+	}
+	runToFixpoint(m, o, localPasses(), 8)
+	if o.Level >= 2 {
+		// Fully unroll small constant-trip loops; each round may expose
+		// folding that enables further unrolling.
+		for i := 0; i < 4; i++ {
+			if !(LoopUnroll{}).Run(m, o) {
+				break
+			}
+			runToFixpoint(m, o, localPasses(), 8)
+		}
+		// Interprocedural round. Inlining exposes local opportunities,
+		// so alternate with local cleanup.
+		for i := 0; i < 4; i++ {
+			changed := Inline{}.Run(m, o)
+			changed = DeadArgElim{}.Run(m, o) || changed
+			runToFixpoint(m, o, localPasses(), 8)
+			if !changed {
+				break
+			}
+		}
+		if !o.SkipGlobalDCE {
+			GlobalDCE{}.Run(m, o)
+		}
+	}
+}
+
+func runToFixpoint(m *ir.Module, o *Options, passes []Pass, maxIters int) {
+	for i := 0; i < maxIters; i++ {
+		changed := false
+		for _, p := range passes {
+			if p.Run(m, o) {
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}

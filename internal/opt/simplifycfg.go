@@ -1,0 +1,184 @@
+package opt
+
+import "odin/internal/ir"
+
+// SimplifyCFG performs the control-flow cleanups the paper lists among the
+// "missing/redundant basic blocks" distortions (§2.2): merging single-
+// predecessor chains, threading empty forwarding blocks, and folding
+// degenerate phis. Post-optimization basic blocks therefore no longer
+// correspond to source basic blocks — which is why instrumenting after
+// optimization degrades coverage feedback.
+type SimplifyCFG struct{}
+
+// Name implements Pass.
+func (SimplifyCFG) Name() string { return "simplifycfg" }
+
+// Run implements Pass.
+func (SimplifyCFG) Run(m *ir.Module, o *Options) bool {
+	changed := false
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		for simplifyFunc(f) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+func simplifyFunc(f *ir.Func) bool {
+	changed := removeUnreachable(f)
+	changed = foldSinglePhis(f) || changed
+	changed = mergeChains(f) || changed
+	changed = threadEmptyBlocks(f) || changed
+	return changed
+}
+
+// foldSinglePhis replaces phis with a single incoming edge (or identical
+// incoming values) by the value itself.
+func foldSinglePhis(f *ir.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := b.Instrs[i]
+			if in.Op != ir.OpPhi {
+				continue
+			}
+			v, ok := singlePhiValue(in)
+			if !ok || v == in {
+				continue
+			}
+			replaceUses(f, in, v)
+			b.RemoveAt(i)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// mergeChains merges b into its sole successor s when b ends in an
+// unconditional branch and s has exactly one predecessor.
+func mergeChains(f *ir.Func) bool {
+	changed := false
+	for {
+		preds := f.Preds()
+		merged := false
+		for _, b := range f.Blocks {
+			t := b.Term()
+			if t == nil || t.Op != ir.OpBr {
+				continue
+			}
+			s := t.Targets[0]
+			if s == b || s == f.Entry() || len(preds[s]) != 1 {
+				continue
+			}
+			// Fold s's phis: single predecessor means single incoming.
+			for _, phi := range s.Phis() {
+				replaceUses(f, phi, phi.Operands[0])
+			}
+			// Drop b's terminator and append s's non-phi instructions.
+			b.Instrs = b.Instrs[:len(b.Instrs)-1]
+			for _, in := range s.Instrs {
+				if in.Op == ir.OpPhi {
+					continue
+				}
+				b.Append(in)
+			}
+			// Successors of s now have predecessor b instead of s.
+			for _, ss := range b.Succs() {
+				retargetPhis(ss, s, b)
+			}
+			f.RemoveBlock(s)
+			merged = true
+			changed = true
+			break // preds map is stale; recompute
+		}
+		if !merged {
+			return changed
+		}
+	}
+}
+
+// threadEmptyBlocks redirects predecessors of a block that contains only an
+// unconditional branch straight to its destination.
+func threadEmptyBlocks(f *ir.Func) bool {
+	changed := false
+	for {
+		preds := f.Preds()
+		threaded := false
+		for _, e := range f.Blocks {
+			if e == f.Entry() || len(e.Instrs) != 1 {
+				continue
+			}
+			t := e.Term()
+			if t == nil || t.Op != ir.OpBr {
+				continue
+			}
+			d := t.Targets[0]
+			if d == e {
+				continue
+			}
+			// Every phi in d must be retargetable: for each pred p of
+			// e, d must not already have an incoming from p (it would
+			// create a duplicate edge).
+			ok := true
+			dPhis := d.Phis()
+			if len(dPhis) > 0 {
+				existing := map[*ir.Block]bool{}
+				for _, inc := range dPhis[0].Incoming {
+					existing[inc] = true
+				}
+				for _, p := range preds[e] {
+					if existing[p] {
+						ok = false
+						break
+					}
+				}
+			}
+			if !ok || len(preds[e]) == 0 {
+				continue
+			}
+			// Redirect each predecessor's terminator from e to d and
+			// duplicate d's phi entries for the new edge.
+			for _, p := range preds[e] {
+				pt := p.Term()
+				for i, tgt := range pt.Targets {
+					if tgt == e {
+						pt.Targets[i] = d
+					}
+				}
+				for _, phi := range dPhis {
+					// The value flowing e->d now flows p->d.
+					for i, inc := range phi.Incoming {
+						if inc == e {
+							phi.Operands = append(phi.Operands, phi.Operands[i])
+							phi.Incoming = append(phi.Incoming, p)
+							break
+						}
+					}
+				}
+			}
+			for _, phi := range dPhis {
+				removePhiIncomingBlock(phi, e)
+			}
+			f.RemoveBlock(e)
+			threaded = true
+			changed = true
+			break
+		}
+		if !threaded {
+			return changed
+		}
+	}
+}
+
+func removePhiIncomingBlock(phi *ir.Instr, b *ir.Block) {
+	for i, inc := range phi.Incoming {
+		if inc == b {
+			phi.Incoming = append(phi.Incoming[:i], phi.Incoming[i+1:]...)
+			phi.Operands = append(phi.Operands[:i], phi.Operands[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package prng
+
+// RNG is a deterministic xorshift64* generator. The fuzzer must be fully
+// reproducible so experiment corpora are identical across runs and tools.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG seeds a generator; seed 0 is remapped to a fixed constant.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a value in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Byte returns a random byte.
+func (r *RNG) Byte() byte { return byte(r.Uint64()) }
+
+// Bool returns a random boolean.
+func (r *RNG) Bool() bool { return r.Uint64()&1 == 1 }

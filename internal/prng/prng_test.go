@@ -1,0 +1,67 @@
+package prng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterministicStreams(t *testing.T) {
+	prop := func(seed uint64) bool {
+		a, b := NewRNG(seed), NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroSeedRemapped(t *testing.T) {
+	if NewRNG(0).Uint64() == 0 {
+		t.Fatal("zero seed produced zero state")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	counts := make([]int, 7)
+	for i := 0; i < 7000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c == 0 {
+			t.Fatalf("value %d never produced", v)
+		}
+	}
+	if r.Intn(0) != 0 || r.Intn(-5) != 0 {
+		t.Fatal("non-positive n should yield 0")
+	}
+}
+
+func TestByteAndBool(t *testing.T) {
+	r := NewRNG(9)
+	seenTrue, seenFalse := false, false
+	bytes := map[byte]bool{}
+	for i := 0; i < 2000; i++ {
+		if r.Bool() {
+			seenTrue = true
+		} else {
+			seenFalse = true
+		}
+		bytes[r.Byte()] = true
+	}
+	if !seenTrue || !seenFalse {
+		t.Fatal("Bool not varied")
+	}
+	if len(bytes) < 128 {
+		t.Fatalf("Byte poorly distributed: %d distinct", len(bytes))
+	}
+}

@@ -1,0 +1,561 @@
+// Package progen deterministically generates the 13-program workload suite
+// standing in for the Google fuzzer-test-suite / FuzzBench programs the
+// paper evaluates on (§5).
+//
+// What the experiments need from each target is its *shape*, not its code:
+// how many functions, how big, how reliant on interprocedural optimization
+// (harfbuzz suffers 187% overhead under blind partitioning; libjpeg under
+// 1%), whether one enormous interpreter function dominates (sqlite's
+// sqlite3VdbeExec), or whether the program is a header-only template library
+// whose hundreds of tiny functions mostly fold away (json). Profiles encode
+// those shapes; Generate lowers a profile to a self-contained IR program
+// with a fuzz_target(data, len) entry point that parses its input, branches
+// on magic bytes, and exercises helper call graphs.
+package progen
+
+import (
+	"fmt"
+
+	"odin/internal/ir"
+	"odin/internal/prng"
+)
+
+// Profile parameterizes one generated program.
+type Profile struct {
+	Name string
+	Seed uint64
+
+	// Parsers is the number of top-level input-parsing functions the
+	// entry point dispatches to.
+	Parsers int
+	// ParserLoopBlocks controls CFG size inside each parser.
+	ParserLoopBlocks int
+	// TinyHelpers are small internal functions (inline candidates).
+	TinyHelpers int
+	// UncalledHelpers are generated but never called (template-library
+	// bloat; global DCE removes them whole-program, as with json where
+	// only 27 of 544 functions survive).
+	UncalledHelpers int
+	// DeadArgHelpers are internal helpers with an unused parameter
+	// (dead-argument-elimination candidates).
+	DeadArgHelpers int
+	// HelperCallDensity is the probability (in percent) that a parser's
+	// loop body calls a dead-arg helper.
+	HelperCallDensity int
+	// HelperCallsPerIter is the number of tiny-helper calls chained into
+	// each parser loop iteration — the knob for interprocedural-
+	// optimization reliance. Half of the calls pass constant arguments,
+	// so whole-program inlining folds them away entirely while a blindly
+	// partitioned build pays the full call on every iteration.
+	HelperCallsPerIter int
+	// ConstTables are internal constant byte tables (copy-on-use
+	// candidates via constant-index loads).
+	ConstTables int
+	// PrintfStrings adds printf("...\n") calls (the puts-rewrite
+	// copy-on-use case). They execute rarely (behind a magic check).
+	PrintfStrings int
+	// BigSwitchCases, when positive, adds a sqlite3VdbeExec-style
+	// interpreter function with that many opcode cases.
+	BigSwitchCases int
+	// Aliases adds alias symbols for parser functions.
+	Aliases int
+	// MagicsPerParser is the number of nested magic-byte roadblocks.
+	MagicsPerParser int
+	// JunkArith is the length of foldable arithmetic chains planted in
+	// hot blocks (local-optimization wins).
+	JunkArith int
+	// PlantBug hides an abort() behind a 3-byte magic sequence in
+	// parser 0 — the fuzzing-demo target.
+	PlantBug bool
+}
+
+// gen carries generation state.
+type gen struct {
+	p   Profile
+	rng *prng.RNG
+	m   *ir.Module
+	b   *ir.Builder
+
+	state  *ir.GlobalVar
+	tables []*ir.GlobalVar
+	msgs   []*ir.GlobalVar
+
+	tinyNames []string
+	daNames   []string
+}
+
+// Generate lowers the profile to a verified module.
+func (p Profile) Generate() *ir.Module {
+	g := &gen{
+		p:   p,
+		rng: prng.NewRNG(p.Seed ^ hashName(p.Name)),
+		m:   ir.NewModule(p.Name),
+		b:   ir.NewBuilder(),
+	}
+	g.declareRuntime()
+	g.emitGlobals()
+	g.emitHelpers()
+	var parserNames []string
+	for i := 0; i < max(1, p.Parsers); i++ {
+		parserNames = append(parserNames, g.emitParser(i))
+	}
+	interpName := ""
+	if p.BigSwitchCases > 0 {
+		interpName = g.emitBigSwitch()
+	}
+	g.emitAliases(parserNames)
+	g.emitEntry(parserNames, interpName)
+	ir.MustVerify(g.m)
+	return g.m
+}
+
+func hashName(s string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// helperSubset returns parser idx's local slice of the helper pool.
+func helperSubset(names []string, idx, parsers int) []string {
+	if len(names) == 0 || parsers <= 1 {
+		return names
+	}
+	per := max(1, len(names)/parsers)
+	start := (idx * per) % len(names)
+	end := start + per
+	if end > len(names) {
+		end = len(names)
+	}
+	return names[start:end]
+}
+
+func (g *gen) declareRuntime() {
+	ir.NewDecl(g.m, "write_byte", &ir.FuncType{Params: []ir.Type{ir.I64}, Ret: ir.Void})
+	ir.NewDecl(g.m, "printf", &ir.FuncType{Params: []ir.Type{ir.Ptr}, Ret: ir.I32})
+	ir.NewDecl(g.m, "abort", &ir.FuncType{Params: nil, Ret: ir.Void})
+}
+
+func (g *gen) emitGlobals() {
+	g.state = g.m.AddGlobal(&ir.GlobalVar{
+		Name: "state",
+		Elem: &ir.ArrayType{Elem: ir.I64, Len: 64},
+	})
+	for i := 0; i < g.p.ConstTables; i++ {
+		init := make([]byte, 16)
+		for j := range init {
+			init[j] = g.rng.Byte()
+		}
+		g.tables = append(g.tables, g.m.AddGlobal(&ir.GlobalVar{
+			Name:    fmt.Sprintf("tab%d", i),
+			Elem:    &ir.ArrayType{Elem: ir.I8, Len: 16},
+			Init:    init,
+			Const:   true,
+			Linkage: ir.Internal,
+		}))
+	}
+	for i := 0; i < g.p.PrintfStrings; i++ {
+		s := fmt.Sprintf("event-%d\n\x00", i)
+		g.msgs = append(g.msgs, g.m.AddGlobal(&ir.GlobalVar{
+			Name:    fmt.Sprintf("msg%d", i),
+			Elem:    &ir.ArrayType{Elem: ir.I8, Len: int64(len(s))},
+			Init:    []byte(s),
+			Const:   true,
+			Linkage: ir.Internal,
+		}))
+	}
+}
+
+// junkChain plants a foldable arithmetic chain on v.
+func (g *gen) junkChain(v ir.Value) ir.Value {
+	for i := 0; i < g.p.JunkArith; i++ {
+		switch g.rng.Intn(4) {
+		case 0:
+			v = g.b.Add(v, ir.Const(ir.I64, 0))
+		case 1:
+			v = g.b.Mul(v, ir.Const(ir.I64, 1))
+		case 2:
+			v = g.b.Xor(v, ir.Const(ir.I64, 0))
+		case 3:
+			t := g.b.Add(v, ir.Const(ir.I64, int64(g.rng.Intn(16))))
+			v = g.b.Add(t, ir.Const(ir.I64, int64(-g.rng.Intn(16))))
+		}
+	}
+	return v
+}
+
+// arithBody emits a short real computation on v.
+func (g *gen) arithBody(v ir.Value, spice int64) ir.Value {
+	ops := []ir.Op{ir.OpAdd, ir.OpXor, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpSub}
+	n := 2 + g.rng.Intn(4)
+	for i := 0; i < n; i++ {
+		op := ops[g.rng.Intn(len(ops))]
+		c := int64(g.rng.Intn(61) + 1)
+		if op == ir.OpMul {
+			c = int64(2 + g.rng.Intn(6))
+		}
+		v = g.b.Bin(op, v, ir.Const(ir.I64, c+spice))
+	}
+	return v
+}
+
+func (g *gen) emitHelpers() {
+	for i := 0; i < g.p.TinyHelpers; i++ {
+		name := fmt.Sprintf("tiny%d", i)
+		f := ir.NewFunc(g.m, name, &ir.FuncType{Params: []ir.Type{ir.I64}, Ret: ir.I64}, []string{"x"})
+		f.Linkage = ir.Internal
+		g.b.SetBlock(f.AddBlock("entry"))
+		v := g.arithBody(f.Params[0], int64(i))
+		g.b.Ret(v)
+		g.tinyNames = append(g.tinyNames, name)
+	}
+	for i := 0; i < g.p.UncalledHelpers; i++ {
+		name := fmt.Sprintf("unused%d", i)
+		f := ir.NewFunc(g.m, name, &ir.FuncType{Params: []ir.Type{ir.I64}, Ret: ir.I64}, []string{"x"})
+		f.Linkage = ir.Internal
+		g.b.SetBlock(f.AddBlock("entry"))
+		g.b.Ret(g.arithBody(f.Params[0], int64(i)))
+	}
+	for i := 0; i < g.p.DeadArgHelpers; i++ {
+		name := fmt.Sprintf("da%d", i)
+		f := ir.NewFunc(g.m, name, &ir.FuncType{Params: []ir.Type{ir.I64, ir.I64}, Ret: ir.I64}, []string{"x", "mode"})
+		f.Linkage = ir.Internal
+		f.NoInline = true // keep it a call so DAE is the observable effect
+		g.b.SetBlock(f.AddBlock("entry"))
+		v := g.arithBody(f.Params[0], int64(i*3))
+		// Optionally read a constant table at a constant index: the
+		// copy-on-use generator.
+		if len(g.tables) > 0 && g.rng.Intn(2) == 0 {
+			tab := g.tables[g.rng.Intn(len(g.tables))]
+			p := g.b.GEP(tab, ir.Const(ir.I64, int64(g.rng.Intn(16))), 1)
+			tv := g.b.Load(ir.I8, p)
+			tv64 := g.b.ZExt(tv, ir.I64)
+			v = g.b.Add(v, tv64)
+		}
+		g.b.Ret(v)
+		g.daNames = append(g.daNames, name)
+	}
+}
+
+// emitParser builds one top-level parse_<i>(data, len) function.
+func (g *gen) emitParser(idx int) string {
+	name := fmt.Sprintf("parse_%d", idx)
+	f := ir.NewFunc(g.m, name, &ir.FuncType{Params: []ir.Type{ir.Ptr, ir.I64}, Ret: ir.I64}, []string{"data", "len"})
+	f.Linkage = ir.Internal
+	f.NoInline = true
+	data, length := f.Params[0], f.Params[1]
+
+	entry := f.AddBlock("entry")
+	head := f.AddBlock("head")
+	body := f.AddBlock("body")
+	exit := f.AddBlock("exit")
+
+	g.b.SetBlock(entry)
+	g.b.Br(head)
+
+	// Loop header: i, acc phis.
+	g.b.SetBlock(head)
+	iPhi := g.b.Phi(ir.I64, []ir.Value{ir.Const(ir.I64, 0), nil}, []*ir.Block{entry, nil})
+	accPhi := g.b.Phi(ir.I64, []ir.Value{ir.Const(ir.I64, int64(idx)), nil}, []*ir.Block{entry, nil})
+	cond := g.b.ICmp(ir.PredSLT, iPhi, length)
+	g.b.CondBr(cond, body, exit)
+
+	// Loop body: load byte, then a chain of feature blocks.
+	g.b.SetBlock(body)
+	ptr := g.b.GEP(data, iPhi, 1)
+	bByte := g.b.Load(ir.I8, ptr)
+	b64 := g.b.ZExt(bByte, ir.I64)
+	var acc ir.Value = g.b.Add(accPhi, b64)
+	acc = g.junkChain(acc)
+
+	cur := body
+	// Range-check diamond (the islower pattern) feeding coverage-relevant
+	// branching.
+	lo := int64(g.rng.Intn(64) + 32)
+	hi := lo + int64(g.rng.Intn(24)+4)
+	inRange := f.AddBlock(fmt.Sprintf("inrange%d", idx))
+	afterRange := f.AddBlock(fmt.Sprintf("afterrange%d", idx))
+	g.b.SetBlock(cur)
+	c1 := g.b.ICmp(ir.PredSGE, b64, ir.Const(ir.I64, lo))
+	g.b.CondBr(c1, inRange, afterRange)
+	g.b.SetBlock(inRange)
+	c2 := g.b.ICmp(ir.PredSLE, b64, ir.Const(ir.I64, hi))
+	c2z := g.b.ZExt(c2, ir.I64)
+	accIn := g.b.Add(acc, c2z)
+	g.b.Br(afterRange)
+	g.b.SetBlock(afterRange)
+	accMerged := g.b.Phi(ir.I64, []ir.Value{acc, accIn}, []*ir.Block{cur, inRange})
+	cur = afterRange
+	var accV ir.Value = accMerged
+
+	// Magic-byte roadblocks: nested comparisons guarding deeper blocks.
+	for mi := 0; mi < g.p.MagicsPerParser; mi++ {
+		magic := int64(g.rng.Intn(256))
+		if g.p.PlantBug && idx == 0 && mi == 0 {
+			// Deterministic outer magic so the planted bug is
+			// reachable by the input 0x42 0x42 0x55 0x47.
+			magic = 0x42
+		}
+		hit := f.AddBlock(fmt.Sprintf("magic%d_%d", idx, mi))
+		cont := f.AddBlock(fmt.Sprintf("cont%d_%d", idx, mi))
+		g.b.SetBlock(cur)
+		mc := g.b.ICmp(ir.PredEQ, b64, ir.Const(ir.I64, magic))
+		g.b.CondBr(mc, hit, cont)
+
+		g.b.SetBlock(hit)
+		var hitAcc ir.Value = g.b.Xor(accV, ir.Const(ir.I64, magic*3+1))
+		// Rare printf event (the puts-rewrite site).
+		if len(g.msgs) > 0 && mi == 0 && g.rng.Intn(2) == 0 {
+			msg := g.msgs[g.rng.Intn(len(g.msgs))]
+			g.b.Call(ir.I32, "printf", msg)
+		}
+		// Update global state.
+		slot := g.b.GEP(g.state, ir.Const(ir.I64, int64(g.rng.Intn(64))), 8)
+		old := g.b.Load(ir.I64, slot)
+		upd := g.b.Add(old, hitAcc)
+		g.b.Store(upd, slot)
+		// Planted bug: abort when parser 0 sees the magic sequence
+		// 0x42 0x55 0x47 ("BUG") at positions 1..3.
+		if g.p.PlantBug && idx == 0 && mi == 0 {
+			bugChk := f.AddBlock("bugchk")
+			bug2 := f.AddBlock("bug2")
+			bug3 := f.AddBlock("bug3")
+			boom := f.AddBlock("boom")
+			afterBug := f.AddBlock("afterbug")
+			g.b.SetBlock(hit)
+			lenOK := g.b.ICmp(ir.PredSGE, length, ir.Const(ir.I64, 4))
+			g.b.CondBr(lenOK, bugChk, afterBug)
+			g.b.SetBlock(bugChk)
+			p1 := g.b.GEP(data, ir.Const(ir.I64, 1), 1)
+			v1 := g.b.Load(ir.I8, p1)
+			c1 := g.b.ICmp(ir.PredEQ, v1, ir.Const(ir.I8, 0x42))
+			g.b.CondBr(c1, bug2, afterBug)
+			g.b.SetBlock(bug2)
+			p2 := g.b.GEP(data, ir.Const(ir.I64, 2), 1)
+			v2 := g.b.Load(ir.I8, p2)
+			cc2 := g.b.ICmp(ir.PredEQ, v2, ir.Const(ir.I8, 0x55))
+			g.b.CondBr(cc2, bug3, afterBug)
+			g.b.SetBlock(bug3)
+			p3 := g.b.GEP(data, ir.Const(ir.I64, 3), 1)
+			v3 := g.b.Load(ir.I8, p3)
+			cc3 := g.b.ICmp(ir.PredEQ, v3, ir.Const(ir.I8, 0x47))
+			g.b.CondBr(cc3, boom, afterBug)
+			g.b.SetBlock(boom)
+			g.b.Call(ir.Void, "abort")
+			g.b.Unreachable()
+			g.b.SetBlock(afterBug)
+			g.b.Br(cont)
+			hit = afterBug
+		} else {
+			g.b.SetBlock(hit)
+			g.b.Br(cont)
+		}
+		g.b.SetBlock(cont)
+		merged := g.b.Phi(ir.I64, []ir.Value{accV, hitAcc}, []*ir.Block{cur, hit})
+		accV = merged
+		cur = cont
+	}
+
+	// Helper calls. Tiny helpers are drawn from this parser's local
+	// subset (real programs have per-module static helpers), keeping
+	// Odin's bond clusters parser-sized rather than program-sized.
+	g.b.SetBlock(cur)
+	tiny := helperSubset(g.tinyNames, idx, g.p.Parsers)
+	for k := 0; k < g.p.HelperCallsPerIter && len(tiny) > 0; k++ {
+		h := tiny[g.rng.Intn(len(tiny))]
+		if g.rng.Bool() {
+			// Constant argument: inlining + constant propagation
+			// folds the whole call away in a whole-cluster build.
+			c := g.b.Call(ir.I64, h, ir.Const(ir.I64, int64(g.rng.Intn(100))))
+			accV = g.b.Add(accV, c)
+		} else {
+			accV = g.b.Call(ir.I64, h, accV)
+		}
+	}
+	da := helperSubset(g.daNames, idx, g.p.Parsers)
+	if g.rng.Intn(100) < g.p.HelperCallDensity && len(da) > 0 {
+		h := da[g.rng.Intn(len(da))]
+		accV = g.b.Call(ir.I64, h, accV, ir.Const(ir.I64, 7))
+	}
+	// Extra straight-line blocks to hit the profile's CFG size.
+	for x := 0; x < g.p.ParserLoopBlocks; x++ {
+		nb := f.AddBlock(fmt.Sprintf("fill%d_%d", idx, x))
+		g.b.Br(nb)
+		g.b.SetBlock(nb)
+		accV = g.arithBody(accV, int64(x))
+	}
+
+	// Loop latch.
+	i2 := g.b.Add(iPhi, ir.Const(ir.I64, 1))
+	latch := g.b.Block()
+	g.b.Br(head)
+	iPhi.Operands[1] = i2
+	iPhi.Incoming[1] = latch
+	accPhi.Operands[1] = accV
+	accPhi.Incoming[1] = latch
+
+	g.b.SetBlock(exit)
+	g.b.Ret(accPhi)
+	return name
+}
+
+// emitBigSwitch builds the sqlite3VdbeExec stand-in: one enormous function
+// dispatching over opcode bytes.
+func (g *gen) emitBigSwitch() string {
+	name := "vdbe_exec"
+	f := ir.NewFunc(g.m, name, &ir.FuncType{Params: []ir.Type{ir.Ptr, ir.I64}, Ret: ir.I64}, []string{"data", "len"})
+	f.Linkage = ir.Internal
+	f.NoInline = true
+	data, length := f.Params[0], f.Params[1]
+
+	entry := f.AddBlock("entry")
+	head := f.AddBlock("head")
+	body := f.AddBlock("body")
+	latch := f.AddBlock("latch")
+	exit := f.AddBlock("exit")
+
+	g.b.SetBlock(entry)
+	g.b.Br(head)
+	g.b.SetBlock(head)
+	iPhi := g.b.Phi(ir.I64, []ir.Value{ir.Const(ir.I64, 0), nil}, []*ir.Block{entry, nil})
+	accPhi := g.b.Phi(ir.I64, []ir.Value{ir.Const(ir.I64, 0), nil}, []*ir.Block{entry, nil})
+	cond := g.b.ICmp(ir.PredSLT, iPhi, length)
+	g.b.CondBr(cond, body, exit)
+
+	g.b.SetBlock(body)
+	ptr := g.b.GEP(data, iPhi, 1)
+	op := g.b.Load(ir.I8, ptr)
+	op64 := g.b.ZExt(op, ir.I64)
+
+	n := g.p.BigSwitchCases
+	cases := make([]int64, n)
+	targets := make([]*ir.Block, n+1)
+	caseBlocks := make([]*ir.Block, n)
+	for c := 0; c < n; c++ {
+		cases[c] = int64(c)
+		caseBlocks[c] = f.AddBlock(fmt.Sprintf("op%d", c))
+		targets[c] = caseBlocks[c]
+	}
+	dflt := f.AddBlock("opdefault")
+	targets[n] = dflt
+	g.b.Switch(op64, cases, targets)
+
+	var vals []ir.Value
+	var blocks []*ir.Block
+	for c := 0; c < n; c++ {
+		g.b.SetBlock(caseBlocks[c])
+		v := g.arithBody(accPhi, int64(c))
+		if c%7 == 0 {
+			slot := g.b.GEP(g.state, ir.Const(ir.I64, int64(c%64)), 8)
+			old := g.b.Load(ir.I64, slot)
+			nv := g.b.Add(old, v)
+			g.b.Store(nv, slot)
+		}
+		g.b.Br(latch)
+		vals = append(vals, v)
+		blocks = append(blocks, caseBlocks[c])
+	}
+	g.b.SetBlock(dflt)
+	dv := g.b.Add(accPhi, ir.Const(ir.I64, 1))
+	g.b.Br(latch)
+	vals = append(vals, dv)
+	blocks = append(blocks, dflt)
+
+	g.b.SetBlock(latch)
+	accNext := g.b.Phi(ir.I64, vals, blocks)
+	i2 := g.b.Add(iPhi, ir.Const(ir.I64, 1))
+	g.b.Br(head)
+	iPhi.Operands[1] = i2
+	iPhi.Incoming[1] = latch
+	accPhi.Operands[1] = accNext
+	accPhi.Incoming[1] = latch
+
+	g.b.SetBlock(exit)
+	g.b.Ret(accPhi)
+	return name
+}
+
+func (g *gen) emitAliases(parserNames []string) {
+	for i := 0; i < g.p.Aliases && i < len(parserNames); i++ {
+		g.m.AddAlias(&ir.Alias{
+			Name:    parserNames[i] + "_alias",
+			Target:  parserNames[i],
+			Linkage: ir.Internal,
+		})
+	}
+}
+
+// emitEntry builds fuzz_target(data, len): dispatch on the first byte to a
+// parser (or the big-switch interpreter), fold results into output.
+func (g *gen) emitEntry(parserNames []string, interpName string) {
+	f := ir.NewFunc(g.m, "fuzz_target", &ir.FuncType{Params: []ir.Type{ir.Ptr, ir.I64}, Ret: ir.I64}, []string{"data", "len"})
+	data, length := f.Params[0], f.Params[1]
+	entry := f.AddBlock("entry")
+	dispatch := f.AddBlock("dispatch")
+	empty := f.AddBlock("empty")
+	done := f.AddBlock("done")
+
+	g.b.SetBlock(entry)
+	c := g.b.ICmp(ir.PredSGE, length, ir.Const(ir.I64, 1))
+	g.b.CondBr(c, dispatch, empty)
+
+	g.b.SetBlock(empty)
+	g.b.Ret(ir.Const(ir.I64, 0))
+
+	g.b.SetBlock(dispatch)
+	b0 := g.b.Load(ir.I8, data)
+	b64 := g.b.ZExt(b0, ir.I64)
+	nTargets := len(parserNames)
+	if interpName != "" {
+		nTargets++
+	}
+	sel := g.b.Bin(ir.OpURem, b64, ir.Const(ir.I64, int64(nTargets)))
+
+	var cases []int64
+	var targets []*ir.Block
+	var resVals []ir.Value
+	var resBlocks []*ir.Block
+	callees := append([]string(nil), parserNames...)
+	// Route some dispatches through the alias names.
+	for i := 0; i < g.p.Aliases && i < len(callees); i++ {
+		callees[i] = callees[i] + "_alias"
+	}
+	if interpName != "" {
+		callees = append(callees, interpName)
+	}
+	for i, callee := range callees {
+		blk := f.AddBlock(fmt.Sprintf("case%d", i))
+		cases = append(cases, int64(i))
+		targets = append(targets, blk)
+		g.b.SetBlock(blk)
+		r := g.b.Call(ir.I64, callee, data, length)
+		g.b.Br(done)
+		resVals = append(resVals, r)
+		resBlocks = append(resBlocks, g.b.Block())
+	}
+	fallback := f.AddBlock("fallback")
+	targets = append(targets, fallback)
+	g.b.SetBlock(dispatch)
+	// Reposition: the switch must be the dispatch terminator; the blocks
+	// above were emitted already.
+	g.b.Switch(sel, cases[:len(cases)-0], targets)
+
+	g.b.SetBlock(fallback)
+	g.b.Br(done)
+	resVals = append(resVals, ir.Const(ir.I64, 0))
+	resBlocks = append(resBlocks, fallback)
+
+	g.b.SetBlock(done)
+	res := g.b.Phi(ir.I64, resVals, resBlocks)
+	low := g.b.And(res, ir.Const(ir.I64, 0xFF))
+	g.b.Call(ir.Void, "write_byte", low)
+	g.b.Ret(res)
+}

@@ -1,0 +1,234 @@
+// Package rt provides the runtime environment shared by the IR interpreter
+// and the machine-code execution engine: a flat byte-addressable memory, an
+// output stream, and a registry of builtin (external) functions such as the
+// libc stubs and the instrumentation hooks that fuzzing tools install.
+package rt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Standard address-space layout. Both execution engines place program data
+// in the same regions so generated programs behave identically, provided
+// they never print raw pointers.
+const (
+	// NullGuard: addresses below this trap, catching null dereferences.
+	NullGuard = 0x1000
+	// GlobalBase is where global variables start.
+	GlobalBase = 0x10000
+	// InputBase is where the fuzz input buffer is copied.
+	InputBase = 0x400000
+	// InputMax is the maximum input size.
+	InputMax = 0x10000
+	// StackTop is the initial stack pointer (stack grows down).
+	StackTop = 0x800000
+	// MemSize is the total memory size.
+	MemSize = 0x800000
+)
+
+// TrapError reports an execution fault (bad memory access, abort,
+// unreachable, division by zero).
+type TrapError struct {
+	Reason string
+}
+
+func (e *TrapError) Error() string { return "trap: " + e.Reason }
+
+// Trapf constructs a TrapError.
+func Trapf(format string, args ...interface{}) *TrapError {
+	return &TrapError{Reason: fmt.Sprintf(format, args...)}
+}
+
+// Builtin is an external function implemented by the host. Arguments and
+// result are 64-bit machine words.
+type Builtin func(e *Env, args []int64) (int64, error)
+
+// Env is one execution's mutable state.
+type Env struct {
+	Mem      []byte
+	Out      bytes.Buffer
+	Builtins map[string]Builtin
+
+	// Steps counts abstract work units: IR instructions for the
+	// interpreter, machine instructions for the VM (in addition to the
+	// VM's cycle accounting).
+	Steps int64
+	// StepLimit aborts runaway executions when positive.
+	StepLimit int64
+}
+
+// NewEnv allocates a fresh environment with the standard builtins.
+func NewEnv() *Env {
+	e := &Env{
+		Mem:       make([]byte, MemSize),
+		Builtins:  make(map[string]Builtin),
+		StepLimit: 200_000_000,
+	}
+	RegisterStdlib(e)
+	return e
+}
+
+// Step consumes one work unit, returning a trap when the limit is exceeded.
+func (e *Env) Step() error {
+	e.Steps++
+	if e.StepLimit > 0 && e.Steps > e.StepLimit {
+		return Trapf("step limit %d exceeded", e.StepLimit)
+	}
+	return nil
+}
+
+// CheckAddr validates an n-byte access at addr.
+func (e *Env) CheckAddr(addr int64, n int64) error {
+	if addr < NullGuard || addr+n > int64(len(e.Mem)) {
+		return Trapf("out-of-bounds %d-byte access at %#x", n, addr)
+	}
+	return nil
+}
+
+// Load reads a size-byte little-endian value at addr, sign-extended.
+func (e *Env) Load(addr int64, size int64) (int64, error) {
+	if err := e.CheckAddr(addr, size); err != nil {
+		return 0, err
+	}
+	switch size {
+	case 1:
+		return int64(int8(e.Mem[addr])), nil
+	case 2:
+		return int64(int16(binary.LittleEndian.Uint16(e.Mem[addr:]))), nil
+	case 4:
+		return int64(int32(binary.LittleEndian.Uint32(e.Mem[addr:]))), nil
+	case 8:
+		return int64(binary.LittleEndian.Uint64(e.Mem[addr:])), nil
+	}
+	return 0, Trapf("bad load size %d", size)
+}
+
+// Store writes a size-byte little-endian value at addr.
+func (e *Env) Store(addr int64, size int64, v int64) error {
+	if err := e.CheckAddr(addr, size); err != nil {
+		return err
+	}
+	switch size {
+	case 1:
+		e.Mem[addr] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(e.Mem[addr:], uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(e.Mem[addr:], uint32(v))
+	case 8:
+		binary.LittleEndian.PutUint64(e.Mem[addr:], uint64(v))
+	default:
+		return Trapf("bad store size %d", size)
+	}
+	return nil
+}
+
+// CString reads a NUL-terminated string at addr.
+func (e *Env) CString(addr int64) (string, error) {
+	if err := e.CheckAddr(addr, 1); err != nil {
+		return "", err
+	}
+	end := addr
+	for end < int64(len(e.Mem)) && e.Mem[end] != 0 {
+		end++
+	}
+	if end == int64(len(e.Mem)) {
+		return "", Trapf("unterminated string at %#x", addr)
+	}
+	return string(e.Mem[addr:end]), nil
+}
+
+// WriteInput copies the fuzz input into the input region and returns its
+// address and length.
+func (e *Env) WriteInput(data []byte) (ptr, length int64, err error) {
+	if len(data) > InputMax {
+		return 0, 0, Trapf("input too large: %d", len(data))
+	}
+	copy(e.Mem[InputBase:], data)
+	return InputBase, int64(len(data)), nil
+}
+
+// RegisterStdlib installs the libc-stub builtins every program may call.
+func RegisterStdlib(e *Env) {
+	e.Builtins["print_i64"] = func(e *Env, args []int64) (int64, error) {
+		fmt.Fprintf(&e.Out, "%d\n", args[0])
+		return 0, nil
+	}
+	e.Builtins["write_byte"] = func(e *Env, args []int64) (int64, error) {
+		e.Out.WriteByte(byte(args[0]))
+		return 0, nil
+	}
+	e.Builtins["puts"] = func(e *Env, args []int64) (int64, error) {
+		s, err := e.CString(args[0])
+		if err != nil {
+			return 0, err
+		}
+		e.Out.WriteString(s)
+		e.Out.WriteByte('\n')
+		return int64(len(s) + 1), nil
+	}
+	// printf is a fputs-style stub: it writes the format string verbatim.
+	// This is all the instruction-combining printf("x\n") -> puts("x")
+	// rewrite needs to be observable and semantics-preserving.
+	e.Builtins["printf"] = func(e *Env, args []int64) (int64, error) {
+		s, err := e.CString(args[0])
+		if err != nil {
+			return 0, err
+		}
+		e.Out.WriteString(s)
+		return int64(len(s)), nil
+	}
+	e.Builtins["abort"] = func(e *Env, args []int64) (int64, error) {
+		return 0, Trapf("abort() called")
+	}
+	e.Builtins["memcmp"] = func(e *Env, args []int64) (int64, error) {
+		a, b, n := args[0], args[1], args[2]
+		if err := e.CheckAddr(a, n); err != nil {
+			return 0, err
+		}
+		if err := e.CheckAddr(b, n); err != nil {
+			return 0, err
+		}
+		return int64(bytes.Compare(e.Mem[a:a+n], e.Mem[b:b+n])), nil
+	}
+	e.Builtins["memset"] = func(e *Env, args []int64) (int64, error) {
+		p, c, n := args[0], args[1], args[2]
+		if err := e.CheckAddr(p, n); err != nil {
+			return 0, err
+		}
+		for i := int64(0); i < n; i++ {
+			e.Mem[p+i] = byte(c)
+		}
+		return p, nil
+	}
+	e.Builtins["memcpy"] = func(e *Env, args []int64) (int64, error) {
+		d, s, n := args[0], args[1], args[2]
+		if err := e.CheckAddr(d, n); err != nil {
+			return 0, err
+		}
+		if err := e.CheckAddr(s, n); err != nil {
+			return 0, err
+		}
+		copy(e.Mem[d:d+n], e.Mem[s:s+n])
+		return d, nil
+	}
+}
+
+// StdlibSigs describes the libc-stub signatures so program builders can
+// declare them: name -> (param count, has result). All params/results are
+// 64-bit words at the ABI level.
+var StdlibSigs = map[string]struct {
+	Params    int
+	HasResult bool
+}{
+	"print_i64":  {1, false},
+	"write_byte": {1, false},
+	"puts":       {1, true},
+	"printf":     {1, true},
+	"abort":      {0, false},
+	"memcmp":     {3, true},
+	"memset":     {3, true},
+	"memcpy":     {3, true},
+}

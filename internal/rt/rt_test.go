@@ -1,0 +1,162 @@
+package rt
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	e := NewEnv()
+	prop := func(addr uint32, v int64, szSel uint8) bool {
+		sizes := []int64{1, 2, 4, 8}
+		sz := sizes[int(szSel)%4]
+		a := NullGuard + int64(addr)%(MemSize-NullGuard-8)
+		if err := e.Store(a, sz, v); err != nil {
+			return false
+		}
+		got, err := e.Load(a, sz)
+		if err != nil {
+			return false
+		}
+		// Loads sign-extend from the stored width.
+		var want int64
+		switch sz {
+		case 1:
+			want = int64(int8(v))
+		case 2:
+			want = int64(int16(v))
+		case 4:
+			want = int64(int32(v))
+		default:
+			want = v
+		}
+		return got == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundsChecks(t *testing.T) {
+	e := NewEnv()
+	cases := []struct {
+		addr, size int64
+	}{
+		{0, 8},             // null page
+		{NullGuard - 1, 1}, // below guard
+		{MemSize - 4, 8},   // straddles the end
+		{MemSize + 100, 1}, // past the end
+	}
+	for _, c := range cases {
+		if _, err := e.Load(c.addr, c.size); err == nil {
+			t.Errorf("load at %#x size %d accepted", c.addr, c.size)
+		}
+		if err := e.Store(c.addr, c.size, 1); err == nil {
+			t.Errorf("store at %#x size %d accepted", c.addr, c.size)
+		}
+	}
+	if _, err := e.Load(GlobalBase, 3); err == nil {
+		t.Error("bad load size accepted")
+	}
+}
+
+func TestCString(t *testing.T) {
+	e := NewEnv()
+	copy(e.Mem[GlobalBase:], "hello\x00")
+	s, err := e.CString(GlobalBase)
+	if err != nil || s != "hello" {
+		t.Fatalf("got %q, %v", s, err)
+	}
+	if _, err := e.CString(0); err == nil {
+		t.Fatal("null cstring accepted")
+	}
+	// Unterminated string at the very end of memory.
+	for i := MemSize - 16; i < MemSize; i++ {
+		e.Mem[i] = 'x'
+	}
+	if _, err := e.CString(MemSize - 16); err == nil {
+		t.Fatal("unterminated cstring accepted")
+	}
+}
+
+func TestWriteInput(t *testing.T) {
+	e := NewEnv()
+	p, n, err := e.WriteInput([]byte("abc"))
+	if err != nil || p != InputBase || n != 3 {
+		t.Fatalf("p=%#x n=%d err=%v", p, n, err)
+	}
+	if string(e.Mem[InputBase:InputBase+3]) != "abc" {
+		t.Fatal("input not copied")
+	}
+	if _, _, err := e.WriteInput(make([]byte, InputMax+1)); err == nil {
+		t.Fatal("oversized input accepted")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	e := NewEnv()
+	e.StepLimit = 3
+	for i := 0; i < 3; i++ {
+		if err := e.Step(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if err := e.Step(); err == nil {
+		t.Fatal("limit not enforced")
+	}
+}
+
+func TestStdlibBuiltins(t *testing.T) {
+	e := NewEnv()
+	copy(e.Mem[GlobalBase:], "hi\x00")
+
+	if _, err := e.Builtins["print_i64"](e, []int64{-42}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Builtins["write_byte"](e, []int64{65}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := e.Builtins["puts"](e, []int64{GlobalBase})
+	if err != nil || n != 3 {
+		t.Fatalf("puts: %d, %v", n, err)
+	}
+	n, err = e.Builtins["printf"](e, []int64{GlobalBase})
+	if err != nil || n != 2 {
+		t.Fatalf("printf: %d, %v", n, err)
+	}
+	if got := e.Out.String(); got != "-42\nAhi\nhi" {
+		t.Fatalf("output = %q", got)
+	}
+	if _, err := e.Builtins["abort"](e, nil); err == nil || !strings.Contains(err.Error(), "abort") {
+		t.Fatalf("abort: %v", err)
+	}
+
+	// memset/memcpy/memcmp.
+	p := int64(GlobalBase + 64)
+	if _, err := e.Builtins["memset"](e, []int64{p, 7, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Builtins["memcpy"](e, []int64{p + 8, p, 4}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Builtins["memcmp"](e, []int64{p, p + 8, 4})
+	if err != nil || r != 0 {
+		t.Fatalf("memcmp equal: %d, %v", r, err)
+	}
+	e.Mem[p+8] = 9
+	r, _ = e.Builtins["memcmp"](e, []int64{p, p + 8, 4})
+	if r >= 0 {
+		t.Fatalf("memcmp ordering: %d", r)
+	}
+	if _, err := e.Builtins["memcpy"](e, []int64{0, p, 4}); err == nil {
+		t.Fatal("memcpy to null accepted")
+	}
+}
+
+func TestTrapError(t *testing.T) {
+	err := Trapf("bad %s at %d", "thing", 7)
+	if err.Error() != "trap: bad thing at 7" {
+		t.Fatalf("got %q", err.Error())
+	}
+}

@@ -1,0 +1,167 @@
+package sancov
+
+import (
+	"testing"
+
+	"odin/internal/interp"
+	"odin/internal/ir"
+	"odin/internal/irtext"
+	"odin/internal/toolchain"
+	"odin/internal/vm"
+)
+
+const progSrc = `
+declare func @write_byte(%b: i64) -> void
+func @classify(%b: i64) -> i64 internal noinline {
+entry:
+  %c1 = icmp sge i64 %b, 97
+  condbr %c1, upper, low
+upper:
+  %c2 = icmp sle i64 %b, 122
+  condbr %c2, yes, low
+yes:
+  ret i64 1
+low:
+  ret i64 0
+}
+func @fuzz_target(%data: ptr, %len: i64) -> i64 {
+entry:
+  br head
+head:
+  %i = phi i64 [0, entry], [%i2, next]
+  %acc = phi i64 [0, entry], [%acc2, next]
+  %c = icmp slt i64 %i, %len
+  condbr %c, body, exit
+body:
+  %p = gep %data, %i, scale 1
+  %b = load i8, %p
+  %b64 = zext i8 %b to i64
+  %r = call i64 @classify(i64 %b64)
+  %acc2 = add i64 %acc, %r
+  br next
+next:
+  %i2 = add i64 %i, 1
+  br head
+exit:
+  call void @write_byte(i64 %acc)
+  ret i64 %acc
+}
+`
+
+func TestSanCovBuildAndCoverage(t *testing.T) {
+	m := irtext.MustParse("p", progSrc)
+	ir.MustVerify(m)
+	exe, meta, err := Build(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.NumProbes == 0 {
+		t.Fatal("no probes")
+	}
+	mach := vm.New(exe)
+	input := []byte("ab!z")
+	ret, out, _, err := vm.RunProgram(mach, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference semantics on the pristine module.
+	wantRet, wantOut, err := interp.RunProgram(m, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != wantRet || out != wantOut {
+		t.Fatalf("instrumented run diverged: ret=%d/%d out=%q/%q", ret, wantRet, out, wantOut)
+	}
+	cov := Coverage(mach, meta)
+	if CoveredBlocks(mach, meta) == 0 {
+		t.Fatal("no coverage recorded")
+	}
+	// Counters count executions, not just hits.
+	max := byte(0)
+	for _, c := range cov {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 2 {
+		t.Fatalf("expected a counter >= 2 from the loop, got max %d", max)
+	}
+	ResetCoverage(mach, meta)
+	if CoveredBlocks(mach, meta) != 0 {
+		t.Fatal("reset did not clear counters")
+	}
+}
+
+// TestSanCovInstrumentsPostOptBlocks: the probe count must equal the
+// optimized CFG's block count, which is smaller than the source CFG's —
+// the correctness compromise the paper describes.
+func TestSanCovInstrumentsPostOptBlocks(t *testing.T) {
+	src := `
+func @islower(%chr: i8) -> i1 {
+test_lb:
+  %cmp1 = icmp sge i8 %chr, 97
+  condbr %cmp1, test_ub, end
+test_ub:
+  %cmp2 = icmp sle i8 %chr, 122
+  br end
+end:
+  %r = phi i1 [0, test_lb], [%cmp2, test_ub]
+  ret i1 %r
+}
+`
+	m := irtext.MustParse("p", src)
+	_, meta, err := Build(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.NumProbes != 1 {
+		t.Fatalf("probes = %d, want 1 (optimizer folds the diamond before instrumentation)", meta.NumProbes)
+	}
+	// Source CFG has 3 blocks: post-opt instrumentation cannot
+	// distinguish the three input classes anymore.
+	if n := len(m.LookupFunc("islower").Blocks); n != 3 {
+		t.Fatalf("pristine blocks = %d, want 3", n)
+	}
+}
+
+func TestSanCovOverheadPositiveButModest(t *testing.T) {
+	m := irtext.MustParse("p", progSrc)
+	input := []byte("hello world this is a moderately long input 123")
+
+	plain, _, err := toolchain.BuildPreserving(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machP := vm.New(plain)
+	_, _, base, err := vm.RunProgram(machP, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exe, _, err := Build(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machI := vm.New(exe)
+	_, _, instr, err := vm.RunProgram(machI, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if instr <= base {
+		t.Fatalf("instrumentation free? base=%d instr=%d", base, instr)
+	}
+	ratio := float64(instr) / float64(base)
+	if ratio > 1.8 {
+		t.Fatalf("sancov overhead ratio %.2f too high (want modest, <1.8)", ratio)
+	}
+}
+
+func TestSanCovRejectsDoubleInstrumentation(t *testing.T) {
+	m := irtext.MustParse("p", progSrc)
+	if _, err := Instrument(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Instrument(m); err == nil {
+		t.Fatal("double instrumentation accepted")
+	}
+}

@@ -1,0 +1,95 @@
+package toolchain
+
+import (
+	"sort"
+	"testing"
+
+	"odin/internal/ir"
+	"odin/internal/irtext"
+	"odin/internal/vm"
+)
+
+const src = `
+declare func @print_i64(%v: i64) -> void
+func @main() -> i64 {
+entry:
+  %a = add i64 40, 2
+  call void @print_i64(i64 %a)
+  ret i64 %a
+}
+`
+
+func TestBuildRunsEndToEnd(t *testing.T) {
+	m := irtext.MustParse("m", src)
+	exe, st, err := Build(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Optimize < 0 || st.CodeGen < 0 || st.Link < 0 {
+		t.Fatal("negative stage times")
+	}
+	mach := vm.New(exe)
+	ret, err := mach.Run("main")
+	if err != nil || ret != 42 {
+		t.Fatalf("ret=%d err=%v", ret, err)
+	}
+	if mach.Env.Out.String() != "42\n" {
+		t.Fatalf("out=%q", mach.Env.Out.String())
+	}
+}
+
+func TestBuildPreservingKeepsModule(t *testing.T) {
+	m := irtext.MustParse("m", src)
+	before := ir.Print(m)
+	if _, _, err := BuildPreserving(m, 2); err != nil {
+		t.Fatal(err)
+	}
+	if ir.Print(m) != before {
+		t.Fatal("BuildPreserving mutated the module")
+	}
+	// Build (non-preserving) optimizes in place: the add should fold.
+	if _, _, err := Build(m, 2); err != nil {
+		t.Fatal(err)
+	}
+	if ir.Print(m) == before {
+		t.Fatal("Build did not optimize in place")
+	}
+}
+
+func TestStdBuiltinsSortedAndExtended(t *testing.T) {
+	bs := StdBuiltins("zzz_hook", "aaa_hook")
+	if !sort.StringsAreSorted(bs) {
+		t.Fatalf("builtins not sorted: %v", bs)
+	}
+	found := map[string]bool{}
+	for _, b := range bs {
+		found[b] = true
+	}
+	for _, want := range []string{"printf", "puts", "abort", "write_byte", "print_i64", "zzz_hook", "aaa_hook"} {
+		if !found[want] {
+			t.Fatalf("missing builtin %q in %v", want, bs)
+		}
+	}
+}
+
+func TestBuildLevelZeroSkipsOptimization(t *testing.T) {
+	m := irtext.MustParse("m", src)
+	exe0, _, err := BuildPreserving(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe2, _, err := BuildPreserving(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exe0.CodeSize() <= exe2.CodeSize() {
+		t.Fatalf("O0 (%d instrs) should be bigger than O2 (%d)", exe0.CodeSize(), exe2.CodeSize())
+	}
+	// Same behaviour regardless.
+	m0, m2 := vm.New(exe0), vm.New(exe2)
+	r0, _ := m0.Run("main")
+	r2, _ := m2.Run("main")
+	if r0 != r2 {
+		t.Fatalf("O0 and O2 disagree: %d vs %d", r0, r2)
+	}
+}

@@ -1,0 +1,77 @@
+// Package odin is an on-demand instrumentation framework with on-the-fly
+// recompilation, a Go reproduction of "Odin: On-Demand Instrumentation with
+// On-the-Fly Recompilation" (PLDI 2022).
+//
+// Odin works as an instrumentation library that cooperates with a fuzzer
+// closely. Before fuzzing starts it partitions the whole-program IR into
+// code fragments whose boundaries preserve every optimization; during
+// fuzzing, when the instrumentation requirement changes, it locates the
+// changed fragments, re-instruments, re-optimizes, and re-compiles just
+// those fragments, relinking the machine-code cache into a fresh
+// executable:
+//
+//	m, _ := irtext.Parse("target", source)
+//	engine, _ := odin.New(m, odin.Options{})
+//	probeID := engine.Manager.Add(myProbe)     // probes reference the pristine IR
+//	exe, _, _ := engine.BuildAll()             // instrument -> optimize -> codegen -> link
+//	...                                         // fuzz with vm.New(exe)
+//	engine.Manager.Remove(probeID)             // requirement changed
+//	sched, _ := engine.Schedule()              // Algorithm 2: minimal fragment set
+//	exe, stats, _ = sched.Rebuild()            // on-the-fly recompilation
+//
+// The implementation spans several internal packages — ir (the SSA IR),
+// irtext (its textual format), opt (the optimizer), codegen/obj/link (the
+// back end), vm (the cycle-accurate execution engine), core (the framework
+// itself), cov (the OdinCov/OdinCmp tools), sancov/dbi/binrw (the paper's
+// baselines), fuzz (a coverage-guided fuzzer), progen (the 13-program
+// evaluation suite), and bench (the experiment harness). This package
+// re-exports the user-facing surface.
+package odin
+
+import (
+	"odin/internal/core"
+	"odin/internal/ir"
+)
+
+// Core framework types.
+type (
+	// Engine is the Odin framework instance for one program: pristine
+	// IR, partition plan, probe manager, and machine-code cache.
+	Engine = core.Engine
+	// Options configures an Engine.
+	Options = core.Options
+	// Variant selects the partition scheme (Table 1).
+	Variant = core.Variant
+	// Plan is a program's fragment partition.
+	Plan = core.Plan
+	// Fragment is one recompilation unit.
+	Fragment = core.Fragment
+	// Probe is one unit of instrumentation targeting a function.
+	Probe = core.Probe
+	// Instrumenter is a self-applying probe.
+	Instrumenter = core.Instrumenter
+	// PatchManager tracks dynamic probe state.
+	PatchManager = core.PatchManager
+	// Sched is one recompilation in flight.
+	Sched = core.Sched
+	// RebuildStats describes one on-the-fly recompilation.
+	RebuildStats = core.RebuildStats
+	// Classification is the symbol survey (Bond / Copy-on-use / Fixed).
+	Classification = core.Classification
+)
+
+// Partition variants.
+const (
+	VariantOdin = core.VariantOdin
+	VariantOne  = core.VariantOne
+	VariantMax  = core.VariantMax
+)
+
+// New surveys and partitions a program, returning an engine with a cold
+// machine-code cache.
+func New(m *ir.Module, opts Options) (*Engine, error) { return core.New(m, opts) }
+
+// Partition runs the survey and Algorithm 1 without creating an engine.
+func Partition(m *ir.Module, v Variant, optLevel int) (*Plan, error) {
+	return core.Partition(m, v, optLevel)
+}

@@ -1,0 +1,62 @@
+package odin
+
+import (
+	"testing"
+
+	"odin/internal/ir"
+	"odin/internal/irtext"
+	"odin/internal/vm"
+)
+
+// TestFacadeQuickstart exercises the package-level public API end to end.
+func TestFacadeQuickstart(t *testing.T) {
+	m := irtext.MustParse("facade", `
+func @double(%x: i64) -> i64 internal noinline {
+entry:
+  %r = mul i64 %x, 2
+  ret i64 %r
+}
+func @main() -> i64 {
+entry:
+  %r = call i64 @double(i64 21)
+  ret i64 %r
+}
+`)
+	plan, err := Partition(m, VariantOdin, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Fragments) == 0 {
+		t.Fatal("no fragments")
+	}
+	engine, err := New(m, Options{Variant: VariantOdin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, stats, err := engine.BuildAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Total <= 0 {
+		t.Fatal("no build time recorded")
+	}
+	mach := vm.New(exe)
+	got, err := mach.Run("main")
+	if err != nil || got != 42 {
+		t.Fatalf("main() = %d, %v", got, err)
+	}
+	// The facade aliases must be the core types (probe round trip).
+	var _ Probe = probeImpl{}
+	id := engine.Manager.Add(probeImpl{})
+	if err := engine.Manager.Remove(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Schedule(); err != nil {
+		t.Fatal(err)
+	}
+	_ = ir.Print(m)
+}
+
+type probeImpl struct{}
+
+func (probeImpl) PatchTarget() string { return "main" }
