@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build vet test race fmt-check bench-parallel ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-sensitive packages: the fragment compile pool and the
+# incremental linker.
+race:
+	$(GO) test -race ./internal/core/... ./internal/link/...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+bench-parallel:
+	$(GO) test ./internal/bench/ -run XXX -bench BenchmarkParallelRebuild -benchtime 5x
+
+ci: vet build test race fmt-check
+	@echo "ci: all checks passed"

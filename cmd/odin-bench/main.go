@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	odin-bench [-experiment all|fig3|fig8|fig9|fig10|fig11|fig12|headline]
-//	           [-campaign N] [-programs a,b,c]
+//	odin-bench [-experiment all|fig3|fig8|fig9|fig10|fig11|fig12|headline|parallel]
+//	           [-campaign N] [-programs a,b,c] [-parallel] [-workers N]
 package main
 
 import (
@@ -18,18 +18,20 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: all, fig3, fig8, fig9, fig10, fig11, fig12, headline, ablation, codegen")
+	experiment := flag.String("experiment", "all", "which experiment to run: all, fig3, fig8, fig9, fig10, fig11, fig12, headline, ablation, codegen, parallel")
 	campaign := flag.Int("campaign", 400, "fuzzing iterations used to generate each replay corpus")
 	programs := flag.String("programs", "", "comma-separated subset of programs (default: all 13)")
+	parallel := flag.Bool("parallel", false, "with fig11: also report wall-clock speedup of the concurrent recompile pipeline")
+	workers := flag.Int("workers", 0, "worker count for the parallel experiment (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if err := run(*experiment, *campaign, *programs); err != nil {
+	if err := run(*experiment, *campaign, *programs, *parallel, *workers); err != nil {
 		fmt.Fprintf(os.Stderr, "odin-bench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, campaign int, programs string) error {
+func run(experiment string, campaign int, programs string, parallel bool, workers int) error {
 	w := os.Stdout
 
 	if experiment == "fig3" {
@@ -67,6 +69,8 @@ func run(experiment string, campaign int, programs string) error {
 
 	needFig8 := experiment == "all" || experiment == "fig8" || experiment == "fig9" || experiment == "headline"
 	needFig10 := experiment == "all" || experiment == "fig10" || experiment == "fig11" || experiment == "fig12"
+	needParallel := experiment == "parallel" ||
+		(parallel && (experiment == "all" || experiment == "fig11"))
 
 	var f8 *bench.Fig8Result
 	if needFig8 {
@@ -108,6 +112,14 @@ func run(experiment string, campaign int, programs string) error {
 	}
 	if show("fig11") {
 		bench.PrintFig11(w, bench.Fig11(rows))
+		fmt.Fprintln(w)
+	}
+	if needParallel {
+		prows, err := bench.RunParallel(progs, workers)
+		if err != nil {
+			return err
+		}
+		bench.PrintParallel(w, prows)
 		fmt.Fprintln(w)
 	}
 	if show("fig12") {

@@ -7,6 +7,7 @@
 //
 //	odin-run [-O 2] [-interp] [-input "bytes"] [-fn main] [-dump] file.ir
 //	odin-run -program sqlite -input "select"      # run a suite program
+//	odin-run -odin [-workers N] -program sqlite   # build via the Odin engine
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"odin/internal/core"
 	"odin/internal/interp"
 	"odin/internal/ir"
 	"odin/internal/irtext"
@@ -30,15 +32,17 @@ func main() {
 	fn := flag.String("fn", "", "function to run (default: fuzz_target if present, else main)")
 	dump := flag.Bool("dump", false, "print the optimized IR instead of running")
 	program := flag.String("program", "", "run a generated suite program instead of a file")
+	odin := flag.Bool("odin", false, "build through the Odin fragment engine instead of the whole-module toolchain")
+	workers := flag.Int("workers", 0, "fragment compile workers for -odin (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if err := run(*level, *useInterp, *input, *fn, *dump, *program, flag.Args()); err != nil {
+	if err := run(*level, *useInterp, *input, *fn, *dump, *odin, *workers, *program, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "odin-run: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(level int, useInterp bool, input, fn string, dump bool, program string, args []string) error {
+func run(level int, useInterp bool, input, fn string, dump, odin bool, workers int, program string, args []string) error {
 	var m *ir.Module
 	switch {
 	case program != "":
@@ -110,29 +114,56 @@ func run(level int, useInterp bool, input, fn string, dump bool, program string,
 		return nil
 	}
 
+	if odin {
+		eng, err := core.New(m, core.Options{Workers: workers})
+		if err != nil {
+			return err
+		}
+		exe, st, err := eng.BuildAll()
+		if err != nil {
+			return err
+		}
+		mach := vm.New(exe)
+		ret, err := runOn(mach, fn, input)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s", mach.Env.Out.String())
+		linkMode := "full"
+		if st.IncrementalLink {
+			linkMode = "incremental"
+		}
+		fmt.Fprintf(os.Stderr,
+			"; @%s = %d (%d cycles; odin: %d fragments, %d workers, %d cache hits; compile wall %v, serial-eq %v; link %v %s)\n",
+			fn, ret, mach.Cycles, len(st.Fragments), st.Workers, st.CacheHits,
+			st.CompileWall, st.SerialEquivalent(), st.LinkDur, linkMode)
+		return nil
+	}
+
 	exe, st, err := toolchain.BuildPreserving(m, level)
 	if err != nil {
 		return err
 	}
 	mach := vm.New(exe)
-	var ret int64
-	if fn == "fuzz_target" {
-		p, n, err := mach.Env.WriteInput([]byte(input))
-		if err != nil {
-			return err
-		}
-		ret, err = mach.Run(fn, p, n)
-		if err != nil {
-			return err
-		}
-	} else {
-		ret, err = mach.Run(fn)
-		if err != nil {
-			return err
-		}
+	ret, err := runOn(mach, fn, input)
+	if err != nil {
+		return err
 	}
 	fmt.Printf("%s", mach.Env.Out.String())
 	fmt.Fprintf(os.Stderr, "; @%s = %d (%d cycles; build: opt %v, codegen %v, link %v)\n",
 		fn, ret, mach.Cycles, st.Optimize, st.CodeGen, st.Link)
 	return nil
+}
+
+// runOn executes fn on the machine, wiring the fuzz input buffer when the
+// entry point is a fuzz target.
+func runOn(mach *vm.Machine, fn, input string) (int64, error) {
+	if fn == "fuzz_target" {
+		p, n, err := mach.Env.WriteInput([]byte(input))
+		if err != nil {
+			return 0, err
+		}
+		return mach.Run(fn, p, n)
+	}
+	return mach.Run(fn)
 }

@@ -42,7 +42,10 @@ func RunFig10(progs []*ProgramData) ([]VariantResult, error) {
 		}
 		var wholeMS float64
 		for _, variant := range AllVariants {
-			eng, err := core.New(pd.Module, core.Options{Variant: variant})
+			// Workers=1 keeps per-fragment compile times measured on the
+			// serial pipeline, as the paper's Figures 11/12 do; the
+			// parallel experiment reports wall-clock separately.
+			eng, err := core.New(pd.Module, core.Options{Variant: variant, Workers: 1})
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"odin/internal/core"
+)
+
+// ParallelRow is one program's parallel-recompilation measurement: the same
+// maximal rebuild timed with one worker and with the full pool, plus an
+// unchanged-IR rebuild exercising the content-hash fragment cache.
+type ParallelRow struct {
+	Program   string
+	Fragments int
+	Workers   int
+	// SerialWallMS / ParallelWallMS are wall-clock compile-phase times for
+	// a full (cache-invalidated) rebuild with Workers=1 and Workers=N.
+	SerialWallMS   float64
+	ParallelWallMS float64
+	// SerialEqMS is the cumulative per-fragment middle+back-end time of
+	// the parallel rebuild — the serial-equivalent cost Figures 11/12
+	// report, preserved for paper comparison.
+	SerialEqMS float64
+	Speedup    float64
+	// CacheHitPct is the fragment cache-hit rate of a rebuild scheduled
+	// with every fragment dirty but no IR change (100% = nothing
+	// recompiled); CachedWallMS is that rebuild's compile wall-clock.
+	CacheHitPct  float64
+	CachedWallMS float64
+	// IncrementalRelinks counts how many of the measured rebuilds took the
+	// incremental relink path instead of a full symbol resolution.
+	IncrementalRelinks int
+}
+
+// RunParallel measures the concurrent recompilation pipeline on each
+// program. workers <= 0 selects runtime.GOMAXPROCS(0).
+func RunParallel(progs []*ProgramData, workers int) ([]ParallelRow, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var out []ParallelRow
+	for _, pd := range progs {
+		row, err := runParallelOne(pd, workers)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", pd.Name, err)
+		}
+		out = append(out, *row)
+	}
+	return out, nil
+}
+
+func runParallelOne(pd *ProgramData, workers int) (*ParallelRow, error) {
+	// Serial reference: cold build to warm the engine, then a full
+	// invalidated rebuild for the measurement.
+	serial, err := core.New(pd.Module, core.Options{Workers: 1})
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := serial.BuildAll(); err != nil {
+		return nil, err
+	}
+	serial.InvalidateCache()
+	_, sst, err := serial.BuildAll()
+	if err != nil {
+		return nil, err
+	}
+
+	par, err := core.New(pd.Module, core.Options{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := par.BuildAll(); err != nil {
+		return nil, err
+	}
+	par.InvalidateCache()
+	_, pst, err := par.BuildAll()
+	if err != nil {
+		return nil, err
+	}
+
+	// Unchanged-IR rebuild: every fragment scheduled, hashes intact — the
+	// content cache should satisfy all of them.
+	par.MarkAllDirty()
+	_, cst, err := par.BuildAll()
+	if err != nil {
+		return nil, err
+	}
+
+	row := &ParallelRow{
+		Program:        pd.Name,
+		Fragments:      len(par.Plan.Fragments),
+		Workers:        pst.Workers,
+		SerialWallMS:   ms(sst.CompileWall.Microseconds()),
+		ParallelWallMS: ms(pst.CompileWall.Microseconds()),
+		SerialEqMS:     ms(pst.SerialEquivalent().Microseconds()),
+		CachedWallMS:   ms(cst.CompileWall.Microseconds()),
+	}
+	if pst.CompileWall > 0 {
+		row.Speedup = float64(sst.CompileWall) / float64(pst.CompileWall)
+	}
+	if n := len(cst.Fragments); n > 0 {
+		row.CacheHitPct = 100 * float64(cst.CacheHits) / float64(n)
+	}
+	for _, st := range []*core.RebuildStats{sst, pst, cst} {
+		if st.IncrementalLink {
+			row.IncrementalRelinks++
+		}
+	}
+	return row, nil
+}
+
+// PrintParallel renders the parallel-recompilation table.
+func PrintParallel(w io.Writer, rows []ParallelRow) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "Parallel recompilation — full-rebuild compile wall-clock (ms), %d workers\n", rows[0].Workers)
+	fmt.Fprintf(w, "%-11s %6s %10s %10s %8s %12s %10s %8s %7s\n",
+		"program", "frags", "serial", "parallel", "speedup", "serial-eq", "cached", "hit%", "incr")
+	var speedups []float64
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-11s %6d %10.3f %10.3f %7.2fx %12.3f %10.3f %7.1f%% %4d/3\n",
+			r.Program, r.Fragments, r.SerialWallMS, r.ParallelWallMS, r.Speedup,
+			r.SerialEqMS, r.CachedWallMS, r.CacheHitPct, r.IncrementalRelinks)
+		speedups = append(speedups, r.Speedup)
+	}
+	fmt.Fprintf(w, "mean wall-clock speedup: %.2fx (serial-equivalent per-fragment times unchanged; see EXPERIMENTS.md)\n",
+		mean(speedups))
+}

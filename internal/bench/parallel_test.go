@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"odin/internal/core"
+	"odin/internal/progen"
+)
+
+// BenchmarkParallelRebuild measures a maximal (cache-invalidated) rebuild of
+// a multi-fragment program with one worker vs. the full pool. The wall-clock
+// ratio between the two sub-benchmarks is the realized parallel speedup.
+func BenchmarkParallelRebuild(b *testing.B) {
+	p, ok := progen.ByName("sqlite")
+	if !ok {
+		b.Fatal("no sqlite profile")
+	}
+	m := p.Generate()
+	pool := runtime.GOMAXPROCS(0)
+	if pool == 1 {
+		// Wall-clock speedup needs real cores, but the pool path is still
+		// worth benchmarking (and racing) on a single-CPU machine.
+		pool = 4
+	}
+	for _, workers := range []int{1, pool} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng, err := core.New(m, core.Options{Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := eng.BuildAll(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.InvalidateCache()
+				if _, st, err := eng.BuildAll(); err != nil {
+					b.Fatal(err)
+				} else if st.CacheHits != 0 {
+					b.Fatalf("invalidated rebuild hit cache (%d hits)", st.CacheHits)
+				}
+			}
+		})
+	}
+}
+
+// TestRunParallelShape checks the parallel experiment's invariants on a
+// small program: full cache-hit rate on the unchanged-IR rebuild, a
+// positive serial-equivalent time, and a printable report.
+func TestRunParallelShape(t *testing.T) {
+	progs := prepSmall(t, "woff2")
+	rows, err := RunParallel(progs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.Workers != 4 || r.Fragments == 0 {
+		t.Fatalf("row = %+v", r)
+	}
+	if r.CacheHitPct != 100 {
+		t.Fatalf("unchanged-IR rebuild cache hits = %.1f%%, want 100%%", r.CacheHitPct)
+	}
+	if r.SerialEqMS <= 0 || r.SerialWallMS <= 0 || r.ParallelWallMS <= 0 {
+		t.Fatalf("non-positive timings: %+v", r)
+	}
+	var buf bytes.Buffer
+	PrintParallel(&buf, rows)
+	if buf.Len() == 0 {
+		t.Fatal("empty report")
+	}
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"odin/internal/codegen"
+	"odin/internal/ir"
+	"odin/internal/obj"
+	"odin/internal/opt"
+)
+
+// FragError is one fragment's compilation failure.
+type FragError struct {
+	FragID int
+	Err    error
+}
+
+func (fe FragError) Error() string { return fmt.Sprintf("fragment %d: %v", fe.FragID, fe.Err) }
+
+func (fe FragError) Unwrap() error { return fe.Err }
+
+// RebuildError reports a failed recompilation with full partial-progress
+// accounting: every fragment whose compilation ran and failed is named (not
+// just the first), and the machine-code cache is guaranteed untouched — a
+// failed rebuild never leaves it half-updated.
+type RebuildError struct {
+	// Failed lists every fragment that compiled and failed, by fragment ID.
+	Failed []FragError
+	// Compiled lists fragments that compiled successfully before the pool
+	// was cancelled; their results were staged and then discarded.
+	Compiled []int
+	// Skipped lists fragments the cancellation prevented from starting.
+	Skipped []int
+}
+
+func (re *RebuildError) Error() string {
+	ids := make([]string, len(re.Failed))
+	for i, fe := range re.Failed {
+		ids[i] = fmt.Sprint(fe.FragID)
+	}
+	msg := fmt.Sprintf("core: recompilation failed for fragment(s) %s", strings.Join(ids, ", "))
+	if len(re.Skipped) > 0 {
+		msg += fmt.Sprintf(" (%d compiled, %d skipped)", len(re.Compiled), len(re.Skipped))
+	}
+	return msg + ": " + re.Failed[0].Err.Error()
+}
+
+// Unwrap returns the first fragment failure, preserving errors.As/Is
+// chains through the pool.
+func (re *RebuildError) Unwrap() error { return re.Failed[0].Err }
+
+// fragOut is one fragment's staged compilation result. Nothing is committed
+// to the engine cache until every fragment of the schedule has one with a
+// nil error.
+type fragOut struct {
+	fc   FragCompile
+	obj  *obj.Object
+	hash uint64
+	err  error
+	ran  bool // false when cancellation skipped the fragment entirely
+}
+
+// compileFragments runs materialize→optimize→codegen for every scheduled
+// fragment on a bounded worker pool. Fragments are independent compilation
+// units, so the pipeline is embarrassingly parallel; results come back
+// ordered by fragment ID regardless of completion order, and the first
+// error cancels the remaining work via context. All shared engine state
+// (plan, pristine/temporary IR, object cache) is only read here; workers
+// write exclusively to their own slot of the result slice.
+func (e *Engine) compileFragments(temp *ir.Module, frags []int) ([]fragOut, int, error) {
+	workers := e.opts.workers()
+	n := len(frags)
+	if n == 0 {
+		return nil, workers, nil
+	}
+	if workers > n {
+		workers = n
+	}
+
+	outs := make([]fragOut, n)
+	if workers == 1 {
+		// Serial fast path: no goroutines, deterministic early stop.
+		for i, id := range frags {
+			outs[i] = e.compileOne(id, temp)
+			if outs[i].err != nil {
+				break
+			}
+		}
+		return collectPool(frags, outs, workers)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if ctx.Err() != nil {
+					continue // cancelled after dispatch: leave slot unran
+				}
+				outs[i] = e.compileOne(frags[i], temp)
+				if outs[i].err != nil {
+					cancel() // first error wins: stop handing out work
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return collectPool(frags, outs, workers)
+}
+
+// collectPool turns raw worker slots into either the full success result or
+// a RebuildError naming every fragment that actually failed.
+func collectPool(frags []int, outs []fragOut, workers int) ([]fragOut, int, error) {
+	var rerr *RebuildError
+	for i := range outs {
+		if outs[i].err != nil {
+			if rerr == nil {
+				rerr = &RebuildError{}
+			}
+			rerr.Failed = append(rerr.Failed, FragError{FragID: frags[i], Err: outs[i].err})
+		}
+	}
+	if rerr == nil {
+		return outs, workers, nil
+	}
+	for i := range outs {
+		switch {
+		case outs[i].err != nil:
+		case outs[i].ran:
+			rerr.Compiled = append(rerr.Compiled, frags[i])
+		default:
+			rerr.Skipped = append(rerr.Skipped, frags[i])
+		}
+	}
+	return nil, workers, rerr
+}
+
+// compileOne runs the per-fragment pipeline of Figure 7: materialize the
+// fragment module from the instrumented temporary IR, then — unless the
+// content-hash cache proves the IR unchanged — optimize and generate code.
+func (e *Engine) compileOne(id int, temp *ir.Module) fragOut {
+	out := fragOut{ran: true}
+	if hook := e.testFragHook; hook != nil {
+		if err := hook(id); err != nil {
+			out.err = err
+			return out
+		}
+	}
+	frag := e.Plan.Fragments[id]
+
+	tm0 := time.Now()
+	fm, err := e.materialize(frag, temp)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	out.fc = FragCompile{FragID: id, Materialize: time.Since(tm0)}
+
+	out.hash = ir.Fingerprint(fm)
+	if cached, ok := e.cache[id]; ok {
+		if prev, known := e.hashes[id]; known && prev == out.hash {
+			// Content-hash hit: the post-instrumentation IR is
+			// byte-identical to what produced the cached object, so the
+			// middle and back end would reproduce it exactly — skip both.
+			out.obj = cached
+			out.fc.CacheHit = true
+			out.fc.Instrs = cached.CodeSize()
+			return out
+		}
+	}
+
+	to := time.Now()
+	opt.Optimize(fm, &opt.Options{Level: e.opts.OptLevel})
+	out.fc.Opt = time.Since(to)
+	if err := ir.Verify(fm); err != nil {
+		out.err = fmt.Errorf("after optimization: %w", err)
+		return out
+	}
+
+	tc := time.Now()
+	o, err := codegen.CompileModuleOpts(fm, e.opts.Codegen)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	out.fc.CodeGen = time.Since(tc)
+	out.fc.Instrs = o.CodeSize()
+	out.obj = o
+	return out
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
@@ -23,6 +24,20 @@ type Options struct {
 	ExtraBuiltins []string
 	// Codegen selects back-end strategies for fragment compilation.
 	Codegen codegen.Options
+	// Workers bounds the recompilation worker pool. Fragments are
+	// independent compilation units by construction, so affected fragments
+	// compile concurrently; 0 means runtime.GOMAXPROCS(0), and 1 recovers
+	// the serial pipeline whose per-fragment times the paper's Figures
+	// 11/12 measure.
+	Workers int
+}
+
+// workers resolves the configured pool size.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // FragCompile records one fragment recompilation, the unit of Figures 11/12.
@@ -36,6 +51,9 @@ type FragCompile struct {
 	CodeGen     time.Duration
 	// Instrs is the machine code size of the fragment after compilation.
 	Instrs int
+	// CacheHit records that the fragment's post-instrumentation IR hashed
+	// identical to the cached object's, so Opt and CodeGen were skipped.
+	CacheHit bool
 }
 
 // MiddleBackEnd is the compiler time the paper's Figures 11/12 count.
@@ -44,8 +62,33 @@ func (fc FragCompile) MiddleBackEnd() time.Duration { return fc.Opt + fc.CodeGen
 // RebuildStats describes one on-the-fly recompilation.
 type RebuildStats struct {
 	Fragments []FragCompile
-	LinkDur   time.Duration
-	Total     time.Duration
+	// CacheHits counts fragments satisfied by the content-hash cache
+	// (recompilation scheduled, IR unchanged, compile skipped).
+	CacheHits int
+	// Workers is the compile-pool size used for this rebuild.
+	Workers int
+	// CompileWall is the wall-clock duration of the (parallel) compile
+	// phase; CompileCPU is the cumulative per-fragment compile time — what
+	// the same rebuild costs with Workers=1. The ratio is the realized
+	// parallel speedup.
+	CompileWall time.Duration
+	CompileCPU  time.Duration
+	LinkDur     time.Duration
+	// IncrementalLink records whether the relink reused the previous
+	// link's symbol-resolution state instead of resolving from scratch.
+	IncrementalLink bool
+	Total           time.Duration
+}
+
+// SerialEquivalent is the middle+back-end compile time summed over
+// fragments — the serial pipeline cost Figures 11/12 report, independent of
+// how many workers the rebuild actually used.
+func (st *RebuildStats) SerialEquivalent() time.Duration {
+	var sum time.Duration
+	for _, fc := range st.Fragments {
+		sum += fc.MiddleBackEnd()
+	}
+	return sum
 }
 
 // Engine is the Odin instrumentation framework instance for one program.
@@ -60,9 +103,20 @@ type Engine struct {
 
 	opts  Options
 	cache map[int]*obj.Object
-	exe   *link.Executable
-	// neverBuilt tracks fragments that have no cache entry yet.
+	// hashes maps fragment ID to the content fingerprint of the
+	// post-instrumentation IR that produced the cached object.
+	hashes map[int]uint64
+	linker *link.Incremental
+	exe    *link.Executable
+	// neverBuilt tracks fragments that have no cache entry yet; nbSorted
+	// caches its sorted ID list between cache commits.
 	neverBuilt map[int]bool
+	nbSorted   []int
+	// allDirty forces every fragment into the next schedule (MarkAllDirty).
+	allDirty bool
+	// testFragHook, when set by tests, can poison individual fragment
+	// compilations to exercise pool error propagation.
+	testFragHook func(fragID int) error
 	// History accumulates rebuild statistics for the experiment harness.
 	History []RebuildStats
 }
@@ -87,6 +141,8 @@ func New(m *ir.Module, opts Options) (*Engine, error) {
 		Manager:    NewPatchManager(),
 		opts:       opts,
 		cache:      map[int]*obj.Object{},
+		hashes:     map[int]uint64{},
+		linker:     link.NewIncremental(),
 		neverBuilt: map[int]bool{},
 	}
 	for _, f := range plan.Fragments {
@@ -104,6 +160,9 @@ func (e *Engine) Builtins() []string {
 	return toolchain.StdBuiltins(e.opts.ExtraBuiltins...)
 }
 
+// Workers returns the resolved compile-pool size this engine rebuilds with.
+func (e *Engine) Workers() int { return e.opts.workers() }
+
 // BuildAll runs a full schedule-instrument-rebuild cycle, applying every
 // active probe that implements Instrumenter. It is both the initial build
 // and the convenience path for tools whose probes are self-applying.
@@ -115,10 +174,37 @@ func (e *Engine) BuildAll() (*link.Executable, *RebuildStats, error) {
 	return sched.finish()
 }
 
+// MarkAllDirty schedules every fragment for the next rebuild regardless of
+// probe state. Fragments whose post-instrumentation IR is unchanged are
+// satisfied by the content-hash cache, so this revalidates the whole image
+// at roughly the cost of one materialize pass per fragment.
+func (e *Engine) MarkAllDirty() { e.allDirty = true }
+
+// InvalidateCache schedules every fragment for the next rebuild and
+// discards the content fingerprints, forcing real recompilation even of
+// fragments whose IR is unchanged. Benchmarks use this to measure cold
+// full rebuilds without re-partitioning.
+func (e *Engine) InvalidateCache() {
+	e.allDirty = true
+	e.hashes = map[int]uint64{}
+}
+
 // affectedFragments computes the fragment set that must be recompiled for
 // the current dirty symbols (the symbol-to-fragment propagation of
 // Algorithm 2), plus fragments never built.
 func (e *Engine) affectedFragments(dirtySyms []string) []int {
+	if e.allDirty {
+		out := make([]int, len(e.Plan.Fragments))
+		for i := range out {
+			out[i] = i // fragment IDs are dense plan indices
+		}
+		return out
+	}
+	if len(dirtySyms) == 0 {
+		// Fast path: nothing dirty, so the affected set is exactly the
+		// never-built fragments — no per-call map building or sorting.
+		return e.neverBuiltIDs()
+	}
 	set := map[int]bool{}
 	for id := range e.neverBuilt {
 		set[id] = true
@@ -136,8 +222,37 @@ func (e *Engine) affectedFragments(dirtySyms []string) []int {
 	return out
 }
 
-// linkAll links the current cache contents.
-func (e *Engine) linkAll() (*link.Executable, error) {
+// neverBuiltIDs returns the sorted never-built fragment IDs, cached until
+// the next cache commit. Callers must not mutate the result.
+func (e *Engine) neverBuiltIDs() []int {
+	if len(e.neverBuilt) == 0 {
+		return nil
+	}
+	if e.nbSorted == nil {
+		e.nbSorted = make([]int, 0, len(e.neverBuilt))
+		for id := range e.neverBuilt {
+			e.nbSorted = append(e.nbSorted, id)
+		}
+		sort.Ints(e.nbSorted)
+	}
+	return e.nbSorted
+}
+
+// commitFragment installs one staged compilation result into the cache.
+// finish calls it only after every scheduled fragment succeeded.
+func (e *Engine) commitFragment(id int, o *obj.Object, hash uint64) {
+	e.cache[id] = o
+	e.hashes[id] = hash
+	if e.neverBuilt[id] {
+		delete(e.neverBuilt, id)
+		e.nbSorted = nil
+	}
+}
+
+// linkAll relinks the current cache contents, reusing the previous link's
+// symbol-resolution state when the object layout is unchanged. The second
+// result reports whether the incremental path was taken.
+func (e *Engine) linkAll() (*link.Executable, bool, error) {
 	ids := make([]int, 0, len(e.cache))
 	for id := range e.cache {
 		ids = append(ids, id)
@@ -147,5 +262,5 @@ func (e *Engine) linkAll() (*link.Executable, error) {
 	for _, id := range ids {
 		objs = append(objs, e.cache[id])
 	}
-	return link.Link(objs, e.Builtins())
+	return e.linker.Link(objs, e.Builtins())
 }

@@ -4,10 +4,8 @@ import (
 	"fmt"
 	"time"
 
-	"odin/internal/codegen"
 	"odin/internal/ir"
 	"odin/internal/link"
-	"odin/internal/opt"
 )
 
 // Sched is one recompilation in flight (§3.3, Figure 7). It exposes the
@@ -183,49 +181,37 @@ func (s *Sched) finish() (*link.Executable, *RebuildStats, error) {
 		return nil, nil, fmt.Errorf("core: instrumented temporary IR invalid: %w", err)
 	}
 
-	stats := &RebuildStats{}
-	for _, id := range s.fragments {
-		frag := e.Plan.Fragments[id]
-		tm0 := time.Now()
-		fm, err := e.materialize(frag, s.Temp)
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: fragment %d: %w", id, err)
-		}
-		matDur := time.Since(tm0)
+	// Compile every affected fragment on the worker pool; results are
+	// staged and ordered by fragment ID. On error the cache is untouched.
+	tc0 := time.Now()
+	outs, workers, err := e.compileFragments(s.Temp, s.fragments)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &RebuildStats{Workers: workers, CompileWall: time.Since(tc0)}
 
-		to := time.Now()
-		opt.Optimize(fm, &opt.Options{Level: e.opts.OptLevel})
-		optDur := time.Since(to)
-		if err := ir.Verify(fm); err != nil {
-			return nil, nil, fmt.Errorf("core: fragment %d after optimization: %w", id, err)
+	// Every fragment succeeded: commit the staged objects atomically with
+	// respect to rebuild failures.
+	for i := range outs {
+		o := &outs[i]
+		e.commitFragment(o.fc.FragID, o.obj, o.hash)
+		stats.Fragments = append(stats.Fragments, o.fc)
+		stats.CompileCPU += o.fc.Materialize + o.fc.Opt + o.fc.CodeGen
+		if o.fc.CacheHit {
+			stats.CacheHits++
 		}
-
-		tc := time.Now()
-		o, err := codegen.CompileModuleOpts(fm, e.opts.Codegen)
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: fragment %d: %w", id, err)
-		}
-		cgDur := time.Since(tc)
-
-		e.cache[id] = o
-		delete(e.neverBuilt, id)
-		stats.Fragments = append(stats.Fragments, FragCompile{
-			FragID:      id,
-			Materialize: matDur,
-			Opt:         optDur,
-			CodeGen:     cgDur,
-			Instrs:      o.CodeSize(),
-		})
 	}
 
 	tl := time.Now()
-	exe, err := e.linkAll()
+	exe, incremental, err := e.linkAll()
 	if err != nil {
 		return nil, nil, err
 	}
 	stats.LinkDur = time.Since(tl)
+	stats.IncrementalLink = incremental
 	stats.Total = time.Since(t0)
 	e.exe = exe
+	e.allDirty = false
 	e.Manager.clearDirty()
 	e.History = append(e.History, *stats)
 	return exe, stats, nil

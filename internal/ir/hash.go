@@ -1,0 +1,40 @@
+package ir
+
+import (
+	"hash/fnv"
+	"strings"
+)
+
+// Fingerprint returns a stable 64-bit FNV-1a content hash of the module.
+// It hashes the printed textual form: the printer is deterministic, covers
+// everything that affects compilation (linkage, attributes, declarations,
+// initializers, instruction operands), and round-trips through the parser,
+// so two modules fingerprint equal exactly when their IR is identical.
+// Odin's fragment cache uses this to skip re-optimizing and re-generating
+// code for fragments whose post-instrumentation IR did not change. The
+// module name is deliberately excluded.
+func Fingerprint(m *Module) uint64 {
+	h := fnv.New64a()
+	var sb strings.Builder
+	flush := func() {
+		h.Write([]byte(sb.String()))
+		sb.Reset()
+	}
+	for _, g := range m.Globals {
+		printGlobal(&sb, g)
+		flush()
+	}
+	for _, a := range m.Aliases {
+		sb.WriteString("alias @" + a.Name + " = @" + a.Target)
+		if a.Linkage == Internal {
+			sb.WriteString(" internal")
+		}
+		sb.WriteString("\n")
+		flush()
+	}
+	for _, f := range m.Funcs {
+		printFunc(&sb, f)
+		flush()
+	}
+	return h.Sum64()
+}

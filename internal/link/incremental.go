@@ -1,0 +1,199 @@
+package link
+
+import (
+	"odin/internal/mir"
+	"odin/internal/obj"
+	"odin/internal/rt"
+)
+
+// symTables is one object's resolved symbol view: local function indices and
+// local data addresses (which shadow globals during relocation patching).
+type symTables struct {
+	funcs map[string]int
+	datas map[string]int64
+}
+
+// Incremental is a linker that caches symbol-resolution state between links.
+// Odin relinks the whole machine-code cache after every recompilation, but
+// typically only a handful of objects actually changed; when every changed
+// object preserves its layout (same function/data/alias sequences, linkages,
+// and data sizes — the properties function indices and data addresses are
+// derived from), the relink reuses the previous link's symbol tables and
+// repatches only the changed objects' code. Any layout-affecting change
+// falls back to a full link transparently.
+type Incremental struct {
+	objs     []*obj.Object
+	builtins []string
+	exe      *Executable
+
+	locals     []symTables
+	globalFunc map[string]int
+	globalData map[string]int64
+	builtinIdx map[string]int
+	// funcBase is the exe.Funcs index of each object's first function.
+	funcBase []int
+
+	// Fulls and Incrementals count which path each Link call took.
+	Fulls        int
+	Incrementals int
+}
+
+// NewIncremental returns a linker with no cached state; its first Link is
+// always a full link.
+func NewIncremental() *Incremental { return &Incremental{} }
+
+// Link combines the objects, reusing cached symbol-resolution work when the
+// object layout is unchanged. The second result reports whether the
+// incremental path was taken.
+func (inc *Incremental) Link(objects []*obj.Object, builtinNames []string) (*Executable, bool, error) {
+	if inc.canRelink(objects, builtinNames) {
+		exe, err := inc.relink(objects)
+		if err != nil {
+			return nil, false, err
+		}
+		inc.Incrementals++
+		return exe, true, nil
+	}
+	exe, err := inc.full(objects, builtinNames)
+	if err != nil {
+		return nil, false, err
+	}
+	inc.Fulls++
+	return exe, false, nil
+}
+
+// canRelink reports whether the cached state covers this input: same object
+// sequence with every changed object layout-compatible, same builtins.
+func (inc *Incremental) canRelink(objects []*obj.Object, builtinNames []string) bool {
+	if inc.exe == nil || len(objects) != len(inc.objs) {
+		return false
+	}
+	if len(builtinNames) != len(inc.builtins) {
+		return false
+	}
+	for i, n := range inc.builtins {
+		if builtinNames[i] != n {
+			return false
+		}
+	}
+	for i, o := range objects {
+		if o != inc.objs[i] && !sameLayout(o, inc.objs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// sameLayout reports whether two objects define the same symbols with the
+// same order, linkage, and data sizes. Function code and data initializers
+// may differ freely: they do not affect indices or addresses.
+func sameLayout(a, b *obj.Object) bool {
+	if a.Name != b.Name || len(a.Funcs) != len(b.Funcs) ||
+		len(a.Datas) != len(b.Datas) || len(a.Aliases) != len(b.Aliases) {
+		return false
+	}
+	for i := range a.Funcs {
+		if a.Funcs[i].Name != b.Funcs[i].Name || a.Funcs[i].Linkage != b.Funcs[i].Linkage {
+			return false
+		}
+	}
+	for i := range a.Datas {
+		da, db := &a.Datas[i], &b.Datas[i]
+		if da.Name != db.Name || da.Linkage != db.Linkage || da.Size != db.Size {
+			return false
+		}
+	}
+	for i := range a.Aliases {
+		if a.Aliases[i] != b.Aliases[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// relink produces a fresh executable reusing the previous link's symbol
+// resolution: unchanged objects keep their already-patched functions, and
+// changed objects are re-patched against the cached tables. Executables are
+// immutable after linking, so export maps are shared with the previous image.
+func (inc *Incremental) relink(objects []*obj.Object) (*Executable, error) {
+	prev := inc.exe
+	exe := &Executable{
+		Funcs:    append([]Func(nil), prev.Funcs...),
+		FuncIdx:  prev.FuncIdx,
+		Data:     append([]byte(nil), prev.Data...),
+		DataAddr: prev.DataAddr,
+		Builtins: prev.Builtins,
+		Symbols:  prev.Symbols,
+	}
+	for oi, o := range objects {
+		if o == inc.objs[oi] {
+			continue
+		}
+		if err := o.Validate(); err != nil {
+			return nil, err
+		}
+		base := inc.funcBase[oi]
+		for fi := range o.Funcs {
+			f := &o.Funcs[fi]
+			nf := Func{
+				Name:        f.Name,
+				Code:        append([]mir.Inst(nil), f.Code...),
+				NumBlocks:   f.NumBlocks,
+				BlockStarts: append([]int(nil), f.BlockStarts...),
+				Object:      o.Name,
+			}
+			if err := patchFunc(&nf, inc.locals[oi], inc.globalFunc, inc.globalData, inc.builtinIdx, o.Name); err != nil {
+				return nil, err
+			}
+			exe.Funcs[base+fi] = nf
+		}
+		// Refresh the object's data images in place; addresses are
+		// unchanged because sizes are.
+		for _, d := range o.Datas {
+			off := inc.locals[oi].datas[d.Name] - rt.GlobalBase
+			img := exe.Data[off : off+d.Size]
+			for i := range img {
+				img[i] = 0
+			}
+			copy(img, d.Init)
+		}
+	}
+	inc.objs = append([]*obj.Object(nil), objects...)
+	inc.exe = exe
+	return exe, nil
+}
+
+// patchFunc resolves one function's relocations against the given tables.
+func patchFunc(lf *Func, lt symTables, globalFunc map[string]int, globalData map[string]int64, builtinIdx map[string]int, objName string) error {
+	for ii := range lf.Code {
+		in := &lf.Code[ii]
+		if in.Sym == "" {
+			continue
+		}
+		switch in.Op {
+		case mir.Call:
+			if idx, ok := lt.funcs[in.Sym]; ok {
+				in.FuncIdx = idx
+			} else if idx, ok := globalFunc[in.Sym]; ok {
+				in.FuncIdx = idx
+			} else if bi, ok := builtinIdx[in.Sym]; ok {
+				in.FuncIdx = -(bi + 1)
+			} else {
+				return &UndefError{in.Sym, objName}
+			}
+		case mir.Lea:
+			if addr, ok := lt.datas[in.Sym]; ok {
+				in.Imm += addr
+			} else if addr, ok := globalData[in.Sym]; ok {
+				in.Imm += addr
+			} else if idx, ok := lt.funcs[in.Sym]; ok {
+				in.Imm += funcAddr(idx)
+			} else if idx, ok := globalFunc[in.Sym]; ok {
+				in.Imm += funcAddr(idx)
+			} else {
+				return &UndefError{in.Sym, objName}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package link
+
+import (
+	"reflect"
+	"testing"
+
+	"odin/internal/mir"
+	"odin/internal/obj"
+)
+
+func incTestObjects() []*obj.Object {
+	o1 := &obj.Object{Name: "a", Funcs: []obj.FuncSym{
+		callFunc("main", "helper", mir.Global),
+	}}
+	o2 := &obj.Object{Name: "b",
+		Funcs: []obj.FuncSym{retFunc("helper", mir.Global, 42)},
+		Datas: []obj.DataSym{{Name: "tbl", Linkage: mir.Global, Size: 8, Init: []byte{1, 2, 3, 4, 5, 6, 7, 8}}},
+	}
+	o3 := &obj.Object{Name: "c", Funcs: []obj.FuncSym{retFunc("other", mir.Global, 7)}}
+	return []*obj.Object{o1, o2, o3}
+}
+
+// TestIncrementalRelinkMatchesFullLink: replacing one object's code (layout
+// preserved) must take the incremental path and produce exactly the image a
+// full link would.
+func TestIncrementalRelinkMatchesFullLink(t *testing.T) {
+	objs := incTestObjects()
+	inc := NewIncremental()
+	exe1, wasIncr, err := inc.Link(objs, []string{"hook"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wasIncr {
+		t.Fatal("first link reported incremental")
+	}
+
+	// New version of object b: same symbols, different code and init.
+	objs2 := append([]*obj.Object(nil), objs...)
+	objs2[1] = &obj.Object{Name: "b",
+		Funcs: []obj.FuncSym{retFunc("helper", mir.Global, 99)},
+		Datas: []obj.DataSym{{Name: "tbl", Linkage: mir.Global, Size: 8, Init: []byte{9}}},
+	}
+	exe2, wasIncr, err := inc.Link(objs2, []string{"hook"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wasIncr {
+		t.Fatal("layout-preserving relink did not take the incremental path")
+	}
+	want, err := Link(objs2, []string{"hook"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(exe2.Funcs, want.Funcs) {
+		t.Fatalf("incremental funcs differ from full link:\n%+v\nvs\n%+v", exe2.Funcs, want.Funcs)
+	}
+	if !reflect.DeepEqual(exe2.Data, want.Data) {
+		t.Fatalf("incremental data differs: %v vs %v", exe2.Data, want.Data)
+	}
+	// The previous image must be untouched (old code, old data).
+	hi, _ := exe1.Lookup("helper")
+	if exe1.Funcs[hi].Code[0].Imm != 42 || exe2.Funcs[hi].Code[0].Imm != 99 {
+		t.Fatal("previous image mutated by relink")
+	}
+	if exe1.Data[1] != 2 || exe2.Data[1] != 0 {
+		t.Fatalf("data refresh wrong: prev %v cur %v", exe1.Data[:8], exe2.Data[:8])
+	}
+	if inc.Fulls != 1 || inc.Incrementals != 1 {
+		t.Fatalf("path counters = %d full / %d incremental", inc.Fulls, inc.Incrementals)
+	}
+}
+
+// TestIncrementalFallsBackOnLayoutChange: adding a function to an object
+// shifts indices, so the linker must fall back to a full link.
+func TestIncrementalFallsBackOnLayoutChange(t *testing.T) {
+	objs := incTestObjects()
+	inc := NewIncremental()
+	if _, _, err := inc.Link(objs, nil); err != nil {
+		t.Fatal(err)
+	}
+	objs2 := append([]*obj.Object(nil), objs...)
+	objs2[2] = &obj.Object{Name: "c", Funcs: []obj.FuncSym{
+		retFunc("other", mir.Global, 7),
+		retFunc("extra", mir.Local, 8),
+	}}
+	exe, wasIncr, err := inc.Link(objs2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wasIncr {
+		t.Fatal("layout change took the incremental path")
+	}
+	want, err := Link(objs2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(exe.Funcs, want.Funcs) {
+		t.Fatal("fallback full link differs from fresh link")
+	}
+	// Builtin-set changes must also force a full link.
+	if _, wasIncr, err = inc.Link(objs2, []string{"hook"}); err != nil || wasIncr {
+		t.Fatalf("builtin change: incr=%v err=%v", wasIncr, err)
+	}
+	// And an identical call right after is incremental again.
+	if _, wasIncr, err = inc.Link(objs2, []string{"hook"}); err != nil || !wasIncr {
+		t.Fatalf("steady-state relink: incr=%v err=%v", wasIncr, err)
+	}
+}
+
+// TestIncrementalNewSymbolReference: a changed object may reference a
+// global it never referenced before; the cached tables must resolve it.
+func TestIncrementalNewSymbolReference(t *testing.T) {
+	objs := incTestObjects()
+	inc := NewIncremental()
+	if _, _, err := inc.Link(objs, nil); err != nil {
+		t.Fatal(err)
+	}
+	objs2 := append([]*obj.Object(nil), objs...)
+	objs2[0] = &obj.Object{Name: "a", Funcs: []obj.FuncSym{
+		callFunc("main", "other", mir.Global), // previously called helper
+	}}
+	exe, wasIncr, err := inc.Link(objs2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wasIncr {
+		t.Fatal("expected incremental path")
+	}
+	mi, _ := exe.Lookup("main")
+	call := exe.Funcs[mi].Code[0]
+	if call.FuncIdx < 0 || exe.Funcs[call.FuncIdx].Name != "other" {
+		t.Fatalf("new reference not resolved: %+v", call)
+	}
+}

@@ -2,7 +2,9 @@
 // the data segment, resolves symbols across objects (respecting local
 // visibility), resolves aliases, and patches call/lea relocations. Unresolved
 // references fall back to the runtime builtin registry, which is how
-// instrumentation hooks and libc stubs bind.
+// instrumentation hooks and libc stubs bind. The Incremental linker caches
+// symbol-resolution state so Odin's per-recompilation relinks only repatch
+// the objects that changed.
 package link
 
 import (
@@ -14,7 +16,9 @@ import (
 	"odin/internal/rt"
 )
 
-// Executable is a fully linked program image.
+// Executable is a fully linked program image. It is immutable once linked;
+// incremental relinks produce fresh images that may share unchanged
+// functions and export tables with their predecessor.
 type Executable struct {
 	Funcs    []Func
 	FuncIdx  map[string]int // exported function name -> index
@@ -58,10 +62,23 @@ func (e *UndefError) Error() string {
 	return fmt.Sprintf("link: undefined symbol %q referenced from %s", e.Name, e.Obj)
 }
 
-// Link combines the objects. builtinNames lists the runtime-provided
-// symbols (libc stubs and instrumentation hooks) that unresolved references
-// may bind to.
+// Link combines the objects from scratch. builtinNames lists the
+// runtime-provided symbols (libc stubs and instrumentation hooks) that
+// unresolved references may bind to. Callers that relink repeatedly should
+// hold a NewIncremental linker instead.
 func Link(objects []*obj.Object, builtinNames []string) (*Executable, error) {
+	exe, _, err := NewIncremental().Link(objects, builtinNames)
+	return exe, err
+}
+
+// funcAddr is the synthetic, non-executable "address" of a function, used
+// for lea-of-function.
+func funcAddr(idx int) int64 { return rt.NullGuard + int64(idx)*16 }
+
+// full performs a from-scratch link and records the symbol-resolution state
+// (local/global tables, builtin indices, per-object function bases) so that
+// a later layout-preserving relink can skip straight to patching.
+func (inc *Incremental) full(objects []*obj.Object, builtinNames []string) (*Executable, error) {
 	for _, o := range objects {
 		if err := o.Validate(); err != nil {
 			return nil, err
@@ -83,18 +100,16 @@ func Link(objects []*obj.Object, builtinNames []string) (*Executable, error) {
 
 	// Pass 1: place functions and data; build per-object local tables and
 	// the global table; detect duplicate globals.
-	type objTables struct {
-		funcs map[string]int
-		datas map[string]int64
-	}
-	locals := make([]objTables, len(objects))
+	locals := make([]symTables, len(objects))
+	funcBase := make([]int, len(objects))
 	globalFunc := map[string]int{}
 	globalData := map[string]int64{}
 	definedIn := map[string]string{}
 
 	dataOff := int64(0)
 	for oi, o := range objects {
-		locals[oi] = objTables{funcs: map[string]int{}, datas: map[string]int64{}}
+		locals[oi] = symTables{funcs: map[string]int{}, datas: map[string]int64{}}
+		funcBase[oi] = len(exe.Funcs)
 		for _, f := range o.Funcs {
 			idx := len(exe.Funcs)
 			exe.Funcs = append(exe.Funcs, Func{
@@ -166,44 +181,14 @@ func Link(objects []*obj.Object, builtinNames []string) (*Executable, error) {
 		}
 	}
 
-	// Function "addresses" for lea-of-function: synthetic, non-executable.
-	funcAddr := func(idx int) int64 { return rt.NullGuard + int64(idx)*16 }
-
 	// Pass 3: patch relocations.
 	fnBase := 0
 	for oi, o := range objects {
 		for range o.Funcs {
 			lf := &exe.Funcs[fnBase]
 			fnBase++
-			for ii := range lf.Code {
-				in := &lf.Code[ii]
-				if in.Sym == "" {
-					continue
-				}
-				switch in.Op {
-				case mir.Call:
-					if idx, ok := locals[oi].funcs[in.Sym]; ok {
-						in.FuncIdx = idx
-					} else if idx, ok := globalFunc[in.Sym]; ok {
-						in.FuncIdx = idx
-					} else if bi, ok := builtinIdx[in.Sym]; ok {
-						in.FuncIdx = -(bi + 1)
-					} else {
-						return nil, &UndefError{in.Sym, o.Name}
-					}
-				case mir.Lea:
-					if addr, ok := locals[oi].datas[in.Sym]; ok {
-						in.Imm += addr
-					} else if addr, ok := globalData[in.Sym]; ok {
-						in.Imm += addr
-					} else if idx, ok := locals[oi].funcs[in.Sym]; ok {
-						in.Imm += funcAddr(idx)
-					} else if idx, ok := globalFunc[in.Sym]; ok {
-						in.Imm += funcAddr(idx)
-					} else {
-						return nil, &UndefError{in.Sym, o.Name}
-					}
-				}
+			if err := patchFunc(lf, locals[oi], globalFunc, globalData, builtinIdx, o.Name); err != nil {
+				return nil, err
 			}
 		}
 	}
@@ -217,6 +202,17 @@ func Link(objects []*obj.Object, builtinNames []string) (*Executable, error) {
 		exe.DataAddr[n] = a
 		exe.Symbols[n] = Symbol{Kind: "data", Addr: a}
 	}
+
+	// Success: commit the resolution state for future incremental relinks.
+	// A failed link leaves the previous state untouched.
+	inc.locals = locals
+	inc.funcBase = funcBase
+	inc.globalFunc = globalFunc
+	inc.globalData = globalData
+	inc.builtinIdx = builtinIdx
+	inc.builtins = append([]string(nil), builtinNames...)
+	inc.objs = append([]*obj.Object(nil), objects...)
+	inc.exe = exe
 	return exe, nil
 }
 

@@ -56,6 +56,11 @@ type (
 	Sched = core.Sched
 	// RebuildStats describes one on-the-fly recompilation.
 	RebuildStats = core.RebuildStats
+	// RebuildError reports a failed rebuild, naming every fragment that
+	// failed to compile; the fragment cache is untouched on failure.
+	RebuildError = core.RebuildError
+	// FragError is one fragment's compile failure inside a RebuildError.
+	FragError = core.FragError
 	// Classification is the symbol survey (Bond / Copy-on-use / Fixed).
 	Classification = core.Classification
 )

@@ -1,0 +1,28 @@
+#!/bin/sh
+# CI entry point: vet, build, full tests, race tests on the concurrent
+# packages, and a gofmt cleanliness check. Mirrors `make ci`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (core, link) =="
+go test -race ./internal/core/... ./internal/link/...
+
+echo "== gofmt =="
+out="$(gofmt -l .)"
+if [ -n "$out" ]; then
+	echo "gofmt needed on:"
+	echo "$out"
+	exit 1
+fi
+
+echo "ci: all checks passed"
