@@ -13,10 +13,10 @@ vet:
 test:
 	$(GO) test ./...
 
-# The concurrency-sensitive packages: the fragment compile pool and the
-# incremental linker.
+# The concurrency-sensitive packages: the fragment compile pool, the
+# incremental linker, and the fault injector that stresses both.
 race:
-	$(GO) test -race ./internal/core/... ./internal/link/...
+	$(GO) test -race ./internal/core/... ./internal/link/... ./internal/faultinject/...
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \

@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	odin-bench [-experiment all|fig3|fig8|fig9|fig10|fig11|fig12|headline|parallel]
+//	odin-bench [-experiment all|fig3|fig8|fig9|fig10|fig11|fig12|headline|parallel|faults]
 //	           [-campaign N] [-programs a,b,c] [-parallel] [-workers N]
+//	           [-fault-rounds N] [-fault-seed N]
 package main
 
 import (
@@ -18,20 +19,22 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: all, fig3, fig8, fig9, fig10, fig11, fig12, headline, ablation, codegen, parallel")
+	experiment := flag.String("experiment", "all", "which experiment to run: all, fig3, fig8, fig9, fig10, fig11, fig12, headline, ablation, codegen, parallel, faults")
 	campaign := flag.Int("campaign", 400, "fuzzing iterations used to generate each replay corpus")
 	programs := flag.String("programs", "", "comma-separated subset of programs (default: all 13)")
 	parallel := flag.Bool("parallel", false, "with fig11: also report wall-clock speedup of the concurrent recompile pipeline")
 	workers := flag.Int("workers", 0, "worker count for the parallel experiment (0 = GOMAXPROCS)")
+	faultRounds := flag.Int("fault-rounds", 3, "rebuild rounds per program and injection-rate cell in the faults experiment")
+	faultSeed := flag.Uint64("fault-seed", 1, "base seed for the deterministic fault injector")
 	flag.Parse()
 
-	if err := run(*experiment, *campaign, *programs, *parallel, *workers); err != nil {
+	if err := run(*experiment, *campaign, *programs, *parallel, *workers, *faultRounds, *faultSeed); err != nil {
 		fmt.Fprintf(os.Stderr, "odin-bench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, campaign int, programs string, parallel bool, workers int) error {
+func run(experiment string, campaign int, programs string, parallel bool, workers, faultRounds int, faultSeed uint64) error {
 	w := os.Stdout
 
 	if experiment == "fig3" {
@@ -66,6 +69,15 @@ func run(experiment string, campaign int, programs string, parallel bool, worker
 		progs = append(progs, pd)
 	}
 	fmt.Fprintln(w)
+
+	if experiment == "faults" {
+		rows, err := bench.RunFaults(progs, faultSeed, faultRounds)
+		if err != nil {
+			return err
+		}
+		bench.PrintFaults(w, rows)
+		return nil
+	}
 
 	needFig8 := experiment == "all" || experiment == "fig8" || experiment == "fig9" || experiment == "headline"
 	needFig10 := experiment == "all" || experiment == "fig10" || experiment == "fig11" || experiment == "fig12"

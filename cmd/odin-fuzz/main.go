@@ -3,9 +3,16 @@
 // probes on every original basic block, feedback-driven corpus growth, and
 // on-the-fly probe pruning via recompilation as coverage saturates.
 //
+// Every module the harness takes in — generated or parsed from a file — runs
+// through the IR verifier before it reaches the optimizer; verifier failures
+// are reported as their own crash class ("invalid-ir") rather than being fed
+// into opt, and the same classification applies to rebuild failures during
+// the campaign.
+//
 // Usage:
 //
-//	odin-fuzz [-program demo] [-iters 5000] [-seed 1] [-prune]
+//	odin-fuzz [-program demo | -ir file.ir] [-iters 5000] [-seed 1] [-prune]
+//	          [-rebuild-timeout D]
 package main
 
 import (
@@ -13,10 +20,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"odin/internal/core"
 	"odin/internal/cov"
 	"odin/internal/fuzz"
+	"odin/internal/ir"
+	"odin/internal/irtext"
 	"odin/internal/progen"
 	"odin/internal/rt"
 )
@@ -58,35 +68,72 @@ func (c *covTarget) Execute(input []byte) (fuzz.Feedback, error) {
 
 func main() {
 	program := flag.String("program", "demo", "target: demo (planted bug) or a suite program name")
+	irFile := flag.String("ir", "", "fuzz a textual-IR module from a file instead of a generated program")
 	iters := flag.Int("iters", 5000, "fuzz iterations")
 	seed := flag.Uint64("seed", 1, "campaign RNG seed")
 	prune := flag.Bool("prune", true, "prune covered probes via on-the-fly recompilation")
+	rebuildTimeout := flag.Duration("rebuild-timeout", 0, "deadline for one on-the-fly rebuild (0 = none)")
 	flag.Parse()
 
-	if err := run(*program, *iters, *seed, *prune); err != nil {
+	if err := run(*program, *irFile, *iters, *seed, *prune, *rebuildTimeout); err != nil {
 		fmt.Fprintf(os.Stderr, "odin-fuzz: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(program string, iters int, seed uint64, prune bool) error {
+// loadModule resolves the campaign target: a parsed IR file or a generated
+// suite program.
+func loadModule(program, irFile string) (string, *ir.Module, error) {
+	if irFile != "" {
+		src, err := os.ReadFile(irFile)
+		if err != nil {
+			return "", nil, err
+		}
+		m, err := irtext.Parse(irFile, string(src))
+		if err != nil {
+			return "", nil, err
+		}
+		return irFile, m, nil
+	}
 	var profile progen.Profile
 	if program == "demo" {
 		profile = progen.Demo()
 	} else {
 		p, ok := progen.ByName(program)
 		if !ok {
-			return fmt.Errorf("unknown program %q", program)
+			return "", nil, fmt.Errorf("unknown program %q", program)
 		}
 		profile = p
 	}
-	m := profile.Generate()
-	tool, err := cov.New(m, core.Options{Variant: core.VariantOdin}, prune)
+	return profile.Name, profile.Generate(), nil
+}
+
+// classifyInvalidIR reports verifier failures as their own crash class: the
+// harness refuses to push invalid IR into the optimizer, whether the module
+// arrived broken or an on-the-fly rebuild produced broken instrumented IR.
+func classifyInvalidIR(when string, err error) error {
+	var ve *ir.VerifyError
+	if !errors.As(err, &ve) {
+		return err
+	}
+	fmt.Printf("crash class:     invalid-ir (%s)\n  %v\n", when, ve)
+	return fmt.Errorf("invalid IR %s: %w", when, err)
+}
+
+func run(program, irFile string, iters int, seed uint64, prune bool, rebuildTimeout time.Duration) error {
+	name, m, err := loadModule(program, irFile)
+	if err != nil {
+		return err
+	}
+	if err := ir.Verify(m); err != nil {
+		return classifyInvalidIR("before campaign", err)
+	}
+	tool, err := cov.New(m, core.Options{Variant: core.VariantOdin, RebuildTimeout: rebuildTimeout}, prune)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("target %s: %d probes over %d fragments\n",
-		profile.Name, len(tool.Probes), len(tool.Engine.Plan.Fragments))
+		name, len(tool.Probes), len(tool.Engine.Plan.Fragments))
 
 	target := &covTarget{tool: tool, prune: prune}
 	f := fuzz.New(target, fuzz.Options{
@@ -97,7 +144,7 @@ func run(program string, iters int, seed uint64, prune bool) error {
 	})
 	stats, err := f.Run(iters)
 	if err != nil {
-		return err
+		return classifyInvalidIR("during rebuild", err)
 	}
 
 	fmt.Printf("executions:      %d\n", stats.Execs)

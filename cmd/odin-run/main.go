@@ -7,13 +7,15 @@
 //
 //	odin-run [-O 2] [-interp] [-input "bytes"] [-fn main] [-dump] file.ir
 //	odin-run -program sqlite -input "select"      # run a suite program
-//	odin-run -odin [-workers N] -program sqlite   # build via the Odin engine
+//	odin-run -odin [-workers N] [-rebuild-timeout D] -program sqlite
+//	                                              # build via the Odin engine
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"odin/internal/core"
 	"odin/internal/interp"
@@ -34,15 +36,16 @@ func main() {
 	program := flag.String("program", "", "run a generated suite program instead of a file")
 	odin := flag.Bool("odin", false, "build through the Odin fragment engine instead of the whole-module toolchain")
 	workers := flag.Int("workers", 0, "fragment compile workers for -odin (0 = GOMAXPROCS)")
+	rebuildTimeout := flag.Duration("rebuild-timeout", 0, "with -odin: deadline for one rebuild (0 = none)")
 	flag.Parse()
 
-	if err := run(*level, *useInterp, *input, *fn, *dump, *odin, *workers, *program, flag.Args()); err != nil {
+	if err := run(*level, *useInterp, *input, *fn, *dump, *odin, *workers, *rebuildTimeout, *program, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "odin-run: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(level int, useInterp bool, input, fn string, dump, odin bool, workers int, program string, args []string) error {
+func run(level int, useInterp bool, input, fn string, dump, odin bool, workers int, rebuildTimeout time.Duration, program string, args []string) error {
 	var m *ir.Module
 	switch {
 	case program != "":
@@ -115,7 +118,7 @@ func run(level int, useInterp bool, input, fn string, dump, odin bool, workers i
 	}
 
 	if odin {
-		eng, err := core.New(m, core.Options{Workers: workers})
+		eng, err := core.New(m, core.Options{Workers: workers, RebuildTimeout: rebuildTimeout})
 		if err != nil {
 			return err
 		}

@@ -27,6 +27,11 @@ type Options struct {
 	// (callees clobber registers freely in this ABI). Off by default;
 	// the codegen-quality ablation experiment measures its effect.
 	RegCache bool
+	// FaultHook, when non-nil, is called at site "codegen:module" before
+	// lowering; a returned error fails the compile. The faultinject
+	// package provides deterministic implementations for robustness
+	// testing of the rebuild supervisor.
+	FaultHook func(site string) error
 }
 
 // CompileModule lowers every defined symbol of m into an object file using
@@ -37,6 +42,11 @@ func CompileModule(m *ir.Module) (*obj.Object, error) {
 
 // CompileModuleOpts lowers every defined symbol of m into an object file.
 func CompileModuleOpts(m *ir.Module, opts Options) (*obj.Object, error) {
+	if opts.FaultHook != nil {
+		if err := opts.FaultHook("codegen:module"); err != nil {
+			return nil, fmt.Errorf("codegen: %s: %w", m.Name, err)
+		}
+	}
 	o := &obj.Object{Name: m.Name}
 	for _, g := range m.Globals {
 		if g.Decl {

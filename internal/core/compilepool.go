@@ -2,9 +2,10 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"strings"
-	"sync"
 	"time"
 
 	"odin/internal/codegen"
@@ -13,15 +14,92 @@ import (
 	"odin/internal/opt"
 )
 
-// FragError is one fragment's compilation failure.
+// Pipeline stage names recorded on FragError.
+const (
+	StageHook        = "hook"
+	StageMaterialize = "materialize"
+	StageOpt         = "opt"
+	StageCodegen     = "codegen"
+	StageLink        = "link"
+)
+
+// FragError is one fragment's compilation failure, annotated with the
+// pipeline stage that failed, the optimizer pass when attributable, and the
+// stack when the failure was a recovered panic. A panicking pass therefore
+// fails one fragment — with full provenance — instead of the process.
 type FragError struct {
+	// FragID is the failing fragment; -1 for the whole-image link stage.
 	FragID int
-	Err    error
+	Stage  string
+	// Pass names the optimizer pass that failed, when the failure could
+	// be attributed to one.
+	Pass string
+	// Stack is the goroutine stack captured when a panic was recovered;
+	// empty for ordinary errors.
+	Stack []byte
+	Err   error
 }
 
-func (fe FragError) Error() string { return fmt.Sprintf("fragment %d: %v", fe.FragID, fe.Err) }
+func (fe FragError) Error() string {
+	where := fmt.Sprintf("fragment %d", fe.FragID)
+	if fe.FragID < 0 {
+		where = "image"
+	}
+	if fe.Stage != "" {
+		where += " " + fe.Stage
+	}
+	if fe.Pass != "" {
+		where += ":" + fe.Pass
+	}
+	return fmt.Sprintf("%s: %v", where, fe.Err)
+}
 
 func (fe FragError) Unwrap() error { return fe.Err }
+
+// Panicked reports whether the failure was a recovered panic.
+func (fe FragError) Panicked() bool { return len(fe.Stack) > 0 }
+
+// panicError carries a recovered panic value and its stack as an error.
+type panicError struct {
+	val   any
+	stack []byte
+}
+
+func (p *panicError) Error() string { return fmt.Sprintf("panic: %v", p.val) }
+
+func (p *panicError) Unwrap() error {
+	if err, ok := p.val.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// capture invokes fn with panic isolation: a panic becomes a *panicError
+// carrying the stack, so a buggy pass or back end fails one fragment (or
+// one link) instead of the process.
+func capture(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &panicError{val: r, stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
+// stageError normalizes a stage failure into a FragError, pulling the pass
+// name out of opt pass errors and the stack out of recovered panics.
+func stageError(id int, stage, pass string, err error) FragError {
+	fe := FragError{FragID: id, Stage: stage, Pass: pass, Err: err}
+	var pe *opt.PassError
+	if errors.As(err, &pe) {
+		fe.Pass = pe.Pass
+	}
+	var pnc *panicError
+	if errors.As(err, &pnc) {
+		fe.Stack = pnc.stack
+	}
+	return fe
+}
 
 // RebuildError reports a failed recompilation with full partial-progress
 // accounting: every fragment whose compilation ran and failed is named (not
@@ -38,6 +116,9 @@ type RebuildError struct {
 }
 
 func (re *RebuildError) Error() string {
+	if len(re.Failed) == 0 {
+		return "core: recompilation failed (no fragment failures recorded)"
+	}
 	ids := make([]string, len(re.Failed))
 	for i, fe := range re.Failed {
 		ids[i] = fmt.Sprint(fe.FragID)
@@ -49,29 +130,64 @@ func (re *RebuildError) Error() string {
 	return msg + ": " + re.Failed[0].Err.Error()
 }
 
-// Unwrap returns the first fragment failure, preserving errors.As/Is
-// chains through the pool.
-func (re *RebuildError) Unwrap() error { return re.Failed[0].Err }
+// Unwrap returns the first fragment failure, preserving errors.As/Is chains
+// through the pool, or nil when no fragment failures were recorded.
+func (re *RebuildError) Unwrap() error {
+	if len(re.Failed) == 0 {
+		return nil
+	}
+	return re.Failed[0]
+}
+
+// TimeoutError reports that Options.RebuildTimeout expired before the
+// rebuild completed. The machine-code cache and current executable are
+// untouched; fragment compiles still in flight when the deadline fired are
+// abandoned and finish harmlessly in the background (they only read engine
+// state, under lock, and their results are discarded).
+type TimeoutError struct {
+	Limit time.Duration
+	// Compiled lists fragments that finished successfully before the
+	// deadline; their staged results were discarded.
+	Compiled []int
+	// Pending lists fragments that were dispatched but whose outcome was
+	// not collected before the deadline.
+	Pending []int
+	// Skipped lists fragments never dispatched.
+	Skipped []int
+}
+
+func (te *TimeoutError) Error() string {
+	return fmt.Sprintf("core: rebuild deadline %v exceeded (%d compiled, %d in flight, %d not started)",
+		te.Limit, len(te.Compiled), len(te.Pending), len(te.Skipped))
+}
+
+// Unwrap ties the timeout into context error chains
+// (errors.Is(err, context.DeadlineExceeded) holds).
+func (te *TimeoutError) Unwrap() error { return context.DeadlineExceeded }
 
 // fragOut is one fragment's staged compilation result. Nothing is committed
 // to the engine cache until every fragment of the schedule has one with a
-// nil error.
+// nil error AND the relink of the staged image succeeds.
 type fragOut struct {
 	fc   FragCompile
 	obj  *obj.Object
 	hash uint64
-	err  error
-	ran  bool // false when cancellation skipped the fragment entirely
+	// deferred marks the degradation ladder's last rung: obj is the
+	// fragment's last-good cached object, the probe change was not
+	// applied, and the stored fingerprint must not be advanced.
+	deferred bool
+	err      error
+	ran      bool // false when cancellation skipped the fragment entirely
 }
 
 // compileFragments runs materialize→optimize→codegen for every scheduled
 // fragment on a bounded worker pool. Fragments are independent compilation
 // units, so the pipeline is embarrassingly parallel; results come back
-// ordered by fragment ID regardless of completion order, and the first
-// error cancels the remaining work via context. All shared engine state
-// (plan, pristine/temporary IR, object cache) is only read here; workers
-// write exclusively to their own slot of the result slice.
-func (e *Engine) compileFragments(temp *ir.Module, frags []int) ([]fragOut, int, error) {
+// ordered by fragment ID regardless of completion order, the first hard
+// error cancels the remaining work, and the context deadline (RebuildTimeout)
+// abandons the pool entirely. All shared engine state is read under the
+// engine lock, so abandoned workers cannot race later rebuilds.
+func (e *Engine) compileFragments(ctx context.Context, temp *ir.Module, frags []int) ([]fragOut, int, error) {
 	workers := e.opts.workers()
 	n := len(frags)
 	if n == 0 {
@@ -81,10 +197,19 @@ func (e *Engine) compileFragments(temp *ir.Module, frags []int) ([]fragOut, int,
 		workers = n
 	}
 
-	outs := make([]fragOut, n)
 	if workers == 1 {
-		// Serial fast path: no goroutines, deterministic early stop.
+		// Serial fast path: no goroutines, deterministic early stop, with
+		// the deadline checked between fragments.
+		outs := make([]fragOut, n)
 		for i, id := range frags {
+			if ctx.Err() != nil {
+				te := &TimeoutError{Limit: e.opts.RebuildTimeout}
+				for j := 0; j < i; j++ {
+					te.Compiled = append(te.Compiled, frags[j])
+				}
+				te.Skipped = append(te.Skipped, frags[i:]...)
+				return nil, workers, te
+			}
 			outs[i] = e.compileOne(id, temp)
 			if outs[i].err != nil {
 				break
@@ -93,36 +218,78 @@ func (e *Engine) compileFragments(temp *ir.Module, frags []int) ([]fragOut, int,
 		return collectPool(frags, outs, workers)
 	}
 
-	ctx, cancel := context.WithCancel(context.Background())
+	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	type slot struct {
+		i   int
+		out fragOut
+	}
 	jobs := make(chan int)
-	var wg sync.WaitGroup
+	// results is buffered to n so a worker finishing after the deadline
+	// abandoned the pool can still deposit its result and exit.
+	results := make(chan slot, n)
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
 		go func() {
-			defer wg.Done()
 			for i := range jobs {
-				if ctx.Err() != nil {
-					continue // cancelled after dispatch: leave slot unran
+				if cctx.Err() != nil {
+					results <- slot{i: i} // cancelled after dispatch: ran=false
+					continue
 				}
-				outs[i] = e.compileOne(frags[i], temp)
-				if outs[i].err != nil {
-					cancel() // first error wins: stop handing out work
+				out := e.compileOne(frags[i], temp)
+				if out.err != nil {
+					cancel() // first hard error wins: stop handing out work
 				}
+				results <- slot{i: i, out: out}
 			}
 		}()
 	}
-feed:
-	for i := 0; i < n; i++ {
+
+	outs := make([]fragOut, n)
+	got := make([]bool, n)
+	dispatched, completed := 0, 0
+	for {
+		jobCh := chan int(nil)
+		if dispatched < n && cctx.Err() == nil {
+			jobCh = jobs
+		}
+		if jobCh == nil && completed == dispatched {
+			break
+		}
 		select {
-		case jobs <- i:
+		case jobCh <- dispatched:
+			dispatched++
+		case s := <-results:
+			outs[s.i] = s.out
+			got[s.i] = true
+			completed++
 		case <-ctx.Done():
-			break feed
+			// Deadline: abandon the pool. Workers drain the closed jobs
+			// channel and park any late results in the buffered channel;
+			// nothing reads outs concurrently after this return.
+			close(jobs)
+			return nil, workers, e.timeoutError(frags, outs, got)
 		}
 	}
 	close(jobs)
-	wg.Wait()
 	return collectPool(frags, outs, workers)
+}
+
+// timeoutError classifies every fragment of an abandoned schedule: results
+// collected before the deadline split into compiled and skipped; everything
+// else — in flight, errored-at-the-wire, or never dispatched — is pending.
+func (e *Engine) timeoutError(frags []int, outs []fragOut, got []bool) *TimeoutError {
+	te := &TimeoutError{Limit: e.opts.RebuildTimeout}
+	for i, id := range frags {
+		switch {
+		case got[i] && outs[i].ran && outs[i].err == nil:
+			te.Compiled = append(te.Compiled, id)
+		case got[i] && !outs[i].ran:
+			te.Skipped = append(te.Skipped, id)
+		default:
+			te.Pending = append(te.Pending, id)
+		}
+	}
+	return te
 }
 
 // collectPool turns raw worker slots into either the full success result or
@@ -134,7 +301,7 @@ func collectPool(frags []int, outs []fragOut, workers int) ([]fragOut, int, erro
 			if rerr == nil {
 				rerr = &RebuildError{}
 			}
-			rerr.Failed = append(rerr.Failed, FragError{FragID: frags[i], Err: outs[i].err})
+			rerr.Failed = append(rerr.Failed, asFragError(frags[i], outs[i].err))
 		}
 	}
 	if rerr == nil {
@@ -152,56 +319,171 @@ func collectPool(frags []int, outs []fragOut, workers int) ([]fragOut, int, erro
 	return nil, workers, rerr
 }
 
-// compileOne runs the per-fragment pipeline of Figure 7: materialize the
-// fragment module from the instrumented temporary IR, then — unless the
-// content-hash cache proves the IR unchanged — optimize and generate code.
+// asFragError normalizes an error into a FragError for fragment id.
+func asFragError(id int, err error) FragError {
+	var fe FragError
+	if errors.As(err, &fe) {
+		return fe
+	}
+	return FragError{FragID: id, Err: err}
+}
+
+// ladderLevels returns the degradation ladder for a configured optimization
+// level: the configured level first, then -O1, then -O0. The last rung
+// after these — falling back to the fragment's last-good cached object — is
+// handled by degradeToCache.
+func ladderLevels(level int) []int {
+	switch {
+	case level >= 2:
+		return []int{level, 1, 0}
+	case level == 1:
+		return []int{1, 0}
+	default:
+		return []int{0}
+	}
+}
+
+// compileOne runs the per-fragment pipeline of Figure 7 under the fault
+// supervisor: materialize the fragment module from the instrumented
+// temporary IR, then — unless the content-hash cache proves the IR
+// unchanged — optimize and generate code. Every stage runs with panic
+// isolation, and a failure walks the degradation ladder (lower opt level,
+// then -O0 with the failing pass quarantined, then the last-good cached
+// object) before it is allowed to fail the rebuild.
 func (e *Engine) compileOne(id int, temp *ir.Module) fragOut {
 	out := fragOut{ran: true}
 	if hook := e.testFragHook; hook != nil {
 		if err := hook(id); err != nil {
-			out.err = err
+			out.err = FragError{FragID: id, Stage: StageHook, Err: err}
 			return out
 		}
 	}
 	frag := e.Plan.Fragments[id]
 
 	tm0 := time.Now()
-	fm, err := e.materialize(frag, temp)
-	if err != nil {
-		out.err = err
-		return out
+	fm, merr := e.materializeIsolated(frag, temp)
+	out.fc = FragCompile{FragID: id, Materialize: time.Since(tm0), Level: e.opts.OptLevel}
+	if merr != nil {
+		return e.degradeToCache(id, out, stageError(id, StageMaterialize, "", merr))
 	}
-	out.fc = FragCompile{FragID: id, Materialize: time.Since(tm0)}
 
 	out.hash = ir.Fingerprint(fm)
-	if cached, ok := e.cache[id]; ok {
-		if prev, known := e.hashes[id]; known && prev == out.hash {
-			// Content-hash hit: the post-instrumentation IR is
-			// byte-identical to what produced the cached object, so the
-			// middle and back end would reproduce it exactly — skip both.
-			out.obj = cached
-			out.fc.CacheHit = true
-			out.fc.Instrs = cached.CodeSize()
-			return out
-		}
+	e.mu.RLock()
+	cached, haveObj := e.cache[id]
+	prev, known := e.hashes[id]
+	e.mu.RUnlock()
+	if haveObj && known && prev == out.hash {
+		// Content-hash hit: the post-instrumentation IR is byte-identical
+		// to what produced the cached object, so the middle and back end
+		// would reproduce it exactly — skip both.
+		out.obj = cached
+		out.fc.CacheHit = true
+		out.fc.Instrs = cached.CodeSize()
+		return out
 	}
 
+	quarantined := e.quarantinedPasses(id)
+	var lastErr FragError
+	for attempt, lv := range ladderLevels(e.opts.OptLevel) {
+		if attempt > 0 {
+			// The failed attempt may have left fm half-transformed;
+			// rematerialize a pristine fragment module before retrying.
+			fm, merr = e.materializeIsolated(frag, temp)
+			if merr != nil {
+				return e.degradeToCache(id, out, stageError(id, StageMaterialize, "", merr))
+			}
+			if lv == 0 && lastErr.Pass != "" {
+				// Last compile rung: quarantine the pass that failed so
+				// future rebuilds of this fragment route around it.
+				e.addQuarantine(id, lastErr.Pass)
+				out.fc.QuarantinedPass = lastErr.Pass
+				quarantined = e.quarantinedPasses(id)
+			}
+		}
+		out.fc.Attempts = attempt + 1
+		o, ferr := e.compileAttempt(id, fm, lv, quarantined, &out.fc)
+		if ferr == nil {
+			out.fc.Level = lv
+			out.fc.Degraded = attempt > 0 || len(quarantined) > 0
+			out.fc.Instrs = o.CodeSize()
+			out.obj = o
+			return out
+		}
+		lastErr = *ferr
+	}
+	return e.degradeToCache(id, out, lastErr)
+}
+
+// materializeIsolated is materialize under panic isolation.
+func (e *Engine) materializeIsolated(frag *Fragment, temp *ir.Module) (*ir.Module, error) {
+	var fm *ir.Module
+	err := capture(func() error {
+		var merr error
+		fm, merr = e.materialize(frag, temp)
+		return merr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fm, nil
+}
+
+// compileAttempt runs optimize+codegen once at the given level under panic
+// isolation, returning the object or a stage-attributed failure. Opt and
+// codegen times accumulate onto fc across attempts.
+func (e *Engine) compileAttempt(id int, fm *ir.Module, level int, quarantined map[string]bool, fc *FragCompile) (*obj.Object, *FragError) {
+	trace := &opt.PassTrace{}
 	to := time.Now()
-	opt.Optimize(fm, &opt.Options{Level: e.opts.OptLevel})
-	out.fc.Opt = time.Since(to)
-	if err := ir.Verify(fm); err != nil {
-		out.err = fmt.Errorf("after optimization: %w", err)
-		return out
+	err := capture(func() error {
+		if err := opt.OptimizeChecked(fm, &opt.Options{
+			Level:      level,
+			Quarantine: quarantined,
+			Trace:      trace,
+			FaultHook:  e.opts.FaultHook,
+		}); err != nil {
+			return err
+		}
+		if err := ir.Verify(fm); err != nil {
+			return fmt.Errorf("after optimization: %w", err)
+		}
+		return nil
+	})
+	fc.Opt += time.Since(to)
+	if err != nil {
+		fe := stageError(id, StageOpt, trace.Pass, err)
+		return nil, &fe
 	}
 
 	tc := time.Now()
-	o, err := codegen.CompileModuleOpts(fm, e.opts.Codegen)
+	var o *obj.Object
+	err = capture(func() error {
+		var cerr error
+		o, cerr = codegen.CompileModuleOpts(fm, e.opts.Codegen)
+		return cerr
+	})
+	fc.CodeGen += time.Since(tc)
 	if err != nil {
-		out.err = err
+		fe := stageError(id, StageCodegen, "", err)
+		return nil, &fe
+	}
+	return o, nil
+}
+
+// degradeToCache is the degradation ladder's last rung: serve the
+// fragment's last-good cached object, deferring the probe change, or
+// surface the hard failure when the fragment has never been built.
+func (e *Engine) degradeToCache(id int, out fragOut, fe FragError) fragOut {
+	e.mu.RLock()
+	cached, ok := e.cache[id]
+	e.mu.RUnlock()
+	if !ok {
+		out.err = fe
 		return out
 	}
-	out.fc.CodeGen = time.Since(tc)
-	out.fc.Instrs = o.CodeSize()
-	out.obj = o
+	out.obj = cached
+	out.deferred = true
+	out.fc.Deferred = true
+	out.fc.DeferredCause = fe.Error()
+	out.fc.Instrs = cached.CodeSize()
 	return out
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"odin/internal/codegen"
@@ -30,6 +31,19 @@ type Options struct {
 	// the serial pipeline whose per-fragment times the paper's Figures
 	// 11/12 measure.
 	Workers int
+	// RebuildTimeout bounds one Sched.Rebuild end to end via context
+	// cancellation through the worker pool, so a pathological fragment
+	// cannot hang a fuzzing campaign. When it expires the rebuild returns
+	// a *TimeoutError, the cache and current executable are untouched, and
+	// in-flight fragment compiles are abandoned to finish harmlessly in
+	// the background. 0 means no deadline.
+	RebuildTimeout time.Duration
+	// FaultHook, when non-nil, is called at named pipeline sites
+	// ("opt:<pass>", "codegen:module", "link:incremental", "link:full").
+	// A returned error fails that stage; a panic exercises the rebuild
+	// supervisor's panic isolation. The faultinject package provides a
+	// deterministic, seeded implementation for robustness testing.
+	FaultHook func(site string) error
 }
 
 // workers resolves the configured pool size.
@@ -54,6 +68,25 @@ type FragCompile struct {
 	// CacheHit records that the fragment's post-instrumentation IR hashed
 	// identical to the cached object's, so Opt and CodeGen were skipped.
 	CacheHit bool
+	// Level is the optimization level the committed object was compiled
+	// at; below Options.OptLevel it reflects the degradation ladder.
+	Level int
+	// Attempts counts compile attempts the degradation ladder made (1 for
+	// a clean first-try compile; 0 for cache hits and deferrals before
+	// the first attempt).
+	Attempts int
+	// Degraded records that the fragment compiled below the configured
+	// level or with quarantined passes skipped.
+	Degraded bool
+	// QuarantinedPass names the optimizer pass newly quarantined for this
+	// fragment during this rebuild, if any.
+	QuarantinedPass string
+	// Deferred records the ladder's last rung: every compile attempt
+	// failed and the fragment's last-good cached object was served
+	// instead, leaving the probe change unapplied until a later rebuild.
+	Deferred bool
+	// DeferredCause describes the failure that forced the deferral.
+	DeferredCause string
 }
 
 // MiddleBackEnd is the compiler time the paper's Figures 11/12 count.
@@ -65,6 +98,18 @@ type RebuildStats struct {
 	// CacheHits counts fragments satisfied by the content-hash cache
 	// (recompilation scheduled, IR unchanged, compile skipped).
 	CacheHits int
+	// Degraded counts fragments the degradation ladder compiled below the
+	// configured optimization level (or with passes quarantined) after a
+	// stage failure.
+	Degraded int
+	// Quarantined counts optimizer passes newly quarantined this rebuild.
+	Quarantined int
+	// Deferred counts fragments served from their last-good cached object
+	// because every compile attempt failed; DeferredFrags lists them. The
+	// probe changes targeting those fragments are deferred: they stay
+	// scheduled and are retried on the next rebuild.
+	Deferred      int
+	DeferredFrags []int
 	// Workers is the compile-pool size used for this rebuild.
 	Workers int
 	// CompileWall is the wall-clock duration of the (parallel) compile
@@ -101,13 +146,25 @@ type Engine struct {
 	Plan     *Plan
 	Manager  *PatchManager
 
-	opts  Options
+	opts Options
+	// mu guards cache, hashes, quarantine, and deferredFrags. Pool workers
+	// read them concurrently, and a worker abandoned by a rebuild deadline
+	// may still be reading while a later rebuild commits.
+	mu    sync.RWMutex
 	cache map[int]*obj.Object
 	// hashes maps fragment ID to the content fingerprint of the
 	// post-instrumentation IR that produced the cached object.
 	hashes map[int]uint64
-	linker *link.Incremental
-	exe    *link.Executable
+	// quarantine maps fragment ID to optimizer passes that caused that
+	// fragment's compile to fail; later rebuilds skip them (degradation
+	// ladder, step 3).
+	quarantine map[int]map[string]bool
+	// deferredFrags are fragments whose last rebuild served the last-good
+	// cached object instead of the newly instrumented IR; they stay
+	// scheduled until a rebuild commits a fresh object for them.
+	deferredFrags map[int]bool
+	linker        *link.Incremental
+	exe           *link.Executable
 	// neverBuilt tracks fragments that have no cache entry yet; nbSorted
 	// caches its sorted ID list between cache commits.
 	neverBuilt map[int]bool
@@ -127,6 +184,11 @@ func New(m *ir.Module, opts Options) (*Engine, error) {
 	if opts.OptLevel == 0 {
 		opts.OptLevel = 2
 	}
+	if opts.FaultHook != nil && opts.Codegen.FaultHook == nil {
+		// Thread the engine's fault hook through to the back end; the
+		// optimizer receives it per-compile in compileAttempt.
+		opts.Codegen.FaultHook = opts.FaultHook
+	}
 	if err := ir.Verify(m); err != nil {
 		return nil, fmt.Errorf("core: input module: %w", err)
 	}
@@ -136,15 +198,18 @@ func New(m *ir.Module, opts Options) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		Pristine:   pristine,
-		Plan:       plan,
-		Manager:    NewPatchManager(),
-		opts:       opts,
-		cache:      map[int]*obj.Object{},
-		hashes:     map[int]uint64{},
-		linker:     link.NewIncremental(),
-		neverBuilt: map[int]bool{},
+		Pristine:      pristine,
+		Plan:          plan,
+		Manager:       NewPatchManager(),
+		opts:          opts,
+		cache:         map[int]*obj.Object{},
+		hashes:        map[int]uint64{},
+		quarantine:    map[int]map[string]bool{},
+		deferredFrags: map[int]bool{},
+		linker:        link.NewIncremental(),
+		neverBuilt:    map[int]bool{},
 	}
+	e.linker.FaultHook = opts.FaultHook
 	for _, f := range plan.Fragments {
 		e.neverBuilt[f.ID] = true
 	}
@@ -186,7 +251,9 @@ func (e *Engine) MarkAllDirty() { e.allDirty = true }
 // full rebuilds without re-partitioning.
 func (e *Engine) InvalidateCache() {
 	e.allDirty = true
+	e.mu.Lock()
 	e.hashes = map[int]uint64{}
+	e.mu.Unlock()
 }
 
 // affectedFragments computes the fragment set that must be recompiled for
@@ -200,13 +267,18 @@ func (e *Engine) affectedFragments(dirtySyms []string) []int {
 		}
 		return out
 	}
-	if len(dirtySyms) == 0 {
+	if len(dirtySyms) == 0 && len(e.deferredFrags) == 0 {
 		// Fast path: nothing dirty, so the affected set is exactly the
 		// never-built fragments — no per-call map building or sorting.
 		return e.neverBuiltIDs()
 	}
 	set := map[int]bool{}
 	for id := range e.neverBuilt {
+		set[id] = true
+	}
+	// Deferred fragments carry an unapplied probe change; they stay
+	// scheduled until a rebuild commits a fresh object for them.
+	for id := range e.deferredFrags {
 		set[id] = true
 	}
 	for _, s := range dirtySyms {
@@ -239,28 +311,110 @@ func (e *Engine) neverBuiltIDs() []int {
 }
 
 // commitFragment installs one staged compilation result into the cache.
-// finish calls it only after every scheduled fragment succeeded.
-func (e *Engine) commitFragment(id int, o *obj.Object, hash uint64) {
-	e.cache[id] = o
-	e.hashes[id] = hash
+// finish calls it only after every scheduled fragment succeeded AND the
+// staged image linked. Deferred fragments keep their last-good cache entry
+// and fingerprint, and stay scheduled for the next rebuild.
+func (e *Engine) commitFragment(o *fragOut) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	id := o.fc.FragID
+	if o.deferred {
+		e.deferredFrags[id] = true
+		return
+	}
+	e.cache[id] = o.obj
+	e.hashes[id] = o.hash
+	delete(e.deferredFrags, id)
 	if e.neverBuilt[id] {
 		delete(e.neverBuilt, id)
 		e.nbSorted = nil
 	}
 }
 
-// linkAll relinks the current cache contents, reusing the previous link's
-// symbol-resolution state when the object layout is unchanged. The second
-// result reports whether the incremental path was taken.
-func (e *Engine) linkAll() (*link.Executable, bool, error) {
-	ids := make([]int, 0, len(e.cache))
-	for id := range e.cache {
+// linkStaged links the current cache contents overlaid with this rebuild's
+// staged objects, under panic isolation, reusing the previous link's
+// symbol-resolution state when the object layout is unchanged. Nothing is
+// committed to the cache until this succeeds, so a link-stage fault leaves
+// both the cache and the current executable untouched. The second result
+// reports whether the incremental path was taken.
+func (e *Engine) linkStaged(outs []fragOut) (*link.Executable, bool, error) {
+	e.mu.RLock()
+	cand := make(map[int]*obj.Object, len(e.cache)+len(outs))
+	for id, o := range e.cache {
+		cand[id] = o
+	}
+	e.mu.RUnlock()
+	for i := range outs {
+		cand[outs[i].fc.FragID] = outs[i].obj
+	}
+	ids := make([]int, 0, len(cand))
+	for id := range cand {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
 	objs := make([]*obj.Object, 0, len(ids))
 	for _, id := range ids {
-		objs = append(objs, e.cache[id])
+		objs = append(objs, cand[id])
 	}
-	return e.linker.Link(objs, e.Builtins())
+	var exe *link.Executable
+	var incremental bool
+	err := capture(func() error {
+		var lerr error
+		exe, incremental, lerr = e.linker.Link(objs, e.Builtins())
+		return lerr
+	})
+	if err != nil {
+		return nil, false, stageError(-1, StageLink, "", err)
+	}
+	return exe, incremental, nil
+}
+
+// quarantinedPasses returns a copy of the fragment's quarantined pass set,
+// or nil when the fragment has none.
+func (e *Engine) quarantinedPasses(id int) map[string]bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	q := e.quarantine[id]
+	if len(q) == 0 {
+		return nil
+	}
+	out := make(map[string]bool, len(q))
+	for p := range q {
+		out[p] = true
+	}
+	return out
+}
+
+// addQuarantine records that a pass caused the fragment's compile to fail;
+// future rebuilds of the fragment skip it.
+func (e *Engine) addQuarantine(id int, pass string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.quarantine[id] == nil {
+		e.quarantine[id] = map[string]bool{}
+	}
+	e.quarantine[id][pass] = true
+}
+
+// Quarantined returns the quarantined pass names for a fragment, sorted.
+func (e *Engine) Quarantined(id int) []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return sortedKeys(e.quarantine[id])
+}
+
+// DeferredFragments returns the fragments whose probe changes are deferred
+// (last rebuild served their last-good object), sorted.
+func (e *Engine) DeferredFragments() []int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if len(e.deferredFrags) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(e.deferredFrags))
+	for id := range e.deferredFrags {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
 }

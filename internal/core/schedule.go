@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -181,33 +182,55 @@ func (s *Sched) finish() (*link.Executable, *RebuildStats, error) {
 		return nil, nil, fmt.Errorf("core: instrumented temporary IR invalid: %w", err)
 	}
 
+	// Bound the whole compile phase by the rebuild deadline. On expiry the
+	// pool abandons in-flight workers (their results land in a buffered
+	// channel and are discarded) and a *TimeoutError reports what finished.
+	ctx := context.Background()
+	cancel := func() {}
+	if e.opts.RebuildTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, e.opts.RebuildTimeout)
+	}
+	defer cancel()
+
 	// Compile every affected fragment on the worker pool; results are
 	// staged and ordered by fragment ID. On error the cache is untouched.
 	tc0 := time.Now()
-	outs, workers, err := e.compileFragments(s.Temp, s.fragments)
+	outs, workers, err := e.compileFragments(ctx, s.Temp, s.fragments)
 	if err != nil {
 		return nil, nil, err
 	}
 	stats := &RebuildStats{Workers: workers, CompileWall: time.Since(tc0)}
 
-	// Every fragment succeeded: commit the staged objects atomically with
-	// respect to rebuild failures.
+	// Link the staged image BEFORE committing anything, so a link-stage
+	// fault (including an injected one) leaves both the cache and the
+	// current executable untouched.
+	tl := time.Now()
+	exe, incremental, err := e.linkStaged(outs)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.LinkDur = time.Since(tl)
+
+	// Every fragment compiled (possibly degraded) and the image linked:
+	// commit the staged objects atomically with respect to failures.
 	for i := range outs {
 		o := &outs[i]
-		e.commitFragment(o.fc.FragID, o.obj, o.hash)
+		e.commitFragment(o)
 		stats.Fragments = append(stats.Fragments, o.fc)
 		stats.CompileCPU += o.fc.Materialize + o.fc.Opt + o.fc.CodeGen
 		if o.fc.CacheHit {
 			stats.CacheHits++
 		}
+		if o.fc.Deferred {
+			stats.Deferred++
+			stats.DeferredFrags = append(stats.DeferredFrags, o.fc.FragID)
+		} else if o.fc.Degraded {
+			stats.Degraded++
+		}
+		if o.fc.QuarantinedPass != "" {
+			stats.Quarantined++
+		}
 	}
-
-	tl := time.Now()
-	exe, incremental, err := e.linkAll()
-	if err != nil {
-		return nil, nil, err
-	}
-	stats.LinkDur = time.Since(tl)
 	stats.IncrementalLink = incremental
 	stats.Total = time.Since(t0)
 	e.exe = exe

@@ -1,0 +1,131 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestDeterminism: the same seed and call sequence must produce the same
+// injection decisions, and a different seed a different schedule.
+func TestDeterminism(t *testing.T) {
+	run := func(seed uint64) []string {
+		in := New(seed).Arm(Rule{Site: "*", Kind: KindError, Rate: 0.3})
+		var got []string
+		for i := 0; i < 200; i++ {
+			site := fmt.Sprintf("opt:pass%d", i%3)
+			if err := in.At(site); err != nil {
+				got = append(got, fmt.Sprintf("%s#%d", site, i))
+			}
+		}
+		return got
+	}
+	a, b := run(7), run(7)
+	if len(a) == 0 {
+		t.Fatal("rate 0.3 over 200 calls injected nothing")
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed diverged:\n%v\n%v", a, b)
+	}
+	if c := run(8); fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestSiteAddressing: rules fire only at matching sites, with exact, prefix,
+// and wildcard patterns.
+func TestSiteAddressing(t *testing.T) {
+	in := New(1).Arm(Rule{Site: "opt:*", Kind: KindError, Rate: 1})
+	if err := in.At("codegen:module"); err != nil {
+		t.Fatalf("codegen site hit by opt:* rule: %v", err)
+	}
+	if err := in.At("opt:cse"); err == nil {
+		t.Fatal("opt:cse not hit by opt:* rule at rate 1")
+	}
+	in2 := New(1).Arm(Rule{Site: "link:full", Kind: KindError, Rate: 1})
+	if err := in2.At("link:incremental"); err != nil {
+		t.Fatalf("exact rule leaked to sibling site: %v", err)
+	}
+	if err := in2.At("link:full"); err == nil {
+		t.Fatal("exact rule did not fire at its site")
+	}
+}
+
+// TestKinds: error returns a typed error, panic panics with the same type,
+// stall sleeps and returns nil.
+func TestKinds(t *testing.T) {
+	in := New(3).Arm(Rule{Site: "*", Kind: KindError, Rate: 1})
+	err := in.At("s")
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Site != "s" || ie.Kind != KindError {
+		t.Fatalf("error kind: %v", err)
+	}
+	if !IsInjected(err) {
+		t.Fatal("IsInjected(error) = false")
+	}
+	if IsInjected(errors.New("real bug")) {
+		t.Fatal("IsInjected(real error) = true")
+	}
+
+	pn := New(3).Arm(Rule{Site: "*", Kind: KindPanic, Rate: 1})
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("panic kind did not panic")
+			}
+			if !IsInjected(r) {
+				t.Fatalf("panic value not an InjectedError: %v", r)
+			}
+		}()
+		_ = pn.At("s")
+	}()
+
+	st := New(3).Arm(Rule{Site: "*", Kind: KindStall, Rate: 1}).SetStall(20 * time.Millisecond)
+	t0 := time.Now()
+	if err := st.At("s"); err != nil {
+		t.Fatalf("stall kind returned error: %v", err)
+	}
+	if d := time.Since(t0); d < 15*time.Millisecond {
+		t.Fatalf("stall slept only %v", d)
+	}
+}
+
+// TestTimesBound: a Times=1 rule models a transient fault — exactly one
+// injection no matter how many calls follow.
+func TestTimesBound(t *testing.T) {
+	in := New(5).Arm(Rule{Site: "*", Kind: KindError, Rate: 1, Times: 1})
+	fails := 0
+	for i := 0; i < 10; i++ {
+		if in.At("opt:dce") != nil {
+			fails++
+		}
+	}
+	if fails != 1 {
+		t.Fatalf("Times=1 rule fired %d times", fails)
+	}
+	if in.TotalInjected() != 1 {
+		t.Fatalf("TotalInjected = %d", in.TotalInjected())
+	}
+	if in.Calls()["opt:dce"] != 10 {
+		t.Fatalf("Calls = %v", in.Calls())
+	}
+}
+
+// TestRateSweep: observed injection frequency tracks the configured rate.
+func TestRateSweep(t *testing.T) {
+	for _, rate := range []float64{0, 0.1, 0.5, 1} {
+		in := New(11).Arm(Rule{Site: "*", Kind: KindError, Rate: rate})
+		n, hits := 2000, 0
+		for i := 0; i < n; i++ {
+			if in.At("codegen:module") != nil {
+				hits++
+			}
+		}
+		got := float64(hits) / float64(n)
+		if got < rate-0.05 || got > rate+0.05 {
+			t.Fatalf("rate %.2f: observed %.3f", rate, got)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package link
 
 import (
+	"fmt"
+
 	"odin/internal/mir"
 	"odin/internal/obj"
 	"odin/internal/rt"
@@ -33,9 +35,17 @@ type Incremental struct {
 	// funcBase is the exe.Funcs index of each object's first function.
 	funcBase []int
 
-	// Fulls and Incrementals count which path each Link call took.
+	// FaultHook, when non-nil, is called at sites "link:incremental" and
+	// "link:full" before the corresponding path runs; a returned error
+	// fails that path (the incremental path then degrades to a full link).
+	FaultHook func(site string) error
+
+	// Fulls and Incrementals count which path each Link call took;
+	// RelinkFaults counts incremental relinks abandoned mid-flight (error
+	// or panic) and degraded to a full link.
 	Fulls        int
 	Incrementals int
+	RelinkFaults int
 }
 
 // NewIncremental returns a linker with no cached state; its first Link is
@@ -44,15 +54,23 @@ func NewIncremental() *Incremental { return &Incremental{} }
 
 // Link combines the objects, reusing cached symbol-resolution work when the
 // object layout is unchanged. The second result reports whether the
-// incremental path was taken.
+// incremental path was taken. A relink that fails mid-flight — an
+// inconsistent cached table, an injected fault, or a panic while repatching
+// — degrades transparently to a full link instead of failing the rebuild;
+// only a full-link failure is surfaced.
 func (inc *Incremental) Link(objects []*obj.Object, builtinNames []string) (*Executable, bool, error) {
 	if inc.canRelink(objects, builtinNames) {
-		exe, err := inc.relink(objects)
-		if err != nil {
-			return nil, false, err
+		exe, err := inc.tryRelink(objects)
+		if err == nil {
+			inc.Incrementals++
+			return exe, true, nil
 		}
-		inc.Incrementals++
-		return exe, true, nil
+		inc.RelinkFaults++
+	}
+	if inc.FaultHook != nil {
+		if err := inc.FaultHook("link:full"); err != nil {
+			return nil, false, fmt.Errorf("link: full link: %w", err)
+		}
 	}
 	exe, err := inc.full(objects, builtinNames)
 	if err != nil {
@@ -60,6 +78,23 @@ func (inc *Incremental) Link(objects []*obj.Object, builtinNames []string) (*Exe
 	}
 	inc.Fulls++
 	return exe, false, nil
+}
+
+// tryRelink runs the incremental path under panic isolation. The cached
+// resolution state is only replaced after a fully successful relink, so an
+// abandoned attempt leaves the linker consistent for the full-link retry.
+func (inc *Incremental) tryRelink(objects []*obj.Object) (exe *Executable, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			exe, err = nil, fmt.Errorf("link: incremental relink panic: %v", r)
+		}
+	}()
+	if inc.FaultHook != nil {
+		if err := inc.FaultHook("link:incremental"); err != nil {
+			return nil, err
+		}
+	}
+	return inc.relink(objects)
 }
 
 // canRelink reports whether the cached state covers this input: same object

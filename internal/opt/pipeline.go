@@ -87,7 +87,34 @@ type Options struct {
 	// to preserve dead internal code (e.g. to instrument it later without
 	// a repartition) can set it.
 	SkipGlobalDCE bool
+	// Quarantine names passes the pipeline must skip. The rebuild
+	// supervisor quarantines a pass for a fragment after it caused that
+	// fragment's compile to fail, so later rebuilds degrade around it
+	// instead of re-hitting the same fault.
+	Quarantine map[string]bool
+	// Trace, when non-nil, records the pass currently running. It stays
+	// set when a pass panics, which is how the rebuild supervisor
+	// attributes a recovered panic to the pass that raised it.
+	Trace *PassTrace
+	// FaultHook, when non-nil, is called before each pass with site
+	// "opt:<pass>". A returned error aborts the pipeline as a *PassError;
+	// the faultinject package provides deterministic implementations.
+	FaultHook func(site string) error
 }
+
+// PassTrace exposes which pass the pipeline is currently running; see
+// Options.Trace.
+type PassTrace struct{ Pass string }
+
+// PassError attributes a pipeline failure to a named pass.
+type PassError struct {
+	Pass string
+	Err  error
+}
+
+func (e *PassError) Error() string { return "opt: " + e.Pass + ": " + e.Err.Error() }
+
+func (e *PassError) Unwrap() error { return e.Err }
 
 // Pass is one transformation over a module. Run returns whether anything
 // changed.
@@ -104,50 +131,112 @@ func localPasses() []Pass {
 // Optimize runs the full pipeline at o.Level over the module, mimicking an
 // O2-style loop: local cleanup, interprocedural transforms, local cleanup,
 // global DCE. The module is verified before and after in debug builds via
-// the caller; Optimize itself only transforms.
+// the caller; Optimize itself only transforms. Without a FaultHook the
+// pipeline cannot fail; a hook error escaping through this entry point is a
+// programming error (fault-injecting callers must use OptimizeChecked).
 func Optimize(m *ir.Module, o *Options) {
+	if err := OptimizeChecked(m, o); err != nil {
+		panic(err)
+	}
+}
+
+// OptimizeChecked is Optimize with failure surfacing: a FaultHook error
+// aborts the pipeline and is returned as a *PassError naming the pass whose
+// site raised it. The module may be left partially transformed; callers
+// retrying must start from a fresh copy.
+func OptimizeChecked(m *ir.Module, o *Options) error {
 	if o == nil {
 		o = &Options{Level: 2}
 	}
 	if o.Level <= 0 {
-		return
+		return nil
 	}
-	runToFixpoint(m, o, localPasses(), 8)
+	if err := runToFixpoint(m, o, localPasses(), 8); err != nil {
+		return err
+	}
 	if o.Level >= 2 {
 		// Fully unroll small constant-trip loops; each round may expose
 		// folding that enables further unrolling.
 		for i := 0; i < 4; i++ {
-			if !(LoopUnroll{}).Run(m, o) {
+			changed, err := runPass(m, o, LoopUnroll{})
+			if err != nil {
+				return err
+			}
+			if !changed {
 				break
 			}
-			runToFixpoint(m, o, localPasses(), 8)
+			if err := runToFixpoint(m, o, localPasses(), 8); err != nil {
+				return err
+			}
 		}
 		// Interprocedural round. Inlining exposes local opportunities,
 		// so alternate with local cleanup.
 		for i := 0; i < 4; i++ {
-			changed := Inline{}.Run(m, o)
-			changed = DeadArgElim{}.Run(m, o) || changed
-			runToFixpoint(m, o, localPasses(), 8)
+			changed, err := runPass(m, o, Inline{})
+			if err != nil {
+				return err
+			}
+			dae, err := runPass(m, o, DeadArgElim{})
+			if err != nil {
+				return err
+			}
+			changed = dae || changed
+			if err := runToFixpoint(m, o, localPasses(), 8); err != nil {
+				return err
+			}
 			if !changed {
 				break
 			}
 		}
 		if !o.SkipGlobalDCE {
-			GlobalDCE{}.Run(m, o)
+			if _, err := runPass(m, o, GlobalDCE{}); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
-func runToFixpoint(m *ir.Module, o *Options, passes []Pass, maxIters int) {
+func runToFixpoint(m *ir.Module, o *Options, passes []Pass, maxIters int) error {
 	for i := 0; i < maxIters; i++ {
 		changed := false
 		for _, p := range passes {
-			if p.Run(m, o) {
+			c, err := runPass(m, o, p)
+			if err != nil {
+				return err
+			}
+			if c {
 				changed = true
 			}
 		}
 		if !changed {
-			return
+			return nil
 		}
 	}
+	return nil
+}
+
+// runPass executes one pass, honoring quarantine, pass tracing, and fault
+// injection. Trace.Pass is deliberately NOT cleared when Run panics: the
+// recovering caller reads it to attribute the panic.
+func runPass(m *ir.Module, o *Options, p Pass) (bool, error) {
+	name := p.Name()
+	if o.Quarantine[name] {
+		return false, nil
+	}
+	if o.Trace != nil {
+		// Set before the hook, so an injected panic is attributed to the
+		// pass whose site raised it, exactly like a panic from Run itself.
+		o.Trace.Pass = name
+	}
+	if o.FaultHook != nil {
+		if err := o.FaultHook("opt:" + name); err != nil {
+			return false, &PassError{Pass: name, Err: err}
+		}
+	}
+	changed := p.Run(m, o)
+	if o.Trace != nil {
+		o.Trace.Pass = ""
+	}
+	return changed, nil
 }

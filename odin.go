@@ -59,8 +59,13 @@ type (
 	// RebuildError reports a failed rebuild, naming every fragment that
 	// failed to compile; the fragment cache is untouched on failure.
 	RebuildError = core.RebuildError
-	// FragError is one fragment's compile failure inside a RebuildError.
+	// FragError is one fragment's compile failure inside a RebuildError,
+	// attributed to a pipeline stage (and optimizer pass, when known), with
+	// the stack captured when the failure was a recovered panic.
 	FragError = core.FragError
+	// TimeoutError reports that Options.RebuildTimeout expired; the cache
+	// and current executable are untouched.
+	TimeoutError = core.TimeoutError
 	// Classification is the symbol survey (Bond / Copy-on-use / Fixed).
 	Classification = core.Classification
 )
