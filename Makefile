@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fmt-check bench-parallel ci
+.PHONY: all build vet test race fmt-check bench-parallel bench-telemetry ci
 
 all: build
 
@@ -14,9 +14,16 @@ test:
 	$(GO) test ./...
 
 # The concurrency-sensitive packages: the fragment compile pool, the
-# incremental linker, and the fault injector that stresses both.
+# incremental linker, the fault injector that stresses both, and the
+# telemetry layer hit from concurrent compile workers and probe firings.
 race:
-	$(GO) test -race ./internal/core/... ./internal/link/... ./internal/faultinject/...
+	$(GO) test -race ./internal/core/... ./internal/link/... ./internal/faultinject/... \
+		./internal/telemetry/... ./internal/rt/... ./internal/cov/...
+
+bench-telemetry:
+	$(GO) test ./internal/core/ -run XXX -bench 'Rebuild' -benchtime 20x -benchmem
+	$(GO) test ./internal/telemetry/ -run XXX -bench . -benchtime 1000000x
+	ODIN_OVERHEAD_TEST=1 $(GO) test ./internal/core/ -run TestTelemetryOverheadPaired -v
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \

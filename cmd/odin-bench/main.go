@@ -5,17 +5,27 @@
 //
 //	odin-bench [-experiment all|fig3|fig8|fig9|fig10|fig11|fig12|headline|parallel|faults]
 //	           [-campaign N] [-programs a,b,c] [-parallel] [-workers N]
-//	           [-fault-rounds N] [-fault-seed N]
+//	           [-fault-rounds N] [-fault-seed N] [-json] [-metrics-addr HOST:PORT]
+//
+// With -json the selected experiments' raw results — including every
+// rebuild's full RebuildStats with the degradation/quarantine/deferral
+// accounting — are emitted as one JSON document on stdout (progress chatter
+// moves to stderr). With -metrics-addr a telemetry registry is attached to
+// every engine the harness creates and served live for the duration of the
+// run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"odin/internal/bench"
 	"odin/internal/progen"
+	"odin/internal/telemetry"
 )
 
 func main() {
@@ -26,22 +36,47 @@ func main() {
 	workers := flag.Int("workers", 0, "worker count for the parallel experiment (0 = GOMAXPROCS)")
 	faultRounds := flag.Int("fault-rounds", 3, "rebuild rounds per program and injection-rate cell in the faults experiment")
 	faultSeed := flag.Uint64("fault-seed", 1, "base seed for the deterministic fault injector")
+	jsonOut := flag.Bool("json", false, "emit raw experiment results (full RebuildStats included) as JSON on stdout")
+	metricsAddr := flag.String("metrics-addr", "", "serve live telemetry for the run on this host:port (port 0 = pick a free port)")
 	flag.Parse()
 
-	if err := run(*experiment, *campaign, *programs, *parallel, *workers, *faultRounds, *faultSeed); err != nil {
+	if err := run(*experiment, *campaign, *programs, *parallel, *workers, *faultRounds, *faultSeed, *jsonOut, *metricsAddr); err != nil {
 		fmt.Fprintf(os.Stderr, "odin-bench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, campaign int, programs string, parallel bool, workers, faultRounds int, faultSeed uint64) error {
-	w := os.Stdout
+func run(experiment string, campaign int, programs string, parallel bool, workers, faultRounds int, faultSeed uint64, jsonOut bool, metricsAddr string) error {
+	var w io.Writer = os.Stdout
+	report := map[string]any{}
+	if jsonOut {
+		// Human-readable tables and progress move to stderr; stdout carries
+		// exactly one JSON document.
+		w = os.Stderr
+		defer func() {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			enc.Encode(report)
+		}()
+	}
+	if metricsAddr != "" {
+		bench.Telemetry = telemetry.NewRegistry()
+		srv, err := telemetry.Serve(metricsAddr, bench.Telemetry, func() any {
+			return map[string]any{"experiment": experiment}
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: serving on %s\n", srv.Addr())
+	}
 
 	if experiment == "fig3" {
 		r, err := bench.RunFig3()
 		if err != nil {
 			return err
 		}
+		report["fig3"] = r
 		bench.PrintFig3(w, r)
 		return nil
 	}
@@ -75,6 +110,7 @@ func run(experiment string, campaign int, programs string, parallel bool, worker
 		if err != nil {
 			return err
 		}
+		report["faults"] = rows
 		bench.PrintFaults(w, rows)
 		return nil
 	}
@@ -107,23 +143,30 @@ func run(experiment string, campaign int, programs string, parallel bool, worker
 		if err != nil {
 			return err
 		}
+		report["fig3"] = r
 		bench.PrintFig3(w, r)
 		fmt.Fprintln(w)
 	}
 	if show("fig8") {
+		report["fig8"] = f8
 		bench.PrintFig8(w, f8)
 		fmt.Fprintln(w)
 	}
 	if show("fig9") {
-		bench.PrintFig9(w, bench.Summarize(f8))
+		s := bench.Summarize(f8)
+		report["fig9"] = s
+		bench.PrintFig9(w, s)
 		fmt.Fprintln(w)
 	}
 	if show("fig10") {
+		report["fig10"] = rows
 		bench.PrintFig10(w, rows, bench.SummarizeFig10(rows))
 		fmt.Fprintln(w)
 	}
 	if show("fig11") {
-		bench.PrintFig11(w, bench.Fig11(rows))
+		f11 := bench.Fig11(rows)
+		report["fig11"] = f11
+		bench.PrintFig11(w, f11)
 		fmt.Fprintln(w)
 	}
 	if needParallel {
@@ -131,11 +174,14 @@ func run(experiment string, campaign int, programs string, parallel bool, worker
 		if err != nil {
 			return err
 		}
+		report["parallel"] = prows
 		bench.PrintParallel(w, prows)
 		fmt.Fprintln(w)
 	}
 	if show("fig12") {
-		bench.PrintFig12(w, bench.Fig12(rows))
+		f12 := bench.Fig12(rows)
+		report["fig12"] = f12
+		bench.PrintFig12(w, f12)
 		fmt.Fprintln(w)
 	}
 	if show("ablation") {
@@ -143,6 +189,7 @@ func run(experiment string, campaign int, programs string, parallel bool, worker
 		if err != nil {
 			return err
 		}
+		report["ablation"] = rows
 		bench.PrintAblation(w, rows)
 		fmt.Fprintln(w)
 	}
@@ -151,6 +198,7 @@ func run(experiment string, campaign int, programs string, parallel bool, worker
 		if err != nil {
 			return err
 		}
+		report["codegen"] = rows
 		bench.PrintCodegenAblation(w, rows)
 		fmt.Fprintln(w)
 	}
@@ -159,6 +207,7 @@ func run(experiment string, campaign int, programs string, parallel bool, worker
 		if err != nil {
 			return err
 		}
+		report["headline"] = h
 		bench.PrintHeadline(w, h)
 	}
 	return nil

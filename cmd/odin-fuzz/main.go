@@ -12,7 +12,7 @@
 // Usage:
 //
 //	odin-fuzz [-program demo | -ir file.ir] [-iters 5000] [-seed 1] [-prune]
-//	          [-rebuild-timeout D]
+//	          [-rebuild-timeout D] [-metrics-addr HOST:PORT]
 package main
 
 import (
@@ -73,9 +73,10 @@ func main() {
 	seed := flag.Uint64("seed", 1, "campaign RNG seed")
 	prune := flag.Bool("prune", true, "prune covered probes via on-the-fly recompilation")
 	rebuildTimeout := flag.Duration("rebuild-timeout", 0, "deadline for one on-the-fly rebuild (0 = none)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live telemetry (rebuild metrics, per-probe hit counts, traces) on this host:port")
 	flag.Parse()
 
-	if err := run(*program, *irFile, *iters, *seed, *prune, *rebuildTimeout); err != nil {
+	if err := run(*program, *irFile, *iters, *seed, *prune, *rebuildTimeout, *metricsAddr); err != nil {
 		fmt.Fprintf(os.Stderr, "odin-fuzz: %v\n", err)
 		os.Exit(1)
 	}
@@ -120,7 +121,7 @@ func classifyInvalidIR(when string, err error) error {
 	return fmt.Errorf("invalid IR %s: %w", when, err)
 }
 
-func run(program, irFile string, iters int, seed uint64, prune bool, rebuildTimeout time.Duration) error {
+func run(program, irFile string, iters int, seed uint64, prune bool, rebuildTimeout time.Duration, metricsAddr string) error {
 	name, m, err := loadModule(program, irFile)
 	if err != nil {
 		return err
@@ -128,9 +129,17 @@ func run(program, irFile string, iters int, seed uint64, prune bool, rebuildTime
 	if err := ir.Verify(m); err != nil {
 		return classifyInvalidIR("before campaign", err)
 	}
-	tool, err := cov.New(m, core.Options{Variant: core.VariantOdin, RebuildTimeout: rebuildTimeout}, prune)
+	tool, err := cov.New(m, core.Options{
+		Variant:        core.VariantOdin,
+		RebuildTimeout: rebuildTimeout,
+		MetricsAddr:    metricsAddr,
+	}, prune)
 	if err != nil {
 		return err
+	}
+	defer tool.Engine.Close()
+	if addr := tool.Engine.TelemetryAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "telemetry: serving on %s\n", addr)
 	}
 	fmt.Printf("target %s: %d probes over %d fragments\n",
 		name, len(tool.Probes), len(tool.Engine.Plan.Fragments))

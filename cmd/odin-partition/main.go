@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	odin-partition [-variant odin|one|max] [-program NAME | -file program.ir]
+//	odin-partition [-variant odin|one|max] [-program NAME | -file program.ir] [-json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,15 +24,33 @@ func main() {
 	program := flag.String("program", "libxml2", "suite program to partition")
 	file := flag.String("file", "", "textual IR file to partition instead of a suite program")
 	classify := flag.Bool("classify", true, "print per-symbol classification")
+	jsonOut := flag.Bool("json", false, "emit the plan as machine-readable JSON instead of text")
 	flag.Parse()
 
-	if err := run(*variant, *program, *file, *classify); err != nil {
+	if err := run(*variant, *program, *file, *classify, *jsonOut); err != nil {
 		fmt.Fprintf(os.Stderr, "odin-partition: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(variantName, program, file string, classify bool) error {
+// planDump is the machine-readable -json view of a partition plan.
+type planDump struct {
+	Program   string            `json:"program"`
+	Variant   string            `json:"variant"`
+	Symbols   int               `json:"symbols"`
+	Instrs    int               `json:"instrs"`
+	Class     map[string]string `json:"classification"`
+	Fragments []fragDump        `json:"fragments"`
+}
+
+type fragDump struct {
+	ID      int      `json:"id"`
+	Members []string `json:"members"`
+	Imports []string `json:"imports,omitempty"`
+	Clones  []string `json:"clones,omitempty"`
+}
+
+func run(variantName, program, file string, classify, jsonOut bool) error {
 	var v core.Variant
 	switch variantName {
 	case "odin":
@@ -68,6 +87,26 @@ func run(variantName, program, file string, classify bool) error {
 	plan, err := core.Partition(m, v, 2)
 	if err != nil {
 		return err
+	}
+	if jsonOut {
+		dump := planDump{
+			Program: m.Name,
+			Variant: plan.Variant.String(),
+			Symbols: len(m.DefinedSymbols()),
+			Instrs:  m.NumInstrs(),
+			Class:   map[string]string{},
+		}
+		for _, s := range m.DefinedSymbols() {
+			dump.Class[s] = plan.Class.Cat[s].String()
+		}
+		for _, f := range plan.Fragments {
+			dump.Fragments = append(dump.Fragments, fragDump{
+				ID: f.ID, Members: f.Members, Imports: f.Imports, Clones: f.Clones,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(dump)
 	}
 	fmt.Printf("program: %s — %d symbols, %d IR instructions\n",
 		m.Name, len(m.DefinedSymbols()), m.NumInstrs())

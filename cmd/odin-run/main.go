@@ -9,6 +9,8 @@
 //	odin-run -program sqlite -input "select"      # run a suite program
 //	odin-run -odin [-workers N] [-rebuild-timeout D] -program sqlite
 //	                                              # build via the Odin engine
+//	odin-run -odin -metrics-addr 127.0.0.1:9090 [-metrics-hold 30s] -program sqlite
+//	                                              # + live introspection endpoint
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"odin/internal/irtext"
 	"odin/internal/progen"
 	"odin/internal/rt"
+	"odin/internal/telemetry"
 	"odin/internal/toolchain"
 	"odin/internal/vm"
 )
@@ -37,15 +40,17 @@ func main() {
 	odin := flag.Bool("odin", false, "build through the Odin fragment engine instead of the whole-module toolchain")
 	workers := flag.Int("workers", 0, "fragment compile workers for -odin (0 = GOMAXPROCS)")
 	rebuildTimeout := flag.Duration("rebuild-timeout", 0, "with -odin: deadline for one rebuild (0 = none)")
+	metricsAddr := flag.String("metrics-addr", "", "with -odin: serve telemetry on this host:port (port 0 = pick a free port)")
+	metricsHold := flag.Duration("metrics-hold", 0, "with -metrics-addr: keep serving this long after the run finishes")
 	flag.Parse()
 
-	if err := run(*level, *useInterp, *input, *fn, *dump, *odin, *workers, *rebuildTimeout, *program, flag.Args()); err != nil {
+	if err := run(*level, *useInterp, *input, *fn, *dump, *odin, *workers, *rebuildTimeout, *metricsAddr, *metricsHold, *program, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "odin-run: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(level int, useInterp bool, input, fn string, dump, odin bool, workers int, rebuildTimeout time.Duration, program string, args []string) error {
+func run(level int, useInterp bool, input, fn string, dump, odin bool, workers int, rebuildTimeout time.Duration, metricsAddr string, metricsHold time.Duration, program string, args []string) error {
 	var m *ir.Module
 	switch {
 	case program != "":
@@ -118,9 +123,24 @@ func run(level int, useInterp bool, input, fn string, dump, odin bool, workers i
 	}
 
 	if odin {
-		eng, err := core.New(m, core.Options{Workers: workers, RebuildTimeout: rebuildTimeout})
+		opts := core.Options{Workers: workers, RebuildTimeout: rebuildTimeout}
+		if metricsAddr != "" {
+			opts.Telemetry = telemetry.NewRegistry()
+		}
+		eng, err := core.New(m, opts)
 		if err != nil {
 			return err
+		}
+		if metricsAddr != "" {
+			srv, err := telemetry.Serve(metricsAddr, opts.Telemetry, func() any { return eng.Snapshot() })
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "telemetry: serving on %s\n", srv.Addr())
+			if metricsHold > 0 {
+				defer time.Sleep(metricsHold)
+			}
 		}
 		exe, st, err := eng.BuildAll()
 		if err != nil {

@@ -38,7 +38,7 @@ func RunAblation(progs []*ProgramData) ([]AblationRow, error) {
 			Fragments:  map[core.Variant]int{},
 		}
 		for _, v := range AblationVariants {
-			eng, err := core.New(pd.Module, core.Options{Variant: v})
+			eng, err := core.New(pd.Module, core.Options{Variant: v, Telemetry: Telemetry})
 			if err != nil {
 				return nil, err
 			}

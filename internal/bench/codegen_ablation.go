@@ -55,8 +55,9 @@ func RunCodegenAblation(progs []*ProgramData) ([]CodegenRow, error) {
 			}
 
 			eng, err := core.New(pd.Module, core.Options{
-				Variant: core.VariantMax,
-				Codegen: cg,
+				Variant:   core.VariantMax,
+				Codegen:   cg,
+				Telemetry: Telemetry,
 			})
 			if err != nil {
 				return nil, err

@@ -20,9 +20,16 @@ import (
 	"odin/internal/progen"
 	"odin/internal/rt"
 	"odin/internal/sancov"
+	"odin/internal/telemetry"
 	"odin/internal/toolchain"
 	"odin/internal/vm"
 )
+
+// Telemetry, when non-nil, is attached to every engine the harness creates
+// (odin-bench -metrics-addr sets it), so a long bench run can be observed
+// live. Counters accumulate across the run's engines; gauges reflect the
+// most recently created one.
+var Telemetry *telemetry.Registry
 
 // ProgramData is one prepared benchmark target: its pristine module and the
 // replay corpus collected from a deterministic fuzzing campaign (replaying

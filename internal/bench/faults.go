@@ -119,7 +119,7 @@ func RunFaults(progs []*ProgramData, seed uint64, rounds int) ([]FaultRow, error
 func runFaultsOne(pd *ProgramData, kind faultinject.Kind, rate float64, seed uint64, rounds int, row *FaultRow) error {
 	// The injector is swapped in only after the clean reference build.
 	var hook func(site string) error
-	opts := core.Options{FaultHook: func(site string) error {
+	opts := core.Options{Telemetry: Telemetry, FaultHook: func(site string) error {
 		if hook == nil {
 			return nil
 		}

@@ -45,7 +45,7 @@ func RunFig10(progs []*ProgramData) ([]VariantResult, error) {
 			// Workers=1 keeps per-fragment compile times measured on the
 			// serial pipeline, as the paper's Figures 11/12 do; the
 			// parallel experiment reports wall-clock separately.
-			eng, err := core.New(pd.Module, core.Options{Variant: variant, Workers: 1})
+			eng, err := core.New(pd.Module, core.Options{Variant: variant, Workers: 1, Telemetry: Telemetry})
 			if err != nil {
 				return nil, err
 			}

@@ -56,7 +56,7 @@ type Fig8Result struct {
 // reported by Figures 11/12 and the headline metric, not as execution
 // time).
 func runOdinCov(pd *ProgramData, prune bool) (int64, []float64, error) {
-	tool, err := cov.New(pd.Module, core.Options{Variant: core.VariantOdin}, prune)
+	tool, err := cov.New(pd.Module, core.Options{Variant: core.VariantOdin, Telemetry: Telemetry}, prune)
 	if err != nil {
 		return 0, nil, err
 	}

@@ -12,26 +12,33 @@ import (
 // maximal rebuild timed with one worker and with the full pool, plus an
 // unchanged-IR rebuild exercising the content-hash fragment cache.
 type ParallelRow struct {
-	Program   string
-	Fragments int
-	Workers   int
+	Program   string `json:"program"`
+	Fragments int    `json:"fragments"`
+	Workers   int    `json:"workers"`
 	// SerialWallMS / ParallelWallMS are wall-clock compile-phase times for
 	// a full (cache-invalidated) rebuild with Workers=1 and Workers=N.
-	SerialWallMS   float64
-	ParallelWallMS float64
+	SerialWallMS   float64 `json:"serial_wall_ms"`
+	ParallelWallMS float64 `json:"parallel_wall_ms"`
 	// SerialEqMS is the cumulative per-fragment middle+back-end time of
 	// the parallel rebuild — the serial-equivalent cost Figures 11/12
 	// report, preserved for paper comparison.
-	SerialEqMS float64
-	Speedup    float64
+	SerialEqMS float64 `json:"serial_eq_ms"`
+	Speedup    float64 `json:"speedup"`
 	// CacheHitPct is the fragment cache-hit rate of a rebuild scheduled
 	// with every fragment dirty but no IR change (100% = nothing
 	// recompiled); CachedWallMS is that rebuild's compile wall-clock.
-	CacheHitPct  float64
-	CachedWallMS float64
+	CacheHitPct  float64 `json:"cache_hit_pct"`
+	CachedWallMS float64 `json:"cached_wall_ms"`
 	// IncrementalRelinks counts how many of the measured rebuilds took the
 	// incremental relink path instead of a full symbol resolution.
-	IncrementalRelinks int
+	IncrementalRelinks int `json:"incremental_relinks"`
+	// SerialStats, ParallelStats, and CachedStats are the full RebuildStats
+	// of the three measured rebuilds (serial full, parallel full, all-dirty
+	// cached), including per-fragment compiles and the degradation fields,
+	// for machine-readable export (`odin-bench -json`).
+	SerialStats   *core.RebuildStats `json:"serial_stats,omitempty"`
+	ParallelStats *core.RebuildStats `json:"parallel_stats,omitempty"`
+	CachedStats   *core.RebuildStats `json:"cached_stats,omitempty"`
 }
 
 // RunParallel measures the concurrent recompilation pipeline on each
@@ -54,7 +61,7 @@ func RunParallel(progs []*ProgramData, workers int) ([]ParallelRow, error) {
 func runParallelOne(pd *ProgramData, workers int) (*ParallelRow, error) {
 	// Serial reference: cold build to warm the engine, then a full
 	// invalidated rebuild for the measurement.
-	serial, err := core.New(pd.Module, core.Options{Workers: 1})
+	serial, err := core.New(pd.Module, core.Options{Workers: 1, Telemetry: Telemetry})
 	if err != nil {
 		return nil, err
 	}
@@ -67,7 +74,7 @@ func runParallelOne(pd *ProgramData, workers int) (*ParallelRow, error) {
 		return nil, err
 	}
 
-	par, err := core.New(pd.Module, core.Options{Workers: workers})
+	par, err := core.New(pd.Module, core.Options{Workers: workers, Telemetry: Telemetry})
 	if err != nil {
 		return nil, err
 	}
@@ -96,6 +103,9 @@ func runParallelOne(pd *ProgramData, workers int) (*ParallelRow, error) {
 		ParallelWallMS: ms(pst.CompileWall.Microseconds()),
 		SerialEqMS:     ms(pst.SerialEquivalent().Microseconds()),
 		CachedWallMS:   ms(cst.CompileWall.Microseconds()),
+		SerialStats:    sst,
+		ParallelStats:  pst,
+		CachedStats:    cst,
 	}
 	if pst.CompileWall > 0 {
 		row.Speedup = float64(sst.CompileWall) / float64(pst.CompileWall)

@@ -12,6 +12,7 @@ import (
 	"odin/internal/ir"
 	"odin/internal/obj"
 	"odin/internal/opt"
+	"odin/internal/telemetry"
 )
 
 // Pipeline stage names recorded on FragError.
@@ -186,8 +187,10 @@ type fragOut struct {
 // ordered by fragment ID regardless of completion order, the first hard
 // error cancels the remaining work, and the context deadline (RebuildTimeout)
 // abandons the pool entirely. All shared engine state is read under the
-// engine lock, so abandoned workers cannot race later rebuilds.
-func (e *Engine) compileFragments(ctx context.Context, temp *ir.Module, frags []int) ([]fragOut, int, error) {
+// engine lock, so abandoned workers cannot race later rebuilds. comp, when
+// tracing is on, is the rebuild's compile-phase span; each fragment hangs
+// its own span (with stage children) under it.
+func (e *Engine) compileFragments(ctx context.Context, temp *ir.Module, frags []int, comp *telemetry.Span) ([]fragOut, int, error) {
 	workers := e.opts.workers()
 	n := len(frags)
 	if n == 0 {
@@ -210,7 +213,7 @@ func (e *Engine) compileFragments(ctx context.Context, temp *ir.Module, frags []
 				te.Skipped = append(te.Skipped, frags[i:]...)
 				return nil, workers, te
 			}
-			outs[i] = e.compileOne(id, temp)
+			outs[i] = e.compileOne(id, temp, comp)
 			if outs[i].err != nil {
 				break
 			}
@@ -235,7 +238,7 @@ func (e *Engine) compileFragments(ctx context.Context, temp *ir.Module, frags []
 					results <- slot{i: i} // cancelled after dispatch: ran=false
 					continue
 				}
-				out := e.compileOne(frags[i], temp)
+				out := e.compileOne(frags[i], temp, comp)
 				if out.err != nil {
 					cancel() // first hard error wins: stop handing out work
 				}
@@ -349,9 +352,15 @@ func ladderLevels(level int) []int {
 // unchanged — optimize and generate code. Every stage runs with panic
 // isolation, and a failure walks the degradation ladder (lower opt level,
 // then -O0 with the failing pass quarantined, then the last-good cached
-// object) before it is allowed to fail the rebuild.
-func (e *Engine) compileOne(id int, temp *ir.Module) fragOut {
+// object) before it is allowed to fail the rebuild. When tracing is on the
+// fragment records a span under parent with one child per stage
+// (materialize, opt with per-pass children, codegen), the cache-hit /
+// degradation / deferral outcome as attributes, and any failure attached.
+func (e *Engine) compileOne(id int, temp *ir.Module, parent *telemetry.Span) fragOut {
 	out := fragOut{ran: true}
+	fs := parent.Child("fragment")
+	fs.SetAttrInt("id", int64(id))
+	defer func() { observeFragSpan(fs, &out) }()
 	if hook := e.testFragHook; hook != nil {
 		if err := hook(id); err != nil {
 			out.err = FragError{FragID: id, Stage: StageHook, Err: err}
@@ -362,7 +371,11 @@ func (e *Engine) compileOne(id int, temp *ir.Module) fragOut {
 
 	tm0 := time.Now()
 	fm, merr := e.materializeIsolated(frag, temp)
-	out.fc = FragCompile{FragID: id, Materialize: time.Since(tm0), Level: e.opts.OptLevel}
+	dm := time.Since(tm0)
+	// Stage spans reuse the engine's own timers (dm here, fc.Opt/fc.CodeGen
+	// in compileAttempt), so tracing adds no clock reads on this path.
+	fs.StaticChild(StageMaterialize, tm0, dm).EndErr(merr)
+	out.fc = FragCompile{FragID: id, Materialize: dm, Level: e.opts.OptLevel}
 	if merr != nil {
 		return e.degradeToCache(id, out, stageError(id, StageMaterialize, "", merr))
 	}
@@ -388,7 +401,9 @@ func (e *Engine) compileOne(id int, temp *ir.Module) fragOut {
 		if attempt > 0 {
 			// The failed attempt may have left fm half-transformed;
 			// rematerialize a pristine fragment module before retrying.
+			rs := fs.Child(StageMaterialize)
 			fm, merr = e.materializeIsolated(frag, temp)
+			rs.EndErr(merr)
 			if merr != nil {
 				return e.degradeToCache(id, out, stageError(id, StageMaterialize, "", merr))
 			}
@@ -401,7 +416,7 @@ func (e *Engine) compileOne(id int, temp *ir.Module) fragOut {
 			}
 		}
 		out.fc.Attempts = attempt + 1
-		o, ferr := e.compileAttempt(id, fm, lv, quarantined, &out.fc)
+		o, ferr := e.compileAttempt(id, fm, lv, quarantined, &out.fc, fs)
 		if ferr == nil {
 			out.fc.Level = lv
 			out.fc.Degraded = attempt > 0 || len(quarantined) > 0
@@ -430,9 +445,40 @@ func (e *Engine) materializeIsolated(frag *Fragment, temp *ir.Module) (*ir.Modul
 
 // compileAttempt runs optimize+codegen once at the given level under panic
 // isolation, returning the object or a stage-attributed failure. Opt and
-// codegen times accumulate onto fc across attempts.
-func (e *Engine) compileAttempt(id int, fm *ir.Module, level int, quarantined map[string]bool, fc *FragCompile) (*obj.Object, *FragError) {
+// codegen times accumulate onto fc across attempts. When tracing is on, the
+// attempt records opt and codegen stage spans under fs, with the optimizer's
+// individual passes as children of the opt span.
+func (e *Engine) compileAttempt(id int, fm *ir.Module, level int, quarantined map[string]bool, fc *FragCompile, fs *telemetry.Span) (*obj.Object, *FragError) {
 	trace := &opt.PassTrace{}
+	var onPass func(pass string, start time.Time, dur time.Duration, changed bool)
+	var scr *passScratch
+	if fs != nil {
+		// Passes run sequentially inside this attempt. Fixpoint iteration
+		// re-runs the same pass several times, so observations aggregate by
+		// pass name — one span per pass with the total duration, run count,
+		// and change count — and attach as one batch below. The aggregation
+		// buffers come from a pool, so per-pass tracing generates no garbage.
+		scr = passScratchPool.Get().(*passScratch)
+		scr.aggs = scr.aggs[:0]
+		onPass = func(pass string, start time.Time, dur time.Duration, changed bool) {
+			aggs := scr.aggs
+			for i := range aggs {
+				if aggs[i].name == pass {
+					aggs[i].dur += dur
+					aggs[i].runs++
+					if changed {
+						aggs[i].changed++
+					}
+					return
+				}
+			}
+			a := passAgg{name: pass, start: start, dur: dur, runs: 1}
+			if changed {
+				a.changed = 1
+			}
+			scr.aggs = append(aggs, a)
+		}
+	}
 	to := time.Now()
 	err := capture(func() error {
 		if err := opt.OptimizeChecked(fm, &opt.Options{
@@ -440,6 +486,7 @@ func (e *Engine) compileAttempt(id int, fm *ir.Module, level int, quarantined ma
 			Quarantine: quarantined,
 			Trace:      trace,
 			FaultHook:  e.opts.FaultHook,
+			OnPass:     onPass,
 		}); err != nil {
 			return err
 		}
@@ -448,7 +495,23 @@ func (e *Engine) compileAttempt(id int, fm *ir.Module, level int, quarantined ma
 		}
 		return nil
 	})
-	fc.Opt += time.Since(to)
+	dOpt := time.Since(to)
+	fc.Opt += dOpt
+	if fs != nil {
+		// The opt stage span is attached after the fact from the timer the
+		// engine takes anyway, so tracing costs no extra clock reads here.
+		obs := scr.obs[:0]
+		for _, a := range scr.aggs {
+			obs = append(obs, telemetry.SpanObs{Name: a.name, Start: a.start, Dur: a.dur, Attrs: passAttrs(a.runs, a.changed)})
+		}
+		os := fs.StaticChild(StageOpt, to, dOpt)
+		os.SetAttrInt("level", int64(level))
+		os.SetAttrInt("attempt", int64(fc.Attempts))
+		os.StaticChildren(obs)
+		os.EndErr(err)
+		scr.obs = obs[:0]
+		passScratchPool.Put(scr)
+	}
 	if err != nil {
 		fe := stageError(id, StageOpt, trace.Pass, err)
 		return nil, &fe
@@ -461,7 +524,9 @@ func (e *Engine) compileAttempt(id int, fm *ir.Module, level int, quarantined ma
 		o, cerr = codegen.CompileModuleOpts(fm, e.opts.Codegen)
 		return cerr
 	})
-	fc.CodeGen += time.Since(tc)
+	dCG := time.Since(tc)
+	fc.CodeGen += dCG
+	fs.StaticChild(StageCodegen, tc, dCG).EndErr(err)
 	if err != nil {
 		fe := stageError(id, StageCodegen, "", err)
 		return nil, &fe

@@ -11,6 +11,7 @@ import (
 	"odin/internal/ir"
 	"odin/internal/link"
 	"odin/internal/obj"
+	"odin/internal/telemetry"
 	"odin/internal/toolchain"
 )
 
@@ -44,6 +45,20 @@ type Options struct {
 	// supervisor's panic isolation. The faultinject package provides a
 	// deterministic, seeded implementation for robustness testing.
 	FaultHook func(site string) error
+	// Telemetry, when non-nil, receives engine metrics (rebuild, fragment
+	// compile, cache, degradation, and link-mode families plus duration
+	// histograms) and a span trace of every rebuild. nil disables all
+	// instrumentation: handles are nil, every update is a single nil
+	// check, and no telemetry allocation happens anywhere on the rebuild
+	// path, so the engine stays usable as a zero-overhead library.
+	Telemetry *telemetry.Registry
+	// MetricsAddr, when non-empty, makes the engine own a live introspection
+	// endpoint on this host:port (port 0 picks a free port): Prometheus text
+	// at /metrics, a JSON snapshot of engine state plus recent rebuild
+	// traces at /debug/odin, and net/http/pprof. A registry is created when
+	// Telemetry is nil. TelemetryAddr reports the bound address; Close stops
+	// the server.
+	MetricsAddr string
 }
 
 // workers resolves the configured pool size.
@@ -55,74 +70,78 @@ func (o Options) workers() int {
 }
 
 // FragCompile records one fragment recompilation, the unit of Figures 11/12.
+// The json tags feed machine-readable stats export (`odin-bench -json`);
+// durations marshal as nanoseconds.
 type FragCompile struct {
-	FragID int
+	FragID int `json:"frag_id"`
 	// Materialize covers temporary-IR split and fragment module
 	// construction; Opt and CodeGen are the compiler middle end and back
 	// end the paper's recompilation-cost figures measure.
-	Materialize time.Duration
-	Opt         time.Duration
-	CodeGen     time.Duration
+	Materialize time.Duration `json:"materialize_ns"`
+	Opt         time.Duration `json:"opt_ns"`
+	CodeGen     time.Duration `json:"codegen_ns"`
 	// Instrs is the machine code size of the fragment after compilation.
-	Instrs int
+	Instrs int `json:"instrs"`
 	// CacheHit records that the fragment's post-instrumentation IR hashed
 	// identical to the cached object's, so Opt and CodeGen were skipped.
-	CacheHit bool
+	CacheHit bool `json:"cache_hit,omitempty"`
 	// Level is the optimization level the committed object was compiled
 	// at; below Options.OptLevel it reflects the degradation ladder.
-	Level int
+	Level int `json:"level"`
 	// Attempts counts compile attempts the degradation ladder made (1 for
 	// a clean first-try compile; 0 for cache hits and deferrals before
 	// the first attempt).
-	Attempts int
+	Attempts int `json:"attempts"`
 	// Degraded records that the fragment compiled below the configured
 	// level or with quarantined passes skipped.
-	Degraded bool
+	Degraded bool `json:"degraded,omitempty"`
 	// QuarantinedPass names the optimizer pass newly quarantined for this
 	// fragment during this rebuild, if any.
-	QuarantinedPass string
+	QuarantinedPass string `json:"quarantined_pass,omitempty"`
 	// Deferred records the ladder's last rung: every compile attempt
 	// failed and the fragment's last-good cached object was served
 	// instead, leaving the probe change unapplied until a later rebuild.
-	Deferred bool
+	Deferred bool `json:"deferred,omitempty"`
 	// DeferredCause describes the failure that forced the deferral.
-	DeferredCause string
+	DeferredCause string `json:"deferred_cause,omitempty"`
 }
 
 // MiddleBackEnd is the compiler time the paper's Figures 11/12 count.
 func (fc FragCompile) MiddleBackEnd() time.Duration { return fc.Opt + fc.CodeGen }
 
-// RebuildStats describes one on-the-fly recompilation.
+// RebuildStats describes one on-the-fly recompilation. The json tags feed
+// machine-readable stats export (`odin-bench -json`); durations marshal as
+// nanoseconds.
 type RebuildStats struct {
-	Fragments []FragCompile
+	Fragments []FragCompile `json:"fragments"`
 	// CacheHits counts fragments satisfied by the content-hash cache
 	// (recompilation scheduled, IR unchanged, compile skipped).
-	CacheHits int
+	CacheHits int `json:"cache_hits"`
 	// Degraded counts fragments the degradation ladder compiled below the
 	// configured optimization level (or with passes quarantined) after a
 	// stage failure.
-	Degraded int
+	Degraded int `json:"degraded"`
 	// Quarantined counts optimizer passes newly quarantined this rebuild.
-	Quarantined int
+	Quarantined int `json:"quarantined"`
 	// Deferred counts fragments served from their last-good cached object
 	// because every compile attempt failed; DeferredFrags lists them. The
 	// probe changes targeting those fragments are deferred: they stay
 	// scheduled and are retried on the next rebuild.
-	Deferred      int
-	DeferredFrags []int
+	Deferred      int   `json:"deferred"`
+	DeferredFrags []int `json:"deferred_frags,omitempty"`
 	// Workers is the compile-pool size used for this rebuild.
-	Workers int
+	Workers int `json:"workers"`
 	// CompileWall is the wall-clock duration of the (parallel) compile
 	// phase; CompileCPU is the cumulative per-fragment compile time — what
 	// the same rebuild costs with Workers=1. The ratio is the realized
 	// parallel speedup.
-	CompileWall time.Duration
-	CompileCPU  time.Duration
-	LinkDur     time.Duration
+	CompileWall time.Duration `json:"compile_wall_ns"`
+	CompileCPU  time.Duration `json:"compile_cpu_ns"`
+	LinkDur     time.Duration `json:"link_ns"`
 	// IncrementalLink records whether the relink reused the previous
 	// link's symbol-resolution state instead of resolving from scratch.
-	IncrementalLink bool
-	Total           time.Duration
+	IncrementalLink bool          `json:"incremental_link"`
+	Total           time.Duration `json:"total_ns"`
 }
 
 // SerialEquivalent is the middle+back-end compile time summed over
@@ -174,7 +193,14 @@ type Engine struct {
 	// testFragHook, when set by tests, can poison individual fragment
 	// compilations to exercise pool error propagation.
 	testFragHook func(fragID int) error
+	// metrics holds the pre-registered telemetry handles (all nil when
+	// Options.Telemetry is nil; every handle method is nil-safe).
+	metrics engineMetrics
+	// telemetrySrv is the engine-owned introspection endpoint, non-nil only
+	// when Options.MetricsAddr was set.
+	telemetrySrv *telemetry.Server
 	// History accumulates rebuild statistics for the experiment harness.
+	// finish appends under mu so Snapshot can read it concurrently.
 	History []RebuildStats
 }
 
@@ -184,6 +210,12 @@ func New(m *ir.Module, opts Options) (*Engine, error) {
 	if opts.OptLevel == 0 {
 		opts.OptLevel = 2
 	}
+	if opts.MetricsAddr != "" && opts.Telemetry == nil {
+		opts.Telemetry = telemetry.NewRegistry()
+	}
+	// Wrap the fault hook with injection counters before fanning it out to
+	// the back end and linker, so every site's faults are counted once.
+	opts.FaultHook = wrapFaultHook(opts.Telemetry, opts.FaultHook)
 	if opts.FaultHook != nil && opts.Codegen.FaultHook == nil {
 		// Thread the engine's fault hook through to the back end; the
 		// optimizer receives it per-compile in compileAttempt.
@@ -210,10 +242,39 @@ func New(m *ir.Module, opts Options) (*Engine, error) {
 		neverBuilt:    map[int]bool{},
 	}
 	e.linker.FaultHook = opts.FaultHook
+	e.metrics = newEngineMetrics(opts.Telemetry)
+	e.metrics.fragments.Set(int64(len(plan.Fragments)))
+	e.metrics.workers.Set(int64(opts.workers()))
+	e.linker.Instrument(opts.Telemetry)
 	for _, f := range plan.Fragments {
 		e.neverBuilt[f.ID] = true
 	}
+	if opts.MetricsAddr != "" {
+		srv, err := telemetry.Serve(opts.MetricsAddr, opts.Telemetry, func() any { return e.Snapshot() })
+		if err != nil {
+			return nil, err
+		}
+		e.telemetrySrv = srv
+	}
 	return e, nil
+}
+
+// TelemetryAddr returns the bound address of the engine-owned introspection
+// endpoint, or "" when Options.MetricsAddr was unset.
+func (e *Engine) TelemetryAddr() string {
+	if e.telemetrySrv == nil {
+		return ""
+	}
+	return e.telemetrySrv.Addr()
+}
+
+// Close stops the engine-owned introspection endpoint, if any. The engine
+// itself holds no other resources that need releasing.
+func (e *Engine) Close() error {
+	if e.telemetrySrv == nil {
+		return nil
+	}
+	return e.telemetrySrv.Close()
 }
 
 // Executable returns the most recently linked program image, or nil before

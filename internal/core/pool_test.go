@@ -10,6 +10,7 @@ import (
 	"odin/internal/irtext"
 	"odin/internal/link"
 	"odin/internal/rt"
+	"odin/internal/telemetry"
 	"odin/internal/vm"
 )
 
@@ -262,6 +263,61 @@ func TestPoolSerialErrorNamesAllRan(t *testing.T) {
 	}
 	if len(e.cache) != 0 {
 		t.Fatalf("cache committed on failed initial build: %d entries", len(e.cache))
+	}
+}
+
+// TestPoolConcurrentCacheHitAccounting: cache-hit counting must stay exact
+// when hits are recorded concurrently by pool workers, on both the per-
+// rebuild stats and the cumulative telemetry counters, across repeated
+// all-dirty rebuilds.
+func TestPoolConcurrentCacheHitAccounting(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := irtext.MustParse("m", manyFuncSrc(16))
+	e, err := New(m, Options{Variant: VariantMax, Workers: 8, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st0, err := e.BuildAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHits, wantMisses := st0.CacheHits, len(st0.Fragments)-st0.CacheHits
+
+	const rounds = 5
+	for i := 0; i < rounds; i++ {
+		e.MarkAllDirty()
+		_, st, err := e.BuildAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.CacheHits != len(st.Fragments) || len(st.Fragments) != len(e.Plan.Fragments) {
+			t.Fatalf("round %d: %d hits of %d fragments, want all %d hit",
+				i, st.CacheHits, len(st.Fragments), len(e.Plan.Fragments))
+		}
+		hits := 0
+		for _, fc := range st.Fragments {
+			if fc.CacheHit {
+				hits++
+			}
+		}
+		if hits != st.CacheHits {
+			t.Fatalf("round %d: per-fragment hit flags (%d) disagree with CacheHits (%d)", i, hits, st.CacheHits)
+		}
+		wantHits += st.CacheHits
+	}
+
+	var gotHits, gotMisses uint64
+	for _, sm := range reg.Snapshot() {
+		switch sm.Name {
+		case MetricCacheHits:
+			gotHits = uint64(sm.Value)
+		case MetricCacheMisses:
+			gotMisses = uint64(sm.Value)
+		}
+	}
+	if gotHits != uint64(wantHits) || gotMisses != uint64(wantMisses) {
+		t.Fatalf("telemetry counted %d hits / %d misses, want %d / %d",
+			gotHits, gotMisses, wantHits, wantMisses)
 	}
 }
 

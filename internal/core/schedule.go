@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -169,18 +170,39 @@ func (s *Sched) finish() (*link.Executable, *RebuildStats, error) {
 	e := s.engine
 	t0 := time.Now()
 
+	// Open the rebuild trace. With telemetry off every span below is nil
+	// and each span call is a single nil check.
+	root := e.opts.Telemetry.Tracer().StartRebuild().Root()
+	root.SetAttrInt("scheduled", int64(len(s.fragments)))
+	root.SetAttrInt("active_probes", int64(len(s.ActiveProbes)))
+	fail := func(err error) (*link.Executable, *RebuildStats, error) {
+		var te *TimeoutError
+		if errors.As(err, &te) {
+			e.metrics.rebuildTimeouts.Inc()
+		} else {
+			e.metrics.rebuildFailures.Inc()
+		}
+		root.EndErr(err)
+		return nil, nil, err
+	}
+
 	// Apply self-applying probes. User patch logic for other probe types
 	// has already run against s.Temp by the time Rebuild is called.
+	instr := root.Child("instrument")
 	for _, p := range s.ActiveProbes {
 		if inst, ok := p.(Instrumenter); ok {
 			if err := inst.Instrument(s); err != nil {
-				return nil, nil, err
+				instr.EndErr(err)
+				return fail(err)
 			}
 		}
 	}
 	if err := ir.Verify(s.Temp); err != nil {
-		return nil, nil, fmt.Errorf("core: instrumented temporary IR invalid: %w", err)
+		err = fmt.Errorf("core: instrumented temporary IR invalid: %w", err)
+		instr.EndErr(err)
+		return fail(err)
 	}
+	instr.End()
 
 	// Bound the whole compile phase by the rebuild deadline. On expiry the
 	// pool abandons in-flight workers (their results land in a buffered
@@ -195,24 +217,36 @@ func (s *Sched) finish() (*link.Executable, *RebuildStats, error) {
 	// Compile every affected fragment on the worker pool; results are
 	// staged and ordered by fragment ID. On error the cache is untouched.
 	tc0 := time.Now()
-	outs, workers, err := e.compileFragments(ctx, s.Temp, s.fragments)
+	comp := root.Child("compile")
+	outs, workers, err := e.compileFragments(ctx, s.Temp, s.fragments, comp)
 	if err != nil {
-		return nil, nil, err
+		comp.EndErr(err)
+		return fail(err)
 	}
+	comp.End()
 	stats := &RebuildStats{Workers: workers, CompileWall: time.Since(tc0)}
 
 	// Link the staged image BEFORE committing anything, so a link-stage
 	// fault (including an injected one) leaves both the cache and the
 	// current executable untouched.
 	tl := time.Now()
+	ls := root.Child("link")
 	exe, incremental, err := e.linkStaged(outs)
 	if err != nil {
-		return nil, nil, err
+		ls.EndErr(err)
+		return fail(err)
 	}
+	if incremental {
+		ls.SetAttr("mode", "incremental")
+	} else {
+		ls.SetAttr("mode", "full")
+	}
+	ls.End()
 	stats.LinkDur = time.Since(tl)
 
 	// Every fragment compiled (possibly degraded) and the image linked:
 	// commit the staged objects atomically with respect to failures.
+	commit := root.Child("commit")
 	for i := range outs {
 		o := &outs[i]
 		e.commitFragment(o)
@@ -231,11 +265,18 @@ func (s *Sched) finish() (*link.Executable, *RebuildStats, error) {
 			stats.Quarantined++
 		}
 	}
+	commit.End()
 	stats.IncrementalLink = incremental
 	stats.Total = time.Since(t0)
-	e.exe = exe
 	e.allDirty = false
 	e.Manager.clearDirty()
+	// exe and History are published under the engine lock so a concurrent
+	// introspection Snapshot never observes a torn update.
+	e.mu.Lock()
+	e.exe = exe
 	e.History = append(e.History, *stats)
+	e.mu.Unlock()
+	e.recordRebuild(root, stats)
+	root.End()
 	return exe, stats, nil
 }

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"odin/internal/irtext"
+	"odin/internal/telemetry"
+)
+
+// benchFuncSrc builds a program of n independent noinline functions with
+// realistic bodies — an arithmetic preamble, a constant-trip loop the
+// unroller fully unrolls, and a folding tail — so each fragment gives the
+// middle end real work. Overhead measured against 3-instruction toy bodies
+// would overstate telemetry's share: per-fragment tracing cost is constant,
+// while compile time scales with function size.
+func benchFuncSrc(n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, `
+func @f%d(%%x: i64) -> i64 noinline {
+entry:
+  %%a0 = mul i64 %%x, %d
+  %%a1 = add i64 %%a0, %d
+  %%a2 = xor i64 %%a1, %%x
+  %%a3 = mul i64 %%a2, 3
+  %%a4 = add i64 %%a3, %%a1
+  %%a5 = xor i64 %%a4, %d
+  br head
+head:
+  %%i = phi i64 [0, entry], [%%i2, body]
+  %%acc = phi i64 [%%a5, entry], [%%acc2, body]
+  %%c = icmp slt i64 %%i, 6
+  condbr %%c, body, exit
+body:
+  %%t0 = mul i64 %%acc, 3
+  %%t1 = add i64 %%t0, %%i
+  %%t2 = xor i64 %%t1, %d
+  %%acc2 = add i64 %%t2, 1
+  %%i2 = add i64 %%i, 1
+  br head
+exit:
+  %%e0 = mul i64 %%acc, 5
+  %%e1 = add i64 %%e0, %%a2
+  %%e2 = xor i64 %%e1, %%x
+  ret i64 %%e2
+}
+`, i, i+3, i*7+1, i*13+5, i*11+2)
+	}
+	sb.WriteString("func @main(%x: i64) -> i64 {\nentry:\n")
+	fmt.Fprintf(&sb, "  %%s0 = add i64 %%x, 0\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "  %%r%d = call i64 @f%d(i64 %%x)\n", i, i)
+		fmt.Fprintf(&sb, "  %%s%d = add i64 %%s%d, %%r%d\n", i+1, i, i)
+	}
+	fmt.Fprintf(&sb, "  ret i64 %%s%d\n}\n", n)
+	return sb.String()
+}
+
+// benchEngine builds a warm engine over a 12-function program for the
+// overhead benchmarks.
+func benchEngine(b testing.TB, reg *telemetry.Registry) *Engine {
+	b.Helper()
+	m := irtext.MustParse("m", benchFuncSrc(12))
+	e, err := New(m, Options{Variant: VariantMax, Workers: 4, Telemetry: reg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := e.BuildAll(); err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// benchCachedRebuild measures the all-dirty cached rebuild — the hot rebuild
+// path (materialize + hash + relink, no middle/back end). Compare the
+// *Telemetry variant against the *NilTelemetry one to bound instrumentation
+// overhead (<5% is the acceptance budget).
+func benchCachedRebuild(b *testing.B, reg *telemetry.Registry) {
+	e := benchEngine(b, reg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.MarkAllDirty()
+		if _, _, err := e.BuildAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCachedRebuildNilTelemetry(b *testing.B) { benchCachedRebuild(b, nil) }
+
+func BenchmarkCachedRebuildTelemetry(b *testing.B) {
+	benchCachedRebuild(b, telemetry.NewRegistry())
+}
+
+// benchFullRebuild measures a cache-invalidated full rebuild (every fragment
+// through materialize, opt, codegen, and a full relink) — the worst case for
+// tracing overhead since every stage opens spans.
+func benchFullRebuild(b *testing.B, reg *telemetry.Registry) {
+	e := benchEngine(b, reg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.InvalidateCache()
+		if _, _, err := e.BuildAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFullRebuildNilTelemetry(b *testing.B) { benchFullRebuild(b, nil) }
+
+func BenchmarkFullRebuildTelemetry(b *testing.B) {
+	benchFullRebuild(b, telemetry.NewRegistry())
+}
+
+// TestTelemetryOverheadPaired measures telemetry overhead with an
+// interference-resistant protocol: single full rebuilds on nil-registry and
+// registry-attached engines strictly alternate, and the reported figure is
+// the ratio of per-side medians, so both machine drift and short noise
+// bursts are absorbed. It only runs when ODIN_OVERHEAD_TEST=1 since it
+// needs a few seconds of quiet CPU; the acceptance budget is <5% on the
+// full-rebuild path.
+func TestTelemetryOverheadPaired(t *testing.T) {
+	if os.Getenv("ODIN_OVERHEAD_TEST") == "" {
+		t.Skip("set ODIN_OVERHEAD_TEST=1 to run the paired overhead measurement")
+	}
+	nilEng, telEng := benchEngine(t, nil), benchEngine(t, telemetry.NewRegistry())
+	rebuild := func(e *Engine) time.Duration {
+		start := time.Now()
+		e.InvalidateCache()
+		if _, _, err := e.BuildAll(); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	// Warm up both engines so caches, heap shape, and the trace ring settle.
+	for i := 0; i < 10; i++ {
+		rebuild(nilEng)
+		rebuild(telEng)
+	}
+	const reps = 150
+	dn := make([]time.Duration, reps)
+	dt := make([]time.Duration, reps)
+	for i := 0; i < reps; i++ {
+		dn[i] = rebuild(nilEng)
+		dt[i] = rebuild(telEng)
+	}
+	median := func(ds []time.Duration) time.Duration {
+		s := append([]time.Duration(nil), ds...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		return s[len(s)/2]
+	}
+	mn, mt := median(dn), median(dt)
+	ratio := float64(mt) / float64(mn)
+	t.Logf("paired full-rebuild overhead: nil median %v, telemetry median %v, ratio %.4f over %d alternating reps",
+		mn, mt, ratio, reps)
+	if ratio > 1.05 {
+		t.Errorf("telemetry overhead %.1f%% exceeds the 5%% budget", 100*(ratio-1))
+	}
+}

@@ -110,10 +110,18 @@ func New(m *ir.Module, opts core.Options, prune bool) (*Tool, error) {
 
 func (t *Tool) bindMachine() {
 	t.mach = vm.New(t.Engine.Executable())
+	// With telemetry on, mirror per-site hits onto the registry's hit
+	// vector. HitVec registration reuses the existing vector, so rebinding
+	// after a rebuild keeps accumulated counts.
+	if reg := t.Engine.Telemetry(); reg != nil {
+		reg.Describe(core.MetricProbeHits, "Probe-site firings observed by the execution engine.")
+		t.mach.Env.Hits = reg.HitVec(core.MetricProbeHits, len(t.Probes))
+	}
 	t.mach.Env.Builtins[HitHook] = func(env *rt.Env, args []int64) (int64, error) {
 		id := args[0]
 		if id >= 0 && id < int64(len(t.Probes)) {
 			t.Probes[id].Hits++
+			env.CountHit(id)
 		}
 		return 0, nil
 	}

@@ -129,10 +129,15 @@ func NewEdgeTool(m *ir.Module, opts core.Options, prune bool) (*EdgeTool, error)
 
 func (t *EdgeTool) bind() {
 	t.mach = vm.New(t.Engine.Executable())
+	if reg := t.Engine.Telemetry(); reg != nil {
+		reg.Describe(core.MetricProbeHits, "Probe-site firings observed by the execution engine.")
+		t.mach.Env.Hits = reg.HitVec(core.MetricProbeHits, len(t.Probes))
+	}
 	t.mach.Env.Builtins[EdgeHook] = func(env *rt.Env, args []int64) (int64, error) {
 		id := args[0]
 		if id >= 0 && id < int64(len(t.Probes)) {
 			t.Probes[id].Hits++
+			env.CountHit(id)
 		}
 		return 0, nil
 	}

@@ -1,0 +1,67 @@
+package cov
+
+import (
+	"strings"
+	"testing"
+
+	"odin/internal/core"
+	"odin/internal/ir"
+	"odin/internal/irtext"
+	"odin/internal/telemetry"
+)
+
+// TestProbeHitTelemetry: with a registry attached, every probe firing lands
+// in the odin_probe_hits_total hit vector, the family appears in the
+// Prometheus export, per-site counts survive the rebind after a pruning
+// rebuild, and the counts agree with the tool's own accounting.
+func TestProbeHitTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := irtext.MustParse("p", progSrc)
+	ir.MustVerify(m)
+	tool, err := New(m, core.Options{Variant: core.VariantOdin, Telemetry: reg}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res := tool.RunInput([]byte("ab")); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	vec := reg.HitVec(core.MetricProbeHits, len(tool.Probes))
+	var toolHits, vecHits uint64
+	for _, p := range tool.Probes {
+		toolHits += p.Hits
+		vecHits += vec.Value(p.ID)
+	}
+	if toolHits == 0 || vecHits != toolHits {
+		t.Fatalf("hit vector counted %d, tool counted %d", vecHits, toolHits)
+	}
+
+	// Prune triggered probes (a real rebuild) and run again: the rebind
+	// must reuse the vector, so counts keep accumulating.
+	if _, err := tool.MaybePrune(); err != nil {
+		t.Fatal(err)
+	}
+	if res := tool.RunInput([]byte("0")); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	after := vec.Total()
+	if after <= vecHits {
+		t.Fatalf("hit counts did not survive the post-rebuild rebind: %d -> %d", vecHits, after)
+	}
+
+	// The family is exported as a counter carrying the total.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if !strings.Contains(text, "# TYPE "+core.MetricProbeHits+" counter") {
+		t.Fatalf("Prometheus export missing %s family:\n%s", core.MetricProbeHits, text)
+	}
+	// And the rebuild families recorded the pruning rebuild alongside it.
+	for _, family := range []string{core.MetricRebuilds, core.MetricFragCompiles} {
+		if !strings.Contains(text, "# TYPE "+family) {
+			t.Fatalf("Prometheus export missing %s family", family)
+		}
+	}
+}

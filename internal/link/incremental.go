@@ -6,6 +6,7 @@ import (
 	"odin/internal/mir"
 	"odin/internal/obj"
 	"odin/internal/rt"
+	"odin/internal/telemetry"
 )
 
 // symTables is one object's resolved symbol view: local function indices and
@@ -46,11 +47,31 @@ type Incremental struct {
 	Fulls        int
 	Incrementals int
 	RelinkFaults int
+
+	// Telemetry mirrors of the counters above; nil (no-op) without a
+	// registry. See Instrument.
+	mFull         *telemetry.Counter
+	mIncremental  *telemetry.Counter
+	mRelinkFaults *telemetry.Counter
 }
 
 // NewIncremental returns a linker with no cached state; its first Link is
 // always a full link.
 func NewIncremental() *Incremental { return &Incremental{} }
+
+// Instrument mirrors the linker's path counters onto reg as
+// odin_link_total{mode=full|incremental} and odin_link_relink_faults_total.
+// A nil registry leaves the linker uninstrumented.
+func (inc *Incremental) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Describe("odin_link_total", "Links taken, by mode (full vs incremental relink).")
+	reg.Describe("odin_link_relink_faults_total", "Incremental relinks abandoned mid-flight and degraded to a full link.")
+	inc.mFull = reg.Counter("odin_link_total", "mode", "full")
+	inc.mIncremental = reg.Counter("odin_link_total", "mode", "incremental")
+	inc.mRelinkFaults = reg.Counter("odin_link_relink_faults_total")
+}
 
 // Link combines the objects, reusing cached symbol-resolution work when the
 // object layout is unchanged. The second result reports whether the
@@ -63,9 +84,11 @@ func (inc *Incremental) Link(objects []*obj.Object, builtinNames []string) (*Exe
 		exe, err := inc.tryRelink(objects)
 		if err == nil {
 			inc.Incrementals++
+			inc.mIncremental.Inc()
 			return exe, true, nil
 		}
 		inc.RelinkFaults++
+		inc.mRelinkFaults.Inc()
 	}
 	if inc.FaultHook != nil {
 		if err := inc.FaultHook("link:full"); err != nil {
@@ -77,6 +100,7 @@ func (inc *Incremental) Link(objects []*obj.Object, builtinNames []string) (*Exe
 		return nil, false, err
 	}
 	inc.Fulls++
+	inc.mFull.Inc()
 	return exe, false, nil
 }
 

@@ -19,6 +19,7 @@ package opt
 
 import (
 	"sort"
+	"time"
 
 	"odin/internal/ir"
 )
@@ -100,6 +101,20 @@ type Options struct {
 	// "opt:<pass>". A returned error aborts the pipeline as a *PassError;
 	// the faultinject package provides deterministic implementations.
 	FaultHook func(site string) error
+	// OnPass, when non-nil, is called after each pass that ran (quarantined
+	// passes are skipped, not reported) with the pass name, its start time
+	// and duration, and whether it changed the module. Pass timing is only
+	// taken when OnPass is set. The telemetry tracer uses it to attach
+	// per-pass spans to a fragment's opt stage.
+	OnPass func(pass string, start time.Time, dur time.Duration, changed bool)
+
+	// passBase and passOff implement cheap per-pass timing: passBase is
+	// read once, and each pass boundary is a monotonic offset from it
+	// (time.Since costs about half a time.Now on machines without a fast
+	// clock path). The end of one pass doubles as the start of the next;
+	// see runPass.
+	passBase time.Time
+	passOff  time.Duration
 }
 
 // PassTrace exposes which pass the pipeline is currently running; see
@@ -234,7 +249,22 @@ func runPass(m *ir.Module, o *Options, p Pass) (bool, error) {
 			return false, &PassError{Pass: name, Err: err}
 		}
 	}
+	var start time.Duration
+	if o.OnPass != nil {
+		if o.passBase.IsZero() {
+			o.passBase = time.Now()
+		}
+		start = o.passOff
+	}
 	changed := p.Run(m, o)
+	if o.OnPass != nil {
+		// One monotonic read per pass: the end offset of this pass is the
+		// start offset of the next. The pipeline's own loop control between
+		// passes is nanoseconds, so the misattribution is negligible.
+		off := time.Since(o.passBase)
+		o.OnPass(name, o.passBase.Add(start), off-start, changed)
+		o.passOff = off
+	}
 	if o.Trace != nil {
 		o.Trace.Pass = ""
 	}

@@ -8,6 +8,8 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+
+	"odin/internal/telemetry"
 )
 
 // Standard address-space layout. Both execution engines place program data
@@ -57,7 +59,17 @@ type Env struct {
 	Steps int64
 	// StepLimit aborts runaway executions when positive.
 	StepLimit int64
+
+	// Hits, when non-nil, receives per-probe-site hit counts via CountHit.
+	// Instrumentation hook builtins call CountHit on every firing, so the
+	// vector must be allocation- and lock-free; a nil Hits makes CountHit a
+	// single nil check.
+	Hits *telemetry.HitVec
 }
+
+// CountHit records one firing of probe site id on the attached hit vector;
+// a no-op when no vector is attached.
+func (e *Env) CountHit(id int64) { e.Hits.Hit(id) }
 
 // NewEnv allocates a fresh environment with the standard builtins.
 func NewEnv() *Env {

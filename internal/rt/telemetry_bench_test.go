@@ -1,0 +1,46 @@
+package rt
+
+import (
+	"testing"
+
+	"odin/internal/telemetry"
+)
+
+// BenchmarkCountHit measures probe-hit counting with a hit vector attached —
+// the per-firing cost every instrumented execution pays. Compare against
+// BenchmarkCountHitNil (telemetry off) for the overhead budget (<5% of the
+// hook call; the hook itself also crosses a builtin dispatch).
+func BenchmarkCountHit(b *testing.B) {
+	env := &Env{Hits: telemetry.NewRegistry().HitVec("odin_probe_hits_total", 256)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env.CountHit(int64(i & 255))
+	}
+}
+
+// BenchmarkCountHitNil is the telemetry-off baseline: a single nil check.
+func BenchmarkCountHitNil(b *testing.B) {
+	env := &Env{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env.CountHit(int64(i & 255))
+	}
+}
+
+func TestCountHit(t *testing.T) {
+	// Nil-safe without a vector.
+	(&Env{}).CountHit(3)
+
+	v := telemetry.NewRegistry().HitVec("odin_probe_hits_total", 4)
+	env := &Env{Hits: v}
+	env.CountHit(0)
+	env.CountHit(3)
+	env.CountHit(3)
+	env.CountHit(99) // out of range -> overflow cell
+	if v.Value(0) != 1 || v.Value(3) != 2 {
+		t.Fatalf("per-site counts = %d,%d, want 1,2", v.Value(0), v.Value(3))
+	}
+	if v.Total() != 4 {
+		t.Fatalf("total = %d, want 4", v.Total())
+	}
+}

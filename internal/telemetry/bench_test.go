@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// The increment-path benchmarks back the hot-path overhead claim: a live
+// counter increment is one atomic add, a nil handle one branch, a histogram
+// observation a short bounds scan plus three atomic adds. See EXPERIMENTS.md
+// ("Telemetry overhead").
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncNil(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	c := NewRegistry().Counter("bench_total")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i%1000) * time.Microsecond)
+	}
+}
+
+func BenchmarkHistogramObserveNil(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Microsecond)
+	}
+}
+
+func BenchmarkHitVecHit(b *testing.B) {
+	v := NewRegistry().HitVec("bench_hits_total", 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.Hit(int64(i & 1023))
+	}
+}
+
+func BenchmarkHitVecHitNil(b *testing.B) {
+	var v *HitVec
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.Hit(int64(i & 1023))
+	}
+}

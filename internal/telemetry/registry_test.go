@@ -1,0 +1,229 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSafety: every handle and the registry itself must be fully usable
+// through nil receivers — the zero-overhead contract of Options.Telemetry.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total")
+	g := r.Gauge("x")
+	h := r.Histogram("x_seconds", nil)
+	v := r.HitVec("x_hits_total", 8)
+	r.GaugeFunc("x_fn", func() int64 { return 1 })
+	r.Describe("x_total", "help")
+	c.Inc()
+	c.Add(3)
+	g.Set(7)
+	g.Add(-2)
+	h.Observe(time.Millisecond)
+	v.Hit(3)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || v.Total() != 0 {
+		t.Fatal("nil handles must discard updates")
+	}
+	if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Snapshot() != nil || r.Tracer() != nil {
+		t.Fatal("nil registry must export nothing")
+	}
+
+	var tr *Tracer
+	trace := tr.StartRebuild()
+	root := trace.Root()
+	child := root.Child("stage")
+	child.SetAttr("k", "v")
+	child.EndErr(nil)
+	root.End()
+	if trace != nil || root != nil || child != nil {
+		t.Fatal("nil tracer must produce nil spans")
+	}
+	if tr.Traces() != nil || tr.Last() != nil {
+		t.Fatal("nil tracer must report no traces")
+	}
+}
+
+// TestRegistryGetOrCreate: the same (name, labels) yields the same handle,
+// label order does not matter, and different labels are distinct members.
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("odin_link_total", "mode", "full")
+	b := r.Counter("odin_link_total", "mode", "full")
+	if a != b {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	c := r.Counter("odin_link_total", "mode", "incremental")
+	if a == c {
+		t.Fatal("different labels must be distinct members")
+	}
+	x := r.Counter("multi_total", "b", "2", "a", "1")
+	y := r.Counter("multi_total", "a", "1", "b", "2")
+	if x != y {
+		t.Fatal("label order must not matter")
+	}
+	// Reuse of a HitVec ignores the size (rebinds keep counts).
+	v1 := r.HitVec("hits_total", 4)
+	v1.Hit(2)
+	v2 := r.HitVec("hits_total", 999)
+	if v1 != v2 || v2.Len() != 4 || v2.Total() != 1 {
+		t.Fatal("HitVec re-registration must reuse the existing vector")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch must panic at registration time")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x")
+	r.Gauge("x")
+}
+
+// TestConcurrentUpdates hammers one counter, gauge, histogram, and hit
+// vector from many goroutines; totals must be exact. Run under -race this
+// is the registry's concurrency proof.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	g := r.Gauge("g")
+	h := r.Histogram("h_seconds", nil)
+	v := r.HitVec("v_total", 16)
+	const workers, iters = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(time.Duration(i%1000) * time.Microsecond)
+				v.Hit(int64(i % 16))
+				v.Hit(1 << 40) // overflow cell
+				// Concurrent registration of the same family member must
+				// be safe and return the shared handle.
+				if r.Counter("c_total") != c {
+					t.Error("re-registration returned a different handle")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*iters {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*iters)
+	}
+	if g.Value() != workers*iters {
+		t.Fatalf("gauge = %d, want %d", g.Value(), workers*iters)
+	}
+	if h.Count() != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*iters)
+	}
+	if v.Total() != 2*workers*iters {
+		t.Fatalf("hitvec total = %d, want %d", v.Total(), 2*workers*iters)
+	}
+	if v.Active() != 16 {
+		t.Fatalf("hitvec active sites = %d, want 16", v.Active())
+	}
+}
+
+// TestPrometheusGolden: a registry with fixed values must export exactly
+// this text, in this order — valid Prometheus text exposition format.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Describe("odin_rebuilds_total", "Completed rebuilds.")
+	r.Counter("odin_rebuilds_total").Add(5)
+	r.Counter("odin_link_total", "mode", "full").Add(2)
+	r.Counter("odin_link_total", "mode", "incremental").Add(9)
+	r.Gauge("odin_active_probes").Set(42)
+	r.GaugeFunc("odin_faultinject_injected", func() int64 { return 3 })
+	h := r.Histogram("odin_link_seconds", []time.Duration{time.Millisecond, 10 * time.Millisecond})
+	h.Observe(500 * time.Microsecond)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(3 * time.Millisecond)
+	h.Observe(time.Second)
+	v := r.HitVec("odin_probe_hits_total", 4)
+	v.Hit(0)
+	v.Hit(3)
+	v.Hit(3)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# TYPE odin_active_probes gauge",
+		"odin_active_probes 42",
+		"# TYPE odin_faultinject_injected gauge",
+		"odin_faultinject_injected 3",
+		"# TYPE odin_link_seconds histogram",
+		`odin_link_seconds_bucket{le="0.001"} 1`,
+		`odin_link_seconds_bucket{le="0.01"} 3`,
+		`odin_link_seconds_bucket{le="+Inf"} 4`,
+		"odin_link_seconds_sum 1.0055",
+		"odin_link_seconds_count 4",
+		"# TYPE odin_link_total counter",
+		`odin_link_total{mode="full"} 2`,
+		`odin_link_total{mode="incremental"} 9`,
+		"# TYPE odin_probe_hits_total counter",
+		"odin_probe_hits_total 3",
+		"# HELP odin_rebuilds_total Completed rebuilds.",
+		"# TYPE odin_rebuilds_total counter",
+		"odin_rebuilds_total 5",
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Fatalf("prometheus export mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestSnapshotGolden: the JSON snapshot of the same registry must be stable
+// and machine-readable.
+func TestSnapshotGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("odin_rebuilds_total").Add(2)
+	r.Gauge("odin_workers").Set(4)
+	h := r.Histogram("odin_rebuild_seconds", []time.Duration{time.Millisecond})
+	h.Observe(250 * time.Microsecond)
+	v := r.HitVec("odin_probe_hits_total", 4)
+	v.Hit(1)
+	v.Hit(1)
+
+	got, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `[{"name":"odin_probe_hits_total","kind":"hitvec","value":2,"sites":{"1":2}},` +
+		`{"name":"odin_rebuild_seconds","kind":"histogram","count":1,"sum_seconds":0.00025,` +
+		`"buckets":[{"le_seconds":0.001,"count":1}]},` +
+		`{"name":"odin_rebuilds_total","kind":"counter","value":2},` +
+		`{"name":"odin_workers","kind":"gauge","value":4}]`
+	if string(got) != want {
+		t.Fatalf("snapshot mismatch:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestHistogramBounds: observations land in the right cumulative buckets.
+func TestHistogramBounds(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", []time.Duration{time.Millisecond, 10 * time.Millisecond})
+	h.Observe(time.Millisecond)      // le=0.001 (boundary is inclusive)
+	h.Observe(time.Millisecond + 1)  // le=0.01
+	h.Observe(20 * time.Millisecond) // +Inf
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.buckets[0].Load() != 1 || h.buckets[1].Load() != 1 || h.buckets[2].Load() != 1 {
+		t.Fatalf("bucket spread = %d/%d/%d, want 1/1/1",
+			h.buckets[0].Load(), h.buckets[1].Load(), h.buckets[2].Load())
+	}
+}

@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the live introspection endpoint: Prometheus text exposition at
+// /metrics, a JSON snapshot of tool status, metrics, and recent rebuild
+// traces at /debug/odin, a human-readable flame summary of the last rebuild
+// at /debug/odin/trace, and net/http/pprof under /debug/pprof/. It is
+// opt-in: nothing in the engine starts one; tools do, via -metrics-addr.
+type Server struct {
+	reg    *Registry
+	status func() any
+	ln     net.Listener
+	srv    *http.Server
+	start  time.Time
+}
+
+// Serve starts an introspection server for reg on addr (host:port; port 0
+// picks a free port). status, when non-nil, is invoked per /debug/odin
+// request and its JSON-marshaled result embedded in the snapshot — tools
+// pass a closure over engine state. The server runs until Close.
+func Serve(addr string, reg *Registry, status func() any) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{reg: reg, status: status, ln: ln, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/odin", s.handleSnapshot)
+	mux.HandleFunc("/debug/odin/trace", s.handleTrace)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w) //nolint:errcheck // client disconnects only
+}
+
+// snapshotDoc is the /debug/odin response body.
+type snapshotDoc struct {
+	UptimeSecs float64          `json:"uptime_seconds"`
+	Status     any              `json:"status,omitempty"`
+	Metrics    []SnapshotMetric `json:"metrics"`
+	Traces     []*Trace         `json:"traces,omitempty"`
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	doc := snapshotDoc{
+		UptimeSecs: time.Since(s.start).Seconds(),
+		Metrics:    s.reg.Snapshot(),
+		Traces:     s.reg.Tracer().Traces(),
+	}
+	if s.status != nil {
+		doc.Status = s.status()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc) //nolint:errcheck // client disconnects only
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	last := s.reg.Tracer().Last()
+	if last == nil {
+		w.Write([]byte("no rebuild traces recorded\n")) //nolint:errcheck
+		return
+	}
+	w.Write([]byte(last.FlameSummary())) //nolint:errcheck
+}

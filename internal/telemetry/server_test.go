@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestServerEndpoints: /metrics serves Prometheus text, /debug/odin serves
+// the JSON snapshot with status and traces, /debug/odin/trace the flame
+// summary, and pprof answers.
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("odin_rebuilds_total").Add(3)
+	reg.Histogram("odin_rebuild_seconds", nil).Observe(2 * time.Millisecond)
+	trace := reg.Tracer().StartRebuild()
+	trace.Root().Child("link").End()
+	trace.Root().End()
+
+	srv, err := Serve("127.0.0.1:0", reg, func() any {
+		return map[string]any{"fragments": 12}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, needle := range []string{
+		"# TYPE odin_rebuilds_total counter",
+		"odin_rebuilds_total 3",
+		"odin_rebuild_seconds_count 1",
+		`odin_rebuild_seconds_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(body, needle) {
+			t.Fatalf("/metrics missing %q:\n%s", needle, body)
+		}
+	}
+
+	code, body = get(t, base+"/debug/odin")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/odin status %d", code)
+	}
+	var doc struct {
+		UptimeSecs float64           `json:"uptime_seconds"`
+		Status     map[string]any    `json:"status"`
+		Metrics    []SnapshotMetric  `json:"metrics"`
+		Traces     []json.RawMessage `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/debug/odin not JSON: %v\n%s", err, body)
+	}
+	if doc.Status["fragments"] != float64(12) {
+		t.Fatalf("status not embedded: %v", doc.Status)
+	}
+	if len(doc.Metrics) == 0 || len(doc.Traces) != 1 {
+		t.Fatalf("snapshot has %d metrics, %d traces", len(doc.Metrics), len(doc.Traces))
+	}
+
+	code, body = get(t, base+"/debug/odin/trace")
+	if code != http.StatusOK || !strings.Contains(body, "rebuild #1") {
+		t.Fatalf("/debug/odin/trace = %d %q", code, body)
+	}
+
+	code, _ = get(t, base+"/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+}

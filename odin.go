@@ -31,6 +31,7 @@ package odin
 import (
 	"odin/internal/core"
 	"odin/internal/ir"
+	"odin/internal/telemetry"
 )
 
 // Core framework types.
@@ -68,7 +69,31 @@ type (
 	TimeoutError = core.TimeoutError
 	// Classification is the symbol survey (Bond / Copy-on-use / Fixed).
 	Classification = core.Classification
+	// EngineSnapshot is the introspection view of live engine state served
+	// by the telemetry endpoint at /debug/odin.
+	EngineSnapshot = core.EngineSnapshot
 )
+
+// Telemetry re-exports. Attach a telemetry.NewRegistry() via
+// Options.Telemetry to collect rebuild metrics and span traces with zero
+// overhead when unset, and telemetry.Serve to expose them over HTTP.
+type (
+	// TelemetryRegistry is the metric-and-trace registry engines report to.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetryServer is the introspection HTTP endpoint.
+	TelemetryServer = telemetry.Server
+)
+
+// NewTelemetry returns an empty registry for Options.Telemetry.
+func NewTelemetry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// ServeTelemetry starts the introspection endpoint on addr (host:port; port
+// 0 picks a free port) serving Prometheus text at /metrics, a JSON snapshot
+// of status() plus metrics and recent rebuild traces at /debug/odin, and
+// net/http/pprof under /debug/pprof/.
+func ServeTelemetry(addr string, reg *TelemetryRegistry, status func() any) (*TelemetryServer, error) {
+	return telemetry.Serve(addr, reg, status)
+}
 
 // Partition variants.
 const (

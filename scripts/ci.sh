@@ -15,8 +15,44 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (core, link, faultinject) =="
-go test -race ./internal/core/... ./internal/link/... ./internal/faultinject/...
+echo "== go test -race (core, link, faultinject, telemetry, rt, cov) =="
+go test -race ./internal/core/... ./internal/link/... ./internal/faultinject/... \
+	./internal/telemetry/... ./internal/rt/... ./internal/cov/...
+
+echo "== metrics endpoint smoke test =="
+# Start an Odin-engine run that serves telemetry on a free port and lingers,
+# scrape /metrics, and assert the core families are exposed in Prometheus
+# text format.
+errlog="$(mktemp)"
+metrics="$(mktemp)"
+go run ./cmd/odin-run -odin -program json -input smoke \
+	-metrics-addr 127.0.0.1:0 -metrics-hold 10s >/dev/null 2>"$errlog" &
+run_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+	addr="$(sed -n 's/^telemetry: serving on //p' "$errlog")"
+	[ -n "$addr" ] && break
+	sleep 0.1
+done
+if [ -z "$addr" ]; then
+	echo "metrics smoke: endpoint never came up; stderr:"
+	cat "$errlog"
+	kill "$run_pid" 2>/dev/null || true
+	exit 1
+fi
+curl -sf "http://$addr/metrics" >"$metrics"
+kill "$run_pid" 2>/dev/null || true
+wait "$run_pid" 2>/dev/null || true
+for family in odin_rebuilds_total odin_fragment_cache_hits_total \
+	odin_fragment_degraded_total odin_link_total odin_rebuild_seconds; do
+	if ! grep -q "^# TYPE $family" "$metrics"; then
+		echo "metrics smoke: family $family missing from /metrics:"
+		cat "$metrics"
+		exit 1
+	fi
+done
+rm -f "$errlog" "$metrics"
+echo "metrics smoke: ok"
 
 echo "== gofmt =="
 out="$(gofmt -l .)"
