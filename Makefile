@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fmt-check bench-parallel bench-telemetry ci
+.PHONY: all build vet test race soak fmt-check bench-parallel bench-telemetry ci
 
 all: build
 
@@ -19,6 +19,14 @@ test:
 race:
 	$(GO) test -race ./internal/core/... ./internal/link/... ./internal/faultinject/... \
 		./internal/telemetry/... ./internal/rt/... ./internal/cov/...
+
+# Extended supervisor soak: 8 goroutines of random probe toggles against a
+# fault-injecting supervised engine under the race detector, asserting every
+# ticket resolves exactly once and the final image never diverges from a
+# serially-built reference. ODIN_SOAK_MS bounds the storm duration.
+SOAK_MS ?= 30000
+soak:
+	ODIN_SOAK_MS=$(SOAK_MS) $(GO) test -race -run TestSupervisorSoak -v -timeout 10m ./internal/core/
 
 bench-telemetry:
 	$(GO) test ./internal/core/ -run XXX -bench 'Rebuild' -benchtime 20x -benchmem

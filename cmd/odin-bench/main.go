@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	odin-bench [-experiment all|fig3|fig8|fig9|fig10|fig11|fig12|headline|parallel|faults]
+//	odin-bench [-experiment all|fig3|fig8|fig9|fig10|fig11|fig12|headline|parallel|faults|storm]
 //	           [-campaign N] [-programs a,b,c] [-parallel] [-workers N]
 //	           [-fault-rounds N] [-fault-seed N] [-json] [-metrics-addr HOST:PORT]
+//	           [-storm-goroutines N] [-storm-requests N]
 //
 // With -json the selected experiments' raw results — including every
 // rebuild's full RebuildStats with the degradation/quarantine/deferral
@@ -29,7 +30,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: all, fig3, fig8, fig9, fig10, fig11, fig12, headline, ablation, codegen, parallel, faults")
+	experiment := flag.String("experiment", "all", "which experiment to run: all, fig3, fig8, fig9, fig10, fig11, fig12, headline, ablation, codegen, parallel, faults, storm")
 	campaign := flag.Int("campaign", 400, "fuzzing iterations used to generate each replay corpus")
 	programs := flag.String("programs", "", "comma-separated subset of programs (default: all 13)")
 	parallel := flag.Bool("parallel", false, "with fig11: also report wall-clock speedup of the concurrent recompile pipeline")
@@ -38,15 +39,17 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 1, "base seed for the deterministic fault injector")
 	jsonOut := flag.Bool("json", false, "emit raw experiment results (full RebuildStats included) as JSON on stdout")
 	metricsAddr := flag.String("metrics-addr", "", "serve live telemetry for the run on this host:port (port 0 = pick a free port)")
+	stormG := flag.Int("storm-goroutines", 8, "concurrent submitter goroutines in the storm experiment")
+	stormN := flag.Int("storm-requests", 64, "probe requests per goroutine in the storm experiment")
 	flag.Parse()
 
-	if err := run(*experiment, *campaign, *programs, *parallel, *workers, *faultRounds, *faultSeed, *jsonOut, *metricsAddr); err != nil {
+	if err := run(*experiment, *campaign, *programs, *parallel, *workers, *faultRounds, *faultSeed, *jsonOut, *metricsAddr, *stormG, *stormN); err != nil {
 		fmt.Fprintf(os.Stderr, "odin-bench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, campaign int, programs string, parallel bool, workers, faultRounds int, faultSeed uint64, jsonOut bool, metricsAddr string) error {
+func run(experiment string, campaign int, programs string, parallel bool, workers, faultRounds int, faultSeed uint64, jsonOut bool, metricsAddr string, stormG, stormN int) error {
 	var w io.Writer = os.Stdout
 	report := map[string]any{}
 	if jsonOut {
@@ -112,6 +115,15 @@ func run(experiment string, campaign int, programs string, parallel bool, worker
 		}
 		report["faults"] = rows
 		bench.PrintFaults(w, rows)
+		return nil
+	}
+	if experiment == "storm" {
+		rows, err := bench.RunStorm(progs, stormG, stormN, faultSeed)
+		if err != nil {
+			return err
+		}
+		report["storm"] = rows
+		bench.PrintStorm(w, rows)
 		return nil
 	}
 

@@ -12,14 +12,21 @@
 // Usage:
 //
 //	odin-fuzz [-program demo | -ir file.ir] [-iters 5000] [-seed 1] [-prune]
-//	          [-rebuild-timeout D] [-metrics-addr HOST:PORT]
+//	          [-rebuild-timeout D] [-metrics-addr HOST:PORT] [-storm N]
+//
+// With -storm N the harness fires N concurrent probe toggles through the
+// rebuild supervisor before the campaign — a stress pass proving the
+// admission queue, coalescing, and rollback leave every coverage probe
+// active and the image consistent before fuzzing begins.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"odin/internal/core"
@@ -74,9 +81,10 @@ func main() {
 	prune := flag.Bool("prune", true, "prune covered probes via on-the-fly recompilation")
 	rebuildTimeout := flag.Duration("rebuild-timeout", 0, "deadline for one on-the-fly rebuild (0 = none)")
 	metricsAddr := flag.String("metrics-addr", "", "serve live telemetry (rebuild metrics, per-probe hit counts, traces) on this host:port")
+	storm := flag.Int("storm", 0, "fire this many concurrent probe toggles through the rebuild supervisor before the campaign (0 = off)")
 	flag.Parse()
 
-	if err := run(*program, *irFile, *iters, *seed, *prune, *rebuildTimeout, *metricsAddr); err != nil {
+	if err := run(*program, *irFile, *iters, *seed, *prune, *rebuildTimeout, *metricsAddr, *storm); err != nil {
 		fmt.Fprintf(os.Stderr, "odin-fuzz: %v\n", err)
 		os.Exit(1)
 	}
@@ -121,7 +129,84 @@ func classifyInvalidIR(when string, err error) error {
 	return fmt.Errorf("invalid IR %s: %w", when, err)
 }
 
-func run(program, irFile string, iters int, seed uint64, prune bool, rebuildTimeout time.Duration, metricsAddr string) error {
+// stormToggle hammers the supervisor with paired remove/enable requests over
+// the tool's coverage probes before the campaign. Every pair leaves its probe
+// active, so the campaign starts fully instrumented; the point is to prove
+// the supervised rebuild path converges under concurrency on the real tool.
+func stormToggle(tool *cov.Tool, n int) error {
+	if len(tool.Probes) == 0 {
+		return fmt.Errorf("storm: no probes to toggle")
+	}
+	sup := core.Supervise(tool.Engine, core.SupervisorOptions{})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	const gor = 8
+	var (
+		mu      sync.Mutex
+		tickets []*core.Ticket
+	)
+	var wg sync.WaitGroup
+	errs := make([]error, gor)
+	for g := 0; g < gor; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each goroutine owns the probes congruent to it mod gor, so no
+			// two goroutines fight over one probe's final state.
+			var owned []int
+			for i := g; i < len(tool.Probes); i += gor {
+				owned = append(owned, i)
+			}
+			if len(owned) == 0 {
+				return
+			}
+			pairs := n / (2 * gor)
+			for j := 0; j < pairs; j++ {
+				id := tool.ManagerID(owned[j%len(owned)])
+				t1, err := sup.RemoveProbeCtx(ctx, id)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				t2, err := sup.EnableProbeCtx(ctx, id)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				mu.Lock()
+				tickets = append(tickets, t1, t2)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			sup.Close()
+			return err
+		}
+	}
+	if err := sup.Drain(ctx); err != nil {
+		return err
+	}
+	for _, tk := range tickets {
+		if _, err := tk.Wait(ctx); err != nil {
+			return fmt.Errorf("storm: unresolved ticket: %w", err)
+		}
+	}
+	st := sup.Stats()
+	fmt.Printf("storm:           %d requests in %d generations (%.1fx coalesced), breaker %s, %d active probes\n",
+		st.Requests, st.Generations, st.CoalescingRatio, st.Breaker, tool.ActiveProbes())
+	if got, want := tool.ActiveProbes(), len(tool.Probes); got != want {
+		return fmt.Errorf("storm left %d/%d probes active", got, want)
+	}
+	tool.Rebind()
+	return nil
+}
+
+func run(program, irFile string, iters int, seed uint64, prune bool, rebuildTimeout time.Duration, metricsAddr string, storm int) error {
 	name, m, err := loadModule(program, irFile)
 	if err != nil {
 		return err
@@ -143,6 +228,11 @@ func run(program, irFile string, iters int, seed uint64, prune bool, rebuildTime
 	}
 	fmt.Printf("target %s: %d probes over %d fragments\n",
 		name, len(tool.Probes), len(tool.Engine.Plan.Fragments))
+	if storm > 0 {
+		if err := stormToggle(tool, storm); err != nil {
+			return err
+		}
+	}
 
 	target := &covTarget{tool: tool, prune: prune}
 	f := fuzz.New(target, fuzz.Options{

@@ -5,6 +5,12 @@
 // Usage:
 //
 //	odin-partition [-variant odin|one|max] [-program NAME | -file program.ir] [-json]
+//	               [-fanout]
+//
+// -fanout prints the per-symbol rebuild blast radius: for each function, the
+// fragment a probe toggle on it dirties and how many symbols and IR
+// instructions that fragment recompiles. It quantifies what one coalesced
+// supervisor generation costs per member of the batch.
 package main
 
 import (
@@ -12,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"odin/internal/core"
 	"odin/internal/ir"
@@ -25,9 +32,10 @@ func main() {
 	file := flag.String("file", "", "textual IR file to partition instead of a suite program")
 	classify := flag.Bool("classify", true, "print per-symbol classification")
 	jsonOut := flag.Bool("json", false, "emit the plan as machine-readable JSON instead of text")
+	fanout := flag.Bool("fanout", false, "print per-symbol rebuild blast radius (fragment size a probe toggle recompiles)")
 	flag.Parse()
 
-	if err := run(*variant, *program, *file, *classify, *jsonOut); err != nil {
+	if err := run(*variant, *program, *file, *classify, *jsonOut, *fanout); err != nil {
 		fmt.Fprintf(os.Stderr, "odin-partition: %v\n", err)
 		os.Exit(1)
 	}
@@ -41,6 +49,7 @@ type planDump struct {
 	Instrs    int               `json:"instrs"`
 	Class     map[string]string `json:"classification"`
 	Fragments []fragDump        `json:"fragments"`
+	Fanout    []fanoutRow       `json:"fanout,omitempty"`
 }
 
 type fragDump struct {
@@ -50,7 +59,73 @@ type fragDump struct {
 	Clones  []string `json:"clones,omitempty"`
 }
 
-func run(variantName, program, file string, classify, jsonOut bool) error {
+// fanoutRow is one symbol's rebuild blast radius: toggling a probe on Symbol
+// dirties Fragment, which recompiles FragSymbols symbols / FragInstrs
+// instructions.
+type fanoutRow struct {
+	Symbol      string `json:"symbol"`
+	Fragment    int    `json:"fragment"`
+	FragSymbols int    `json:"frag_symbols"`
+	FragInstrs  int    `json:"frag_instrs"`
+}
+
+// fanoutRows computes the blast radius of every defined function that owns a
+// fragment slot, sorted largest-first.
+func fanoutRows(m *ir.Module, plan *core.Plan) []fanoutRow {
+	instrsOf := map[string]int{}
+	for _, f := range m.Funcs {
+		if !f.IsDecl() {
+			instrsOf[f.Name] = f.NumInstrs()
+		}
+	}
+	fragSyms := map[int]int{}
+	fragInstrs := map[int]int{}
+	for _, fr := range plan.Fragments {
+		for _, s := range fr.Members {
+			fragSyms[fr.ID]++
+			fragInstrs[fr.ID] += instrsOf[s]
+		}
+	}
+	var rows []fanoutRow
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		id, ok := plan.FragOf[f.Name]
+		if !ok {
+			continue
+		}
+		rows = append(rows, fanoutRow{Symbol: f.Name, Fragment: id, FragSymbols: fragSyms[id], FragInstrs: fragInstrs[id]})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].FragInstrs != rows[j].FragInstrs {
+			return rows[i].FragInstrs > rows[j].FragInstrs
+		}
+		return rows[i].Symbol < rows[j].Symbol
+	})
+	return rows
+}
+
+func printFanout(m *ir.Module, rows []fanoutRow) {
+	total := m.NumInstrs()
+	fmt.Println("rebuild fan-out (per-symbol blast radius of one probe toggle):")
+	fmt.Printf("  %-24s %4s %8s %8s %7s\n", "symbol", "frag", "symbols", "instrs", "module%")
+	var instrs []int
+	for _, r := range rows {
+		fmt.Printf("  %-24s %4d %8d %8d %6.1f%%\n",
+			"@"+r.Symbol, r.Fragment, r.FragSymbols, r.FragInstrs, 100*float64(r.FragInstrs)/float64(total))
+		instrs = append(instrs, r.FragInstrs)
+	}
+	if len(instrs) == 0 {
+		return
+	}
+	sort.Ints(instrs)
+	fmt.Printf("  blast radius: median %d instrs, max %d of %d (%.1f%% of module)\n",
+		instrs[len(instrs)/2], instrs[len(instrs)-1], total,
+		100*float64(instrs[len(instrs)-1])/float64(total))
+}
+
+func run(variantName, program, file string, classify, jsonOut, fanout bool) error {
 	var v core.Variant
 	switch variantName {
 	case "odin":
@@ -104,6 +179,9 @@ func run(variantName, program, file string, classify, jsonOut bool) error {
 				ID: f.ID, Members: f.Members, Imports: f.Imports, Clones: f.Clones,
 			})
 		}
+		if fanout {
+			dump.Fanout = fanoutRows(m, plan)
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(dump)
@@ -123,5 +201,8 @@ func run(variantName, program, file string, classify, jsonOut bool) error {
 		}
 	}
 	fmt.Print(plan.Describe())
+	if fanout {
+		printFanout(m, fanoutRows(m, plan))
+	}
 	return nil
 }

@@ -9,11 +9,14 @@
 //	odin-run -program sqlite -input "select"      # run a suite program
 //	odin-run -odin [-workers N] [-rebuild-timeout D] -program sqlite
 //	                                              # build via the Odin engine
+//	odin-run -odin -supervise -program sqlite     # route the build through the
+//	                                              # concurrent rebuild supervisor
 //	odin-run -odin -metrics-addr 127.0.0.1:9090 [-metrics-hold 30s] -program sqlite
 //	                                              # + live introspection endpoint
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +26,7 @@ import (
 	"odin/internal/interp"
 	"odin/internal/ir"
 	"odin/internal/irtext"
+	"odin/internal/link"
 	"odin/internal/progen"
 	"odin/internal/rt"
 	"odin/internal/telemetry"
@@ -40,17 +44,18 @@ func main() {
 	odin := flag.Bool("odin", false, "build through the Odin fragment engine instead of the whole-module toolchain")
 	workers := flag.Int("workers", 0, "fragment compile workers for -odin (0 = GOMAXPROCS)")
 	rebuildTimeout := flag.Duration("rebuild-timeout", 0, "with -odin: deadline for one rebuild (0 = none)")
+	supervise := flag.Bool("supervise", false, "with -odin: run the build through the concurrent rebuild supervisor")
 	metricsAddr := flag.String("metrics-addr", "", "with -odin: serve telemetry on this host:port (port 0 = pick a free port)")
 	metricsHold := flag.Duration("metrics-hold", 0, "with -metrics-addr: keep serving this long after the run finishes")
 	flag.Parse()
 
-	if err := run(*level, *useInterp, *input, *fn, *dump, *odin, *workers, *rebuildTimeout, *metricsAddr, *metricsHold, *program, flag.Args()); err != nil {
+	if err := run(*level, *useInterp, *input, *fn, *dump, *odin, *supervise, *workers, *rebuildTimeout, *metricsAddr, *metricsHold, *program, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "odin-run: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(level int, useInterp bool, input, fn string, dump, odin bool, workers int, rebuildTimeout time.Duration, metricsAddr string, metricsHold time.Duration, program string, args []string) error {
+func run(level int, useInterp bool, input, fn string, dump, odin, supervise bool, workers int, rebuildTimeout time.Duration, metricsAddr string, metricsHold time.Duration, program string, args []string) error {
 	var m *ir.Module
 	switch {
 	case program != "":
@@ -142,9 +147,34 @@ func run(level int, useInterp bool, input, fn string, dump, odin bool, workers i
 				defer time.Sleep(metricsHold)
 			}
 		}
-		exe, st, err := eng.BuildAll()
-		if err != nil {
-			return err
+		var exe *link.Executable
+		var st *core.RebuildStats
+		if supervise {
+			sup := core.Supervise(eng, core.SupervisorOptions{})
+			tk, err := sup.Sync()
+			if err != nil {
+				return err
+			}
+			res, err := tk.Wait(context.Background())
+			if err != nil {
+				return err
+			}
+			if res.Err != nil {
+				return res.Err
+			}
+			exe, st = res.Exe, res.Stats
+			sst := sup.Stats()
+			if err := sup.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "; supervisor: gen %d, %d requests in %d generations (%.1fx coalesced), breaker %s\n",
+				res.Gen, sst.Requests, sst.Generations, sst.CoalescingRatio, sst.Breaker)
+		} else {
+			var err error
+			exe, st, err = eng.BuildAll()
+			if err != nil {
+				return err
+			}
 		}
 		mach := vm.New(exe)
 		ret, err := runOn(mach, fn, input)

@@ -18,6 +18,7 @@ import (
 // Pipeline stage names recorded on FragError.
 const (
 	StageHook        = "hook"
+	StageInstrument  = "instrument"
 	StageMaterialize = "materialize"
 	StageOpt         = "opt"
 	StageCodegen     = "codegen"

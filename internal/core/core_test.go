@@ -562,7 +562,8 @@ func TestManagerBasics(t *testing.T) {
 	if len(active) != 1 || active[0] != id2 {
 		t.Fatalf("Active() = %v", active)
 	}
-	if !strings.Contains(fmt.Sprint(pm.dirty()), "f") {
-		t.Fatalf("dirty = %v", pm.dirty())
+	dirty, _ := pm.dirtySnapshot()
+	if !strings.Contains(fmt.Sprint(dirty), "f") {
+		t.Fatalf("dirty = %v", dirty)
 	}
 }

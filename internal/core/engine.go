@@ -197,8 +197,12 @@ type Engine struct {
 	// Options.Telemetry is nil; every handle method is nil-safe).
 	metrics engineMetrics
 	// telemetrySrv is the engine-owned introspection endpoint, non-nil only
-	// when Options.MetricsAddr was set.
+	// when Options.MetricsAddr was set. closeOnce makes Close idempotent
+	// and concurrent-safe: the first call stops the server, every later
+	// call returns the same result instead of re-closing it.
 	telemetrySrv *telemetry.Server
+	closeOnce    sync.Once
+	closeErr     error
 	// History accumulates rebuild statistics for the experiment harness.
 	// finish appends under mu so Snapshot can read it concurrently.
 	History []RebuildStats
@@ -269,17 +273,27 @@ func (e *Engine) TelemetryAddr() string {
 }
 
 // Close stops the engine-owned introspection endpoint, if any. The engine
-// itself holds no other resources that need releasing.
+// itself holds no other resources that need releasing. Close is idempotent
+// and safe to call concurrently — including while a rebuild is in flight —
+// so defer-happy callers and supervisors tearing down in parallel cannot
+// double-close the server or surface http.ErrServerClosed.
 func (e *Engine) Close() error {
-	if e.telemetrySrv == nil {
-		return nil
-	}
-	return e.telemetrySrv.Close()
+	e.closeOnce.Do(func() {
+		if e.telemetrySrv != nil {
+			e.closeErr = e.telemetrySrv.Close()
+		}
+	})
+	return e.closeErr
 }
 
 // Executable returns the most recently linked program image, or nil before
-// the first rebuild.
-func (e *Engine) Executable() *link.Executable { return e.exe }
+// the first rebuild. It is safe to call concurrently with a rebuild: the
+// image pointer is published under the engine lock at commit.
+func (e *Engine) Executable() *link.Executable {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.exe
+}
 
 // Builtins returns the full linker builtin list for this engine.
 func (e *Engine) Builtins() []string {

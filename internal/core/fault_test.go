@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -411,5 +412,76 @@ func TestRebuildErrorUnwrapEmpty(t *testing.T) {
 	}
 	if !errors.As(re, &fe) || fe.FragID != 3 {
 		t.Fatalf("errors.As yielded fragment %d, want 3", fe.FragID)
+	}
+}
+
+// TestDeferredProbeChangeReattempt locks in the deferral re-attempt
+// contract: when the degradation ladder exhausts every rung and serves the
+// fragment's last-good object (probe change deferred), the fragment must
+// stay scheduled so the next rebuild — run after the fault clears, with no
+// new probe request — picks the deferred change back up and applies it.
+func TestDeferredProbeChangeReattempt(t *testing.T) {
+	box := &hookBox{}
+	m := irtext.MustParse("m", manyFuncSrc(8))
+	e, err := New(m, Options{
+		Variant: VariantMax, Workers: 4,
+		FaultHook:     box.at,
+		ExtraBuiltins: []string{"__test_hit"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.BuildAll(); err != nil {
+		t.Fatalf("clean build: %v", err)
+	}
+	ref, err := vmRun(e.Executable(), "main", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Enable a probe on f3, with codegen broken: the rebuild must succeed
+	// by deferring the change, serving f3's last-good (uninstrumented)
+	// object.
+	e.Manager.Add(&supProbe{fnName: "f3", id: 3})
+	inj := faultinject.New(42).Arm(faultinject.Rule{Site: "codegen:module", Kind: faultinject.KindError, Rate: 1})
+	box.fn = inj.At
+	_, st, err := e.BuildAll()
+	if err != nil {
+		t.Fatalf("warm-cache codegen fault must defer, not fail: %v", err)
+	}
+	if st.Deferred != 1 {
+		t.Fatalf("deferred = %d, want 1", st.Deferred)
+	}
+	if r, hits, err := runHits(e.Executable(), "main", 7); err != nil || r != ref || len(hits) != 0 {
+		t.Fatalf("deferred image: main(7) = %d hits %v err %v, want %d with no hits", r, hits, err, ref)
+	}
+	if def := e.Snapshot().Deferred; len(def) != 1 {
+		t.Fatalf("snapshot deferred = %v, want one fragment", def)
+	}
+
+	// Fault clears; a plain rebuild with no new probe requests must
+	// re-attempt the deferred fragment and finally apply the probe.
+	box.fn = nil
+	_, st, err = e.BuildAll()
+	if err != nil {
+		t.Fatalf("recovery rebuild: %v", err)
+	}
+	if st.Deferred != 0 || len(st.Fragments) == 0 {
+		t.Fatalf("recovery rebuild deferred %d over %d fragments, want a fresh compile", st.Deferred, len(st.Fragments))
+	}
+	if r, hits, err := runHits(e.Executable(), "main", 7); err != nil || r != ref || fmt.Sprint(hits) != "[3]" {
+		t.Fatalf("recovered image: main(7) = %d hits %v err %v, want %d with hits [3]", r, hits, err, ref)
+	}
+	if def := e.Snapshot().Deferred; len(def) != 0 {
+		t.Fatalf("deferral not cleared after recovery: %v", def)
+	}
+
+	// And the re-attempt queue must drain: one more rebuild is a no-op.
+	_, st, err = e.BuildAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Fragments) != 0 {
+		t.Fatalf("steady-state rebuild recompiled %d fragments, want 0", len(st.Fragments))
 	}
 }

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+type nopProbe struct{ target string }
+
+func (p *nopProbe) PatchTarget() string { return p.target }
+
+// TestPatchManagerRace hammers every PatchManager method from many
+// goroutines at once. It asserts nothing beyond internal invariants — its
+// job is to fail under -race if any path touches shared state outside the
+// manager lock (probe requests arrive on demand from arbitrary goroutines,
+// so every method must be goroutine-safe).
+func TestPatchManagerRace(t *testing.T) {
+	pm := NewPatchManager()
+	const goroutines, ops = 8, 400
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var ids []int
+			for i := 0; i < ops; i++ {
+				switch i % 10 {
+				case 0:
+					ids = append(ids, pm.Add(&nopProbe{target: fmt.Sprintf("f%d_%d", g, i)}))
+				case 1:
+					id := pm.AddInactive(&nopProbe{target: fmt.Sprintf("g%d_%d", g, i)})
+					if i%2 == 0 {
+						pm.discard(id)
+					} else {
+						ids = append(ids, id)
+					}
+				case 2:
+					pm.Remove(ids[i%len(ids)])
+				case 3:
+					pm.SetActive(ids[i%len(ids)], i%4 == 0)
+				case 4:
+					pm.MarkChanged(ids[i%len(ids)])
+				case 5:
+					pm.Get(ids[i%len(ids)])
+				case 6:
+					pm.IsActive(ids[i%len(ids)])
+				case 7:
+					pm.Active()
+				case 8:
+					pm.NumActive()
+				default:
+					dirty, epoch := pm.dirtySnapshot()
+					if len(dirty) > 0 && i%3 == 0 {
+						pm.clearDirtyThrough(epoch)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Spot-check a few invariants after the storm: Active is sorted and
+	// consistent with IsActive, and every listed probe exists.
+	active := pm.Active()
+	for i, id := range active {
+		if i > 0 && active[i-1] >= id {
+			t.Fatalf("Active() not sorted: %v", active)
+		}
+		if !pm.IsActive(id) {
+			t.Fatalf("probe %d listed active but IsActive is false", id)
+		}
+		if _, ok := pm.Get(id); !ok {
+			t.Fatalf("active probe %d not gettable", id)
+		}
+	}
+	if pm.NumActive() != len(active) {
+		t.Fatalf("NumActive %d != len(Active) %d", pm.NumActive(), len(active))
+	}
+}
+
+// TestPatchManagerEpochs locks in the epoch semantics that make concurrent
+// marks safe: clearing through a snapshot's epoch must drop exactly the
+// marks the snapshot saw, keeping any symbol re-marked afterwards.
+func TestPatchManagerEpochs(t *testing.T) {
+	pm := NewPatchManager()
+	a := pm.Add(&nopProbe{target: "fa"})
+	pm.Add(&nopProbe{target: "fb"})
+
+	dirty, epoch := pm.dirtySnapshot()
+	if len(dirty) != 2 {
+		t.Fatalf("dirty = %v", dirty)
+	}
+	// A mark landing "mid-rebuild", after the snapshot.
+	pm.SetActive(a, false)
+	pm.clearDirtyThrough(epoch)
+
+	dirty, _ = pm.dirtySnapshot()
+	if len(dirty) != 1 || dirty[0] != "fa" {
+		t.Fatalf("post-clear dirty = %v, want [fa] (concurrent mark must survive)", dirty)
+	}
+
+	// discard only forgets never-activated probes.
+	id := pm.AddInactive(&nopProbe{target: "fc"})
+	pm.discard(id)
+	if _, ok := pm.Get(id); ok {
+		t.Fatal("discarded inactive probe still present")
+	}
+	pm.discard(a) // active once; must survive
+	if _, ok := pm.Get(a); !ok {
+		t.Fatal("discard removed a previously-activated probe")
+	}
+}

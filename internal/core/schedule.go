@@ -29,16 +29,22 @@ type Sched struct {
 
 	vmap      *ir.ValueMap
 	fragments []int
-	done      bool
+	// dirtyEpoch is the patch-manager epoch this schedule's dirty-symbol
+	// snapshot was taken at; a successful rebuild clears marks only up to
+	// it, so probe changes arriving mid-rebuild are never lost.
+	dirtyEpoch uint64
+	done       bool
 }
 
 // Schedule runs Algorithm 2: it detects changed probes, propagates changed
 // symbols to fragments, back-propagates fragments to probes, and extracts
 // the temporary IR.
 func (e *Engine) Schedule() (*Sched, error) {
-	// Lines 2-6: symbols with changed probes.
+	// Lines 2-6: symbols with changed probes. The snapshot epoch makes the
+	// eventual clearDirtyThrough precise under concurrent probe requests.
+	dirtySyms, epoch := e.Manager.dirtySnapshot()
 	changed := map[string]bool{}
-	for _, s := range e.Manager.dirty() {
+	for _, s := range dirtySyms {
 		changed[s] = true
 	}
 	// Lines 7-11: propagate to fragments (plus never-built fragments);
@@ -57,7 +63,7 @@ func (e *Engine) Schedule() (*Sched, error) {
 	// Lines 12-17: back-propagate to probes. Note the paper's remark:
 	// this is not repeated to convergence — it only adds unchanged
 	// probes whose fragments' caches remain valid.
-	sched := &Sched{engine: e, fragments: frags}
+	sched := &Sched{engine: e, fragments: frags, dirtyEpoch: epoch}
 	for _, id := range e.Manager.Active() {
 		p, _ := e.Manager.Get(id)
 		if extract[p.PatchTarget()] {
@@ -186,15 +192,29 @@ func (s *Sched) finish() (*link.Executable, *RebuildStats, error) {
 		return nil, nil, err
 	}
 
-	// Apply self-applying probes. User patch logic for other probe types
-	// has already run against s.Temp by the time Rebuild is called.
+	// Apply self-applying probes under panic isolation — a probe whose
+	// Instrument panics is a caller bug the rebuild must survive, not a
+	// process crash. The per-target fault site ("instrument:<symbol>") lets
+	// the fault injector poison one probe's application deterministically,
+	// which is what the Supervisor's poison-probe bisection tests lean on.
 	instr := root.Child("instrument")
 	for _, p := range s.ActiveProbes {
-		if inst, ok := p.(Instrumenter); ok {
-			if err := inst.Instrument(s); err != nil {
-				instr.EndErr(err)
-				return fail(err)
+		inst, ok := p.(Instrumenter)
+		if !ok {
+			continue
+		}
+		err := capture(func() error {
+			if hook := e.opts.FaultHook; hook != nil {
+				if herr := hook("instrument:" + p.PatchTarget()); herr != nil {
+					return herr
+				}
 			}
+			return inst.Instrument(s)
+		})
+		if err != nil {
+			ferr := stageError(-1, StageInstrument, "", fmt.Errorf("core: instrumenting @%s: %w", p.PatchTarget(), err))
+			instr.EndErr(ferr)
+			return fail(ferr)
 		}
 	}
 	if err := ir.Verify(s.Temp); err != nil {
@@ -269,7 +289,7 @@ func (s *Sched) finish() (*link.Executable, *RebuildStats, error) {
 	stats.IncrementalLink = incremental
 	stats.Total = time.Since(t0)
 	e.allDirty = false
-	e.Manager.clearDirty()
+	e.Manager.clearDirtyThrough(s.dirtyEpoch)
 	// exe and History are published under the engine lock so a concurrent
 	// introspection Snapshot never observes a torn update.
 	e.mu.Lock()

@@ -130,6 +130,16 @@ func (t *Tool) bindMachine() {
 // Machine exposes the current execution engine (rebound after rebuilds).
 func (t *Tool) Machine() *vm.Machine { return t.mach }
 
+// ManagerID returns the PatchManager ID of the i-th probe, letting external
+// drivers (e.g. odin-fuzz -storm) toggle coverage probes through a
+// core.Supervisor instead of the tool's own prune loop.
+func (t *Tool) ManagerID(i int) int { return t.mgrIDs[i] }
+
+// Rebind refreshes the tool's execution machine against the engine's current
+// image. Call it after rebuilds performed outside MaybePrune — for example a
+// batch of supervisor generations.
+func (t *Tool) Rebind() { t.bindMachine() }
+
 // RunInput executes one input on the instrumented program.
 func (t *Tool) RunInput(input []byte) Result {
 	ret, out, cycles, err := vm.RunProgram(t.mach, input)

@@ -7,10 +7,15 @@
 //
 // Site names follow "<stage>:<point>":
 //
-//	opt:<pass>        before each optimizer pass run (constprop, cse, ...)
-//	codegen:module    before lowering a fragment module
-//	link:incremental  before an incremental relink
-//	link:full         before a from-scratch link
+//	instrument:<target>  before applying a probe targeting <target> (one
+//	                     call per self-applying probe per rebuild)
+//	opt:<pass>           before each optimizer pass run (constprop, cse, ...)
+//	codegen:module       before lowering a fragment module
+//	link:incremental     before an incremental relink
+//	link:full            before a from-scratch link
+//	supervisor:commit    before a supervisor rebuild generation schedules
+//	                     (fails the whole generation without touching
+//	                     engine state — breaker and bisection testing)
 //
 // Decisions are deterministic: each site keeps a call counter, and the
 // decision for the k-th call at a site is a pure function of (seed, site, k).

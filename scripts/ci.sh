@@ -19,6 +19,14 @@ echo "== go test -race (core, link, faultinject, telemetry, rt, cov) =="
 go test -race ./internal/core/... ./internal/link/... ./internal/faultinject/... \
 	./internal/telemetry/... ./internal/rt/... ./internal/cov/...
 
+echo "== supervisor soak (-race, ~30s) =="
+# Bounded concurrent-supervisor soak: 8 goroutines of random probe toggles
+# against a fault-injecting engine under the race detector. The test asserts
+# no admitted ticket is lost or resolved twice, and that the final image is
+# never a stale commit — it must replay identically to a serially-built
+# reference with the same probe state.
+ODIN_SOAK_MS=30000 go test -race -run TestSupervisorSoak -timeout 10m ./internal/core/
+
 echo "== metrics endpoint smoke test =="
 # Start an Odin-engine run that serves telemetry on a free port and lingers,
 # scrape /metrics, and assert the core families are exposed in Prometheus
