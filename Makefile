@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race soak fmt-check bench-parallel bench-telemetry ci
+.PHONY: all build vet test race soak fmt-check bench-parallel bench-telemetry bench-record bench-check alloc-budget ci
 
 all: build
 
@@ -42,5 +42,28 @@ fmt-check:
 bench-parallel:
 	$(GO) test ./internal/bench/ -run XXX -bench BenchmarkParallelRebuild -benchtime 5x
 
-ci: vet build test race fmt-check
+# Recorded performance trajectory: regenerate the committed benchmark
+# artifact from the probe-toggle experiment (function-granular splice
+# latency, cache-hit rates, allocs per toggle). Bump BENCH when recording a
+# new trajectory point rather than overwriting history's meaning.
+BENCH ?= BENCH_6.json
+bench-record:
+	$(GO) run ./cmd/odin-bench -experiment probe-toggle -toggle-rounds 60 -bench-out $(BENCH)
+
+# Compare the current tree against the committed trajectory artifact
+# (skipped with a note when the artifact is absent). Fails on >15% p99
+# regression beyond a 2ms floor, or on structural splice breakage.
+bench-check:
+	@if [ -f $(BENCH) ]; then \
+		$(GO) run ./cmd/odin-bench -experiment probe-toggle -toggle-rounds 60 -bench-compare $(BENCH); \
+	else \
+		echo "bench-check: $(BENCH) not present; skipping regression gate"; \
+	fi
+
+# Allocation budget: the probe-toggle hot loop must stay within its pinned
+# allocs/op envelope (arena-backed cloning + lazy materialization).
+alloc-budget:
+	$(GO) test ./internal/core/ -run TestSpliceAllocBudget -v
+
+ci: vet build test race fmt-check alloc-budget bench-check
 	@echo "ci: all checks passed"

@@ -3,10 +3,11 @@
 //
 // Usage:
 //
-//	odin-bench [-experiment all|fig3|fig8|fig9|fig10|fig11|fig12|headline|parallel|faults|storm]
+//	odin-bench [-experiment all|fig3|fig8|fig9|fig10|fig11|fig12|headline|parallel|faults|storm|probe-toggle]
 //	           [-campaign N] [-programs a,b,c] [-parallel] [-workers N]
 //	           [-fault-rounds N] [-fault-seed N] [-json] [-metrics-addr HOST:PORT]
-//	           [-storm-goroutines N] [-storm-requests N]
+//	           [-storm-goroutines N] [-storm-requests N] [-toggle-rounds N]
+//	           [-bench-out FILE] [-bench-compare FILE]
 //
 // With -json the selected experiments' raw results — including every
 // rebuild's full RebuildStats with the degradation/quarantine/deferral
@@ -14,6 +15,13 @@
 // moves to stderr). With -metrics-addr a telemetry registry is attached to
 // every engine the harness creates and served live for the duration of the
 // run.
+//
+// -bench-out writes a benchmark artifact (BENCH_<n>.json schema: latency
+// percentiles, cache-hit rates, allocs/op) summarizing whichever of the
+// probe-toggle, parallel, and storm experiments ran. -bench-compare loads a
+// committed artifact and fails the run (exit 1) when the current results
+// regress p99 latency by more than 15% beyond a 2ms floor, or break the
+// structural splice invariants. See EXPERIMENTS.md.
 package main
 
 import (
@@ -30,7 +38,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: all, fig3, fig8, fig9, fig10, fig11, fig12, headline, ablation, codegen, parallel, faults, storm")
+	experiment := flag.String("experiment", "all", "which experiment to run: all, fig3, fig8, fig9, fig10, fig11, fig12, headline, ablation, codegen, parallel, faults, storm, probe-toggle")
 	campaign := flag.Int("campaign", 400, "fuzzing iterations used to generate each replay corpus")
 	programs := flag.String("programs", "", "comma-separated subset of programs (default: all 13)")
 	parallel := flag.Bool("parallel", false, "with fig11: also report wall-clock speedup of the concurrent recompile pipeline")
@@ -41,15 +49,18 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve live telemetry for the run on this host:port (port 0 = pick a free port)")
 	stormG := flag.Int("storm-goroutines", 8, "concurrent submitter goroutines in the storm experiment")
 	stormN := flag.Int("storm-requests", 64, "probe requests per goroutine in the storm experiment")
+	toggleRounds := flag.Int("toggle-rounds", 40, "probe toggles per workload in the probe-toggle experiment")
+	benchOut := flag.String("bench-out", "", "write a benchmark artifact (BENCH_<n>.json schema) to this file")
+	benchCompare := flag.String("bench-compare", "", "compare this run's artifact against a committed one; exit 1 on regression")
 	flag.Parse()
 
-	if err := run(*experiment, *campaign, *programs, *parallel, *workers, *faultRounds, *faultSeed, *jsonOut, *metricsAddr, *stormG, *stormN); err != nil {
+	if err := run(*experiment, *campaign, *programs, *parallel, *workers, *faultRounds, *faultSeed, *jsonOut, *metricsAddr, *stormG, *stormN, *toggleRounds, *benchOut, *benchCompare); err != nil {
 		fmt.Fprintf(os.Stderr, "odin-bench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, campaign int, programs string, parallel bool, workers, faultRounds int, faultSeed uint64, jsonOut bool, metricsAddr string, stormG, stormN int) error {
+func run(experiment string, campaign int, programs string, parallel bool, workers, faultRounds int, faultSeed uint64, jsonOut bool, metricsAddr string, stormG, stormN, toggleRounds int, benchOut, benchCompare string) (err error) {
 	var w io.Writer = os.Stdout
 	report := map[string]any{}
 	if jsonOut {
@@ -62,6 +73,15 @@ func run(experiment string, campaign int, programs string, parallel bool, worker
 			enc.Encode(report)
 		}()
 	}
+	// The artifact accumulates whichever artifact-bearing experiments run;
+	// -bench-out / -bench-compare consume it after the experiment returns.
+	art := bench.NewArtifact()
+	defer func() {
+		if err != nil {
+			return
+		}
+		err = finishArtifact(os.Stderr, art, benchOut, benchCompare)
+	}()
 	if metricsAddr != "" {
 		bench.Telemetry = telemetry.NewRegistry()
 		srv, err := telemetry.Serve(metricsAddr, bench.Telemetry, func() any {
@@ -74,6 +94,21 @@ func run(experiment string, campaign int, programs string, parallel bool, worker
 		fmt.Fprintf(os.Stderr, "telemetry: serving on %s\n", srv.Addr())
 	}
 
+	if experiment == "probe-toggle" {
+		rows, terr := bench.RunToggle(toggleRounds)
+		if terr != nil {
+			return terr
+		}
+		report["probe_toggle"] = rows
+		bench.PrintToggle(w, rows)
+		art.AddToggle(rows)
+		for _, r := range rows {
+			if !r.RefMatch {
+				return fmt.Errorf("probe-toggle: %s diverged from its cold reference", r.Program)
+			}
+		}
+		return nil
+	}
 	if experiment == "fig3" {
 		r, err := bench.RunFig3()
 		if err != nil {
@@ -124,6 +159,7 @@ func run(experiment string, campaign int, programs string, parallel bool, worker
 		}
 		report["storm"] = rows
 		bench.PrintStorm(w, rows)
+		art.AddStorm(rows)
 		return nil
 	}
 
@@ -188,6 +224,7 @@ func run(experiment string, campaign int, programs string, parallel bool, worker
 		}
 		report["parallel"] = prows
 		bench.PrintParallel(w, prows)
+		art.AddParallel(prows)
 		fmt.Fprintln(w)
 	}
 	if show("fig12") {
@@ -221,6 +258,45 @@ func run(experiment string, campaign int, programs string, parallel bool, worker
 		}
 		report["headline"] = h
 		bench.PrintHeadline(w, h)
+	}
+	return nil
+}
+
+// Regression thresholds for -bench-compare: p50/p99 may drift up to 15%
+// beyond a 2ms absolute floor (sub-floor jitter on fast machines never
+// trips the gate); structural invariants are exact.
+const (
+	regressTolPct  = 15.0
+	regressFloorMS = 2.0
+)
+
+// finishArtifact writes and/or compares the accumulated benchmark artifact.
+func finishArtifact(w io.Writer, art *bench.Artifact, benchOut, benchCompare string) error {
+	if len(art.Experiments) == 0 {
+		if benchOut != "" || benchCompare != "" {
+			fmt.Fprintf(w, "bench artifact: no artifact-bearing experiment ran (probe-toggle, parallel, storm); nothing to record\n")
+		}
+		return nil
+	}
+	if benchOut != "" {
+		if err := art.WriteFile(benchOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "bench artifact: wrote %s (%d experiments)\n", benchOut, len(art.Experiments))
+	}
+	if benchCompare != "" {
+		ref, err := bench.LoadArtifact(benchCompare)
+		if err != nil {
+			return err
+		}
+		bad := bench.CompareArtifacts(ref, art, regressTolPct, regressFloorMS)
+		if len(bad) > 0 {
+			for _, b := range bad {
+				fmt.Fprintf(w, "bench regression: %s\n", b)
+			}
+			return fmt.Errorf("%d benchmark regressions vs %s", len(bad), benchCompare)
+		}
+		fmt.Fprintf(w, "bench artifact: no regression vs %s (tol %.0f%%, floor %.0fms)\n", benchCompare, regressTolPct, regressFloorMS)
 	}
 	return nil
 }

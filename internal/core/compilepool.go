@@ -174,6 +174,11 @@ type fragOut struct {
 	fc   FragCompile
 	obj  *obj.Object
 	hash uint64
+	// meta is the function-cache metadata to store with the object: set by
+	// clean compiles (including splices) with fresh deep hashes, nil for
+	// degraded compiles (whose objects are not splice donors). Fragment
+	// cache hits leave the stored metadata untouched.
+	meta *fragMeta
 	// deferred marks the degradation ladder's last rung: obj is the
 	// fragment's last-good cached object, the probe change was not
 	// applied, and the stored fingerprint must not be advanced.
@@ -191,7 +196,7 @@ type fragOut struct {
 // engine lock, so abandoned workers cannot race later rebuilds. comp, when
 // tracing is on, is the rebuild's compile-phase span; each fragment hangs
 // its own span (with stage children) under it.
-func (e *Engine) compileFragments(ctx context.Context, temp *ir.Module, frags []int, comp *telemetry.Span) ([]fragOut, int, error) {
+func (e *Engine) compileFragments(ctx context.Context, temp *ir.Module, th tempHashes, frags []int, comp *telemetry.Span) ([]fragOut, int, error) {
 	workers := e.opts.workers()
 	n := len(frags)
 	if n == 0 {
@@ -214,7 +219,7 @@ func (e *Engine) compileFragments(ctx context.Context, temp *ir.Module, frags []
 				te.Skipped = append(te.Skipped, frags[i:]...)
 				return nil, workers, te
 			}
-			outs[i] = e.compileOne(id, temp, comp)
+			outs[i] = e.compileOne(id, temp, th, comp)
 			if outs[i].err != nil {
 				break
 			}
@@ -239,7 +244,7 @@ func (e *Engine) compileFragments(ctx context.Context, temp *ir.Module, frags []
 					results <- slot{i: i} // cancelled after dispatch: ran=false
 					continue
 				}
-				out := e.compileOne(frags[i], temp, comp)
+				out := e.compileOne(frags[i], temp, th, comp)
 				if out.err != nil {
 					cancel() // first hard error wins: stop handing out work
 				}
@@ -348,16 +353,21 @@ func ladderLevels(level int) []int {
 }
 
 // compileOne runs the per-fragment pipeline of Figure 7 under the fault
-// supervisor: materialize the fragment module from the instrumented
-// temporary IR, then — unless the content-hash cache proves the IR
-// unchanged — optimize and generate code. Every stage runs with panic
-// isolation, and a failure walks the degradation ladder (lower opt level,
-// then -O0 with the failing pass quarantined, then the last-good cached
-// object) before it is allowed to fail the rebuild. When tracing is on the
-// fragment records a span under parent with one child per stage
-// (materialize, opt with per-pass children, codegen), the cache-hit /
-// degradation / deferral outcome as attributes, and any failure attached.
-func (e *Engine) compileOne(id int, temp *ir.Module, parent *telemetry.Span) fragOut {
+// supervisor. The fragment's cache key is folded from per-symbol
+// fingerprints of the instrumented temporary IR (th), so a fragment-level
+// hit skips even materialize. On a miss, a fragment whose cached object came
+// from a clean compile at the configured level first attempts the
+// function-granular splice path (trySplice): only hash-dirty functions are
+// materialized and recompiled, and clean functions' cached machine code is
+// spliced in. Any splice failure — or ineligibility — falls back to the
+// whole-fragment path: materialize, then optimize and generate code, with
+// every stage under panic isolation and failures walking the degradation
+// ladder (lower opt level, then -O0 with the failing pass quarantined, then
+// the last-good cached object) before the rebuild is allowed to fail. When
+// tracing is on the fragment records a span under parent with one child per
+// stage, the cache-hit / splice / degradation / deferral outcome as
+// attributes, and any failure attached.
+func (e *Engine) compileOne(id int, temp *ir.Module, th tempHashes, parent *telemetry.Span) fragOut {
 	out := fragOut{ran: true}
 	fs := parent.Child("fragment")
 	fs.SetAttrInt("id", int64(id))
@@ -370,30 +380,49 @@ func (e *Engine) compileOne(id int, temp *ir.Module, parent *telemetry.Span) fra
 	}
 	frag := e.Plan.Fragments[id]
 
+	out.hash = fragmentHash(frag, th)
+	out.fc = FragCompile{FragID: id, Level: e.opts.OptLevel, FuncsTotal: countMemberFuncs(frag, temp)}
+	e.mu.RLock()
+	cached, haveObj := e.cache[id]
+	prev, known := e.hashes[id]
+	meta := e.funcMeta[id]
+	e.mu.RUnlock()
+	if haveObj && known && prev == out.hash {
+		// Content-hash hit: the post-instrumentation IR is byte-identical
+		// to what produced the cached object, so the whole pipeline —
+		// materialize included — would reproduce it exactly. Skip it all.
+		out.obj = cached
+		out.fc.CacheHit = true
+		out.fc.FuncCacheHits = out.fc.FuncsTotal
+		out.fc.Instrs = cached.CodeSize()
+		return out
+	}
+
+	// All fragment-module cloning below draws from a pooled arena; the
+	// fragment module (and everything the splice/ladder paths clone) is dead
+	// when this compile returns, so the slabs recycle per fragment.
+	arena := ir.GetCloneArena()
+	defer ir.PutCloneArena(arena)
+
+	if meta != nil && haveObj && !e.opts.NoFuncCache &&
+		meta.level == e.opts.OptLevel && len(e.quarantinedPasses(id)) == 0 {
+		if e.trySplice(&out, frag, temp, th, meta, cached, arena, fs) {
+			return out
+		}
+		// Fall through to the whole-fragment path; the splice attempt's
+		// stage timings stay accumulated on fc (they are real compile cost).
+		out.fc.SpliceFallback = true
+	}
+
 	tm0 := time.Now()
-	fm, merr := e.materializeIsolated(frag, temp)
+	fm, merr := e.materializeIsolated(frag, temp, arena)
 	dm := time.Since(tm0)
 	// Stage spans reuse the engine's own timers (dm here, fc.Opt/fc.CodeGen
 	// in compileAttempt), so tracing adds no clock reads on this path.
 	fs.StaticChild(StageMaterialize, tm0, dm).EndErr(merr)
-	out.fc = FragCompile{FragID: id, Materialize: dm, Level: e.opts.OptLevel}
+	out.fc.Materialize += dm
 	if merr != nil {
 		return e.degradeToCache(id, out, stageError(id, StageMaterialize, "", merr))
-	}
-
-	out.hash = ir.Fingerprint(fm)
-	e.mu.RLock()
-	cached, haveObj := e.cache[id]
-	prev, known := e.hashes[id]
-	e.mu.RUnlock()
-	if haveObj && known && prev == out.hash {
-		// Content-hash hit: the post-instrumentation IR is byte-identical
-		// to what produced the cached object, so the middle and back end
-		// would reproduce it exactly — skip both.
-		out.obj = cached
-		out.fc.CacheHit = true
-		out.fc.Instrs = cached.CodeSize()
-		return out
 	}
 
 	quarantined := e.quarantinedPasses(id)
@@ -403,7 +432,7 @@ func (e *Engine) compileOne(id int, temp *ir.Module, parent *telemetry.Span) fra
 			// The failed attempt may have left fm half-transformed;
 			// rematerialize a pristine fragment module before retrying.
 			rs := fs.Child(StageMaterialize)
-			fm, merr = e.materializeIsolated(frag, temp)
+			fm, merr = e.materializeIsolated(frag, temp, arena)
 			rs.EndErr(merr)
 			if merr != nil {
 				return e.degradeToCache(id, out, stageError(id, StageMaterialize, "", merr))
@@ -422,7 +451,14 @@ func (e *Engine) compileOne(id int, temp *ir.Module, parent *telemetry.Span) fra
 			out.fc.Level = lv
 			out.fc.Degraded = attempt > 0 || len(quarantined) > 0
 			out.fc.Instrs = o.CodeSize()
+			out.fc.FuncsCompiled = out.fc.FuncsTotal
 			out.obj = o
+			if !out.fc.Degraded {
+				// Clean compile at the configured level: record per-function
+				// deep hashes so the next rebuild can splice against this
+				// object. Degraded objects are not splice donors.
+				out.meta = &fragMeta{level: lv, funcHashes: deepFuncHashes(buildFragIndex(frag, temp), th)}
+			}
 			return out
 		}
 		lastErr = *ferr
@@ -431,11 +467,11 @@ func (e *Engine) compileOne(id int, temp *ir.Module, parent *telemetry.Span) fra
 }
 
 // materializeIsolated is materialize under panic isolation.
-func (e *Engine) materializeIsolated(frag *Fragment, temp *ir.Module) (*ir.Module, error) {
+func (e *Engine) materializeIsolated(frag *Fragment, temp *ir.Module, arena *ir.CloneArena) (*ir.Module, error) {
 	var fm *ir.Module
 	err := capture(func() error {
 		var merr error
-		fm, merr = e.materialize(frag, temp)
+		fm, merr = e.materializeSubset(frag, temp, nil, arena)
 		return merr
 	})
 	if err != nil {

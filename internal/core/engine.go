@@ -32,6 +32,11 @@ type Options struct {
 	// the serial pipeline whose per-fragment times the paper's Figures
 	// 11/12 measure.
 	Workers int
+	// NoFuncCache disables the function-granular splice path: fragments
+	// whose fingerprint misses always recompile whole. The fragment-level
+	// content-hash cache is unaffected. Benchmarks use it as the baseline
+	// arm when measuring what splicing saves.
+	NoFuncCache bool
 	// RebuildTimeout bounds one Sched.Rebuild end to end via context
 	// cancellation through the worker pool, so a pathological fragment
 	// cannot hang a fuzzing campaign. When it expires the rebuild returns
@@ -85,6 +90,21 @@ type FragCompile struct {
 	// CacheHit records that the fragment's post-instrumentation IR hashed
 	// identical to the cached object's, so Opt and CodeGen were skipped.
 	CacheHit bool `json:"cache_hit,omitempty"`
+	// FuncsTotal counts the fragment's defined member functions this
+	// rebuild; FuncsCompiled is how many actually ran the middle and back
+	// end, and FuncCacheHits is how many were served from cached machine
+	// code (FuncsTotal on a fragment-level cache hit). FuncsCompiled +
+	// FuncCacheHits can fall short of FuncsTotal only when dead functions
+	// were swept from the object.
+	FuncsTotal    int `json:"funcs_total,omitempty"`
+	FuncsCompiled int `json:"funcs_compiled,omitempty"`
+	FuncCacheHits int `json:"func_cache_hits,omitempty"`
+	// Spliced records that the object was assembled by the function-granular
+	// path: dirty functions freshly compiled, clean functions' machine code
+	// reused from the cached object. SpliceFallback records that a splice
+	// was attempted but failed, and the whole-fragment path ran instead.
+	Spliced        bool `json:"spliced,omitempty"`
+	SpliceFallback bool `json:"splice_fallback,omitempty"`
 	// Level is the optimization level the committed object was compiled
 	// at; below Options.OptLevel it reflects the degradation ladder.
 	Level int `json:"level"`
@@ -129,6 +149,15 @@ type RebuildStats struct {
 	// scheduled and are retried on the next rebuild.
 	Deferred      int   `json:"deferred"`
 	DeferredFrags []int `json:"deferred_frags,omitempty"`
+	// FuncCacheHits and FuncsCompiled aggregate the per-fragment
+	// function-granular counters: member functions served from cached
+	// machine code vs. actually recompiled. Spliced counts fragments
+	// assembled by the splice path; SpliceFallbacks counts splice attempts
+	// that failed and fell back to a whole-fragment compile.
+	FuncCacheHits   int `json:"func_cache_hits"`
+	FuncsCompiled   int `json:"funcs_compiled"`
+	Spliced         int `json:"spliced"`
+	SpliceFallbacks int `json:"splice_fallbacks,omitempty"`
 	// Workers is the compile-pool size used for this rebuild.
 	Workers int `json:"workers"`
 	// CompileWall is the wall-clock duration of the (parallel) compile
@@ -174,6 +203,11 @@ type Engine struct {
 	// hashes maps fragment ID to the content fingerprint of the
 	// post-instrumentation IR that produced the cached object.
 	hashes map[int]uint64
+	// funcMeta maps fragment ID to the function-granular cache metadata of
+	// the cached object (per-function deep hashes + compile level). Present
+	// only for objects produced by clean compiles at the configured level —
+	// the splice path's eligibility bar. Guarded by mu with the cache.
+	funcMeta map[int]*fragMeta
 	// quarantine maps fragment ID to optimizer passes that caused that
 	// fragment's compile to fail; later rebuilds skip them (degradation
 	// ladder, step 3).
@@ -188,6 +222,10 @@ type Engine struct {
 	// caches its sorted ID list between cache commits.
 	neverBuilt map[int]bool
 	nbSorted   []int
+	// aliasByName indexes the pristine module's aliases by name, built once
+	// at engine construction; materialize consults it per member instead of
+	// scanning every alias per member (O(members × aliases)).
+	aliasByName map[string]*ir.Alias
 	// allDirty forces every fragment into the next schedule (MarkAllDirty).
 	allDirty bool
 	// testFragHook, when set by tests, can poison individual fragment
@@ -240,10 +278,15 @@ func New(m *ir.Module, opts Options) (*Engine, error) {
 		opts:          opts,
 		cache:         map[int]*obj.Object{},
 		hashes:        map[int]uint64{},
+		funcMeta:      map[int]*fragMeta{},
 		quarantine:    map[int]map[string]bool{},
 		deferredFrags: map[int]bool{},
 		linker:        link.NewIncremental(),
 		neverBuilt:    map[int]bool{},
+		aliasByName:   make(map[string]*ir.Alias, len(pristine.Aliases)),
+	}
+	for _, a := range pristine.Aliases {
+		e.aliasByName[a.Name] = a
 	}
 	e.linker.FaultHook = opts.FaultHook
 	e.metrics = newEngineMetrics(opts.Telemetry)
@@ -328,6 +371,9 @@ func (e *Engine) InvalidateCache() {
 	e.allDirty = true
 	e.mu.Lock()
 	e.hashes = map[int]uint64{}
+	// Function-granular metadata keys off the same fingerprints; dropping it
+	// forces whole-fragment recompiles (no splicing against stale hashes).
+	e.funcMeta = map[int]*fragMeta{}
 	e.mu.Unlock()
 }
 
@@ -399,6 +445,16 @@ func (e *Engine) commitFragment(o *fragOut) {
 	}
 	e.cache[id] = o.obj
 	e.hashes[id] = o.hash
+	switch {
+	case o.meta != nil:
+		// Clean compile (or splice): fresh deep hashes for the new object.
+		e.funcMeta[id] = o.meta
+	case o.fc.CacheHit:
+		// Fragment unchanged, object unchanged: stored metadata stays valid.
+	default:
+		// Degraded compile: the object is not a splice donor.
+		delete(e.funcMeta, id)
+	}
 	delete(e.deferredFrags, id)
 	if e.neverBuilt[id] {
 		delete(e.neverBuilt, id)

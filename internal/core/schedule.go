@@ -234,11 +234,19 @@ func (s *Sched) finish() (*link.Executable, *RebuildStats, error) {
 	}
 	defer cancel()
 
+	// Fingerprint every defined symbol of the instrumented temporary IR
+	// once, serially: the per-symbol hashes fold into each fragment's cache
+	// key and drive the function-granular splice decisions, and sharing one
+	// table means no worker ever re-hashes a symbol.
+	fp := root.Child("fingerprint")
+	th := computeTempHashes(s.Temp)
+	fp.End()
+
 	// Compile every affected fragment on the worker pool; results are
 	// staged and ordered by fragment ID. On error the cache is untouched.
 	tc0 := time.Now()
 	comp := root.Child("compile")
-	outs, workers, err := e.compileFragments(ctx, s.Temp, s.fragments, comp)
+	outs, workers, err := e.compileFragments(ctx, s.Temp, th, s.fragments, comp)
 	if err != nil {
 		comp.EndErr(err)
 		return fail(err)
@@ -274,6 +282,14 @@ func (s *Sched) finish() (*link.Executable, *RebuildStats, error) {
 		stats.CompileCPU += o.fc.Materialize + o.fc.Opt + o.fc.CodeGen
 		if o.fc.CacheHit {
 			stats.CacheHits++
+		}
+		stats.FuncCacheHits += o.fc.FuncCacheHits
+		stats.FuncsCompiled += o.fc.FuncsCompiled
+		if o.fc.Spliced {
+			stats.Spliced++
+		}
+		if o.fc.SpliceFallback {
+			stats.SpliceFallbacks++
 		}
 		if o.fc.Deferred {
 			stats.Deferred++

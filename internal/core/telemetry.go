@@ -19,6 +19,10 @@ const (
 	MetricFragCompiles    = "odin_fragment_compiles_total"
 	MetricCacheHits       = "odin_fragment_cache_hits_total"
 	MetricCacheMisses     = "odin_fragment_cache_misses_total"
+	MetricFuncCacheHits   = "odin_func_cache_hits_total"
+	MetricFuncCompiles    = "odin_func_compiles_total"
+	MetricSplices         = "odin_fragment_splices_total"
+	MetricSpliceFallbacks = "odin_fragment_splice_fallbacks_total"
 	MetricDegraded        = "odin_fragment_degraded_total"
 	MetricQuarantined     = "odin_passes_quarantined_total"
 	MetricDeferred        = "odin_fragment_deferred_total"
@@ -105,6 +109,10 @@ type engineMetrics struct {
 	fragCompiles    *telemetry.Counter
 	cacheHits       *telemetry.Counter
 	cacheMisses     *telemetry.Counter
+	funcCacheHits   *telemetry.Counter
+	funcCompiles    *telemetry.Counter
+	splices         *telemetry.Counter
+	spliceFallbacks *telemetry.Counter
 	degraded        *telemetry.Counter
 	quarantined     *telemetry.Counter
 	deferred        *telemetry.Counter
@@ -125,6 +133,10 @@ func newEngineMetrics(reg *telemetry.Registry) engineMetrics {
 	reg.Describe(MetricFragCompiles, "Fragment compilations committed, including cache hits.")
 	reg.Describe(MetricCacheHits, "Fragment compiles satisfied by the content-hash cache.")
 	reg.Describe(MetricCacheMisses, "Fragment compiles that ran the middle and back end.")
+	reg.Describe(MetricFuncCacheHits, "Member functions served from cached machine code (function-granular cache).")
+	reg.Describe(MetricFuncCompiles, "Member functions that ran the middle and back end.")
+	reg.Describe(MetricSplices, "Fragment objects assembled by splicing cached and fresh function code.")
+	reg.Describe(MetricSpliceFallbacks, "Splice attempts that failed and fell back to a whole-fragment compile.")
 	reg.Describe(MetricDegraded, "Fragments compiled below the configured level by the degradation ladder.")
 	reg.Describe(MetricQuarantined, "Optimizer passes newly quarantined after causing a fragment failure.")
 	reg.Describe(MetricDeferred, "Fragments served from their last-good object with the probe change deferred.")
@@ -143,6 +155,10 @@ func newEngineMetrics(reg *telemetry.Registry) engineMetrics {
 		fragCompiles:    reg.Counter(MetricFragCompiles),
 		cacheHits:       reg.Counter(MetricCacheHits),
 		cacheMisses:     reg.Counter(MetricCacheMisses),
+		funcCacheHits:   reg.Counter(MetricFuncCacheHits),
+		funcCompiles:    reg.Counter(MetricFuncCompiles),
+		splices:         reg.Counter(MetricSplices),
+		spliceFallbacks: reg.Counter(MetricSpliceFallbacks),
 		degraded:        reg.Counter(MetricDegraded),
 		quarantined:     reg.Counter(MetricQuarantined),
 		deferred:        reg.Counter(MetricDeferred),
@@ -243,6 +259,10 @@ func (e *Engine) recordRebuild(root *telemetry.Span, st *RebuildStats) {
 	e.metrics.fragCompiles.Add(uint64(len(st.Fragments)))
 	e.metrics.cacheHits.Add(uint64(st.CacheHits))
 	e.metrics.cacheMisses.Add(uint64(len(st.Fragments) - st.CacheHits))
+	e.metrics.funcCacheHits.Add(uint64(st.FuncCacheHits))
+	e.metrics.funcCompiles.Add(uint64(st.FuncsCompiled))
+	e.metrics.splices.Add(uint64(st.Spliced))
+	e.metrics.spliceFallbacks.Add(uint64(st.SpliceFallbacks))
 	e.metrics.degraded.Add(uint64(st.Degraded))
 	e.metrics.quarantined.Add(uint64(st.Quarantined))
 	e.metrics.deferred.Add(uint64(st.Deferred))
@@ -277,6 +297,14 @@ func observeFragSpan(fs *telemetry.Span, out *fragOut) {
 	}
 	if out.fc.CacheHit {
 		fs.SetAttr("cache_hit", "true")
+	}
+	if out.fc.Spliced {
+		fs.SetAttr("spliced", "true")
+		fs.SetAttrInt("funcs_compiled", int64(out.fc.FuncsCompiled))
+		fs.SetAttrInt("func_cache_hits", int64(out.fc.FuncCacheHits))
+	}
+	if out.fc.SpliceFallback {
+		fs.SetAttr("splice_fallback", "true")
 	}
 	if out.fc.Degraded {
 		fs.SetAttr("degraded", "true")

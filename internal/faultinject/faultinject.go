@@ -11,6 +11,9 @@
 //	                     call per self-applying probe per rebuild)
 //	opt:<pass>           before each optimizer pass run (constprop, cse, ...)
 //	codegen:module       before lowering a fragment module
+//	codegen:<func>       before lowering one function — a fault here during
+//	                     a function-granular splice aborts the splice and
+//	                     falls back to a whole-fragment rebuild
 //	link:incremental     before an incremental relink
 //	link:full            before a from-scratch link
 //	supervisor:commit    before a supervisor rebuild generation schedules

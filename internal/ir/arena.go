@@ -1,0 +1,193 @@
+package ir
+
+import "sync"
+
+// CloneArena is slab-backed scratch for IR cloning. Materializing a fragment
+// module clones every member function, which on the old path allocated every
+// Instr, operand slice, block, structurally-copied constant, and ValueMap
+// bucket individually — the dominant allocation source on the rebuild hot
+// path. An arena carves those objects out of reusable slabs instead, and
+// Reset recycles the slabs for the next rebuild.
+//
+// Safety contract: everything cloned through an arena-backed ValueMap lives
+// only until the arena is Reset (or returned with PutCloneArena). The engine
+// honors this by arena-cloning only fragment modules, which die inside one
+// compileOne call: the code generator copies instruction and initializer
+// data into the object file, and strings are immutable and shared, so no
+// arena memory escapes into the cache. Long-lived clones (the pristine
+// module, the schedule's temporary IR) use nil-arena (heap) cloning.
+//
+// A nil *CloneArena is valid and falls back to ordinary heap allocation, so
+// all cloning code paths are shared.
+type CloneArena struct {
+	instrs  []Instr
+	blocks  []Block
+	consts  []ConstInt
+	params  []Param
+	vals    []Value
+	blkps   []*Block
+	instrps []*Instr
+
+	// vms are the ValueMaps handed out since the last Reset; their map
+	// storage is retained (and cleared) across resets.
+	vms    []*ValueMap
+	vmUsed int
+}
+
+var cloneArenaPool = sync.Pool{New: func() any { return new(CloneArena) }}
+
+// GetCloneArena fetches an arena from the shared pool.
+func GetCloneArena() *CloneArena { return cloneArenaPool.Get().(*CloneArena) }
+
+// PutCloneArena resets the arena and returns it to the pool. All IR cloned
+// through it must be dead by now (see the type comment).
+func PutCloneArena(a *CloneArena) {
+	a.Reset()
+	cloneArenaPool.Put(a)
+}
+
+// Reset recycles the arena: slab write positions rewind, used prefixes are
+// zeroed so stale pointers cannot retain dead modules, and ValueMap buckets
+// are cleared in place.
+func (a *CloneArena) Reset() {
+	if a == nil {
+		return
+	}
+	clear(a.instrs)
+	a.instrs = a.instrs[:0]
+	clear(a.blocks)
+	a.blocks = a.blocks[:0]
+	clear(a.consts)
+	a.consts = a.consts[:0]
+	clear(a.params)
+	a.params = a.params[:0]
+	clear(a.vals)
+	a.vals = a.vals[:0]
+	clear(a.blkps)
+	a.blkps = a.blkps[:0]
+	clear(a.instrps)
+	a.instrps = a.instrps[:0]
+	for _, vm := range a.vms[:a.vmUsed] {
+		clear(vm.Values)
+		clear(vm.Blocks)
+		clear(vm.Funcs)
+	}
+	a.vmUsed = 0
+}
+
+// ValueMap returns an arena-backed ValueMap whose clone scratch and map
+// storage draw from (and are recycled with) the arena.
+func (a *CloneArena) ValueMap() *ValueMap {
+	if a == nil {
+		return NewValueMap()
+	}
+	if a.vmUsed < len(a.vms) {
+		vm := a.vms[a.vmUsed]
+		a.vmUsed++
+		return vm
+	}
+	vm := NewValueMap()
+	vm.arena = a
+	a.vms = append(a.vms, vm)
+	a.vmUsed++
+	return vm
+}
+
+// grownCap doubles the previous slab capacity, bounded below by min.
+func grownCap(prev, min int) int {
+	n := prev * 2
+	if n < min {
+		n = min
+	}
+	return n
+}
+
+// newInstr returns an uninitialized instruction slot. Callers fully
+// overwrite it (cloneInstrInto assigns a complete struct), so slots are not
+// zeroed here.
+func (a *CloneArena) newInstr() *Instr {
+	if a == nil {
+		return new(Instr)
+	}
+	if len(a.instrs) == cap(a.instrs) {
+		a.instrs = make([]Instr, 0, grownCap(cap(a.instrs), 256))
+	}
+	a.instrs = a.instrs[:len(a.instrs)+1]
+	return &a.instrs[len(a.instrs)-1]
+}
+
+func (a *CloneArena) newBlock() *Block {
+	if a == nil {
+		return new(Block)
+	}
+	if len(a.blocks) == cap(a.blocks) {
+		a.blocks = make([]Block, 0, grownCap(cap(a.blocks), 64))
+	}
+	a.blocks = a.blocks[:len(a.blocks)+1]
+	return &a.blocks[len(a.blocks)-1]
+}
+
+func (a *CloneArena) newConst() *ConstInt {
+	if a == nil {
+		return new(ConstInt)
+	}
+	if len(a.consts) == cap(a.consts) {
+		a.consts = make([]ConstInt, 0, grownCap(cap(a.consts), 128))
+	}
+	a.consts = a.consts[:len(a.consts)+1]
+	return &a.consts[len(a.consts)-1]
+}
+
+func (a *CloneArena) newParam() *Param {
+	if a == nil {
+		return new(Param)
+	}
+	if len(a.params) == cap(a.params) {
+		a.params = make([]Param, 0, grownCap(cap(a.params), 64))
+	}
+	a.params = a.params[:len(a.params)+1]
+	return &a.params[len(a.params)-1]
+}
+
+// valueSlice carves a length-n operand slice. The capacity is pinned at n
+// (three-index slicing) so a later append — optimizer passes grow operand
+// lists — spills to the heap instead of clobbering slab neighbors.
+func (a *CloneArena) valueSlice(n int) []Value {
+	if a == nil {
+		return make([]Value, n)
+	}
+	if cap(a.vals)-len(a.vals) < n {
+		a.vals = make([]Value, 0, grownCap(cap(a.vals), n+512))
+	}
+	l := len(a.vals)
+	a.vals = a.vals[:l+n]
+	return a.vals[l : l+n : l+n]
+}
+
+// blockSlice carves a length-n block-pointer slice (branch targets, phi
+// incoming edges), capacity pinned as in valueSlice.
+func (a *CloneArena) blockSlice(n int) []*Block {
+	if a == nil {
+		return make([]*Block, n)
+	}
+	if cap(a.blkps)-len(a.blkps) < n {
+		a.blkps = make([]*Block, 0, grownCap(cap(a.blkps), n+128))
+	}
+	l := len(a.blkps)
+	a.blkps = a.blkps[:l+n]
+	return a.blkps[l : l+n : l+n]
+}
+
+// instrSlice carves an empty instruction-pointer slice with capacity n, for
+// a block's Instrs list; Block.Append fills it within the pinned capacity.
+func (a *CloneArena) instrSlice(n int) []*Instr {
+	if a == nil {
+		return make([]*Instr, 0, n)
+	}
+	if cap(a.instrps)-len(a.instrps) < n {
+		a.instrps = make([]*Instr, 0, grownCap(cap(a.instrps), n+512))
+	}
+	l := len(a.instrps)
+	a.instrps = a.instrps[:l+n]
+	return a.instrps[l : l : l+n]
+}

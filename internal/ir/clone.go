@@ -10,6 +10,11 @@ type ValueMap struct {
 	Values map[Value]Value
 	Blocks map[*Block]*Block
 	Funcs  map[*Func]*Func
+
+	// arena, when non-nil, supplies slab-backed scratch for cloned
+	// instructions, operands, blocks, and constants (see CloneArena). The
+	// zero value (nil) clones onto the heap.
+	arena *CloneArena
 }
 
 // NewValueMap returns an empty map.
@@ -32,7 +37,9 @@ func (vm *ValueMap) MapValue(v Value) Value {
 		return nv
 	}
 	if c, ok := v.(*ConstInt); ok {
-		return &ConstInt{Val: c.Val, Typ: c.Typ}
+		nc := vm.arena.newConst()
+		*nc = ConstInt{Val: c.Val, Typ: c.Typ}
+		return nc
 	}
 	return v
 }
@@ -50,19 +57,29 @@ func (vm *ValueMap) MapBlock(b *Block) *Block {
 
 // CloneInstr returns a deep copy of in with operands remapped through vmap.
 func CloneInstr(in *Instr, vmap *ValueMap) *Instr {
-	ni := &Instr{
+	ni := vmap.arena.newInstr()
+	cloneInstrInto(ni, in, vmap)
+	return ni
+}
+
+// cloneInstrInto fills ni in place with a deep copy of in, operands
+// remapped through vmap. Assigning the complete struct first means ni may
+// be an uninitialized arena slot or a pre-registered placeholder (see
+// CloneFuncInto) — every field is overwritten either way.
+func cloneInstrInto(ni, in *Instr, vmap *ValueMap) {
+	*ni = Instr{
 		Op: in.Op, Typ: in.Typ, Name: in.Name,
 		Pred: in.Pred, Callee: in.Callee, Scale: in.Scale,
 		AllocaCount: in.AllocaCount, ElemType: in.ElemType,
 	}
 	if in.Operands != nil {
-		ni.Operands = make([]Value, len(in.Operands))
+		ni.Operands = vmap.arena.valueSlice(len(in.Operands))
 		for i, op := range in.Operands {
 			ni.Operands[i] = vmap.MapValue(op)
 		}
 	}
 	if in.Targets != nil {
-		ni.Targets = make([]*Block, len(in.Targets))
+		ni.Targets = vmap.arena.blockSlice(len(in.Targets))
 		for i, t := range in.Targets {
 			ni.Targets[i] = vmap.MapBlock(t)
 		}
@@ -71,12 +88,11 @@ func CloneInstr(in *Instr, vmap *ValueMap) *Instr {
 		ni.Cases = append([]int64(nil), in.Cases...)
 	}
 	if in.Incoming != nil {
-		ni.Incoming = make([]*Block, len(in.Incoming))
+		ni.Incoming = vmap.arena.blockSlice(len(in.Incoming))
 		for i, b := range in.Incoming {
 			ni.Incoming[i] = vmap.MapBlock(b)
 		}
 	}
-	return ni
 }
 
 // CloneFuncInto deep-copies function f (which may be a declaration) into
@@ -92,39 +108,43 @@ func CloneFuncInto(dst *Module, f *Func, name string, vmap *ValueMap) *Func {
 		Comdat:   f.Comdat,
 	}
 	for _, p := range f.Params {
-		np := &Param{Nam: p.Nam, Typ: p.Typ, Index: p.Index}
+		np := vmap.arena.newParam()
+		*np = Param{Nam: p.Nam, Typ: p.Typ, Index: p.Index}
 		nf.Params = append(nf.Params, np)
 		vmap.Values[p] = np
 	}
 	vmap.Funcs[f] = nf
 	// First pass: create empty blocks so branch targets can be remapped.
 	for _, b := range f.Blocks {
-		nb := &Block{Name: b.Name, Parent: nf}
+		nb := vmap.arena.newBlock()
+		*nb = Block{Name: b.Name, Parent: nf}
 		nf.Blocks = append(nf.Blocks, nb)
 		vmap.Blocks[b] = nb
 	}
 	// Second pass: clone instructions. Instruction results may be used
 	// before definition order within phis, so pre-register result values.
+	// The placeholder IS the final clone — cloneInstrInto fills it in place
+	// below, so no throwaway instruction is allocated per result.
 	for _, b := range f.Blocks {
 		for _, in := range b.Instrs {
 			if in.HasResult() {
-				// Placeholder clone registered up front; filled below.
-				vmap.Values[in] = &Instr{Op: in.Op, Typ: in.Typ, Name: in.Name}
+				ni := vmap.arena.newInstr()
+				*ni = Instr{Op: in.Op, Typ: in.Typ, Name: in.Name}
+				vmap.Values[in] = ni
 			}
 		}
 	}
 	for bi, b := range f.Blocks {
 		nb := nf.Blocks[bi]
+		nb.Instrs = vmap.arena.instrSlice(len(b.Instrs))
 		for _, in := range b.Instrs {
 			var ni *Instr
 			if in.HasResult() {
 				ni = vmap.Values[in].(*Instr)
-				tmp := CloneInstr(in, vmap)
-				// Copy the fully-remapped fields into the
-				// pre-registered placeholder.
-				*ni = *tmp
+				cloneInstrInto(ni, in, vmap)
 			} else {
-				ni = CloneInstr(in, vmap)
+				ni = vmap.arena.newInstr()
+				cloneInstrInto(ni, in, vmap)
 			}
 			nb.Append(ni)
 		}

@@ -1,9 +1,58 @@
 package ir
 
-import (
-	"hash/fnv"
-	"strings"
+// FNV-1a parameters (64-bit).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
 )
+
+// HashSeed is the initial state for FNV-1a folds built with HashFold.
+const HashSeed uint64 = fnvOffset64
+
+// fnvState is a 64-bit FNV-1a hash state implementing io.Writer, so the
+// shared IR printer can stream module text straight into the hash.
+type fnvState uint64
+
+func (s *fnvState) Write(b []byte) (int, error) {
+	h := uint64(*s)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	*s = fnvState(h)
+	return len(b), nil
+}
+
+// HashFold mixes the eight bytes of v into the FNV-1a state h
+// (little-endian byte order). It is how composite fingerprints — e.g. a
+// fragment key folded from per-symbol hashes — are built deterministically.
+func HashFold(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// hashPrinter returns a pooled printer whose sink is its own embedded
+// FNV-1a state, reset to the offset basis.
+func hashPrinter() *printer {
+	p := printerPool.Get().(*printer)
+	p.buf = p.buf[:0]
+	p.fnv = fnvOffset64
+	p.w = &p.fnv
+	return p
+}
+
+// hashDone flushes, releases the printer, and returns the hash.
+func hashDone(p *printer) uint64 {
+	p.flush()
+	h := uint64(p.fnv)
+	p.w = nil
+	printerPool.Put(p)
+	return h
+}
 
 // Fingerprint returns a stable 64-bit FNV-1a content hash of the module.
 // It hashes the printed textual form: the printer is deterministic, covers
@@ -13,28 +62,39 @@ import (
 // Odin's fragment cache uses this to skip re-optimizing and re-generating
 // code for fragments whose post-instrumentation IR did not change. The
 // module name is deliberately excluded.
+//
+// The text streams through the shared printer directly into the FNV state —
+// no intermediate print of the module is built.
 func Fingerprint(m *Module) uint64 {
-	h := fnv.New64a()
-	var sb strings.Builder
-	flush := func() {
-		h.Write([]byte(sb.String()))
-		sb.Reset()
-	}
+	p := hashPrinter()
 	for _, g := range m.Globals {
-		printGlobal(&sb, g)
-		flush()
+		printGlobal(p, g)
 	}
 	for _, a := range m.Aliases {
-		sb.WriteString("alias @" + a.Name + " = @" + a.Target)
-		if a.Linkage == Internal {
-			sb.WriteString(" internal")
-		}
-		sb.WriteString("\n")
-		flush()
+		printAlias(p, a)
 	}
 	for _, f := range m.Funcs {
-		printFunc(&sb, f)
-		flush()
+		printFunc(p, f)
 	}
-	return h.Sum64()
+	return hashDone(p)
+}
+
+// FingerprintSym returns the streaming content hash of a single global
+// symbol — the per-function/per-global granularity under Fingerprint. The
+// hashed text includes the symbol's name, linkage, attributes, signature,
+// and full body or initializer, so two symbols fingerprint equal exactly
+// when the printer would render them identically. Fingerprint(m) hashes the
+// concatenation of its symbols' texts; FingerprintSym hashes one symbol's
+// text in isolation.
+func FingerprintSym(g Global) uint64 {
+	p := hashPrinter()
+	switch s := g.(type) {
+	case *GlobalVar:
+		printGlobal(p, s)
+	case *Alias:
+		printAlias(p, s)
+	case *Func:
+		printFunc(p, s)
+	}
+	return hashDone(p)
 }

@@ -1,173 +1,345 @@
 package ir
 
 import (
-	"fmt"
-	"strings"
+	"io"
+	"strconv"
+	"sync"
 )
+
+// printer renders textual IR into a reusable byte buffer, optionally
+// draining it into an io.Writer sink via flush. It is the single definition
+// of the textual format: Print and FormatInstr read the buffer directly
+// (w == nil, flush is a no-op), while Fingerprint points w at an FNV-1a
+// state so module text streams straight into the hash with no intermediate
+// whole-module string. The format is stable and round-trips through package
+// irtext.
+type printer struct {
+	buf []byte
+	w   io.Writer
+	// fnv is the embedded hash sink used by Fingerprint/FingerprintSym;
+	// keeping it inside the pooled printer avoids a per-hash allocation
+	// when w = &p.fnv escapes.
+	fnv fnvState
+}
+
+var printerPool = sync.Pool{New: func() any {
+	return &printer{buf: make([]byte, 0, 1024)}
+}}
+
+// flush drains the buffer into the sink; with no sink the buffer simply
+// accumulates (Print and FormatInstr consume it wholesale).
+func (p *printer) flush() {
+	if p.w == nil || len(p.buf) == 0 {
+		return
+	}
+	p.w.Write(p.buf) // both sinks (fnvState, strings.Builder) never error
+	p.buf = p.buf[:0]
+}
+
+func (p *printer) str(s string) { p.buf = append(p.buf, s...) }
+
+func (p *printer) byte(c byte) { p.buf = append(p.buf, c) }
+
+func (p *printer) int(v int64) { p.buf = strconv.AppendInt(p.buf, v, 10) }
+
+// typ spells a type. ScalarType.String returns static strings, so the
+// common case allocates nothing.
+func (p *printer) typ(t Type) { p.str(t.String()) }
+
+// operand spells an operand exactly as Value.Ref does, without the
+// intermediate string for the common value kinds.
+func (p *printer) operand(v Value) {
+	switch x := v.(type) {
+	case nil:
+		p.str("<nil>")
+	case *ConstInt:
+		p.int(x.Val)
+	case *Param:
+		p.byte('%')
+		p.str(x.Nam)
+	case *Instr:
+		p.byte('%')
+		p.str(x.Name)
+	default:
+		p.str(v.Ref())
+	}
+}
 
 // Print renders the module in the textual IR format accepted by
 // package irtext. The format is stable and round-trips.
 func Print(m *Module) string {
-	var sb strings.Builder
+	p := printerPool.Get().(*printer)
+	p.buf = p.buf[:0]
 	for _, g := range m.Globals {
-		printGlobal(&sb, g)
+		printGlobal(p, g)
 	}
 	for _, a := range m.Aliases {
-		link := ""
-		if a.Linkage == Internal {
-			link = " internal"
-		}
-		fmt.Fprintf(&sb, "alias @%s = @%s%s\n", a.Name, a.Target, link)
+		printAlias(p, a)
 	}
 	for _, f := range m.Funcs {
-		printFunc(&sb, f)
+		printFunc(p, f)
 	}
-	return sb.String()
+	s := string(p.buf)
+	p.buf = p.buf[:0]
+	printerPool.Put(p)
+	return s
 }
 
-func printGlobal(sb *strings.Builder, g *GlobalVar) {
+func printGlobal(p *printer, g *GlobalVar) {
 	kw := "global"
 	if g.Const {
 		kw = "const"
 	}
 	if g.Decl {
-		fmt.Fprintf(sb, "declare %s @%s : %s\n", kw, g.Name, g.Elem)
+		p.str("declare ")
+		p.str(kw)
+		p.str(" @")
+		p.str(g.Name)
+		p.str(" : ")
+		p.typ(g.Elem)
+		p.byte('\n')
 		return
 	}
-	link := ""
+	p.str(kw)
+	p.str(" @")
+	p.str(g.Name)
+	p.str(" : ")
+	p.typ(g.Elem)
 	if g.Linkage == Internal {
-		link = " internal"
+		p.str(" internal")
 	}
-	fmt.Fprintf(sb, "%s @%s : %s%s = %s\n", kw, g.Name, g.Elem, link, formatInit(g.Init))
+	p.str(" = ")
+	if len(g.Init) == 0 {
+		p.str("zero")
+	} else {
+		const hexdigits = "0123456789abcdef"
+		p.str("bytes\"")
+		for _, b := range g.Init {
+			p.byte('\\')
+			p.byte(hexdigits[b>>4])
+			p.byte(hexdigits[b&0xf])
+		}
+		p.byte('"')
+	}
+	p.byte('\n')
+	p.flush()
 }
 
-func formatInit(init []byte) string {
-	if len(init) == 0 {
-		return "zero"
+func printAlias(p *printer, a *Alias) {
+	p.str("alias @")
+	p.str(a.Name)
+	p.str(" = @")
+	p.str(a.Target)
+	if a.Linkage == Internal {
+		p.str(" internal")
 	}
-	var sb strings.Builder
-	sb.WriteString("bytes\"")
-	for _, b := range init {
-		fmt.Fprintf(&sb, "\\%02x", b)
-	}
-	sb.WriteString("\"")
-	return sb.String()
+	p.byte('\n')
+	p.flush()
 }
 
-func printFunc(sb *strings.Builder, f *Func) {
+func printFunc(p *printer, f *Func) {
 	if f.IsDecl() {
-		fmt.Fprintf(sb, "declare func @%s%s\n", f.Name, sigString(f))
+		p.str("declare func @")
+		p.str(f.Name)
+		printSig(p, f)
+		p.byte('\n')
+		p.flush()
 		return
 	}
-	var attrs []string
+	p.str("func @")
+	p.str(f.Name)
+	printSig(p, f)
 	if f.Linkage == Internal {
-		attrs = append(attrs, "internal")
+		p.str(" internal")
 	}
 	if f.NoInline {
-		attrs = append(attrs, "noinline")
+		p.str(" noinline")
 	}
 	if f.Comdat != "" {
-		attrs = append(attrs, "comdat("+f.Comdat+")")
+		p.str(" comdat(")
+		p.str(f.Comdat)
+		p.byte(')')
 	}
-	attrStr := ""
-	if len(attrs) > 0 {
-		attrStr = " " + strings.Join(attrs, " ")
-	}
-	fmt.Fprintf(sb, "func @%s%s%s {\n", f.Name, sigString(f), attrStr)
+	p.str(" {\n")
 	for _, b := range f.Blocks {
-		fmt.Fprintf(sb, "%s:\n", b.Name)
+		p.str(b.Name)
+		p.str(":\n")
 		for _, in := range b.Instrs {
-			fmt.Fprintf(sb, "  %s\n", FormatInstr(in))
+			p.str("  ")
+			printInstr(p, in)
+			p.byte('\n')
 		}
+		p.flush()
 	}
-	sb.WriteString("}\n")
+	p.str("}\n")
+	p.flush()
 }
 
-func sigString(f *Func) string {
-	var sb strings.Builder
-	sb.WriteString("(")
-	for i, p := range f.Params {
+func printSig(p *printer, f *Func) {
+	p.byte('(')
+	for i, pa := range f.Params {
 		if i > 0 {
-			sb.WriteString(", ")
+			p.str(", ")
 		}
-		fmt.Fprintf(&sb, "%%%s: %s", p.Nam, p.Typ)
+		p.byte('%')
+		p.str(pa.Nam)
+		p.str(": ")
+		p.typ(pa.Typ)
 	}
-	fmt.Fprintf(&sb, ") -> %s", f.Sig.Ret)
-	return sb.String()
-}
-
-func operandRef(v Value) string {
-	if v == nil {
-		return "<nil>"
-	}
-	return v.Ref()
+	p.str(") -> ")
+	p.typ(f.Sig.Ret)
 }
 
 // FormatInstr renders one instruction in textual form.
 func FormatInstr(in *Instr) string {
-	var sb strings.Builder
+	p := printerPool.Get().(*printer)
+	p.buf = p.buf[:0]
+	printInstr(p, in)
+	s := string(p.buf)
+	p.buf = p.buf[:0]
+	printerPool.Put(p)
+	return s
+}
+
+func printInstr(p *printer, in *Instr) {
 	if in.HasResult() {
-		fmt.Fprintf(&sb, "%%%s = ", in.Name)
+		p.byte('%')
+		p.str(in.Name)
+		p.str(" = ")
 	}
 	switch {
 	case in.Op.IsBinOp():
-		fmt.Fprintf(&sb, "%s %s %s, %s", in.Op, in.Typ, operandRef(in.Operands[0]), operandRef(in.Operands[1]))
+		p.str(in.Op.String())
+		p.byte(' ')
+		p.typ(in.Typ)
+		p.byte(' ')
+		p.operand(in.Operands[0])
+		p.str(", ")
+		p.operand(in.Operands[1])
 	case in.Op == OpICmp:
-		fmt.Fprintf(&sb, "icmp %s %s %s, %s", in.Pred, in.Operands[0].Type(), operandRef(in.Operands[0]), operandRef(in.Operands[1]))
+		p.str("icmp ")
+		p.str(in.Pred.String())
+		p.byte(' ')
+		p.typ(in.Operands[0].Type())
+		p.byte(' ')
+		p.operand(in.Operands[0])
+		p.str(", ")
+		p.operand(in.Operands[1])
 	case in.Op == OpSelect:
-		fmt.Fprintf(&sb, "select %s %s, %s, %s", in.Typ, operandRef(in.Operands[0]), operandRef(in.Operands[1]), operandRef(in.Operands[2]))
+		p.str("select ")
+		p.typ(in.Typ)
+		p.byte(' ')
+		p.operand(in.Operands[0])
+		p.str(", ")
+		p.operand(in.Operands[1])
+		p.str(", ")
+		p.operand(in.Operands[2])
 	case in.Op.IsConversion():
-		fmt.Fprintf(&sb, "%s %s %s to %s", in.Op, in.Operands[0].Type(), operandRef(in.Operands[0]), in.Typ)
+		p.str(in.Op.String())
+		p.byte(' ')
+		p.typ(in.Operands[0].Type())
+		p.byte(' ')
+		p.operand(in.Operands[0])
+		p.str(" to ")
+		p.typ(in.Typ)
 	case in.Op == OpAlloca:
-		fmt.Fprintf(&sb, "alloca %s, %d", in.ElemType, in.AllocaCount)
+		p.str("alloca ")
+		p.typ(in.ElemType)
+		p.str(", ")
+		p.int(in.AllocaCount)
 	case in.Op == OpLoad:
-		fmt.Fprintf(&sb, "load %s, %s", in.Typ, operandRef(in.Operands[0]))
+		p.str("load ")
+		p.typ(in.Typ)
+		p.str(", ")
+		p.operand(in.Operands[0])
 	case in.Op == OpStore:
-		fmt.Fprintf(&sb, "store %s %s, %s", in.Operands[0].Type(), operandRef(in.Operands[0]), operandRef(in.Operands[1]))
+		p.str("store ")
+		p.typ(in.Operands[0].Type())
+		p.byte(' ')
+		p.operand(in.Operands[0])
+		p.str(", ")
+		p.operand(in.Operands[1])
 	case in.Op == OpGEP:
-		fmt.Fprintf(&sb, "gep %s, %s, scale %d", operandRef(in.Operands[0]), operandRef(in.Operands[1]), in.Scale)
+		p.str("gep ")
+		p.operand(in.Operands[0])
+		p.str(", ")
+		p.operand(in.Operands[1])
+		p.str(", scale ")
+		p.int(in.Scale)
 	case in.Op == OpCall:
-		fmt.Fprintf(&sb, "call %s @%s(", in.Type(), in.Callee)
+		p.str("call ")
+		p.typ(in.Type())
+		p.str(" @")
+		p.str(in.Callee)
+		p.byte('(')
 		for i, a := range in.Operands {
 			if i > 0 {
-				sb.WriteString(", ")
+				p.str(", ")
 			}
-			fmt.Fprintf(&sb, "%s %s", a.Type(), operandRef(a))
+			p.typ(a.Type())
+			p.byte(' ')
+			p.operand(a)
 		}
-		sb.WriteString(")")
+		p.byte(')')
 	case in.Op == OpRet:
 		if len(in.Operands) == 0 {
-			sb.WriteString("ret void")
+			p.str("ret void")
 		} else {
-			fmt.Fprintf(&sb, "ret %s %s", in.Operands[0].Type(), operandRef(in.Operands[0]))
+			p.str("ret ")
+			p.typ(in.Operands[0].Type())
+			p.byte(' ')
+			p.operand(in.Operands[0])
 		}
 	case in.Op == OpBr:
-		fmt.Fprintf(&sb, "br %s", in.Targets[0].Name)
+		p.str("br ")
+		p.str(in.Targets[0].Name)
 	case in.Op == OpCondBr:
-		fmt.Fprintf(&sb, "condbr %s, %s, %s", operandRef(in.Operands[0]), in.Targets[0].Name, in.Targets[1].Name)
+		p.str("condbr ")
+		p.operand(in.Operands[0])
+		p.str(", ")
+		p.str(in.Targets[0].Name)
+		p.str(", ")
+		p.str(in.Targets[1].Name)
 	case in.Op == OpSwitch:
-		fmt.Fprintf(&sb, "switch %s %s [", in.Operands[0].Type(), operandRef(in.Operands[0]))
+		p.str("switch ")
+		p.typ(in.Operands[0].Type())
+		p.byte(' ')
+		p.operand(in.Operands[0])
+		p.str(" [")
 		for i, c := range in.Cases {
 			if i > 0 {
-				sb.WriteString(", ")
+				p.str(", ")
 			}
-			fmt.Fprintf(&sb, "%d: %s", c, in.Targets[i].Name)
+			p.int(c)
+			p.str(": ")
+			p.str(in.Targets[i].Name)
 		}
-		fmt.Fprintf(&sb, "] default %s", in.Targets[len(in.Cases)].Name)
+		p.str("] default ")
+		p.str(in.Targets[len(in.Cases)].Name)
 	case in.Op == OpUnreachable:
-		sb.WriteString("unreachable")
+		p.str("unreachable")
 	case in.Op == OpCounterInc:
-		fmt.Fprintf(&sb, "covinc %s, %d", operandRef(in.Operands[0]), in.Scale)
+		p.str("covinc ")
+		p.operand(in.Operands[0])
+		p.str(", ")
+		p.int(in.Scale)
 	case in.Op == OpPhi:
-		fmt.Fprintf(&sb, "phi %s ", in.Typ)
+		p.str("phi ")
+		p.typ(in.Typ)
+		p.byte(' ')
 		for i := range in.Operands {
 			if i > 0 {
-				sb.WriteString(", ")
+				p.str(", ")
 			}
-			fmt.Fprintf(&sb, "[%s, %s]", operandRef(in.Operands[i]), in.Incoming[i].Name)
+			p.byte('[')
+			p.operand(in.Operands[i])
+			p.str(", ")
+			p.str(in.Incoming[i].Name)
+			p.byte(']')
 		}
 	default:
-		fmt.Fprintf(&sb, "<bad op %d>", int(in.Op))
+		p.str("<bad op ")
+		p.int(int64(in.Op))
+		p.byte('>')
 	}
-	return sb.String()
 }

@@ -62,6 +62,28 @@ done
 rm -f "$errlog" "$metrics"
 echo "metrics smoke: ok"
 
+echo "== allocation budget (probe-toggle hot loop) =="
+# The function-granular splice path's steady-state allocation envelope,
+# pinned with testing.AllocsPerRun. Catches an accidental return to
+# whole-fragment cloning long before it shows up as latency.
+go test ./internal/core/ -run TestSpliceAllocBudget
+
+echo "== bench regression gate (probe-toggle vs committed artifact) =="
+# Compare the current tree's probe-toggle trajectory against the committed
+# BENCH artifact: fail on >15% p50/p99 regression beyond a 2ms absolute
+# floor (machine-jitter immunity), on a shrinking function cache-hit rate,
+# or on the structural invariant breaking (a single-function toggle must
+# compile exactly one function). Regenerate with `make bench-record` when a
+# deliberate change moves the trajectory. Skipped when no artifact is
+# committed.
+bench_artifact="$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)"
+if [ -n "$bench_artifact" ]; then
+	echo "comparing against $bench_artifact"
+	go run ./cmd/odin-bench -experiment probe-toggle -toggle-rounds 60 -bench-compare "$bench_artifact"
+else
+	echo "no BENCH_*.json artifact committed; skipping regression gate"
+fi
+
 echo "== gofmt =="
 out="$(gofmt -l .)"
 if [ -n "$out" ]; then
