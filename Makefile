@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race soak fmt-check bench-parallel bench-telemetry bench-record bench-check alloc-budget ci
+.PHONY: all build vet test verify-all race soak fmt-check bench-parallel bench-telemetry bench-record bench-check alloc-budget verify-budget ci
 
 all: build
 
@@ -12,6 +12,12 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Re-run the engine-bearing packages with strict IR verification after every
+# optimizer pass (ODIN_VERIFY=all): a miscompiling pass fails here with its
+# name in the error instead of as a wrong answer downstream.
+verify-all:
+	ODIN_VERIFY=all $(GO) test ./internal/core/ ./internal/cov/ ./internal/bench/
 
 # The concurrency-sensitive packages: the fragment compile pool, the
 # incremental linker, the fault injector that stresses both, and the
@@ -43,19 +49,21 @@ bench-parallel:
 	$(GO) test ./internal/bench/ -run XXX -bench BenchmarkParallelRebuild -benchtime 5x
 
 # Recorded performance trajectory: regenerate the committed benchmark
-# artifact from the probe-toggle experiment (function-granular splice
-# latency, cache-hit rates, allocs per toggle). Bump BENCH when recording a
-# new trajectory point rather than overwriting history's meaning.
-BENCH ?= BENCH_6.json
+# artifact from the probe-toggle and verify-overhead experiments
+# (function-granular splice latency, cache-hit rates, allocs per toggle,
+# boundaries-tier verification overhead). Bump BENCH when recording a new
+# trajectory point rather than overwriting history's meaning.
+BENCH ?= BENCH_7.json
 bench-record:
-	$(GO) run ./cmd/odin-bench -experiment probe-toggle -toggle-rounds 60 -bench-out $(BENCH)
+	$(GO) run ./cmd/odin-bench -experiment probe-toggle,verify-overhead -toggle-rounds 60 -bench-out $(BENCH)
 
 # Compare the current tree against the committed trajectory artifact
 # (skipped with a note when the artifact is absent). Fails on >15% p99
-# regression beyond a 2ms floor, or on structural splice breakage.
+# regression beyond a 2ms floor, on structural splice breakage, or on
+# verification overhead above its 5% budget.
 bench-check:
 	@if [ -f $(BENCH) ]; then \
-		$(GO) run ./cmd/odin-bench -experiment probe-toggle -toggle-rounds 60 -bench-compare $(BENCH); \
+		$(GO) run ./cmd/odin-bench -experiment probe-toggle,verify-overhead -toggle-rounds 60 -bench-compare $(BENCH); \
 	else \
 		echo "bench-check: $(BENCH) not present; skipping regression gate"; \
 	fi
@@ -65,5 +73,11 @@ bench-check:
 alloc-budget:
 	$(GO) test ./internal/core/ -run TestSpliceAllocBudget -v
 
-ci: vet build test race fmt-check alloc-budget bench-check
+# Verification budget: the default boundaries tier may cost at most 5% of
+# p50 rebuild latency (the experiment exits 1 when any workload exceeds
+# bench.VerifyOverheadBudgetPct).
+verify-budget:
+	$(GO) run ./cmd/odin-bench -experiment verify-overhead -toggle-rounds 60
+
+ci: vet build test verify-all race fmt-check alloc-budget verify-budget bench-check
 	@echo "ci: all checks passed"

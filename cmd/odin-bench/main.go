@@ -3,11 +3,21 @@
 //
 // Usage:
 //
-//	odin-bench [-experiment all|fig3|fig8|fig9|fig10|fig11|fig12|headline|parallel|faults|storm|probe-toggle]
+//	odin-bench [-experiment all|fig3|fig8|fig9|fig10|fig11|fig12|headline|parallel|faults|storm|probe-toggle|verify-overhead]
 //	           [-campaign N] [-programs a,b,c] [-parallel] [-workers N]
 //	           [-fault-rounds N] [-fault-seed N] [-json] [-metrics-addr HOST:PORT]
 //	           [-storm-goroutines N] [-storm-requests N] [-toggle-rounds N]
-//	           [-bench-out FILE] [-bench-compare FILE]
+//	           [-verify off|boundaries|all] [-bench-out FILE] [-bench-compare FILE]
+//
+// -experiment also accepts a comma-separated list of the self-contained
+// experiments (probe-toggle, verify-overhead, fig3), so one invocation can
+// record a multi-experiment benchmark artifact:
+//
+//	odin-bench -experiment probe-toggle,verify-overhead -bench-out BENCH_7.json
+//
+// -verify forces the engine verification tier (ODIN_VERIFY) for every engine
+// the harness creates; the verify-overhead experiment ignores it and pins its
+// two arms explicitly.
 //
 // With -json the selected experiments' raw results — including every
 // rebuild's full RebuildStats with the degradation/quarantine/deferral
@@ -33,6 +43,7 @@ import (
 	"strings"
 
 	"odin/internal/bench"
+	"odin/internal/core"
 	"odin/internal/progen"
 	"odin/internal/telemetry"
 )
@@ -49,10 +60,22 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve live telemetry for the run on this host:port (port 0 = pick a free port)")
 	stormG := flag.Int("storm-goroutines", 8, "concurrent submitter goroutines in the storm experiment")
 	stormN := flag.Int("storm-requests", 64, "probe requests per goroutine in the storm experiment")
-	toggleRounds := flag.Int("toggle-rounds", 40, "probe toggles per workload in the probe-toggle experiment")
+	toggleRounds := flag.Int("toggle-rounds", 40, "probe toggles per workload in the probe-toggle and verify-overhead experiments")
+	verify := flag.String("verify", "", "engine IR-verification tier for the run: off, boundaries, all (default: ODIN_VERIFY or boundaries)")
 	benchOut := flag.String("bench-out", "", "write a benchmark artifact (BENCH_<n>.json schema) to this file")
 	benchCompare := flag.String("bench-compare", "", "compare this run's artifact against a committed one; exit 1 on regression")
 	flag.Parse()
+
+	if *verify != "" {
+		if _, ok := core.ParseVerifyMode(*verify); !ok {
+			fmt.Fprintf(os.Stderr, "odin-bench: -verify %q: want off, boundaries, or all\n", *verify)
+			os.Exit(2)
+		}
+		// The harness builds engines in many places; route the tier through
+		// the engine's environment resolution instead of threading an option
+		// into every constructor.
+		os.Setenv("ODIN_VERIFY", *verify)
+	}
 
 	if err := run(*experiment, *campaign, *programs, *parallel, *workers, *faultRounds, *faultSeed, *jsonOut, *metricsAddr, *stormG, *stormN, *toggleRounds, *benchOut, *benchCompare); err != nil {
 		fmt.Fprintf(os.Stderr, "odin-bench: %v\n", err)
@@ -94,28 +117,21 @@ func run(experiment string, campaign int, programs string, parallel bool, worker
 		fmt.Fprintf(os.Stderr, "telemetry: serving on %s\n", srv.Addr())
 	}
 
-	if experiment == "probe-toggle" {
-		rows, terr := bench.RunToggle(toggleRounds)
-		if terr != nil {
-			return terr
-		}
-		report["probe_toggle"] = rows
-		bench.PrintToggle(w, rows)
-		art.AddToggle(rows)
-		for _, r := range rows {
-			if !r.RefMatch {
-				return fmt.Errorf("probe-toggle: %s diverged from its cold reference", r.Program)
+	// The self-contained experiments need no prepared program suite and can
+	// be combined in one comma-separated -experiment invocation (one run
+	// records a multi-experiment artifact, which the regression gate needs:
+	// experiments missing from the current run count as regressions).
+	if names := strings.Split(experiment, ","); len(names) > 1 || isQuick(names[0]) {
+		for _, name := range names {
+			name = strings.TrimSpace(name)
+			if !isQuick(name) {
+				return fmt.Errorf("experiment %q cannot be combined; lists may only contain %s", name, quickExperiments)
 			}
+			if err := runQuick(name, w, report, art, toggleRounds); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
 		}
-		return nil
-	}
-	if experiment == "fig3" {
-		r, err := bench.RunFig3()
-		if err != nil {
-			return err
-		}
-		report["fig3"] = r
-		bench.PrintFig3(w, r)
 		return nil
 	}
 
@@ -258,6 +274,63 @@ func run(experiment string, campaign int, programs string, parallel bool, worker
 		}
 		report["headline"] = h
 		bench.PrintHeadline(w, h)
+	}
+	return nil
+}
+
+// quickExperiments are the self-contained experiments runQuick handles: they
+// synthesize their own workloads, so they skip suite preparation and may be
+// combined in a comma-separated -experiment list.
+const quickExperiments = "probe-toggle, verify-overhead, fig3"
+
+func isQuick(name string) bool {
+	switch strings.TrimSpace(name) {
+	case "probe-toggle", "verify-overhead", "fig3":
+		return true
+	}
+	return false
+}
+
+// runQuick runs one self-contained experiment, folding its rows into the
+// JSON report and the benchmark artifact.
+func runQuick(name string, w io.Writer, report map[string]any, art *bench.Artifact, toggleRounds int) error {
+	switch name {
+	case "probe-toggle":
+		rows, err := bench.RunToggle(toggleRounds)
+		if err != nil {
+			return err
+		}
+		report["probe_toggle"] = rows
+		bench.PrintToggle(w, rows)
+		art.AddToggle(rows)
+		for _, r := range rows {
+			if !r.RefMatch {
+				return fmt.Errorf("probe-toggle: %s diverged from its cold reference", r.Program)
+			}
+		}
+	case "verify-overhead":
+		rows, err := bench.RunVerifyOverhead(toggleRounds)
+		if err != nil {
+			return err
+		}
+		report["verify_overhead"] = rows
+		bench.PrintVerifyOverhead(w, rows)
+		art.AddVerifyOverhead(rows)
+		for _, r := range rows {
+			if r.OverheadPct > bench.VerifyOverheadBudgetPct {
+				return fmt.Errorf("verify-overhead: %s overhead %.1f%% exceeds the %.0f%% budget",
+					r.Program, r.OverheadPct, bench.VerifyOverheadBudgetPct)
+			}
+		}
+	case "fig3":
+		r, err := bench.RunFig3()
+		if err != nil {
+			return err
+		}
+		report["fig3"] = r
+		bench.PrintFig3(w, r)
+	default:
+		return fmt.Errorf("unknown quick experiment %q", name)
 	}
 	return nil
 }

@@ -4,15 +4,17 @@
 // on-the-fly probe pruning via recompilation as coverage saturates.
 //
 // Every module the harness takes in — generated or parsed from a file — runs
-// through the IR verifier before it reaches the optimizer; verifier failures
-// are reported as their own crash class ("invalid-ir") rather than being fed
-// into opt, and the same classification applies to rebuild failures during
-// the campaign.
+// through the strict IR verifier (SSA dominance + full type checking) before
+// it reaches the optimizer; verifier failures are reported as their own crash
+// class ("invalid-ir") rather than being fed into opt, and the same
+// classification applies to rebuild failures during the campaign. The -verify
+// flag picks the engine's rebuild-path tier (see DESIGN.md).
 //
 // Usage:
 //
 //	odin-fuzz [-program demo | -ir file.ir] [-iters 5000] [-seed 1] [-prune]
 //	          [-rebuild-timeout D] [-metrics-addr HOST:PORT] [-storm N]
+//	          [-verify off|boundaries|all]
 //
 // With -storm N the harness fires N concurrent probe toggles through the
 // rebuild supervisor before the campaign — a stress pass proving the
@@ -82,9 +84,16 @@ func main() {
 	rebuildTimeout := flag.Duration("rebuild-timeout", 0, "deadline for one on-the-fly rebuild (0 = none)")
 	metricsAddr := flag.String("metrics-addr", "", "serve live telemetry (rebuild metrics, per-probe hit counts, traces) on this host:port")
 	storm := flag.Int("storm", 0, "fire this many concurrent probe toggles through the rebuild supervisor before the campaign (0 = off)")
+	verify := flag.String("verify", "", "engine IR-verification tier during the campaign: off, boundaries (default), or all")
 	flag.Parse()
 
-	if err := run(*program, *irFile, *iters, *seed, *prune, *rebuildTimeout, *metricsAddr, *storm); err != nil {
+	verifyMode, ok := core.ParseVerifyMode(*verify)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "odin-fuzz: -verify %q: want off, boundaries, or all\n", *verify)
+		os.Exit(2)
+	}
+
+	if err := run(*program, *irFile, *iters, *seed, *prune, *rebuildTimeout, *metricsAddr, *storm, verifyMode); err != nil {
 		fmt.Fprintf(os.Stderr, "odin-fuzz: %v\n", err)
 		os.Exit(1)
 	}
@@ -206,18 +215,21 @@ func stormToggle(tool *cov.Tool, n int) error {
 	return nil
 }
 
-func run(program, irFile string, iters int, seed uint64, prune bool, rebuildTimeout time.Duration, metricsAddr string, storm int) error {
+func run(program, irFile string, iters int, seed uint64, prune bool, rebuildTimeout time.Duration, metricsAddr string, storm int, verify core.VerifyMode) error {
 	name, m, err := loadModule(program, irFile)
 	if err != nil {
 		return err
 	}
-	if err := ir.Verify(m); err != nil {
+	// Strict verification up front: a campaign target with subtly broken SSA
+	// or types is an invalid-ir crash class, not hours of confusing fuzzing.
+	if err := ir.VerifyStrict(m); err != nil {
 		return classifyInvalidIR("before campaign", err)
 	}
 	tool, err := cov.New(m, core.Options{
 		Variant:        core.VariantOdin,
 		RebuildTimeout: rebuildTimeout,
 		MetricsAddr:    metricsAddr,
+		Verify:         verify,
 	}, prune)
 	if err != nil {
 		return err

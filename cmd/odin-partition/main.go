@@ -5,7 +5,7 @@
 // Usage:
 //
 //	odin-partition [-variant odin|one|max] [-program NAME | -file program.ir] [-json]
-//	               [-fanout]
+//	               [-fanout] [-verify basic|strict]
 //
 // -fanout prints the per-symbol rebuild blast radius: for each function, the
 // fragment a probe toggle on it dirties and how many symbols and IR
@@ -33,9 +33,10 @@ func main() {
 	classify := flag.Bool("classify", true, "print per-symbol classification")
 	jsonOut := flag.Bool("json", false, "emit the plan as machine-readable JSON instead of text")
 	fanout := flag.Bool("fanout", false, "print per-symbol rebuild blast radius (fragment size a probe toggle recompiles)")
+	verify := flag.String("verify", "basic", "input verification tier before partitioning: basic (module/CFG invariants) or strict (+SSA dominance, full type checking)")
 	flag.Parse()
 
-	if err := run(*variant, *program, *file, *classify, *jsonOut, *fanout); err != nil {
+	if err := run(*variant, *program, *file, *classify, *jsonOut, *fanout, *verify); err != nil {
 		fmt.Fprintf(os.Stderr, "odin-partition: %v\n", err)
 		os.Exit(1)
 	}
@@ -125,7 +126,7 @@ func printFanout(m *ir.Module, rows []fanoutRow) {
 		100*float64(instrs[len(instrs)-1])/float64(total))
 }
 
-func run(variantName, program, file string, classify, jsonOut, fanout bool) error {
+func run(variantName, program, file string, classify, jsonOut, fanout bool, verify string) error {
 	var v core.Variant
 	switch variantName {
 	case "odin":
@@ -155,8 +156,17 @@ func run(variantName, program, file string, classify, jsonOut, fanout bool) erro
 		}
 		m = p.Generate()
 	}
-	if err := ir.Verify(m); err != nil {
-		return err
+	switch verify {
+	case "basic":
+		if err := ir.Verify(m); err != nil {
+			return err
+		}
+	case "strict":
+		if err := ir.VerifyStrict(m); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("-verify %q: want basic or strict", verify)
 	}
 
 	plan, err := core.Partition(m, v, 2)

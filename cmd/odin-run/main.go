@@ -7,8 +7,8 @@
 //
 //	odin-run [-O 2] [-interp] [-input "bytes"] [-fn main] [-dump] file.ir
 //	odin-run -program sqlite -input "select"      # run a suite program
-//	odin-run -odin [-workers N] [-rebuild-timeout D] -program sqlite
-//	                                              # build via the Odin engine
+//	odin-run -odin [-workers N] [-rebuild-timeout D] [-verify off|boundaries|all]
+//	               -program sqlite                # build via the Odin engine
 //	odin-run -odin -supervise -program sqlite     # route the build through the
 //	                                              # concurrent rebuild supervisor
 //	odin-run -odin -metrics-addr 127.0.0.1:9090 [-metrics-hold 30s] -program sqlite
@@ -47,15 +47,22 @@ func main() {
 	supervise := flag.Bool("supervise", false, "with -odin: run the build through the concurrent rebuild supervisor")
 	metricsAddr := flag.String("metrics-addr", "", "with -odin: serve telemetry on this host:port (port 0 = pick a free port)")
 	metricsHold := flag.Duration("metrics-hold", 0, "with -metrics-addr: keep serving this long after the run finishes")
+	verify := flag.String("verify", "", "with -odin: IR verification tier — off, boundaries (default), or all (strict check after every optimizer pass)")
 	flag.Parse()
 
-	if err := run(*level, *useInterp, *input, *fn, *dump, *odin, *supervise, *workers, *rebuildTimeout, *metricsAddr, *metricsHold, *program, flag.Args()); err != nil {
+	verifyMode, ok := core.ParseVerifyMode(*verify)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "odin-run: -verify %q: want off, boundaries, or all\n", *verify)
+		os.Exit(2)
+	}
+
+	if err := run(*level, *useInterp, *input, *fn, *dump, *odin, *supervise, *workers, *rebuildTimeout, *metricsAddr, *metricsHold, verifyMode, *program, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "odin-run: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(level int, useInterp bool, input, fn string, dump, odin, supervise bool, workers int, rebuildTimeout time.Duration, metricsAddr string, metricsHold time.Duration, program string, args []string) error {
+func run(level int, useInterp bool, input, fn string, dump, odin, supervise bool, workers int, rebuildTimeout time.Duration, metricsAddr string, metricsHold time.Duration, verify core.VerifyMode, program string, args []string) error {
 	var m *ir.Module
 	switch {
 	case program != "":
@@ -128,7 +135,7 @@ func run(level int, useInterp bool, input, fn string, dump, odin, supervise bool
 	}
 
 	if odin {
-		opts := core.Options{Workers: workers, RebuildTimeout: rebuildTimeout}
+		opts := core.Options{Workers: workers, RebuildTimeout: rebuildTimeout, Verify: verify}
 		if metricsAddr != "" {
 			opts.Telemetry = telemetry.NewRegistry()
 		}

@@ -33,6 +33,11 @@ type ArtifactMetrics struct {
 	// BaselineP99MS is the NoFuncCache arm's p99 where measured; the ratio
 	// to P99MS is the recorded splice win.
 	BaselineP99MS float64 `json:"baseline_p99_ms,omitempty"`
+	// OverheadPct is the verify-overhead experiment's headline: the
+	// boundaries verification tier's worst-case p50 rebuild-latency overhead
+	// across workload scales. CI gates it against an absolute budget
+	// (VerifyOverheadBudgetPct), not a drift band.
+	OverheadPct float64 `json:"overhead_pct,omitempty"`
 }
 
 // Artifact is the schema of BENCH_<n>.json.
@@ -66,6 +71,23 @@ func (a *Artifact) AddToggle(rows []ToggleResult) {
 		m.FuncsCompiledPerToggle = maxf(m.FuncsCompiledPerToggle, r.FuncsCompiledPerToggle)
 	}
 	a.Experiments["probe-toggle"] = m
+}
+
+// AddVerifyOverhead folds the verify-overhead rows into the artifact: the
+// boundaries arm's worst-case percentiles, the worst overhead percentage,
+// and the mean verification-cache hit rate.
+func (a *Artifact) AddVerifyOverhead(rows []VerifyOverheadResult) {
+	if len(rows) == 0 {
+		return
+	}
+	var m ArtifactMetrics
+	for _, r := range rows {
+		m.P50MS = maxf(m.P50MS, r.BoundaryP50MS)
+		m.P99MS = maxf(m.P99MS, r.BoundaryP99MS)
+		m.OverheadPct = maxf(m.OverheadPct, r.OverheadPct)
+		m.FuncCacheHitPct += r.CacheHitPct / float64(len(rows))
+	}
+	a.Experiments["verify-overhead"] = m
 }
 
 // AddParallel folds the parallel-recompilation rows into the artifact: the
@@ -133,6 +155,10 @@ func LoadArtifact(path string) (*Artifact, error) {
 // the splice stopped working, regardless of how fast the machine is.
 // Experiments present in ref but missing from cur are regressions (the
 // trajectory must not silently lose coverage); new experiments in cur pass.
+// The verify-overhead experiment's OverheadPct is gated against the absolute
+// VerifyOverheadBudgetPct budget rather than drift from the reference: the
+// acceptance criterion is "verification costs at most 5% of p50", not
+// "verification costs what it used to".
 func CompareArtifacts(ref, cur *Artifact, tolPct, floorMS float64) []string {
 	var bad []string
 	worse := func(got, want, floor float64) bool {
@@ -163,6 +189,12 @@ func CompareArtifacts(ref, cur *Artifact, tolPct, floorMS float64) []string {
 		if r.FuncCacheHitPct > 0 && c.FuncCacheHitPct < r.FuncCacheHitPct-1 {
 			bad = append(bad, fmt.Sprintf("%s: function cache hit rate %.1f%% below recorded %.1f%%",
 				name, c.FuncCacheHitPct, r.FuncCacheHitPct))
+		}
+	}
+	for name, c := range cur.Experiments {
+		if c.OverheadPct > VerifyOverheadBudgetPct {
+			bad = append(bad, fmt.Sprintf("%s: verification overhead %.1f%% exceeds the %.0f%% budget",
+				name, c.OverheadPct, VerifyOverheadBudgetPct))
 		}
 	}
 	return bad

@@ -524,13 +524,12 @@ func (e *Engine) compileAttempt(id int, fm *ir.Module, level int, quarantined ma
 			Trace:      trace,
 			FaultHook:  e.opts.FaultHook,
 			OnPass:     onPass,
+			VerifyEach: e.verifyEach(),
+			OnVerify:   e.onPassVerify,
 		}); err != nil {
 			return err
 		}
-		if err := ir.Verify(fm); err != nil {
-			return fmt.Errorf("after optimization: %w", err)
-		}
-		return nil
+		return e.verifyCompiled(fm)
 	})
 	dOpt := time.Since(to)
 	fc.Opt += dOpt

@@ -9,6 +9,7 @@ import (
 
 	"odin/internal/codegen"
 	"odin/internal/ir"
+	"odin/internal/ir/analysis"
 	"odin/internal/link"
 	"odin/internal/obj"
 	"odin/internal/telemetry"
@@ -57,6 +58,14 @@ type Options struct {
 	// check, and no telemetry allocation happens anywhere on the rebuild
 	// path, so the engine stays usable as a zero-overhead library.
 	Telemetry *telemetry.Registry
+	// Verify selects the IR verification tier for rebuilds: VerifyOff skips
+	// all rebuild-path verification, VerifyBoundaries (the default,
+	// overridable via ODIN_VERIFY) strictly verifies the instrumented
+	// temporary IR (with per-function content-hash caching) and every
+	// post-optimization fragment module, and VerifyAll adds strict
+	// verification after every optimizer pass with the offending pass
+	// attributed on violation.
+	Verify VerifyMode
 	// MetricsAddr, when non-empty, makes the engine own a live introspection
 	// endpoint on this host:port (port 0 picks a free port): Prometheus text
 	// at /metrics, a JSON snapshot of engine state plus recent rebuild
@@ -226,6 +235,12 @@ type Engine struct {
 	// at engine construction; materialize consults it per member instead of
 	// scanning every alias per member (O(members × aliases)).
 	aliasByName map[string]*ir.Alias
+	// ancache caches per-function analysis results (dominators, def-use,
+	// liveness, verified-clean status) keyed on symbol name + content hash,
+	// two generations deep — a probe toggle alternates a function between
+	// exactly two IR states, and keeping both makes the steady-state toggle
+	// loop a pure verification cache hit.
+	ancache *analysis.Cache
 	// allDirty forces every fragment into the next schedule (MarkAllDirty).
 	allDirty bool
 	// testFragHook, when set by tests, can poison individual fragment
@@ -252,6 +267,7 @@ func New(m *ir.Module, opts Options) (*Engine, error) {
 	if opts.OptLevel == 0 {
 		opts.OptLevel = 2
 	}
+	opts.Verify = opts.Verify.resolve()
 	if opts.MetricsAddr != "" && opts.Telemetry == nil {
 		opts.Telemetry = telemetry.NewRegistry()
 	}
@@ -263,7 +279,13 @@ func New(m *ir.Module, opts Options) (*Engine, error) {
 		// optimizer receives it per-compile in compileAttempt.
 		opts.Codegen.FaultHook = opts.FaultHook
 	}
-	if err := ir.Verify(m); err != nil {
+	// The input module is checked once regardless of tier (it is outside
+	// the rebuild path); the verifying tiers hold it to the strict bar.
+	inputCheck := ir.Verify
+	if opts.Verify != VerifyOff {
+		inputCheck = ir.VerifyStrict
+	}
+	if err := inputCheck(m); err != nil {
 		return nil, fmt.Errorf("core: input module: %w", err)
 	}
 	pristine, _ := ir.CloneModule(m)
@@ -284,6 +306,7 @@ func New(m *ir.Module, opts Options) (*Engine, error) {
 		linker:        link.NewIncremental(),
 		neverBuilt:    map[int]bool{},
 		aliasByName:   make(map[string]*ir.Alias, len(pristine.Aliases)),
+		ancache:       analysis.NewCache(),
 	}
 	for _, a := range pristine.Aliases {
 		e.aliasByName[a.Name] = a

@@ -312,13 +312,12 @@ func (e *Engine) trySplice(out *fragOut, frag *Fragment, temp *ir.Module, th tem
 			SkipGlobalDCE: true,
 			KeepArgs:      e.keepArgsFor(frag, idx, temp),
 			FaultHook:     e.opts.FaultHook,
+			VerifyEach:    e.verifyEach(),
+			OnVerify:      e.onPassVerify,
 		}); err != nil {
 			return err
 		}
-		if err := ir.Verify(fm); err != nil {
-			return fmt.Errorf("after optimization: %w", err)
-		}
-		return nil
+		return e.verifyCompiled(fm)
 	})
 	dOpt := time.Since(to)
 	out.fc.Opt += dOpt

@@ -217,12 +217,29 @@ func (s *Sched) finish() (*link.Executable, *RebuildStats, error) {
 			return fail(ferr)
 		}
 	}
-	if err := ir.Verify(s.Temp); err != nil {
+	instr.End()
+
+	// Fingerprint every defined symbol of the instrumented temporary IR
+	// once, serially: the per-symbol hashes fold into each fragment's cache
+	// key and drive the function-granular splice decisions, and sharing one
+	// table means no worker ever re-hashes a symbol. Hashing runs before
+	// verification so the verifier can skip functions whose hash was
+	// already verified clean in an earlier rebuild.
+	fp := root.Child("fingerprint")
+	th := computeTempHashes(s.Temp)
+	fp.End()
+
+	// Boundary-tier verification of the instrumented temporary IR: strict
+	// (dominance + full type checking) at the verifying tiers, with
+	// hash-clean functions skipped via the analysis cache; a no-op at
+	// VerifyOff.
+	vs := root.Child("verify")
+	if err := e.verifyTemp(s.Temp, th); err != nil {
 		err = fmt.Errorf("core: instrumented temporary IR invalid: %w", err)
-		instr.EndErr(err)
+		vs.EndErr(err)
 		return fail(err)
 	}
-	instr.End()
+	vs.End()
 
 	// Bound the whole compile phase by the rebuild deadline. On expiry the
 	// pool abandons in-flight workers (their results land in a buffered
@@ -233,14 +250,6 @@ func (s *Sched) finish() (*link.Executable, *RebuildStats, error) {
 		ctx, cancel = context.WithTimeout(ctx, e.opts.RebuildTimeout)
 	}
 	defer cancel()
-
-	// Fingerprint every defined symbol of the instrumented temporary IR
-	// once, serially: the per-symbol hashes fold into each fragment's cache
-	// key and drive the function-granular splice decisions, and sharing one
-	// table means no worker ever re-hashes a symbol.
-	fp := root.Child("fingerprint")
-	th := computeTempHashes(s.Temp)
-	fp.End()
 
 	// Compile every affected fragment on the worker pool; results are
 	// staged and ordered by fragment ID. On error the cache is untouched.

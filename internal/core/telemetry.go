@@ -37,6 +37,15 @@ const (
 	MetricFaultHookCalls  = "odin_fault_hook_calls_total"
 	MetricFaultsRaised    = "odin_fault_injections_total"
 	MetricProbeHits       = "odin_probe_hits_total"
+	// The verifier families. Checks counts strict-verification runs (temp
+	// IR, post-opt fragment modules, and per-pass checks at the VerifyAll
+	// tier); cache hits counts functions skipped because their content hash
+	// was already verified clean; violations counts invariant breaks by the
+	// offending pass; seconds is total verification time.
+	MetricVerifyChecks     = "odin_verify_checks_total"
+	MetricVerifyCacheHits  = "odin_verify_cache_hits_total"
+	MetricVerifyViolations = "odin_verify_violations_total"
+	MetricVerifySeconds    = "odin_verify_seconds"
 )
 
 // passAgg accumulates one optimizer pass's runs within a single compile
@@ -122,6 +131,20 @@ type engineMetrics struct {
 	fragments       *telemetry.Gauge
 	activeProbes    *telemetry.Gauge
 	workers         *telemetry.Gauge
+	verifyChecks    *telemetry.Counter
+	verifyCacheHits *telemetry.Counter
+	verifyDur       *telemetry.Histogram
+	// reg is retained for the lazily-created per-pass violation counters;
+	// nil when telemetry is off (Counter on a nil registry returns a nil,
+	// nil-safe handle).
+	reg *telemetry.Registry
+}
+
+// verifyViolation returns the violation counter labeled with the offending
+// pass, creating it on first use. Violations are error-path events, so the
+// registry lookup cost does not matter.
+func (m *engineMetrics) verifyViolation(pass string) *telemetry.Counter {
+	return m.reg.Counter(MetricVerifyViolations, "pass", pass)
 }
 
 // newEngineMetrics registers the engine metric families on reg (a no-op
@@ -148,6 +171,10 @@ func newEngineMetrics(reg *telemetry.Registry) engineMetrics {
 	reg.Describe(MetricFragments, "Fragments in the partition plan.")
 	reg.Describe(MetricActiveProbes, "Probes currently active in the patch manager.")
 	reg.Describe(MetricWorkers, "Resolved compile-pool size.")
+	reg.Describe(MetricVerifyChecks, "Strict IR verification checks run (boundary and per-pass tiers).")
+	reg.Describe(MetricVerifyCacheHits, "Functions skipped by verification because their content hash was already verified clean.")
+	reg.Describe(MetricVerifyViolations, "IR invariant violations caught, by offending optimizer pass.")
+	reg.Describe(MetricVerifySeconds, "Time spent in strict IR verification.")
 	return engineMetrics{
 		rebuilds:        reg.Counter(MetricRebuilds),
 		rebuildFailures: reg.Counter(MetricRebuildFailures),
@@ -168,6 +195,10 @@ func newEngineMetrics(reg *telemetry.Registry) engineMetrics {
 		fragments:       reg.Gauge(MetricFragments),
 		activeProbes:    reg.Gauge(MetricActiveProbes),
 		workers:         reg.Gauge(MetricWorkers),
+		verifyChecks:    reg.Counter(MetricVerifyChecks),
+		verifyCacheHits: reg.Counter(MetricVerifyCacheHits),
+		verifyDur:       reg.Histogram(MetricVerifySeconds, nil),
+		reg:             reg,
 	}
 }
 

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"odin/internal/ir"
+	"odin/internal/ir/analysis"
+)
+
+// VerifyMode selects how much IR verification the engine runs during
+// rebuilds. It is a three-tier knob:
+//
+//   - VerifyOff: no rebuild-path verification at all. The zero-overhead arm;
+//     input modules are still checked once at engine construction.
+//   - VerifyBoundaries (the default): strict verification (ir.VerifyStrict —
+//     dominance-based SSA and full type checking) of the instrumented
+//     temporary IR and of every fragment module after its optimization
+//     pipeline. Per-function results are cached on ir.FingerprintSym content
+//     hashes, so the steady-state probe-toggle loop re-verifies only the
+//     functions that actually changed.
+//   - VerifyAll: everything above plus strict verification after every
+//     optimizer pass; a violation becomes a *opt.PassError naming the
+//     offending pass (with a before/after IR diff) and flows through the
+//     degradation ladder and supervisor quarantine like an injected fault.
+type VerifyMode int
+
+const (
+	// VerifyDefault resolves through the ODIN_VERIFY environment variable
+	// ("off", "boundaries", "all"); unset or unrecognized means
+	// VerifyBoundaries.
+	VerifyDefault VerifyMode = iota
+	VerifyOff
+	VerifyBoundaries
+	VerifyAll
+)
+
+// String returns the flag/env spelling of the mode.
+func (v VerifyMode) String() string {
+	switch v {
+	case VerifyOff:
+		return "off"
+	case VerifyBoundaries:
+		return "boundaries"
+	case VerifyAll:
+		return "all"
+	}
+	return "default"
+}
+
+// ParseVerifyMode parses a -verify flag or ODIN_VERIFY value. Empty input
+// returns VerifyDefault; unrecognized input returns VerifyDefault with
+// ok=false so flag parsers can reject it while env resolution stays lenient.
+func ParseVerifyMode(s string) (VerifyMode, bool) {
+	switch s {
+	case "":
+		return VerifyDefault, true
+	case "off", "none":
+		return VerifyOff, true
+	case "boundaries", "boundary", "basic":
+		return VerifyBoundaries, true
+	case "all", "strict", "each":
+		return VerifyAll, true
+	}
+	return VerifyDefault, false
+}
+
+// resolve turns VerifyDefault into a concrete tier using ODIN_VERIFY, with
+// VerifyBoundaries as the final default.
+func (v VerifyMode) resolve() VerifyMode {
+	if v != VerifyDefault {
+		return v
+	}
+	if m, ok := ParseVerifyMode(os.Getenv("ODIN_VERIFY")); ok && m != VerifyDefault {
+		return m
+	}
+	return VerifyBoundaries
+}
+
+// verifyTemp strictly verifies the instrumented temporary IR at the
+// fragment-boundary tier, skipping functions whose FingerprintSym hash was
+// already verified clean in an earlier rebuild. A probe toggle alternates a
+// function between two IR states, and the analysis cache keeps both
+// generations, so the steady-state toggle loop verifies only module-level
+// invariants plus the toggled function itself.
+func (e *Engine) verifyTemp(temp *ir.Module, th tempHashes) error {
+	if e.opts.Verify == VerifyOff {
+		return nil
+	}
+	start := time.Now()
+	checks := 0
+	defer func() {
+		e.metrics.verifyDur.Observe(time.Since(start))
+		e.metrics.verifyChecks.Add(uint64(checks + 1))
+	}()
+	if err := ir.VerifySymbols(temp); err != nil {
+		return err
+	}
+	for _, f := range temp.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		hash, hashed := th[f.Name]
+		if hashed {
+			if info := e.ancache.Get(f.Name, hash); info != nil && info.Verified {
+				e.metrics.verifyCacheHits.Inc()
+				continue
+			}
+		}
+		if err := ir.VerifyFuncStrict(temp, f); err != nil {
+			return err
+		}
+		checks++
+		if hashed {
+			// Verified clean: cache the analysis bundle under the content
+			// hash. Analyze only runs on IR the verifier just accepted, so
+			// it cannot trip on malformed structure. A later hit may hand
+			// back this Info for a different, content-identical clone of the
+			// function — fine for verified-clean skipping and other
+			// hash-keyed consumers.
+			info := analysis.Analyze(f)
+			info.Verified = true
+			e.ancache.Put(f.Name, hash, info)
+		}
+	}
+	return nil
+}
+
+// verifyCompiled strictly verifies a fragment module after its optimization
+// pipeline ran (the second boundary of the boundaries tier). Optimized IR
+// has no precomputed content hashes, so this is an uncached full check of
+// the — typically small — fragment module.
+func (e *Engine) verifyCompiled(fm *ir.Module) error {
+	if e.opts.Verify == VerifyOff {
+		return nil
+	}
+	start := time.Now()
+	err := ir.VerifyStrict(fm)
+	e.metrics.verifyDur.Observe(time.Since(start))
+	e.metrics.verifyChecks.Inc()
+	if err != nil {
+		return fmt.Errorf("after optimization: %w", err)
+	}
+	return nil
+}
+
+// VerifyCacheStats returns the verification/analysis cache's cumulative hit
+// and miss counts — how often a rebuild skipped re-verifying a function whose
+// content hash was already proven clean. The bench harness reads it to report
+// the boundaries tier's steady-state cache behavior.
+func (e *Engine) VerifyCacheStats() (hits, misses uint64) {
+	return e.ancache.Stats()
+}
+
+// verifyEach reports whether fragment compiles should run the
+// after-every-pass tier inside the optimizer.
+func (e *Engine) verifyEach() bool { return e.opts.Verify == VerifyAll }
+
+// onPassVerify is the opt.Options.OnVerify callback: it feeds the per-pass
+// verification telemetry (checks, time, violations by pass). It is nil-safe
+// against a disabled registry through the metric handles themselves.
+func (e *Engine) onPassVerify(pass string, dur time.Duration, ok bool) {
+	e.metrics.verifyChecks.Inc()
+	e.metrics.verifyDur.Observe(dur)
+	if !ok {
+		// Violations are rare (they mean a miscompiling pass); the labeled
+		// counter is looked up on demand rather than pre-registered for
+		// every pass name.
+		e.metrics.verifyViolation(pass).Inc()
+	}
+}

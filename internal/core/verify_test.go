@@ -1,0 +1,151 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"odin/internal/faultinject"
+	"odin/internal/irtext"
+	"odin/internal/telemetry"
+)
+
+func TestParseVerifyMode(t *testing.T) {
+	cases := []struct {
+		in   string
+		mode VerifyMode
+		ok   bool
+	}{
+		{"", VerifyDefault, true},
+		{"off", VerifyOff, true},
+		{"none", VerifyOff, true},
+		{"boundaries", VerifyBoundaries, true},
+		{"boundary", VerifyBoundaries, true},
+		{"all", VerifyAll, true},
+		{"strict", VerifyAll, true},
+		{"bogus", VerifyDefault, false},
+	}
+	for _, tc := range cases {
+		mode, ok := ParseVerifyMode(tc.in)
+		if mode != tc.mode || ok != tc.ok {
+			t.Errorf("ParseVerifyMode(%q) = %v, %v; want %v, %v", tc.in, mode, ok, tc.mode, tc.ok)
+		}
+	}
+}
+
+func TestVerifyModeEnvResolution(t *testing.T) {
+	t.Setenv("ODIN_VERIFY", "off")
+	if got := VerifyDefault.resolve(); got != VerifyOff {
+		t.Errorf("ODIN_VERIFY=off: resolve = %v, want off", got)
+	}
+	// An explicit mode wins over the environment.
+	if got := VerifyAll.resolve(); got != VerifyAll {
+		t.Errorf("explicit VerifyAll resolved to %v", got)
+	}
+	t.Setenv("ODIN_VERIFY", "garbage")
+	if got := VerifyDefault.resolve(); got != VerifyBoundaries {
+		t.Errorf("unrecognized ODIN_VERIFY: resolve = %v, want boundaries default", got)
+	}
+	t.Setenv("ODIN_VERIFY", "")
+	if got := VerifyDefault.resolve(); got != VerifyBoundaries {
+		t.Errorf("unset ODIN_VERIFY: resolve = %v, want boundaries default", got)
+	}
+}
+
+// TestVerifyAllQuarantinesFaultedPass arms a rate-1 fault at a
+// verify:<pass> site under the VerifyAll tier and asserts the full
+// degradation story: the rebuild succeeds degraded, the failing pass is
+// quarantined via the existing ladder, and the degraded image still
+// computes the right answer.
+func TestVerifyAllQuarantinesFaultedPass(t *testing.T) {
+	box := &hookBox{}
+	m := irtext.MustParse("m", manyFuncSrc(8))
+	e, err := New(m, Options{Variant: VariantMax, Workers: 4, FaultHook: box.at, Verify: VerifyAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.BuildAll(); err != nil {
+		t.Fatalf("clean build under VerifyAll: %v", err)
+	}
+	ref, err := vmRun(e.Executable(), "main", 7)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	inj := faultinject.New(7).Arm(faultinject.Rule{Site: "verify:constprop", Kind: faultinject.KindError, Rate: 1})
+	box.fn = inj.At
+	e.InvalidateCache()
+	_, st, err := e.BuildAll()
+	if err != nil {
+		t.Fatalf("verify-site fault must degrade, not fail: %v", err)
+	}
+	if inj.TotalInjected() == 0 {
+		t.Fatal("no faults injected at verify:constprop")
+	}
+	if st.Degraded == 0 || st.Quarantined == 0 {
+		t.Fatalf("degraded %d / quarantined %d, want both nonzero", st.Degraded, st.Quarantined)
+	}
+	quarantined := false
+	for id := range e.Plan.Fragments {
+		for _, p := range e.Quarantined(id) {
+			if p == "constprop" {
+				quarantined = true
+			}
+		}
+	}
+	if !quarantined {
+		t.Fatal("constprop not quarantined on any fragment")
+	}
+	if r, rerr := vmRun(e.Executable(), "main", 7); rerr != nil || r != ref {
+		t.Fatalf("degraded image wrong: main(7) = %d, %v, want %d", r, rerr, ref)
+	}
+}
+
+// TestVerifyBoundariesCachesCleanFunctions pins the verification cache: a
+// second full rebuild of unchanged IR must serve every function's
+// verified-clean status from the content-hash cache instead of re-verifying.
+func TestVerifyBoundariesCachesCleanFunctions(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := irtext.MustParse("m", manyFuncSrc(8))
+	e, err := New(m, Options{Variant: VariantMax, Workers: 2, Verify: VerifyBoundaries, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.BuildAll(); err != nil {
+		t.Fatal(err)
+	}
+	h0, _ := e.ancache.Stats()
+	e.InvalidateCache()
+	if _, _, err := e.BuildAll(); err != nil {
+		t.Fatal(err)
+	}
+	h1, _ := e.ancache.Stats()
+	if h1 <= h0 {
+		t.Fatalf("second rebuild of unchanged IR: %d -> %d cache hits, want growth", h0, h1)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{MetricVerifyChecks, MetricVerifyCacheHits, MetricVerifySeconds} {
+		if !strings.Contains(sb.String(), "# TYPE "+family) {
+			t.Errorf("family %s missing from telemetry exposition", family)
+		}
+	}
+}
+
+// TestVerifyOffSkipsRebuildVerification pins the zero-overhead arm: at
+// VerifyOff the analysis cache stays untouched (no verification ran) and
+// rebuilds still work.
+func TestVerifyOffSkipsRebuildVerification(t *testing.T) {
+	m := irtext.MustParse("m", manyFuncSrc(4))
+	e, err := New(m, Options{Variant: VariantMax, Workers: 2, Verify: VerifyOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.BuildAll(); err != nil {
+		t.Fatal(err)
+	}
+	if h, miss := e.ancache.Stats(); h != 0 || miss != 0 {
+		t.Fatalf("VerifyOff touched the verification cache: hits=%d misses=%d", h, miss)
+	}
+}

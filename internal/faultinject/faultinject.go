@@ -10,6 +10,10 @@
 //	instrument:<target>  before applying a probe targeting <target> (one
 //	                     call per self-applying probe per rebuild)
 //	opt:<pass>           before each optimizer pass run (constprop, cse, ...)
+//	verify:<pass>        before the after-every-pass strict IR verification
+//	                     of <pass>'s output (VerifyAll tier only); a hook
+//	                     that corrupts the module here is caught by the
+//	                     verifier and attributed to <pass>
 //	codegen:module       before lowering a fragment module
 //	codegen:<func>       before lowering one function — a fault here during
 //	                     a function-granular splice aborts the splice and

@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"testing"
+
+	"odin/internal/ir"
+)
+
+// diamondFunc builds:
+//
+//	entry: %c = icmp eq a, 0 ; condbr %c, left, right
+//	left:  %x = add a, 1    ; br join
+//	right: br join
+//	join:  %p = phi [ %x, left ], [ a, right ] ; %y = add %p, %p ; ret %y
+func diamondFunc(t *testing.T) (*ir.Func, map[string]*ir.Block, map[string]ir.Value) {
+	t.Helper()
+	m := ir.NewModule("analysis_test")
+	f := ir.NewFunc(m, "f", &ir.FuncType{Params: []ir.Type{ir.I64}, Ret: ir.I64}, []string{"a"})
+	b := ir.NewBuilder()
+	entry := f.AddBlock("entry")
+	left := f.AddBlock("left")
+	right := f.AddBlock("right")
+	join := f.AddBlock("join")
+	a := f.Params[0]
+	b.SetBlock(entry)
+	c := b.ICmp(ir.PredEQ, a, ir.Const(ir.I64, 0))
+	b.CondBr(c, left, right)
+	b.SetBlock(left)
+	x := b.Add(a, ir.Const(ir.I64, 1))
+	b.Br(join)
+	b.SetBlock(right)
+	b.Br(join)
+	b.SetBlock(join)
+	p := b.Phi(ir.I64, []ir.Value{x, a}, []*ir.Block{left, right})
+	y := b.Add(p, p)
+	b.Ret(y)
+	if err := ir.VerifyStrict(m); err != nil {
+		t.Fatalf("test fixture does not verify: %v", err)
+	}
+	blocks := map[string]*ir.Block{"entry": entry, "left": left, "right": right, "join": join}
+	vals := map[string]ir.Value{"a": a, "c": c, "x": x, "p": p, "y": y}
+	return f, blocks, vals
+}
+
+func TestDefUse(t *testing.T) {
+	f, _, vals := diamondFunc(t)
+	info := Analyze(f)
+	if n := info.NumUses(vals["x"]); n != 1 {
+		t.Errorf("NumUses(x) = %d, want 1 (the phi)", n)
+	}
+	if n := info.NumUses(vals["p"]); n != 2 {
+		t.Errorf("NumUses(p) = %d, want 2 (both add operands)", n)
+	}
+	// a: icmp operand, left's add operand, phi operand = 3 uses.
+	if n := info.NumUses(vals["a"]); n != 3 {
+		t.Errorf("NumUses(a) = %d, want 3", n)
+	}
+	uses := info.Uses(vals["p"])
+	for _, u := range uses {
+		if u.User != vals["y"] {
+			t.Errorf("use of p by %v, want the add", u.User)
+		}
+	}
+	if n := info.NumUses(vals["y"]); n != 1 {
+		t.Errorf("NumUses(y) = %d, want 1 (ret)", n)
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	f, blocks, vals := diamondFunc(t)
+	info := Analyze(f)
+	a, x, p := vals["a"], vals["x"], vals["p"]
+
+	// a is used in left (add) and flows into the phi along the right edge:
+	// live-out of entry, live-in to left, live-out of right.
+	if !info.LiveOut(blocks["entry"], a) {
+		t.Error("a must be live-out of entry")
+	}
+	if !info.LiveIn(blocks["left"], a) {
+		t.Error("a must be live-in to left")
+	}
+	if !info.LiveOut(blocks["right"], a) {
+		t.Error("a must be live-out of right (phi edge use)")
+	}
+	// x flows into the phi only along the left edge: live-out of left, and
+	// NOT live-in to join (phi operands are edge uses, not block uses).
+	if !info.LiveOut(blocks["left"], x) {
+		t.Error("x must be live-out of left (phi edge use)")
+	}
+	if info.LiveIn(blocks["join"], x) {
+		t.Error("x must not be live-in to join: phi uses are edge-based")
+	}
+	if info.LiveOut(blocks["right"], x) {
+		t.Error("x must not be live-out of right")
+	}
+	// p is defined and consumed inside join.
+	if info.LiveIn(blocks["join"], p) || info.LiveOut(blocks["join"], p) {
+		t.Error("p is local to join")
+	}
+}
+
+func TestCacheTwoGenerations(t *testing.T) {
+	f, _, _ := diamondFunc(t)
+	c := NewCache()
+
+	// Two content states of the same symbol name, as a probe toggle
+	// produces: both generations must stay resident.
+	infoA := c.For(f, 111)
+	infoB := Analyze(f)
+	c.Put(f.Name, 222, infoB)
+
+	if got := c.Get(f.Name, 111); got != infoA {
+		t.Error("generation A evicted by generation B")
+	}
+	if got := c.Get(f.Name, 222); got != infoB {
+		t.Error("generation B not resident")
+	}
+	// A third state evicts the oldest generation (A): Get does not reorder,
+	// so insertion order B-newest-then-A holds.
+	infoC := Analyze(f)
+	c.Put(f.Name, 333, infoC)
+	if c.Get(f.Name, 111) != nil {
+		t.Error("oldest generation must be evicted on third insert")
+	}
+	if c.Get(f.Name, 222) != infoB || c.Get(f.Name, 333) != infoC {
+		t.Error("two newest generations must survive")
+	}
+
+	hits, misses := c.Stats()
+	if hits == 0 || misses == 0 {
+		t.Errorf("stats hits=%d misses=%d, want both nonzero", hits, misses)
+	}
+
+	c.Invalidate(f.Name)
+	if c.Get(f.Name, 222) != nil {
+		t.Error("Invalidate must drop all generations")
+	}
+}
+
+func TestCacheToggleSteadyState(t *testing.T) {
+	f, _, _ := diamondFunc(t)
+	c := NewCache()
+	// Warm both states, then alternate: every subsequent lookup must hit.
+	c.For(f, 1)
+	c.For(f, 2)
+	h0, _ := c.Stats()
+	for i := 0; i < 10; i++ {
+		c.For(f, uint64(1+i%2))
+	}
+	h1, m1 := c.Stats()
+	if h1-h0 != 10 {
+		t.Errorf("toggle loop: %d hits, want 10 (misses total %d)", h1-h0, m1)
+	}
+}
+
+func TestNilCache(t *testing.T) {
+	f, _, _ := diamondFunc(t)
+	var c *Cache
+	if info := c.For(f, 1); info == nil {
+		t.Fatal("nil cache For must still analyze")
+	}
+	c.Put(f.Name, 1, nil)
+	c.Invalidate(f.Name)
+	c.Reset()
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Error("nil cache stats must be zero")
+	}
+}

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"sync"
+
+	"odin/internal/ir"
+)
+
+// Cache memoizes per-function analysis results keyed on the function's
+// symbol name and ir.FingerprintSym content hash, so rebuilds reuse
+// analyses (and verified-clean status) for hash-clean functions.
+//
+// Each name keeps the TWO most recent hash generations, not one: the
+// dominant rebuild pattern is a probe toggle, which alternates a function
+// between exactly two IR states (instrumented and pristine). A single-slot
+// cache would miss on every toggle; two generations make the steady-state
+// toggle loop a pure hit.
+//
+// A hit may return an Info computed over a different — content-identical —
+// *ir.Func object, because the engine clones the temporary module every
+// rebuild. That is safe for hash-keyed consumers (verified-clean skipping,
+// instruction-count style summaries) but callers that need object identity
+// with a specific clone must re-Analyze.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*[2]cacheEnt
+	hits    uint64
+	misses  uint64
+}
+
+type cacheEnt struct {
+	hash uint64
+	info *Info
+}
+
+// NewCache returns an empty analysis cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string]*[2]cacheEnt)}
+}
+
+// Get returns the cached Info for the named function at the given content
+// hash, or nil on a miss.
+func (c *Cache) Get(name string, hash uint64) *Info {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if slots, ok := c.entries[name]; ok {
+		for i := range slots {
+			if slots[i].info != nil && slots[i].hash == hash {
+				c.hits++
+				return slots[i].info
+			}
+		}
+	}
+	c.misses++
+	return nil
+}
+
+// Put stores info for the named function at the given content hash,
+// evicting the older of the two generations on overflow.
+func (c *Cache) Put(name string, hash uint64, info *Info) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	slots, ok := c.entries[name]
+	if !ok {
+		slots = new([2]cacheEnt)
+		c.entries[name] = slots
+	}
+	// Refresh in place if this hash is already resident; otherwise shift the
+	// newest generation down and install at the front.
+	for i := range slots {
+		if slots[i].info != nil && slots[i].hash == hash {
+			slots[i].info = info
+			if i == 1 {
+				slots[0], slots[1] = slots[1], slots[0]
+			}
+			return
+		}
+	}
+	slots[1] = slots[0]
+	slots[0] = cacheEnt{hash: hash, info: info}
+}
+
+// For returns the Info for f at the given content hash, analyzing and
+// caching on a miss.
+func (c *Cache) For(f *ir.Func, hash uint64) *Info {
+	if c == nil {
+		return Analyze(f)
+	}
+	if info := c.Get(f.Name, hash); info != nil {
+		return info
+	}
+	info := Analyze(f)
+	c.Put(f.Name, hash, info)
+	return info
+}
+
+// Stats returns the cumulative hit/miss counters.
+func (c *Cache) Stats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Invalidate drops every cached generation for the named function.
+func (c *Cache) Invalidate(name string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.entries, name)
+}
+
+// Reset drops the entire cache contents but keeps the counters.
+func (c *Cache) Reset() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*[2]cacheEnt)
+}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"odin/internal/ir"
+)
+
+// computeLiveness runs backward iterative liveness over the reachable CFG.
+//
+// SSA phi semantics are edge-based: a phi operand is treated as used on the
+// edge from its incoming predecessor (so it is live-out of that predecessor
+// but not live-in to the phi's block), and a phi result is a definition at
+// the head of its block. Parameters and instruction results are the tracked
+// values; constants and globals are always materializable and never tracked.
+func (info *Info) computeLiveness() {
+	info.liveIn = make(map[*ir.Block]map[ir.Value]bool)
+	info.liveOut = make(map[*ir.Block]map[ir.Value]bool)
+	blocks := info.Dom.ReachableBlocks()
+	for _, b := range blocks {
+		info.liveIn[b] = make(map[ir.Value]bool)
+		info.liveOut[b] = make(map[ir.Value]bool)
+	}
+
+	tracked := func(v ir.Value) bool {
+		switch v.(type) {
+		case *ir.Instr, *ir.Param:
+			return true
+		}
+		return false
+	}
+
+	// Per-block upward-exposed uses (gen) and definitions (kill), with phi
+	// operands excluded from gen — they are charged to the predecessor edge.
+	gen := make(map[*ir.Block]map[ir.Value]bool, len(blocks))
+	def := make(map[*ir.Block]map[ir.Value]bool, len(blocks))
+	for _, b := range blocks {
+		g := make(map[ir.Value]bool)
+		d := make(map[ir.Value]bool)
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpPhi {
+				for _, op := range in.Operands {
+					if tracked(op) && !d[op] {
+						g[op] = true
+					}
+				}
+			}
+			if in.HasResult() {
+				d[in] = true
+			}
+		}
+		gen[b] = g
+		def[b] = d
+	}
+
+	// Iterate to a fixpoint backward over the reverse postorder (i.e. in
+	// postorder), which converges in few rounds for reducible CFGs.
+	for changed := true; changed; {
+		changed = false
+		for i := len(blocks) - 1; i >= 0; i-- {
+			b := blocks[i]
+			out := info.liveOut[b]
+			for _, s := range b.Succs() {
+				if !info.Dom.Reachable(s) {
+					continue
+				}
+				// Successor live-in flows back.
+				for v := range info.liveIn[s] {
+					if !out[v] {
+						out[v] = true
+						changed = true
+					}
+				}
+				// Phi operands flowing along this edge are live-out of b.
+				for _, phi := range s.Phis() {
+					for pi, pred := range phi.Incoming {
+						if pred == b && tracked(phi.Operands[pi]) {
+							if v := phi.Operands[pi]; !out[v] {
+								out[v] = true
+								changed = true
+							}
+						}
+					}
+				}
+			}
+			in := info.liveIn[b]
+			for v := range gen[b] {
+				if !in[v] {
+					in[v] = true
+					changed = true
+				}
+			}
+			for v := range out {
+				if !def[b][v] && !in[v] {
+					in[v] = true
+					changed = true
+				}
+			}
+		}
+	}
+}

@@ -14,6 +14,19 @@ func (e *VerifyError) Error() string {
 	return fmt.Sprintf("ir verify: %s: %s", e.Where, e.Msg)
 }
 
+// formatInstrSafe renders an instruction for a verifier message. The printer
+// assumes well-formed instructions (it indexes operands positionally), but
+// verifier messages are exactly where malformed ones show up, so a print
+// panic degrades to the bare opcode instead of masking the real defect.
+func formatInstrSafe(in *Instr) (s string) {
+	defer func() {
+		if recover() != nil {
+			s = in.Op.String() + " <malformed>"
+		}
+	}()
+	return FormatInstr(in)
+}
+
 // Verify checks module-level structural invariants:
 //   - every defined function body is well-formed (see VerifyFunc);
 //   - every call target and global reference resolves to a module symbol;
@@ -21,6 +34,57 @@ func (e *VerifyError) Error() string {
 //     constraint from §2.3);
 //   - linkage is sane (declarations are external).
 func Verify(m *Module) error {
+	if err := VerifySymbols(m); err != nil {
+		return err
+	}
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		if err := VerifyFunc(m, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VerifySymbols checks the module-level invariants of Verify without
+// descending into function bodies: alias targets, global shapes, linkage
+// sanity, and symbol-name uniqueness across Funcs/Globals/Aliases. The
+// engine's cached boundary tier uses it so per-function work can be skipped
+// for functions whose content hash was already verified clean.
+func VerifySymbols(m *Module) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &VerifyError{"module " + m.Name, fmt.Sprintf("malformed IR crashed the verifier: %v", r)}
+		}
+	}()
+	// Duplicate names across the symbol slices: Lookup resolves through the
+	// registration map and silently shadows a slice-level duplicate, which
+	// can mask a splice-donor mixup — reject them here.
+	names := make(map[string]string, len(m.Funcs)+len(m.Globals)+len(m.Aliases))
+	dup := func(kind, name string) *VerifyError {
+		if prev, ok := names[name]; ok {
+			return &VerifyError{kind + " @" + name, "duplicate symbol name (already defined as " + prev + ")"}
+		}
+		names[name] = kind
+		return nil
+	}
+	for _, f := range m.Funcs {
+		if e := dup("func", f.Name); e != nil {
+			return e
+		}
+	}
+	for _, g := range m.Globals {
+		if e := dup("global", g.Name); e != nil {
+			return e
+		}
+	}
+	for _, a := range m.Aliases {
+		if e := dup("alias", a.Name); e != nil {
+			return e
+		}
+	}
 	for _, a := range m.Aliases {
 		tgt := m.Lookup(a.Target)
 		if tgt == nil {
@@ -39,14 +103,8 @@ func Verify(m *Module) error {
 		}
 	}
 	for _, f := range m.Funcs {
-		if f.IsDecl() {
-			if f.Linkage == Internal {
-				return &VerifyError{"func @" + f.Name, "declaration cannot be internal"}
-			}
-			continue
-		}
-		if err := VerifyFunc(m, f); err != nil {
-			return err
+		if f.IsDecl() && f.Linkage == Internal {
+			return &VerifyError{"func @" + f.Name, "declaration cannot be internal"}
 		}
 	}
 	return nil
@@ -62,11 +120,19 @@ func Verify(m *Module) error {
 //   - branch targets belong to the function;
 //   - calls resolve within the module and argument counts match when the
 //     callee signature is known.
-func VerifyFunc(m *Module, f *Func) error {
+func VerifyFunc(m *Module, f *Func) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			// Malformed IR (nil operands, dangling pointers) must surface as
+			// a *VerifyError, never crash the process that is trying to
+			// diagnose it.
+			err = &VerifyError{"@" + f.Name, fmt.Sprintf("malformed IR crashed the verifier: %v", r)}
+		}
+	}()
 	where := func(b *Block, in *Instr) string {
 		s := "@" + f.Name + ":" + b.Name
 		if in != nil {
-			s += ": " + FormatInstr(in)
+			s += ": " + formatInstrSafe(in)
 		}
 		return s
 	}
@@ -175,6 +241,9 @@ func VerifyFunc(m *Module, f *Func) error {
 				}
 			}
 			if in.Op.IsBinOp() {
+				if len(in.Operands) != 2 {
+					return &VerifyError{where(b, in), fmt.Sprintf("binop has %d operands, want 2", len(in.Operands))}
+				}
 				if !in.Operands[0].Type().Equal(in.Operands[1].Type()) {
 					return &VerifyError{where(b, in), "binop operand type mismatch"}
 				}

@@ -1,0 +1,451 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// simpleFunc builds "@f(a i64) -> i64 { entry: ret a }" in a fresh module
+// and hands the pieces to mutate into a specific defect.
+func simpleFunc(t *testing.T) (*Module, *Func) {
+	t.Helper()
+	m := NewModule("strict_test")
+	f := NewFunc(m, "f", &FuncType{Params: []Type{I64}, Ret: I64}, []string{"a"})
+	b := NewBuilder()
+	b.SetBlock(f.AddBlock("entry"))
+	b.Ret(f.Params[0])
+	return m, f
+}
+
+// wantStrictErr asserts VerifyStrict rejects m with a *VerifyError whose
+// message contains frag, and that basic Verify does not panic on it.
+func wantStrictErr(t *testing.T, m *Module, frag string) {
+	t.Helper()
+	err := VerifyStrict(m)
+	if err == nil {
+		t.Fatalf("VerifyStrict accepted bad module:\n%s", Print(m))
+	}
+	ve, ok := err.(*VerifyError)
+	if !ok {
+		t.Fatalf("VerifyStrict error type %T, want *VerifyError: %v", err, err)
+	}
+	if !strings.Contains(ve.Error(), frag) {
+		t.Fatalf("VerifyStrict error %q does not mention %q", ve.Error(), frag)
+	}
+}
+
+// TestVerifyStrictNegatives feeds one minimal bad module per strict rule and
+// asserts each is rejected with an error naming the defect.
+func TestVerifyStrictNegatives(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(t *testing.T) *Module
+		frag  string // substring the *VerifyError must contain
+	}{
+		{"binop_result_type_mismatch", func(t *testing.T) *Module {
+			m, f := simpleFunc(t)
+			e := f.Entry()
+			add := &Instr{Op: OpAdd, Typ: I32, Name: "x", Operands: []Value{f.Params[0], f.Params[0]}}
+			e.InsertBefore(0, add)
+			return m
+		}, "do not match result type"},
+		{"binop_noninteger_result", func(t *testing.T) *Module {
+			m, f := simpleFunc(t)
+			e := f.Entry()
+			add := &Instr{Op: OpAdd, Typ: Ptr, Name: "x", Operands: []Value{f, f}}
+			e.InsertBefore(0, add)
+			return m
+		}, "not an integer"},
+		{"icmp_result_not_i1", func(t *testing.T) *Module {
+			m, f := simpleFunc(t)
+			e := f.Entry()
+			cmp := &Instr{Op: OpICmp, Typ: I64, Name: "c", Pred: PredEQ, Operands: []Value{f.Params[0], f.Params[0]}}
+			e.InsertBefore(0, cmp)
+			return m
+		}, "want i1"},
+		{"icmp_operand_type_mismatch", func(t *testing.T) *Module {
+			m, f := simpleFunc(t)
+			e := f.Entry()
+			cmp := &Instr{Op: OpICmp, Typ: I1, Pred: PredEQ, Name: "c", Operands: []Value{f.Params[0], Const(I32, 1)}}
+			e.InsertBefore(0, cmp)
+			return m
+		}, "operand types differ"},
+		{"select_condition_not_i1", func(t *testing.T) *Module {
+			m, f := simpleFunc(t)
+			e := f.Entry()
+			sel := &Instr{Op: OpSelect, Typ: I64, Name: "s", Operands: []Value{f.Params[0], f.Params[0], f.Params[0]}}
+			e.InsertBefore(0, sel)
+			return m
+		}, "condition type"},
+		{"select_arm_type_mismatch", func(t *testing.T) *Module {
+			m, f := simpleFunc(t)
+			e := f.Entry()
+			sel := &Instr{Op: OpSelect, Typ: I64, Name: "s", Operands: []Value{True(), f.Params[0], Const(I32, 1)}}
+			e.InsertBefore(0, sel)
+			return m
+		}, "arm types"},
+		{"zext_does_not_widen", func(t *testing.T) *Module {
+			m, f := simpleFunc(t)
+			e := f.Entry()
+			z := &Instr{Op: OpZExt, Typ: I32, Name: "z", Operands: []Value{f.Params[0]}}
+			e.InsertBefore(0, z)
+			return m
+		}, "does not widen"},
+		{"trunc_does_not_narrow", func(t *testing.T) *Module {
+			m, f := simpleFunc(t)
+			e := f.Entry()
+			tr := &Instr{Op: OpTrunc, Typ: I64, Name: "z", Operands: []Value{f.Params[0]}}
+			e.InsertBefore(0, tr)
+			return m
+		}, "does not narrow"},
+		{"conversion_non_integer", func(t *testing.T) *Module {
+			m, f := simpleFunc(t)
+			e := f.Entry()
+			z := &Instr{Op: OpZExt, Typ: Ptr, Name: "z", Operands: []Value{f.Params[0]}}
+			e.InsertBefore(0, z)
+			return m
+		}, "integer-to-integer"},
+		{"alloca_zero_count", func(t *testing.T) *Module {
+			m, f := simpleFunc(t)
+			e := f.Entry()
+			a := &Instr{Op: OpAlloca, Typ: Ptr, Name: "p", ElemType: I64, AllocaCount: 0}
+			e.InsertBefore(0, a)
+			return m
+		}, "element count"},
+		{"alloca_no_elemtype", func(t *testing.T) *Module {
+			m, f := simpleFunc(t)
+			e := f.Entry()
+			a := &Instr{Op: OpAlloca, Typ: Ptr, Name: "p", AllocaCount: 1}
+			e.InsertBefore(0, a)
+			return m
+		}, "no element type"},
+		{"load_from_non_pointer", func(t *testing.T) *Module {
+			m, f := simpleFunc(t)
+			e := f.Entry()
+			l := &Instr{Op: OpLoad, Typ: I64, ElemType: I64, Name: "v", Operands: []Value{f.Params[0]}}
+			e.InsertBefore(0, l)
+			return m
+		}, "address type"},
+		{"load_elemtype_mismatch", func(t *testing.T) *Module {
+			m, f := simpleFunc(t)
+			e := f.Entry()
+			a := &Instr{Op: OpAlloca, Typ: Ptr, Name: "p", ElemType: I64, AllocaCount: 1}
+			l := &Instr{Op: OpLoad, Typ: I64, ElemType: I32, Name: "v", Operands: []Value{a}}
+			e.InsertBefore(0, a)
+			e.InsertBefore(1, l)
+			return m
+		}, "does not match result type"},
+		{"store_to_non_pointer", func(t *testing.T) *Module {
+			m, f := simpleFunc(t)
+			e := f.Entry()
+			s := &Instr{Op: OpStore, Typ: Void, ElemType: I64, Operands: []Value{f.Params[0], f.Params[0]}}
+			e.InsertBefore(0, s)
+			return m
+		}, "address type"},
+		{"gep_index_not_integer", func(t *testing.T) *Module {
+			m, f := simpleFunc(t)
+			e := f.Entry()
+			a := &Instr{Op: OpAlloca, Typ: Ptr, Name: "p", ElemType: I64, AllocaCount: 4}
+			g := &Instr{Op: OpGEP, Typ: Ptr, Name: "q", Scale: 8, Operands: []Value{a, a}}
+			e.InsertBefore(0, a)
+			e.InsertBefore(1, g)
+			return m
+		}, "index type"},
+		{"call_argument_type_mismatch", func(t *testing.T) *Module {
+			m, f := simpleFunc(t)
+			NewDecl(m, "g", &FuncType{Params: []Type{I32}, Ret: Void})
+			e := f.Entry()
+			c := &Instr{Op: OpCall, Typ: Void, Callee: "g", Operands: []Value{f.Params[0]}}
+			e.InsertBefore(0, c)
+			return m
+		}, "argument 0"},
+		{"phi_operand_type_mismatch", func(t *testing.T) *Module {
+			m := NewModule("strict_test")
+			f := NewFunc(m, "f", &FuncType{Params: []Type{I64}, Ret: I64}, []string{"a"})
+			b := NewBuilder()
+			entry := f.AddBlock("entry")
+			next := f.AddBlock("next")
+			b.SetBlock(entry)
+			b.Br(next)
+			b.SetBlock(next)
+			phi := b.Phi(I64, []Value{Const(I32, 1)}, []*Block{entry})
+			b.Ret(phi)
+			return m
+		}, "phi operand"},
+		{"covinc_operand_not_pointer", func(t *testing.T) *Module {
+			m, f := simpleFunc(t)
+			e := f.Entry()
+			c := &Instr{Op: OpCounterInc, Typ: Void, Scale: 0, Operands: []Value{f.Params[0]}}
+			e.InsertBefore(0, c)
+			return m
+		}, "counter operand"},
+		{"ret_type_mismatch", func(t *testing.T) *Module {
+			m := NewModule("strict_test")
+			f := NewFunc(m, "f", &FuncType{Params: []Type{I32}, Ret: I64}, []string{"a"})
+			b := NewBuilder()
+			b.SetBlock(f.AddBlock("entry"))
+			b.Ret(f.Params[0])
+			return m
+		}, "ret operand type"},
+		{"ret_value_from_void", func(t *testing.T) *Module {
+			m := NewModule("strict_test")
+			f := NewFunc(m, "f", &FuncType{Params: []Type{I64}, Ret: Void}, []string{"a"})
+			b := NewBuilder()
+			b.SetBlock(f.AddBlock("entry"))
+			b.Ret(f.Params[0])
+			return m
+		}, "void function"},
+		{"condbr_condition_not_i1", func(t *testing.T) *Module {
+			m := NewModule("strict_test")
+			f := NewFunc(m, "f", &FuncType{Params: []Type{I64}, Ret: I64}, []string{"a"})
+			b := NewBuilder()
+			entry := f.AddBlock("entry")
+			exit := f.AddBlock("exit")
+			b.SetBlock(entry)
+			b.CondBr(f.Params[0], exit, exit)
+			b.SetBlock(exit)
+			b.Ret(Const(I64, 0))
+			return m
+		}, "condition type"},
+		{"switch_operand_not_integer", func(t *testing.T) *Module {
+			m := NewModule("strict_test")
+			f := NewFunc(m, "f", &FuncType{Params: []Type{I64}, Ret: I64}, []string{"a"})
+			b := NewBuilder()
+			entry := f.AddBlock("entry")
+			exit := f.AddBlock("exit")
+			b.SetBlock(entry)
+			a := b.Alloca(I64, 1)
+			b.Switch(a, []int64{1}, []*Block{exit, exit})
+			b.SetBlock(exit)
+			b.Ret(Const(I64, 0))
+			// Both switch targets are the same block, so fix the phi-less CFG
+			// up: exit has one pred (entry) — fine.
+			return m
+		}, "not an integer"},
+		{"use_before_def_same_block", func(t *testing.T) *Module {
+			m, f := simpleFunc(t)
+			e := f.Entry()
+			// %y = add %x, %x ; %x = add a, a — y uses x before it exists.
+			x := &Instr{Op: OpAdd, Typ: I64, Name: "x", Operands: []Value{f.Params[0], f.Params[0]}}
+			y := &Instr{Op: OpAdd, Typ: I64, Name: "y", Operands: []Value{x, x}}
+			e.InsertBefore(0, y)
+			e.InsertBefore(1, x)
+			return m
+		}, "used before its definition"},
+		{"use_not_dominated", func(t *testing.T) *Module {
+			m := NewModule("strict_test")
+			f := NewFunc(m, "f", &FuncType{Params: []Type{I64}, Ret: I64}, []string{"a"})
+			b := NewBuilder()
+			entry := f.AddBlock("entry")
+			left := f.AddBlock("left")
+			right := f.AddBlock("right")
+			join := f.AddBlock("join")
+			b.SetBlock(entry)
+			c := b.ICmp(PredEQ, f.Params[0], Const(I64, 0))
+			b.CondBr(c, left, right)
+			b.SetBlock(left)
+			x := b.Add(f.Params[0], Const(I64, 1))
+			b.Br(join)
+			b.SetBlock(right)
+			b.Br(join)
+			b.SetBlock(join)
+			// x is defined only on the left path; using it in join violates
+			// dominance (a phi would be required).
+			y := b.Add(x, Const(I64, 1))
+			b.Ret(y)
+			return m
+		}, "does not dominate"},
+		{"phi_incoming_not_dominated", func(t *testing.T) *Module {
+			m := NewModule("strict_test")
+			f := NewFunc(m, "f", &FuncType{Params: []Type{I64}, Ret: I64}, []string{"a"})
+			b := NewBuilder()
+			entry := f.AddBlock("entry")
+			left := f.AddBlock("left")
+			right := f.AddBlock("right")
+			join := f.AddBlock("join")
+			b.SetBlock(entry)
+			c := b.ICmp(PredEQ, f.Params[0], Const(I64, 0))
+			b.CondBr(c, left, right)
+			b.SetBlock(left)
+			x := b.Add(f.Params[0], Const(I64, 1))
+			b.Br(join)
+			b.SetBlock(right)
+			b.Br(join)
+			b.SetBlock(join)
+			// The right edge claims to carry x, but x's definition (left)
+			// does not dominate right's terminator.
+			phi := b.Phi(I64, []Value{Const(I64, 0), x}, []*Block{left, right})
+			b.Ret(phi)
+			return m
+		}, "does not dominate incoming edge"},
+		{"reachable_use_of_unreachable_def", func(t *testing.T) *Module {
+			m := NewModule("strict_test")
+			f := NewFunc(m, "f", &FuncType{Params: []Type{I64}, Ret: I64}, []string{"a"})
+			b := NewBuilder()
+			entry := f.AddBlock("entry")
+			dead := f.AddBlock("dead")
+			b.SetBlock(dead)
+			x := b.Add(f.Params[0], Const(I64, 1))
+			b.Ret(x)
+			b.SetBlock(entry)
+			y := b.Add(x, Const(I64, 1))
+			b.Ret(y)
+			return m
+		}, "unreachable block"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantStrictErr(t, tc.build(t), tc.frag)
+		})
+	}
+}
+
+// TestVerifyStrictAcceptsUnreachableBlocks pins the critical mid-pipeline
+// tolerance: constant folding turns a condbr into a br and leaves the dead
+// target behind until simplifycfg sweeps it, so the after-every-pass tier
+// must accept unreachable blocks (including self-contained code inside
+// them).
+func TestVerifyStrictAcceptsUnreachableBlocks(t *testing.T) {
+	m := NewModule("strict_test")
+	f := NewFunc(m, "f", &FuncType{Params: []Type{I64}, Ret: I64}, []string{"a"})
+	b := NewBuilder()
+	entry := f.AddBlock("entry")
+	dead := f.AddBlock("dead")
+	b.SetBlock(entry)
+	b.Ret(f.Params[0])
+	b.SetBlock(dead)
+	x := b.Add(f.Params[0], Const(I64, 1))
+	b.Ret(x)
+	if err := VerifyStrict(m); err != nil {
+		t.Fatalf("VerifyStrict rejected module with benign unreachable block: %v", err)
+	}
+	dt := NewDomTree(f)
+	if got := dt.UnreachableBlocks(); len(got) != 1 || got[0] != dead {
+		t.Fatalf("UnreachableBlocks = %v, want [dead]", got)
+	}
+}
+
+// TestVerifyFuncBinopArity is the regression for the pre-fix panic: a binop
+// with fewer than two operands must produce a *VerifyError from basic
+// Verify, not an index-out-of-range panic.
+func TestVerifyFuncBinopArity(t *testing.T) {
+	m, f := simpleFunc(t)
+	e := f.Entry()
+	bad := &Instr{Op: OpAdd, Typ: I64, Name: "x", Operands: []Value{f.Params[0]}}
+	e.InsertBefore(0, bad)
+	err := Verify(m)
+	if err == nil {
+		t.Fatal("Verify accepted one-operand binop")
+	}
+	if _, ok := err.(*VerifyError); !ok {
+		t.Fatalf("Verify error type %T, want *VerifyError: %v", err, err)
+	}
+	if !strings.Contains(err.Error(), "want 2") {
+		t.Fatalf("error %q does not describe the arity defect", err)
+	}
+}
+
+// TestVerifyDuplicateSymbols pins the duplicate-name rejection: appending a
+// second symbol with an existing name directly to the exported slices (the
+// splice-donor mixup shape — Module.register would panic, slice appends do
+// not) must fail verification.
+func TestVerifyDuplicateSymbols(t *testing.T) {
+	build := func() (*Module, *Func) {
+		m := NewModule("dup_test")
+		f := NewFunc(m, "f", &FuncType{Ret: I64}, nil)
+		b := NewBuilder()
+		b.SetBlock(f.AddBlock("entry"))
+		b.Ret(Const(I64, 0))
+		return m, f
+	}
+
+	t.Run("func_func", func(t *testing.T) {
+		m, _ := build()
+		dup := &Func{Name: "f", Sig: &FuncType{Ret: Void}}
+		m.Funcs = append(m.Funcs, dup)
+		if err := Verify(m); err == nil || !strings.Contains(err.Error(), "duplicate symbol") {
+			t.Fatalf("Verify = %v, want duplicate-symbol error", err)
+		}
+	})
+	t.Run("func_global", func(t *testing.T) {
+		m, _ := build()
+		m.Globals = append(m.Globals, &GlobalVar{Name: "f", Elem: I64})
+		if err := Verify(m); err == nil || !strings.Contains(err.Error(), "duplicate symbol") {
+			t.Fatalf("Verify = %v, want duplicate-symbol error", err)
+		}
+	})
+	t.Run("func_alias", func(t *testing.T) {
+		m, _ := build()
+		m.Aliases = append(m.Aliases, &Alias{Name: "f", Target: "f"})
+		if err := Verify(m); err == nil || !strings.Contains(err.Error(), "duplicate symbol") {
+			t.Fatalf("Verify = %v, want duplicate-symbol error", err)
+		}
+	})
+}
+
+// TestVerifyRecoversFromMalformedIR pins the no-panic hardening: IR mangled
+// badly enough to crash the checker (nil operand) still comes back as a
+// *VerifyError.
+func TestVerifyRecoversFromMalformedIR(t *testing.T) {
+	m, f := simpleFunc(t)
+	e := f.Entry()
+	bad := &Instr{Op: OpAdd, Typ: I64, Name: "x", Operands: []Value{nil, nil}}
+	e.InsertBefore(0, bad)
+	for name, verify := range map[string]func(*Module) error{"Verify": Verify, "VerifyStrict": VerifyStrict} {
+		err := verify(m)
+		if err == nil {
+			t.Fatalf("%s accepted nil-operand instruction", name)
+		}
+		if _, ok := err.(*VerifyError); !ok {
+			t.Fatalf("%s error type %T, want *VerifyError: %v", name, err, err)
+		}
+	}
+}
+
+// TestDomTree exercises the dominator primitives on a diamond with a loop
+// back edge.
+func TestDomTree(t *testing.T) {
+	m := NewModule("dom_test")
+	f := NewFunc(m, "f", &FuncType{Params: []Type{I64}, Ret: I64}, []string{"a"})
+	b := NewBuilder()
+	entry := f.AddBlock("entry")
+	left := f.AddBlock("left")
+	right := f.AddBlock("right")
+	join := f.AddBlock("join")
+	b.SetBlock(entry)
+	c := b.ICmp(PredEQ, f.Params[0], Const(I64, 0))
+	b.CondBr(c, left, right)
+	b.SetBlock(left)
+	b.Br(join)
+	b.SetBlock(right)
+	b.Br(join)
+	b.SetBlock(join)
+	// Loop back edge join -> entry would break phi invariants; keep a plain
+	// return and check the diamond relations.
+	b.Ret(f.Params[0])
+
+	dt := NewDomTree(f)
+	for _, blk := range f.Blocks {
+		if !dt.Reachable(blk) {
+			t.Fatalf("block %s unexpectedly unreachable", blk.Name)
+		}
+		if !dt.Dominates(entry, blk) {
+			t.Errorf("entry should dominate %s", blk.Name)
+		}
+	}
+	if dt.Idom(entry) != nil {
+		t.Error("entry must have no idom")
+	}
+	if dt.Idom(join) != entry {
+		t.Errorf("idom(join) = %v, want entry", dt.Idom(join))
+	}
+	if dt.Dominates(left, join) || dt.Dominates(right, join) {
+		t.Error("neither diamond arm may dominate the join")
+	}
+	if !dt.StrictlyDominates(entry, join) || dt.StrictlyDominates(join, join) {
+		t.Error("strict dominance relations wrong")
+	}
+	if got := len(dt.ReachableBlocks()); got != 4 {
+		t.Errorf("ReachableBlocks len = %d, want 4", got)
+	}
+}

@@ -115,6 +115,19 @@ type Options struct {
 	// taken when OnPass is set. The telemetry tracer uses it to attach
 	// per-pass spans to a fragment's opt stage.
 	OnPass func(pass string, start time.Time, dur time.Duration, changed bool)
+	// VerifyEach enables the strictest verification tier: after every pass
+	// that ran, the module is re-verified with ir.VerifyStrict, and a
+	// violation aborts the pipeline as a *PassError naming the offending
+	// pass, with a bounded before/after IR diff in the error text. This
+	// turns a silent miscompile into an attributed, degradable fault that
+	// flows through the same ladder and quarantine machinery as injected
+	// ones.
+	VerifyEach bool
+	// OnVerify, when non-nil and VerifyEach is set, is called after each
+	// per-pass verification with the pass name, the time the check took,
+	// and whether the module verified clean. Telemetry hangs the
+	// odin_verify_* families off it.
+	OnVerify func(pass string, dur time.Duration, ok bool)
 
 	// passBase and passOff implement cheap per-pass timing: passBase is
 	// read once, and each pass boundary is a monotonic offset from it
@@ -257,6 +270,12 @@ func runPass(m *ir.Module, o *Options, p Pass) (bool, error) {
 			return false, &PassError{Pass: name, Err: err}
 		}
 	}
+	var before string
+	if o.VerifyEach {
+		// The pre-pass snapshot feeds the before/after diff when this pass
+		// breaks an invariant. Print cost is only paid at the strictest tier.
+		before = ir.Print(m)
+	}
 	var start time.Duration
 	if o.OnPass != nil {
 		if o.passBase.IsZero() {
@@ -272,6 +291,13 @@ func runPass(m *ir.Module, o *Options, p Pass) (bool, error) {
 		off := time.Since(o.passBase)
 		o.OnPass(name, o.passBase.Add(start), off-start, changed)
 		o.passOff = off
+	}
+	if o.VerifyEach {
+		// Verify while Trace.Pass is still set, so a verifier crash on
+		// badly mangled IR is attributed like a pass panic.
+		if err := verifyAfterPass(m, o, name, before); err != nil {
+			return changed, err
+		}
 	}
 	if o.Trace != nil {
 		o.Trace.Pass = ""

@@ -1,0 +1,84 @@
+package opt
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"odin/internal/ir"
+)
+
+// verifyAfterPass runs the after-every-pass strict verification tier for one
+// pass that just ran. The "verify:<pass>" fault-injection site fires first,
+// so robustness tests can seed IR corruption (or plain errors) at exactly
+// this point and assert the pipeline attributes them to the right pass. A
+// strict-verification violation is returned as a *PassError naming the pass,
+// with a bounded before/after IR diff appended for bisection.
+func verifyAfterPass(m *ir.Module, o *Options, pass, before string) error {
+	if o.FaultHook != nil {
+		if err := o.FaultHook("verify:" + pass); err != nil {
+			return &PassError{Pass: pass, Err: err}
+		}
+	}
+	start := time.Now()
+	verr := ir.VerifyStrict(m)
+	if o.OnVerify != nil {
+		o.OnVerify(pass, time.Since(start), verr == nil)
+	}
+	if verr == nil {
+		return nil
+	}
+	return &PassError{
+		Pass: pass,
+		Err:  fmt.Errorf("%w\n%s", verr, irDiff(before, ir.Print(m))),
+	}
+}
+
+// irDiffContext bounds the diff on each side of the first divergence; the
+// full modules can be large and the error already names the exact defect.
+const irDiffContext = 8
+
+// irDiff renders a bounded line diff between the pre-pass and post-pass IR:
+// the first divergent region with a few lines of context on either side.
+// It is intentionally simple — the verifier error pinpoints the defect; the
+// diff exists so a human (or bisecting tool) can see what the pass rewrote.
+func irDiff(before, after string) string {
+	if before == after {
+		return "(pass reported IR unchanged textually)"
+	}
+	bl := strings.Split(before, "\n")
+	al := strings.Split(after, "\n")
+	// Common prefix/suffix to isolate the changed region.
+	p := 0
+	for p < len(bl) && p < len(al) && bl[p] == al[p] {
+		p++
+	}
+	s := 0
+	for s < len(bl)-p && s < len(al)-p && bl[len(bl)-1-s] == al[len(al)-1-s] {
+		s++
+	}
+	var sb strings.Builder
+	sb.WriteString("pass IR diff (first divergence):\n")
+	ctxFrom := p - irDiffContext
+	if ctxFrom < 0 {
+		ctxFrom = 0
+	}
+	for _, l := range bl[ctxFrom:p] {
+		sb.WriteString("  " + l + "\n")
+	}
+	writeSide := func(mark string, lines []string) {
+		if len(lines) > 2*irDiffContext {
+			for _, l := range lines[:irDiffContext] {
+				sb.WriteString(mark + " " + l + "\n")
+			}
+			fmt.Fprintf(&sb, "%s ... (%d lines elided)\n", mark, len(lines)-2*irDiffContext)
+			lines = lines[len(lines)-irDiffContext:]
+		}
+		for _, l := range lines {
+			sb.WriteString(mark + " " + l + "\n")
+		}
+	}
+	writeSide("-", bl[p:len(bl)-s])
+	writeSide("+", al[p:len(al)-s])
+	return strings.TrimRight(sb.String(), "\n")
+}

@@ -1,0 +1,200 @@
+package opt
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"odin/internal/ir"
+	"odin/internal/irtext"
+)
+
+// corruptionTestSrc exercises every pass in the level-2 pipeline: a
+// foldable branch (constprop, simplifycfg), redundant arithmetic (cse,
+// instcombine, dce), a small constant-trip loop (loopunroll), a small
+// callee with a dead argument (inline, deadargelim), and an unreferenced
+// internal function (globaldce).
+const corruptionTestSrc = `
+func @callee(%x: i64, %dead: i64) -> i64 internal {
+entry:
+  %r = mul i64 %x, 3
+  ret i64 %r
+}
+
+func @unused() -> i64 internal {
+entry:
+  ret i64 7
+}
+
+func @main(%n: i64) -> i64 {
+entry:
+  %a = add i64 %n, 0
+  %b = add i64 %n, 0
+  %c = add i64 %a, %b
+  %flag = icmp eq i64 1, 1
+  condbr %flag, loop_pre, other
+loop_pre:
+  br loop
+loop:
+  %i = phi i64 [0, loop_pre], [%i2, loop]
+  %acc = phi i64 [%c, loop_pre], [%acc2, loop]
+  %acc2 = add i64 %acc, 2
+  %i2 = add i64 %i, 1
+  %done = icmp sge i64 %i2, 3
+  condbr %done, exit, loop
+other:
+  br exit
+exit:
+  %r = phi i64 [%acc2, loop], [0, other]
+  %call = call i64 @callee(i64 %r, i64 9)
+  ret i64 %call
+}
+`
+
+// pipelinePasses lists every pass the level-2 pipeline can run; the
+// seeded-corruption sweep must attribute a violation to each one.
+var pipelinePasses = []string{
+	"constprop", "instcombine", "cse", "simplifycfg", "dce",
+	"loopunroll", "inline", "deadargelim", "globaldce",
+}
+
+// corrupt injects a use of a free-floating instruction (an operand not
+// defined in the function) into the first defined function's entry block —
+// invalid under basic verification, and therefore under the strict tier at
+// any point in the pipeline.
+func corrupt(m *ir.Module) {
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		dangling := &ir.Instr{Op: ir.OpAdd, Typ: ir.I64, Name: "__dangling",
+			Operands: []ir.Value{ir.Const(ir.I64, 1), ir.Const(ir.I64, 1)}}
+		bad := &ir.Instr{Op: ir.OpAdd, Typ: ir.I64, Name: "__corrupt",
+			Operands: []ir.Value{dangling, dangling}}
+		f.Entry().InsertBefore(0, bad)
+		return
+	}
+}
+
+// TestVerifyEachAttributesSeededCorruption seeds IR corruption at each
+// verify:<pass> fault site in turn and asserts the every-pass tier catches
+// it with exactly that pass named in the *PassError.
+func TestVerifyEachAttributesSeededCorruption(t *testing.T) {
+	for _, target := range pipelinePasses {
+		t.Run(target, func(t *testing.T) {
+			m := irtext.MustParse("m", corruptionTestSrc)
+			site := "verify:" + target
+			fired := false
+			err := OptimizeChecked(m, &Options{
+				Level:      2,
+				VerifyEach: true,
+				FaultHook: func(s string) error {
+					if s == site && !fired {
+						fired = true
+						corrupt(m)
+					}
+					return nil
+				},
+			})
+			if !fired {
+				t.Fatalf("pipeline never reached site %s", site)
+			}
+			if err == nil {
+				t.Fatalf("seeded corruption at %s sailed through the pipeline", site)
+			}
+			var pe *PassError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error type %T, want *PassError: %v", err, err)
+			}
+			if pe.Pass != target {
+				t.Fatalf("corruption at %s attributed to pass %q", site, pe.Pass)
+			}
+			var ve *ir.VerifyError
+			if !errors.As(err, &ve) {
+				t.Fatalf("PassError does not wrap a *ir.VerifyError: %v", err)
+			}
+			if !strings.Contains(err.Error(), "pass IR diff") {
+				t.Fatalf("error lacks the before/after diff:\n%v", err)
+			}
+		})
+	}
+}
+
+// TestVerifyEachCleanPipeline asserts the every-pass tier is silent on a
+// healthy pipeline and reports every check as clean through OnVerify.
+func TestVerifyEachCleanPipeline(t *testing.T) {
+	m := irtext.MustParse("m", corruptionTestSrc)
+	checks, notOK := 0, 0
+	err := OptimizeChecked(m, &Options{
+		Level:      2,
+		VerifyEach: true,
+		OnVerify: func(pass string, dur time.Duration, ok bool) {
+			checks++
+			if !ok {
+				notOK++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("clean pipeline failed under VerifyEach: %v", err)
+	}
+	if checks == 0 {
+		t.Fatal("OnVerify never fired")
+	}
+	if notOK != 0 {
+		t.Fatalf("%d of %d per-pass checks flagged a healthy pipeline", notOK, checks)
+	}
+}
+
+// TestVerifyEachMidPipelineUnreachable pins the tolerance that makes the
+// every-pass tier usable at all: constprop folds a constant branch and
+// leaves its dead target unreachable until simplifycfg runs; the strict
+// check after constprop must accept that intermediate state.
+func TestVerifyEachMidPipelineUnreachable(t *testing.T) {
+	src := `
+func @f(%n: i64) -> i64 {
+entry:
+  %flag = icmp eq i64 1, 1
+  condbr %flag, live, dead
+live:
+  ret i64 %n
+dead:
+  %x = add i64 %n, 1
+  ret i64 %x
+}
+`
+	m := irtext.MustParse("m", src)
+	seen := map[string]int{}
+	err := OptimizeChecked(m, &Options{
+		Level:      1,
+		VerifyEach: true,
+		OnVerify: func(pass string, _ time.Duration, ok bool) {
+			seen[pass]++
+			if !ok {
+				t.Errorf("pass %s flagged a violation on a healthy pipeline", pass)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("pipeline failed: %v", err)
+	}
+	if seen["constprop"] == 0 || seen["simplifycfg"] == 0 {
+		t.Fatalf("expected per-pass verification of constprop and simplifycfg, got %v", seen)
+	}
+}
+
+func TestIRDiff(t *testing.T) {
+	before := "a\nb\nc\nd\n"
+	after := "a\nb\nX\nd\n"
+	d := irDiff(before, after)
+	if !strings.Contains(d, "- c") || !strings.Contains(d, "+ X") {
+		t.Fatalf("diff missing changed lines:\n%s", d)
+	}
+	if strings.Contains(d, "- a") || strings.Contains(d, "+ d") {
+		t.Fatalf("diff includes unchanged lines as changes:\n%s", d)
+	}
+	if got := irDiff("same", "same"); !strings.Contains(got, "unchanged") {
+		t.Fatalf("identical inputs: %q", got)
+	}
+}

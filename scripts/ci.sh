@@ -15,6 +15,13 @@ go build ./...
 echo "== go test =="
 go test ./...
 
+echo "== go test (ODIN_VERIFY=all: strict IR verification after every optimizer pass) =="
+# Re-run the engine-bearing packages (the only ones that read ODIN_VERIFY)
+# with the every-pass tier on: any optimizer pass that emits IR violating SSA
+# dominance or the type rules fails its test here with the pass named in the
+# error.
+ODIN_VERIFY=all go test ./internal/core/ ./internal/cov/ ./internal/bench/
+
 echo "== go test -race (core, link, faultinject, telemetry, rt, cov) =="
 go test -race ./internal/core/... ./internal/link/... ./internal/faultinject/... \
 	./internal/telemetry/... ./internal/rt/... ./internal/cov/...
@@ -52,7 +59,8 @@ curl -sf "http://$addr/metrics" >"$metrics"
 kill "$run_pid" 2>/dev/null || true
 wait "$run_pid" 2>/dev/null || true
 for family in odin_rebuilds_total odin_fragment_cache_hits_total \
-	odin_fragment_degraded_total odin_link_total odin_rebuild_seconds; do
+	odin_fragment_degraded_total odin_link_total odin_rebuild_seconds \
+	odin_verify_checks_total odin_verify_seconds; do
 	if ! grep -q "^# TYPE $family" "$metrics"; then
 		echo "metrics smoke: family $family missing from /metrics:"
 		cat "$metrics"
@@ -68,18 +76,20 @@ echo "== allocation budget (probe-toggle hot loop) =="
 # whole-fragment cloning long before it shows up as latency.
 go test ./internal/core/ -run TestSpliceAllocBudget
 
-echo "== bench regression gate (probe-toggle vs committed artifact) =="
-# Compare the current tree's probe-toggle trajectory against the committed
-# BENCH artifact: fail on >15% p50/p99 regression beyond a 2ms absolute
-# floor (machine-jitter immunity), on a shrinking function cache-hit rate,
-# or on the structural invariant breaking (a single-function toggle must
-# compile exactly one function). Regenerate with `make bench-record` when a
-# deliberate change moves the trajectory. Skipped when no artifact is
-# committed.
+echo "== bench regression gate (probe-toggle + verify-overhead vs committed artifact) =="
+# Compare the current tree's trajectory against the committed BENCH
+# artifact: fail on >15% p50/p99 regression beyond a 2ms absolute floor
+# (machine-jitter immunity), on a shrinking function cache-hit rate, on the
+# structural invariant breaking (a single-function toggle must compile
+# exactly one function), or on boundaries-tier verification overhead above
+# its 5% p50 budget. Both experiments run in one invocation so the artifact
+# carries both (a missing experiment counts as a regression). Regenerate
+# with `make bench-record` when a deliberate change moves the trajectory.
+# Skipped when no artifact is committed.
 bench_artifact="$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)"
 if [ -n "$bench_artifact" ]; then
 	echo "comparing against $bench_artifact"
-	go run ./cmd/odin-bench -experiment probe-toggle -toggle-rounds 60 -bench-compare "$bench_artifact"
+	go run ./cmd/odin-bench -experiment probe-toggle,verify-overhead -toggle-rounds 60 -bench-compare "$bench_artifact"
 else
 	echo "no BENCH_*.json artifact committed; skipping regression gate"
 fi
