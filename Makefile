@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test verify-all race soak fmt-check bench-parallel bench-telemetry bench-record bench-check alloc-budget verify-budget ci
+.PHONY: all build vet test verify-all race soak fmt-check bench-parallel bench-telemetry bench-record bench-check alloc-budget verify-budget warm-bench persist-faults ci
 
 all: build
 
@@ -20,11 +20,12 @@ verify-all:
 	ODIN_VERIFY=all $(GO) test ./internal/core/ ./internal/cov/ ./internal/bench/
 
 # The concurrency-sensitive packages: the fragment compile pool, the
-# incremental linker, the fault injector that stresses both, and the
-# telemetry layer hit from concurrent compile workers and probe firings.
+# incremental linker, the fault injector that stresses both, the telemetry
+# layer hit from concurrent compile workers and probe firings, and the
+# persistent artifact store shared by concurrent engines.
 race:
 	$(GO) test -race ./internal/core/... ./internal/link/... ./internal/faultinject/... \
-		./internal/telemetry/... ./internal/rt/... ./internal/cov/...
+		./internal/telemetry/... ./internal/rt/... ./internal/cov/... ./internal/persist/...
 
 # Extended supervisor soak: 8 goroutines of random probe toggles against a
 # fault-injecting supervised engine under the race detector, asserting every
@@ -49,24 +50,40 @@ bench-parallel:
 	$(GO) test ./internal/bench/ -run XXX -bench BenchmarkParallelRebuild -benchtime 5x
 
 # Recorded performance trajectory: regenerate the committed benchmark
-# artifact from the probe-toggle and verify-overhead experiments
+# artifact from the probe-toggle, verify-overhead, and cold-warm experiments
 # (function-granular splice latency, cache-hit rates, allocs per toggle,
-# boundaries-tier verification overhead). Bump BENCH when recording a new
-# trajectory point rather than overwriting history's meaning.
-BENCH ?= BENCH_7.json
+# boundaries-tier verification overhead, warm-start restart speedup). Bump
+# BENCH when recording a new trajectory point rather than overwriting
+# history's meaning.
+BENCH ?= BENCH_8.json
 bench-record:
-	$(GO) run ./cmd/odin-bench -experiment probe-toggle,verify-overhead -toggle-rounds 60 -bench-out $(BENCH)
+	$(GO) run ./cmd/odin-bench -experiment probe-toggle,verify-overhead,cold-warm \
+		-toggle-rounds 60 -coldwarm-rounds 5 -bench-out $(BENCH)
 
 # Compare the current tree against the committed trajectory artifact
 # (skipped with a note when the artifact is absent). Fails on >15% p99
-# regression beyond a 2ms floor, on structural splice breakage, or on
-# verification overhead above its 5% budget.
+# regression beyond a 2ms floor, on structural splice breakage, on
+# verification overhead above its 5% budget, or on a warm start below its
+# absolute speedup floor / losing image byte-identity.
 bench-check:
 	@if [ -f $(BENCH) ]; then \
-		$(GO) run ./cmd/odin-bench -experiment probe-toggle,verify-overhead -toggle-rounds 60 -bench-compare $(BENCH); \
+		$(GO) run ./cmd/odin-bench -experiment probe-toggle,verify-overhead,cold-warm \
+			-toggle-rounds 60 -coldwarm-rounds 5 -bench-compare $(BENCH); \
 	else \
 		echo "bench-check: $(BENCH) not present; skipping regression gate"; \
 	fi
+
+# Cold-vs-warm start experiment on its own: engine restart to first
+# executable with an empty vs populated artifact cache + state snapshot.
+# Prints the table without touching the committed artifact.
+warm-bench:
+	$(GO) run ./cmd/odin-bench -experiment cold-warm -coldwarm-rounds 5
+
+# The persistence arm of the fault sweep on the full program suite: engine
+# restarts onto a seeded cache with faults armed at every persist:* site;
+# exits nonzero on any surfaced build error or image divergence.
+persist-faults:
+	$(GO) run ./cmd/odin-bench -experiment faults -fault-rounds 3
 
 # Allocation budget: the probe-toggle hot loop must stay within its pinned
 # allocs/op envelope (arena-backed cloning + lazy materialization).

@@ -3,15 +3,16 @@
 //
 // Usage:
 //
-//	odin-bench [-experiment all|fig3|fig8|fig9|fig10|fig11|fig12|headline|parallel|faults|storm|probe-toggle|verify-overhead]
+//	odin-bench [-experiment all|fig3|fig8|fig9|fig10|fig11|fig12|headline|parallel|faults|storm|probe-toggle|verify-overhead|cold-warm]
 //	           [-campaign N] [-programs a,b,c] [-parallel] [-workers N]
 //	           [-fault-rounds N] [-fault-seed N] [-json] [-metrics-addr HOST:PORT]
 //	           [-storm-goroutines N] [-storm-requests N] [-toggle-rounds N]
-//	           [-verify off|boundaries|all] [-bench-out FILE] [-bench-compare FILE]
+//	           [-coldwarm-rounds N] [-verify off|boundaries|all]
+//	           [-bench-out FILE] [-bench-compare FILE]
 //
 // -experiment also accepts a comma-separated list of the self-contained
-// experiments (probe-toggle, verify-overhead, fig3), so one invocation can
-// record a multi-experiment benchmark artifact:
+// experiments (probe-toggle, verify-overhead, cold-warm, fig3), so one
+// invocation can record a multi-experiment benchmark artifact:
 //
 //	odin-bench -experiment probe-toggle,verify-overhead -bench-out BENCH_7.json
 //
@@ -61,6 +62,9 @@ func main() {
 	stormG := flag.Int("storm-goroutines", 8, "concurrent submitter goroutines in the storm experiment")
 	stormN := flag.Int("storm-requests", 64, "probe requests per goroutine in the storm experiment")
 	toggleRounds := flag.Int("toggle-rounds", 40, "probe toggles per workload in the probe-toggle and verify-overhead experiments")
+	coldWarmRounds := flag.Int("coldwarm-rounds", 5, "engine restarts per arm and workload in the cold-warm experiment")
+	cacheDir := flag.String("cache-dir", "", "with -experiment cold-warm: pin each workload's persistent cache to a subdirectory of this path and leave it on disk for inspection (default: fresh temp dirs, removed)")
+	snapshot := flag.String("snapshot", "", "with -experiment cold-warm and -cache-dir: base path for the per-workload engine state snapshots (default: state.snap inside each workload's cache)")
 	verify := flag.String("verify", "", "engine IR-verification tier for the run: off, boundaries, all (default: ODIN_VERIFY or boundaries)")
 	benchOut := flag.String("bench-out", "", "write a benchmark artifact (BENCH_<n>.json schema) to this file")
 	benchCompare := flag.String("bench-compare", "", "compare this run's artifact against a committed one; exit 1 on regression")
@@ -77,13 +81,13 @@ func main() {
 		os.Setenv("ODIN_VERIFY", *verify)
 	}
 
-	if err := run(*experiment, *campaign, *programs, *parallel, *workers, *faultRounds, *faultSeed, *jsonOut, *metricsAddr, *stormG, *stormN, *toggleRounds, *benchOut, *benchCompare); err != nil {
+	if err := run(*experiment, *campaign, *programs, *parallel, *workers, *faultRounds, *faultSeed, *jsonOut, *metricsAddr, *stormG, *stormN, *toggleRounds, *coldWarmRounds, *cacheDir, *snapshot, *benchOut, *benchCompare); err != nil {
 		fmt.Fprintf(os.Stderr, "odin-bench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, campaign int, programs string, parallel bool, workers, faultRounds int, faultSeed uint64, jsonOut bool, metricsAddr string, stormG, stormN, toggleRounds int, benchOut, benchCompare string) (err error) {
+func run(experiment string, campaign int, programs string, parallel bool, workers, faultRounds int, faultSeed uint64, jsonOut bool, metricsAddr string, stormG, stormN, toggleRounds, coldWarmRounds int, cacheDir, snapshot, benchOut, benchCompare string) (err error) {
 	var w io.Writer = os.Stdout
 	report := map[string]any{}
 	if jsonOut {
@@ -127,7 +131,7 @@ func run(experiment string, campaign int, programs string, parallel bool, worker
 			if !isQuick(name) {
 				return fmt.Errorf("experiment %q cannot be combined; lists may only contain %s", name, quickExperiments)
 			}
-			if err := runQuick(name, w, report, art, toggleRounds); err != nil {
+			if err := runQuick(name, w, report, art, toggleRounds, coldWarmRounds, cacheDir, snapshot); err != nil {
 				return err
 			}
 			fmt.Fprintln(w)
@@ -166,6 +170,20 @@ func run(experiment string, campaign int, programs string, parallel bool, worker
 		}
 		report["faults"] = rows
 		bench.PrintFaults(w, rows)
+		fmt.Fprintln(w)
+		prows, err := bench.RunPersistFaults(progs, faultSeed, faultRounds)
+		if err != nil {
+			return err
+		}
+		report["persist_faults"] = prows
+		bench.PrintPersistFaults(w, prows)
+		pviol := 0
+		for _, r := range prows {
+			pviol += r.Violations()
+		}
+		if pviol > 0 {
+			return fmt.Errorf("persist fault sweep: %d invariant violations", pviol)
+		}
 		return nil
 	}
 	if experiment == "storm" {
@@ -281,11 +299,11 @@ func run(experiment string, campaign int, programs string, parallel bool, worker
 // quickExperiments are the self-contained experiments runQuick handles: they
 // synthesize their own workloads, so they skip suite preparation and may be
 // combined in a comma-separated -experiment list.
-const quickExperiments = "probe-toggle, verify-overhead, fig3"
+const quickExperiments = "probe-toggle, verify-overhead, cold-warm, fig3"
 
 func isQuick(name string) bool {
 	switch strings.TrimSpace(name) {
-	case "probe-toggle", "verify-overhead", "fig3":
+	case "probe-toggle", "verify-overhead", "cold-warm", "fig3":
 		return true
 	}
 	return false
@@ -293,7 +311,7 @@ func isQuick(name string) bool {
 
 // runQuick runs one self-contained experiment, folding its rows into the
 // JSON report and the benchmark artifact.
-func runQuick(name string, w io.Writer, report map[string]any, art *bench.Artifact, toggleRounds int) error {
+func runQuick(name string, w io.Writer, report map[string]any, art *bench.Artifact, toggleRounds, coldWarmRounds int, cacheDir, snapshot string) error {
 	switch name {
 	case "probe-toggle":
 		rows, err := bench.RunToggle(toggleRounds)
@@ -320,6 +338,19 @@ func runQuick(name string, w io.Writer, report map[string]any, art *bench.Artifa
 			if r.OverheadPct > bench.VerifyOverheadBudgetPct {
 				return fmt.Errorf("verify-overhead: %s overhead %.1f%% exceeds the %.0f%% budget",
 					r.Program, r.OverheadPct, bench.VerifyOverheadBudgetPct)
+			}
+		}
+	case "cold-warm":
+		rows, err := bench.RunColdWarm(coldWarmRounds, cacheDir, snapshot)
+		if err != nil {
+			return err
+		}
+		report["cold_warm"] = rows
+		bench.PrintColdWarm(w, rows)
+		art.AddColdWarm(rows)
+		for _, r := range rows {
+			if !r.RefMatch {
+				return fmt.Errorf("cold-warm: %s warm image diverged from its cold reference", r.Program)
 			}
 		}
 	case "fig3":

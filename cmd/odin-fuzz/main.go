@@ -85,6 +85,8 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve live telemetry (rebuild metrics, per-probe hit counts, traces) on this host:port")
 	storm := flag.Int("storm", 0, "fire this many concurrent probe toggles through the rebuild supervisor before the campaign (0 = off)")
 	verify := flag.String("verify", "", "engine IR-verification tier during the campaign: off, boundaries (default), or all")
+	cacheDir := flag.String("cache-dir", "", "persistent artifact cache directory (warm-starts the campaign's first build across runs)")
+	snapshot := flag.String("snapshot", "", "engine state snapshot file (restored at startup, rewritten at exit)")
 	flag.Parse()
 
 	verifyMode, ok := core.ParseVerifyMode(*verify)
@@ -93,7 +95,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(*program, *irFile, *iters, *seed, *prune, *rebuildTimeout, *metricsAddr, *storm, verifyMode); err != nil {
+	if err := run(*program, *irFile, *iters, *seed, *prune, *rebuildTimeout, *metricsAddr, *storm, verifyMode, *cacheDir, *snapshot); err != nil {
 		fmt.Fprintf(os.Stderr, "odin-fuzz: %v\n", err)
 		os.Exit(1)
 	}
@@ -215,7 +217,7 @@ func stormToggle(tool *cov.Tool, n int) error {
 	return nil
 }
 
-func run(program, irFile string, iters int, seed uint64, prune bool, rebuildTimeout time.Duration, metricsAddr string, storm int, verify core.VerifyMode) error {
+func run(program, irFile string, iters int, seed uint64, prune bool, rebuildTimeout time.Duration, metricsAddr string, storm int, verify core.VerifyMode, cacheDir, snapshot string) error {
 	name, m, err := loadModule(program, irFile)
 	if err != nil {
 		return err
@@ -230,6 +232,8 @@ func run(program, irFile string, iters int, seed uint64, prune bool, rebuildTime
 		RebuildTimeout: rebuildTimeout,
 		MetricsAddr:    metricsAddr,
 		Verify:         verify,
+		CacheDir:       cacheDir,
+		SnapshotPath:   snapshot,
 	}, prune)
 	if err != nil {
 		return err

@@ -6,11 +6,17 @@
 //
 //	odin-partition [-variant odin|one|max] [-program NAME | -file program.ir] [-json]
 //	               [-fanout] [-verify basic|strict]
+//	               [-cache-dir DIR] [-snapshot FILE]
 //
 // -fanout prints the per-symbol rebuild blast radius: for each function, the
 // fragment a probe toggle on it dirties and how many symbols and IR
 // instructions that fragment recompiles. It quantifies what one coalesced
 // supervisor generation costs per member of the batch.
+//
+// -cache-dir and -snapshot inspect an engine's persistence state read-only
+// (never evicting, never taking the writer lock): entry counts for the
+// artifact store, and whether a state snapshot would warm-start the plan
+// just computed.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"odin/internal/core"
 	"odin/internal/ir"
 	"odin/internal/irtext"
+	"odin/internal/persist"
 	"odin/internal/progen"
 )
 
@@ -34,9 +41,11 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the plan as machine-readable JSON instead of text")
 	fanout := flag.Bool("fanout", false, "print per-symbol rebuild blast radius (fragment size a probe toggle recompiles)")
 	verify := flag.String("verify", "basic", "input verification tier before partitioning: basic (module/CFG invariants) or strict (+SSA dominance, full type checking)")
+	cacheDir := flag.String("cache-dir", "", "inspect this persistent artifact cache directory read-only")
+	snapshot := flag.String("snapshot", "", "inspect this engine state snapshot read-only and check it against the plan")
 	flag.Parse()
 
-	if err := run(*variant, *program, *file, *classify, *jsonOut, *fanout, *verify); err != nil {
+	if err := run(*variant, *program, *file, *classify, *jsonOut, *fanout, *verify, *cacheDir, *snapshot); err != nil {
 		fmt.Fprintf(os.Stderr, "odin-partition: %v\n", err)
 		os.Exit(1)
 	}
@@ -51,6 +60,114 @@ type planDump struct {
 	Class     map[string]string `json:"classification"`
 	Fragments []fragDump        `json:"fragments"`
 	Fanout    []fanoutRow       `json:"fanout,omitempty"`
+	Persist   *persistDump      `json:"persist,omitempty"`
+}
+
+// persistDump is the read-only persistence inspection: artifact-store
+// counters and the state snapshot's identity, checked against the plan the
+// tool just computed.
+type persistDump struct {
+	CacheDir   string         `json:"cache_dir,omitempty"`
+	StoreError string         `json:"store_error,omitempty"`
+	Store      *persist.Stats `json:"store,omitempty"`
+
+	SnapshotPath  string    `json:"snapshot_path,omitempty"`
+	SnapshotError string    `json:"snapshot_error,omitempty"`
+	Snapshot      *snapDump `json:"snapshot,omitempty"`
+}
+
+// snapDump summarizes an engine state snapshot without dumping its maps.
+type snapDump struct {
+	ModuleHash    string `json:"module_hash"`
+	Variant       string `json:"variant"`
+	OptLevel      int    `json:"opt_level"`
+	Fragments     int    `json:"fragments"`
+	VerifyTier    int    `json:"verify_tier"`
+	FragHashes    int    `json:"frag_hashes"`
+	Quarantined   int    `json:"quarantined"`
+	Deferred      int    `json:"deferred"`
+	VerifiedFuncs int    `json:"verified_funcs"`
+	HasSurvey     bool   `json:"has_survey"`
+	HasSupervisor bool   `json:"has_supervisor"`
+	// PlanMatch reports that the snapshot's variant and fragment count agree
+	// with the plan this invocation computed — the cheap two of the engine's
+	// identity guards (the module hash is only comparable in-engine).
+	PlanMatch bool `json:"plan_match"`
+}
+
+// inspectPersist gathers the read-only persistence summary. Every failure is
+// reported in-band, never fatal: an inspection tool mirrors the engine's
+// verify-or-degrade stance instead of crashing on a half-written cache.
+func inspectPersist(cacheDir, snapshot string, plan *core.Plan) *persistDump {
+	if cacheDir == "" && snapshot == "" {
+		return nil
+	}
+	d := &persistDump{CacheDir: cacheDir, SnapshotPath: snapshot}
+	ro := persist.Options{BuildID: core.PersistBuildID(), ReadOnly: true}
+	if cacheDir != "" {
+		st, err := persist.Open(cacheDir, ro)
+		if err != nil {
+			d.StoreError = err.Error()
+		} else {
+			stats := st.Stats()
+			d.Store = &stats
+			st.Close()
+		}
+	}
+	if snapshot != "" {
+		es, err := persist.LoadState(snapshot, ro)
+		switch {
+		case err != nil:
+			d.SnapshotError = err.Error()
+		case es == nil:
+			d.SnapshotError = "no snapshot file"
+		default:
+			d.Snapshot = &snapDump{
+				ModuleHash:    fmt.Sprintf("%016x", es.ModuleHash),
+				Variant:       es.Variant,
+				OptLevel:      es.OptLevel,
+				Fragments:     es.Fragments,
+				VerifyTier:    es.VerifyTier,
+				FragHashes:    len(es.Hashes),
+				Quarantined:   len(es.Quarantine),
+				Deferred:      len(es.Deferred),
+				VerifiedFuncs: len(es.VerifiedFuncs),
+				HasSurvey:     es.Survey != nil,
+				HasSupervisor: es.Supervisor != nil,
+				PlanMatch: es.Variant == plan.Variant.String() &&
+					es.Fragments == len(plan.Fragments),
+			}
+		}
+	}
+	return d
+}
+
+func printPersist(d *persistDump) {
+	fmt.Println("persistence (read-only inspection):")
+	if d.CacheDir != "" {
+		if d.StoreError != "" {
+			fmt.Printf("  store %s: unavailable: %s\n", d.CacheDir, d.StoreError)
+		} else {
+			fmt.Printf("  store %s: %d entries, read-only=%v\n",
+				d.CacheDir, d.Store.Entries, d.Store.ReadOnly)
+		}
+	}
+	if d.SnapshotPath != "" {
+		if d.SnapshotError != "" {
+			fmt.Printf("  snapshot %s: %s (engine would cold-start)\n", d.SnapshotPath, d.SnapshotError)
+			return
+		}
+		s := d.Snapshot
+		fmt.Printf("  snapshot %s: module %s, variant %s, O%d, %d fragments, verify tier %d\n",
+			d.SnapshotPath, s.ModuleHash, s.Variant, s.OptLevel, s.Fragments, s.VerifyTier)
+		fmt.Printf("    %d fragment hashes, %d quarantined, %d deferred, %d verified funcs, survey=%v, supervisor=%v\n",
+			s.FragHashes, s.Quarantined, s.Deferred, s.VerifiedFuncs, s.HasSurvey, s.HasSupervisor)
+		if s.PlanMatch {
+			fmt.Printf("    matches this plan (variant + fragment count); module hash checked at engine start\n")
+		} else {
+			fmt.Printf("    DOES NOT match this plan — an engine restart here would cold-start\n")
+		}
+	}
 }
 
 type fragDump struct {
@@ -126,7 +243,7 @@ func printFanout(m *ir.Module, rows []fanoutRow) {
 		100*float64(instrs[len(instrs)-1])/float64(total))
 }
 
-func run(variantName, program, file string, classify, jsonOut, fanout bool, verify string) error {
+func run(variantName, program, file string, classify, jsonOut, fanout bool, verify, cacheDir, snapshot string) error {
 	var v core.Variant
 	switch variantName {
 	case "odin":
@@ -192,6 +309,7 @@ func run(variantName, program, file string, classify, jsonOut, fanout bool, veri
 		if fanout {
 			dump.Fanout = fanoutRows(m, plan)
 		}
+		dump.Persist = inspectPersist(cacheDir, snapshot, plan)
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(dump)
@@ -213,6 +331,9 @@ func run(variantName, program, file string, classify, jsonOut, fanout bool, veri
 	fmt.Print(plan.Describe())
 	if fanout {
 		printFanout(m, fanoutRows(m, plan))
+	}
+	if d := inspectPersist(cacheDir, snapshot, plan); d != nil {
+		printPersist(d)
 	}
 	return nil
 }

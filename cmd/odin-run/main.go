@@ -48,6 +48,8 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "with -odin: serve telemetry on this host:port (port 0 = pick a free port)")
 	metricsHold := flag.Duration("metrics-hold", 0, "with -metrics-addr: keep serving this long after the run finishes")
 	verify := flag.String("verify", "", "with -odin: IR verification tier — off, boundaries (default), or all (strict check after every optimizer pass)")
+	cacheDir := flag.String("cache-dir", "", "with -odin: persistent artifact cache directory (warm-starts fragment compiles across runs)")
+	snapshot := flag.String("snapshot", "", "with -odin: engine state snapshot file (restored at startup, rewritten at exit)")
 	flag.Parse()
 
 	verifyMode, ok := core.ParseVerifyMode(*verify)
@@ -56,13 +58,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(*level, *useInterp, *input, *fn, *dump, *odin, *supervise, *workers, *rebuildTimeout, *metricsAddr, *metricsHold, verifyMode, *program, flag.Args()); err != nil {
+	if err := run(*level, *useInterp, *input, *fn, *dump, *odin, *supervise, *workers, *rebuildTimeout, *metricsAddr, *metricsHold, verifyMode, *cacheDir, *snapshot, *program, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "odin-run: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(level int, useInterp bool, input, fn string, dump, odin, supervise bool, workers int, rebuildTimeout time.Duration, metricsAddr string, metricsHold time.Duration, verify core.VerifyMode, program string, args []string) error {
+func run(level int, useInterp bool, input, fn string, dump, odin, supervise bool, workers int, rebuildTimeout time.Duration, metricsAddr string, metricsHold time.Duration, verify core.VerifyMode, cacheDir, snapshot, program string, args []string) error {
 	var m *ir.Module
 	switch {
 	case program != "":
@@ -135,7 +137,15 @@ func run(level int, useInterp bool, input, fn string, dump, odin, supervise bool
 	}
 
 	if odin {
-		opts := core.Options{Workers: workers, RebuildTimeout: rebuildTimeout, Verify: verify}
+		opts := core.Options{
+			Workers:        workers,
+			RebuildTimeout: rebuildTimeout,
+			Verify:         verify,
+			CacheDir:       cacheDir,
+			SnapshotPath:   snapshot,
+			// The module was parsed solely for this engine.
+			AdoptModule: true,
+		}
 		if metricsAddr != "" {
 			opts.Telemetry = telemetry.NewRegistry()
 		}
@@ -143,6 +153,9 @@ func run(level int, useInterp bool, input, fn string, dump, odin, supervise bool
 		if err != nil {
 			return err
 		}
+		// Close flushes the persistent store and rewrites the state
+		// snapshot; without persistence it is a cheap no-op.
+		defer eng.Close()
 		if metricsAddr != "" {
 			srv, err := telemetry.Serve(metricsAddr, opts.Telemetry, func() any { return eng.Snapshot() })
 			if err != nil {
@@ -197,6 +210,10 @@ func run(level int, useInterp bool, input, fn string, dump, odin, supervise bool
 			"; @%s = %d (%d cycles; odin: %d fragments, %d workers, %d cache hits; compile wall %v, serial-eq %v; link %v %s)\n",
 			fn, ret, mach.Cycles, len(st.Fragments), st.Workers, st.CacheHits,
 			st.CompileWall, st.SerialEquivalent(), st.LinkDur, linkMode)
+		if cacheDir != "" || snapshot != "" {
+			fmt.Fprintf(os.Stderr, "; persist: %d/%d fragments warm, snapshot restored %v, image %016x\n",
+				st.WarmHits, len(st.Fragments), eng.SnapshotRestored(), exe.Fingerprint())
+		}
 		return nil
 	}
 

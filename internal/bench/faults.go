@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"time"
 
 	"odin/internal/core"
@@ -184,6 +186,132 @@ func runFaultsOne(pd *ProgramData, kind faultinject.Kind, rate float64, seed uin
 	}
 	row.Injected += inj.TotalInjected() - before
 	return nil
+}
+
+// PersistFaultRow aggregates one (kind, rate) cell of the persistence
+// restart sweep: fresh engines warm-starting from a shared artifact cache
+// and state snapshot with faults armed at every persist:* site. The
+// persistence contract is stricter than the pipeline's degradation ladder —
+// a persistent-tier failure may cost warm hits but must never surface as a
+// build error, and every served image must stay byte-identical to the cold
+// reference (not merely semantically equivalent).
+type PersistFaultRow struct {
+	Kind     string
+	Rate     float64
+	Restarts int
+	Injected int
+	// WarmHits counts fragments served from disk across all restarts —
+	// whatever the injector let through.
+	WarmHits int
+	// BuildErrors counts restarts where New or BuildAll returned an error.
+	// Must be zero: persistence failures degrade to cold compile.
+	BuildErrors int
+	// ImageMismatch counts restarts whose linked image fingerprint diverged
+	// from the cold reference. Must be zero: a warm start never changes
+	// output, no matter what the disk tier did.
+	ImageMismatch int
+}
+
+// Violations reports invariant violations in the row.
+func (r PersistFaultRow) Violations() int { return r.BuildErrors + r.ImageMismatch }
+
+// RunPersistFaults is the faults experiment's persistence arm: for every
+// fault kind and rate it seeds a cache directory + snapshot with a clean
+// engine, then performs rounds engine restarts against it with a
+// deterministic injector armed at "persist:*", asserting the
+// verify-or-degrade contract end to end.
+func RunPersistFaults(progs []*ProgramData, seed uint64, rounds int) ([]PersistFaultRow, error) {
+	if rounds < 1 {
+		rounds = 3
+	}
+	var out []PersistFaultRow
+	for _, kind := range faultSweepKinds {
+		for _, rate := range faultSweepRates {
+			row := PersistFaultRow{Kind: string(kind), Rate: rate}
+			for pi, pd := range progs {
+				if err := runPersistFaultsOne(pd, kind, rate, seed+uint64(pi), rounds, &row); err != nil {
+					return nil, fmt.Errorf("bench: %s persist faults %s@%.2f: %w", pd.Name, kind, rate, err)
+				}
+			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+func runPersistFaultsOne(pd *ProgramData, kind faultinject.Kind, rate float64, seed uint64, rounds int, row *PersistFaultRow) error {
+	dir, err := os.MkdirTemp("", "odin-persistfault-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	popts := core.Options{
+		Telemetry:    Telemetry,
+		CacheDir:     filepath.Join(dir, "cache"),
+		SnapshotPath: filepath.Join(dir, "state.snap"),
+	}
+
+	// Seed pass: a clean engine populates the cache and snapshot and records
+	// the reference image every faulted restart must reproduce.
+	e, err := core.New(pd.Module, popts)
+	if err != nil {
+		return err
+	}
+	exe, _, err := e.BuildAll()
+	if err != nil {
+		return fmt.Errorf("seed build: %w", err)
+	}
+	ref := exe.Fingerprint()
+	if err := e.Close(); err != nil {
+		return fmt.Errorf("seed close: %w", err)
+	}
+
+	inj := faultinject.New(seed).SetStall(faultStall).
+		Arm(faultinject.Rule{Site: "persist:*", Kind: kind, Rate: rate})
+	for r := 0; r < rounds; r++ {
+		row.Restarts++
+		o := popts
+		o.FaultHook = inj.At
+		e, err := core.New(pd.Module, o)
+		if err != nil {
+			row.BuildErrors++
+			continue
+		}
+		exe, st, err := e.BuildAll()
+		if err != nil {
+			row.BuildErrors++
+			e.Close()
+			continue
+		}
+		row.WarmHits += st.WarmHits
+		if exe.Fingerprint() != ref {
+			row.ImageMismatch++
+		}
+		// Close may surface an injected snapshot-save fault; that is a typed
+		// error on an explicit flush, not a crash — swallowed here, the next
+		// restart proves the on-disk state stayed loadable-or-evictable.
+		e.Close()
+	}
+	row.Injected += inj.TotalInjected()
+	return nil
+}
+
+// PrintPersistFaults renders the persistence restart sweep table.
+func PrintPersistFaults(w io.Writer, rows []PersistFaultRow) {
+	fmt.Fprintf(w, "Persistence fault sweep — engine restarts onto a seeded cache with faults armed at persist:* sites\n")
+	fmt.Fprintf(w, "%-6s %5s %9s %9s %9s %10s %9s\n",
+		"kind", "rate", "restarts", "injected", "warmhits", "builderr", "mismatch")
+	violations := 0
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6s %5.2f %9d %9d %9d %10d %9d\n",
+			r.Kind, r.Rate, r.Restarts, r.Injected, r.WarmHits, r.BuildErrors, r.ImageMismatch)
+		violations += r.Violations()
+	}
+	if violations == 0 {
+		fmt.Fprintf(w, "PASS: every restart served a byte-identical image; persistence failures never surfaced\n")
+	} else {
+		fmt.Fprintf(w, "FAIL: %d invariant violations (build errors or image divergence under persist faults)\n", violations)
+	}
 }
 
 // PrintFaults renders the robustness sweep table.

@@ -386,6 +386,7 @@ func (e *Engine) compileOne(id int, temp *ir.Module, th tempHashes, parent *tele
 	cached, haveObj := e.cache[id]
 	prev, known := e.hashes[id]
 	meta := e.funcMeta[id]
+	bypass := e.persistBypass
 	e.mu.RUnlock()
 	if haveObj && known && prev == out.hash {
 		// Content-hash hit: the post-instrumentation IR is byte-identical
@@ -396,6 +397,25 @@ func (e *Engine) compileOne(id int, temp *ir.Module, th tempHashes, parent *tele
 		out.fc.FuncCacheHits = out.fc.FuncsTotal
 		out.fc.Instrs = cached.CodeSize()
 		return out
+	}
+
+	// Second tier: the persistent artifact store. A verified disk entry for
+	// this content hash (and compile configuration) is byte-identical to
+	// what the cold pipeline below would produce, so it skips the pipeline
+	// exactly like a memory hit; the commit installs it — with its function
+	// metadata — into the in-memory tier. Bypassed between InvalidateCache
+	// and the next committed rebuild, and for fragments with quarantined
+	// passes (their cold compile would differ from the clean entry).
+	if !bypass {
+		if ent := e.loadPersisted(id, out.hash); ent != nil {
+			out.obj = ent.Object
+			out.meta = &fragMeta{level: ent.Level, funcHashes: ent.FuncHashes}
+			out.fc.WarmHit = true
+			out.fc.Level = ent.Level
+			out.fc.FuncCacheHits = out.fc.FuncsTotal
+			out.fc.Instrs = ent.Object.CodeSize()
+			return out
+		}
 	}
 
 	// All fragment-module cloning below draws from a pooled arena; the

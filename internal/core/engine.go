@@ -12,6 +12,7 @@ import (
 	"odin/internal/ir/analysis"
 	"odin/internal/link"
 	"odin/internal/obj"
+	"odin/internal/persist"
 	"odin/internal/telemetry"
 	"odin/internal/toolchain"
 )
@@ -73,6 +74,28 @@ type Options struct {
 	// Telemetry is nil. TelemetryAddr reports the bound address; Close stops
 	// the server.
 	MetricsAddr string
+	// CacheDir, when non-empty, attaches a crash-safe persistent artifact
+	// store (internal/persist) as a second cache tier behind the in-memory
+	// fragment cache: clean compiles publish their objects, and later
+	// engines — including restarted processes — warm-start from them. Every
+	// store failure (corrupt entry, locked or unusable directory, full
+	// disk) silently degrades to a cold compile with odin_persist_*
+	// telemetry counting the fallback.
+	CacheDir string
+	// SnapshotPath, when non-empty, names the engine state snapshot file:
+	// New restores matching state from it (fingerprints, function metadata,
+	// quarantined passes, deferred fragments, supervisor breaker state) and
+	// Close — plus Supervisor.Drain — atomically rewrites it. A corrupt or
+	// mismatched snapshot degrades to a cold start.
+	SnapshotPath string
+	// AdoptModule transfers ownership of the input module to the engine: New
+	// uses it directly as the pristine module instead of defensively cloning
+	// it, and the caller must not read or mutate the module afterward. The
+	// engine itself never mutates its pristine module, so adoption is safe
+	// whenever the module was parsed or built solely to construct this
+	// engine — the common case for tools, and a measurable share of a warm
+	// engine restart once the persistent tier absorbs compilation itself.
+	AdoptModule bool
 }
 
 // workers resolves the configured pool size.
@@ -99,6 +122,12 @@ type FragCompile struct {
 	// CacheHit records that the fragment's post-instrumentation IR hashed
 	// identical to the cached object's, so Opt and CodeGen were skipped.
 	CacheHit bool `json:"cache_hit,omitempty"`
+	// WarmHit records that the in-memory cache missed but the persistent
+	// store served a verified object for the same content hash and compile
+	// configuration — the warm-start path. Like a cache hit, Opt and
+	// CodeGen were skipped; unlike one, the object (and its function
+	// metadata) was installed fresh from disk.
+	WarmHit bool `json:"warm_hit,omitempty"`
 	// FuncsTotal counts the fragment's defined member functions this
 	// rebuild; FuncsCompiled is how many actually ran the middle and back
 	// end, and FuncCacheHits is how many were served from cached machine
@@ -146,6 +175,9 @@ type RebuildStats struct {
 	// CacheHits counts fragments satisfied by the content-hash cache
 	// (recompilation scheduled, IR unchanged, compile skipped).
 	CacheHits int `json:"cache_hits"`
+	// WarmHits counts fragments served from the persistent artifact store
+	// (in-memory miss, verified disk entry) — the warm-start savings.
+	WarmHits int `json:"warm_hits,omitempty"`
 	// Degraded counts fragments the degradation ladder compiled below the
 	// configured optimization level (or with passes quarantined) after a
 	// stage failure.
@@ -256,6 +288,35 @@ type Engine struct {
 	telemetrySrv *telemetry.Server
 	closeOnce    sync.Once
 	closeErr     error
+	// store is the persistent artifact tier, non-nil only when
+	// Options.CacheDir named a usable directory. persistBypass (guarded by
+	// mu) suppresses warm loads between InvalidateCache and the next
+	// successful rebuild, so invalidation forces real recompilation instead
+	// of disk hits. moduleHash fingerprints the pristine module for
+	// snapshot identity; persistMetrics counts persistence fallbacks that
+	// happen outside any store (open/snapshot failures).
+	store          *persist.Store
+	persistBypass  bool
+	moduleHash     uint64
+	persistMetrics *persist.Metrics
+	snapRestored   bool
+	// pristineHashes is the per-symbol fingerprint table computed as a side
+	// effect of the snapshot identity hash. A rebuild whose temporary IR
+	// aliases the pristine module (BuildAll, no probes) reuses it instead of
+	// re-fingerprinting every symbol.
+	pristineHashes tempHashes
+	// verifiedClean maps function names to the FingerprintSym hash last
+	// strictly verified clean, seeded from a snapshot and carried into the
+	// next one so warm rebuilds skip re-verifying unchanged functions. The
+	// map is replaced, never mutated, under mu (copy-on-write), so verify
+	// passes read a grabbed reference without holding the lock.
+	verifiedClean map[string]uint64
+	// supMu guards the supervisor state hooks: restoredSup carries a
+	// snapshot's supervisor state to the first Supervise call, and supState
+	// is the live supervisor's state-capture callback for SaveSnapshot.
+	supMu       sync.Mutex
+	restoredSup *persist.SupervisorState
+	supState    func() *persist.SupervisorState
 	// History accumulates rebuild statistics for the experiment harness.
 	// finish appends under mu so Snapshot can read it concurrently.
 	History []RebuildStats
@@ -280,16 +341,33 @@ func New(m *ir.Module, opts Options) (*Engine, error) {
 		opts.Codegen.FaultHook = opts.FaultHook
 	}
 	// The input module is checked once regardless of tier (it is outside
-	// the rebuild path); the verifying tiers hold it to the strict bar.
-	inputCheck := ir.Verify
-	if opts.Verify != VerifyOff {
-		inputCheck = ir.VerifyStrict
-	}
-	if err := inputCheck(m); err != nil {
+	// the rebuild path): the base structural check always, the strict
+	// upgrade (dominance-based SSA + full type checking) below, after the
+	// snapshot is consulted — a matching snapshot's module hash proves this
+	// exact content already passed the strict check in the verifying
+	// session that wrote it.
+	if err := ir.Verify(m); err != nil {
 		return nil, fmt.Errorf("core: input module: %w", err)
 	}
-	pristine, _ := ir.CloneModule(m)
-	plan, err := Partition(pristine, opts.Variant, opts.OptLevel)
+	pristine := m
+	if !opts.AdoptModule {
+		pristine, _ = ir.CloneModule(m)
+	}
+	// Load the state snapshot before partitioning: a matching snapshot
+	// carries the classification survey, so a warm start skips the trial
+	// optimization run Classify performs over the whole module.
+	moduleHash, symHashes, pm, snapState := preloadSnapshot(pristine, opts)
+	if opts.Verify != VerifyOff &&
+		(snapState == nil || snapState.VerifyTier == int(VerifyOff)) {
+		if err := ir.VerifyStrict(m); err != nil {
+			return nil, fmt.Errorf("core: input module: %w", err)
+		}
+	}
+	var cls *Classification
+	if snapState != nil {
+		cls = classificationFromSurvey(snapState.Survey)
+	}
+	plan, err := PartitionWith(pristine, opts.Variant, opts.OptLevel, cls)
 	if err != nil {
 		return nil, err
 	}
@@ -319,9 +397,16 @@ func New(m *ir.Module, opts Options) (*Engine, error) {
 	for _, f := range plan.Fragments {
 		e.neverBuilt[f.ID] = true
 	}
+	// Attach the persistent tier and restore any state snapshot before the
+	// engine is published; failures degrade to a cold start, never an error.
+	e.pristineHashes = symHashes
+	e.openPersistence(moduleHash, pm, snapState)
 	if opts.MetricsAddr != "" {
 		srv, err := telemetry.Serve(opts.MetricsAddr, opts.Telemetry, func() any { return e.Snapshot() })
 		if err != nil {
+			if e.store != nil {
+				e.store.Close() // release the writer lock; New is failing
+			}
 			return nil, err
 		}
 		e.telemetrySrv = srv
@@ -338,16 +423,29 @@ func (e *Engine) TelemetryAddr() string {
 	return e.telemetrySrv.Addr()
 }
 
-// Close stops the engine-owned introspection endpoint, if any. The engine
-// itself holds no other resources that need releasing. Close is idempotent
-// and safe to call concurrently — including while a rebuild is in flight —
-// so defer-happy callers and supervisors tearing down in parallel cannot
-// double-close the server or surface http.ErrServerClosed.
+// Close releases the engine's resources exactly once: it writes the state
+// snapshot (when Options.SnapshotPath is set), flushes and closes the
+// persistent store, and stops the introspection endpoint. Close is
+// idempotent and safe to call concurrently — including while a rebuild is
+// in flight: a racing commit's store publishes lose cleanly (counted
+// fallbacks, in-memory cache unaffected), and the store's journal is
+// flushed exactly once.
 func (e *Engine) Close() error {
 	e.closeOnce.Do(func() {
-		if e.telemetrySrv != nil {
-			e.closeErr = e.telemetrySrv.Close()
+		// Snapshot before closing the store: SaveSnapshot reads only engine
+		// state (under the engine lock), never the store.
+		serr := e.SaveSnapshot()
+		if e.store != nil {
+			if cerr := e.store.Close(); serr == nil {
+				serr = cerr
+			}
 		}
+		if e.telemetrySrv != nil {
+			if terr := e.telemetrySrv.Close(); serr == nil {
+				serr = terr
+			}
+		}
+		e.closeErr = serr
 	})
 	return e.closeErr
 }
@@ -373,7 +471,7 @@ func (e *Engine) Workers() int { return e.opts.workers() }
 // active probe that implements Instrumenter. It is both the initial build
 // and the convenience path for tools whose probes are self-applying.
 func (e *Engine) BuildAll() (*link.Executable, *RebuildStats, error) {
-	sched, err := e.Schedule()
+	sched, err := e.schedule(true)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -397,6 +495,10 @@ func (e *Engine) InvalidateCache() {
 	// Function-granular metadata keys off the same fingerprints; dropping it
 	// forces whole-fragment recompiles (no splicing against stale hashes).
 	e.funcMeta = map[int]*fragMeta{}
+	// The persistent tier would defeat the invalidation — the evicted
+	// objects are still on disk under unchanged keys — so warm loads are
+	// bypassed until the forced rebuild commits.
+	e.persistBypass = true
 	e.mu.Unlock()
 }
 

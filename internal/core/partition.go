@@ -112,7 +112,18 @@ func (u *unionFind) union(a, b string) {
 // Partition creates the fragment plan for module m (Algorithm 1 plus steps
 // 3 and 4 of §3.2).
 func Partition(m *ir.Module, variant Variant, optLevel int) (*Plan, error) {
-	cls := Classify(m, optLevel)
+	return PartitionWith(m, variant, optLevel, nil)
+}
+
+// PartitionWith is Partition with an optional pre-computed classification
+// survey. The survey is a pure function of (m, optLevel); a warm-started
+// engine passes the one its state snapshot carried (guarded by module hash)
+// and skips the trial optimization run Classify would perform. A nil cls
+// surveys the module as usual.
+func PartitionWith(m *ir.Module, variant Variant, optLevel int, cls *Classification) (*Plan, error) {
+	if cls == nil {
+		cls = Classify(m, optLevel)
+	}
 	plan := &Plan{
 		Variant:  variant,
 		FragOf:   map[string]int{},

@@ -1,0 +1,429 @@
+package core
+
+// Persistence wiring: the disk-backed second cache tier (internal/persist)
+// behind the in-memory fragment cache, plus engine state snapshots.
+//
+// The tiering contract mirrors the in-memory caches exactly. A fragment
+// compile consults memory first (content-hash hit skips everything), then the
+// persistent store (a warm hit skips materialize+opt+codegen but still links
+// and commits normally), then compiles cold. Only artifacts a clean compile
+// produced at the configured level are ever persisted — degraded, deferred,
+// and quarantined objects never reach disk, the persistent mirror of
+// "degraded objects never donate" — so a warm-served object is always
+// byte-identical to what the cold pipeline would produce. Every persistence
+// failure, from a missing directory to a bit-flipped entry to an injected
+// persist:* fault, degrades to a counted cold compile; the rebuild pipeline
+// never sees an error from this layer.
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"odin/internal/ir"
+	"odin/internal/persist"
+)
+
+// persistBuildID is the toolchain identity stamped into every persisted
+// blob. Artifacts are machine code for Odin's deterministic MIR target, so
+// the Go release (which fixes gob encoding details and the compiler package
+// versions baked into this binary) plus the persist schema are the
+// compatibility surface; cache-relevant engine configuration (opt level,
+// codegen strategy) is folded into each entry's key instead.
+func persistBuildID() string {
+	return fmt.Sprintf("%s/odin-schema-%d", runtime.Version(), persist.Schema)
+}
+
+// PersistBuildID exposes the toolchain identity for inspection tools that
+// open an engine's cache or snapshot out-of-process (read-only).
+func PersistBuildID() string { return persistBuildID() }
+
+// persistOptions assembles the persist-layer options from the engine's:
+// shared telemetry registry, shared (wrapped) fault hook so persist:* sites
+// are injectable and counted like every other pipeline site.
+func (e *Engine) persistOptions() persist.Options {
+	return persist.Options{
+		BuildID:   persistBuildID(),
+		Telemetry: e.opts.Telemetry,
+		FaultHook: e.opts.FaultHook,
+	}
+}
+
+// persistKey derives an entry's store key from a fragment's content hash and
+// the cache-relevant compile configuration: the same instrumented IR compiled
+// at a different opt level or codegen strategy is a different artifact.
+func (e *Engine) persistKey(hash uint64) uint64 {
+	h := ir.HashFold(ir.HashSeed, hash)
+	h = ir.HashFold(h, uint64(e.opts.OptLevel))
+	var cg uint64
+	if e.opts.Codegen.RegCache {
+		cg = 1
+	}
+	return ir.HashFold(h, cg)
+}
+
+// moduleFingerprint folds per-symbol fingerprints over the pristine module
+// in module order — the identity a state snapshot is valid against.
+// Fragment IDs, and therefore every per-fragment fact in a snapshot, are
+// only meaningful for an identical partition of an identical module. The
+// per-symbol table is returned alongside the fold so rebuilds whose
+// temporary IR aliases the pristine module can reuse it.
+func moduleFingerprint(m *ir.Module) (uint64, tempHashes) {
+	th := computeTempHashes(m)
+	h := ir.HashSeed
+	for _, g := range m.Globals {
+		if !g.Decl {
+			h = ir.HashFold(h, th[g.Name])
+		}
+	}
+	for _, a := range m.Aliases {
+		h = ir.HashFold(h, th[a.Name])
+	}
+	for _, f := range m.Funcs {
+		if !f.IsDecl() {
+			h = ir.HashFold(h, th[f.Name])
+		}
+	}
+	return h, th
+}
+
+// preloadSnapshot runs before partitioning: it fingerprints the module,
+// registers the persist metric families, and loads + identity-checks the
+// state snapshot, so the snapshot's cached survey can feed PartitionWith.
+// Returns a nil state on any miss or mismatch; the caller surveys cold.
+func preloadSnapshot(m *ir.Module, opts Options) (moduleHash uint64, symHashes tempHashes, pm *persist.Metrics, st *persist.EngineState) {
+	if opts.CacheDir == "" && opts.SnapshotPath == "" {
+		return 0, nil, nil, nil
+	}
+	moduleHash, symHashes = moduleFingerprint(m)
+	// The persist metric families register eagerly (shared by name with the
+	// store's own handles), so open/load failures are countable even when no
+	// store ever comes up.
+	pm = persist.NewMetrics(opts.Telemetry)
+	if opts.SnapshotPath == "" {
+		return moduleHash, symHashes, pm, nil
+	}
+	st, err := persist.LoadState(opts.SnapshotPath, persist.Options{
+		BuildID:   persistBuildID(),
+		Telemetry: opts.Telemetry,
+		FaultHook: opts.FaultHook,
+	})
+	if err != nil {
+		pm.Fallbacks.Inc()
+		return moduleHash, symHashes, pm, nil
+	}
+	if st == nil {
+		return moduleHash, symHashes, pm, nil
+	}
+	if st.ModuleHash != moduleHash || st.Variant != opts.Variant.String() || st.OptLevel != opts.OptLevel {
+		// A snapshot of some other program or configuration: its survey and
+		// per-fragment state are meaningless here. Leave the file; a later
+		// SaveSnapshot from this engine overwrites it.
+		pm.Fallbacks.Inc()
+		return moduleHash, symHashes, pm, nil
+	}
+	return moduleHash, symHashes, pm, st
+}
+
+// surveyFromClassification converts the partitioner's survey to its
+// persisted form.
+func surveyFromClassification(c *Classification) *persist.SurveyState {
+	if c == nil {
+		return nil
+	}
+	st := &persist.SurveyState{
+		Cat:         make(map[string]int, len(c.Cat)),
+		BondPairs:   c.BondPairs,
+		InnatePairs: c.InnatePairs,
+		CopyUsers:   c.CopyUsers,
+	}
+	for name, cat := range c.Cat {
+		st.Cat[name] = int(cat)
+	}
+	return st
+}
+
+// classificationFromSurvey reconstructs a Classification from a snapshot's
+// survey. Returns nil — survey cold — on a nil or malformed survey; the
+// snapshot's module-hash guard makes a well-formed survey trustworthy.
+func classificationFromSurvey(s *persist.SurveyState) *Classification {
+	if s == nil || s.Cat == nil {
+		return nil
+	}
+	c := &Classification{
+		Cat:         make(map[string]Category, len(s.Cat)),
+		BondPairs:   s.BondPairs,
+		InnatePairs: s.InnatePairs,
+		CopyUsers:   s.CopyUsers,
+	}
+	for name, cat := range s.Cat {
+		if cat < int(Fixed) || cat > int(CopyOnUse) {
+			return nil
+		}
+		c.Cat[name] = Category(cat)
+	}
+	if c.CopyUsers == nil {
+		c.CopyUsers = map[string][]string{}
+	}
+	return c
+}
+
+// openPersistence wires the disk tier into a freshly constructed engine:
+// open (or degrade without) the artifact store, then apply the preloaded
+// state snapshot. Called from New before the engine is published, so no
+// locking.
+func (e *Engine) openPersistence(moduleHash uint64, pm *persist.Metrics, st *persist.EngineState) {
+	if e.opts.CacheDir == "" && e.opts.SnapshotPath == "" {
+		return
+	}
+	e.moduleHash = moduleHash
+	e.persistMetrics = pm
+	if e.opts.CacheDir != "" {
+		s, err := persist.Open(e.opts.CacheDir, e.persistOptions())
+		if err != nil {
+			// Unusable cache directory (hard I/O error or injected fault):
+			// run cold. The engine must come up regardless.
+			e.persistMetrics.Fallbacks.Inc()
+		} else {
+			e.store = s
+		}
+	}
+	if st != nil {
+		e.applySnapshot(st)
+	}
+}
+
+// applySnapshot restores engine state from a preloaded, identity-checked
+// snapshot: quarantined passes, deferred fragments, committed fingerprints
+// and function metadata (effective once their objects warm-load from the
+// store), verified-clean function hashes, and the supervisor state held for
+// the next Supervise call.
+func (e *Engine) applySnapshot(st *persist.EngineState) {
+	if st.Fragments != len(e.Plan.Fragments) {
+		// The identity fields matched but the partition disagrees — only
+		// possible if the cached survey no longer reproduces the recorded
+		// partition (i.e. the snapshot is internally inconsistent). Apply
+		// nothing; per-fragment facts would land on the wrong fragments.
+		e.persistMetrics.Fallbacks.Inc()
+		return
+	}
+	for id, h := range st.Hashes {
+		if id >= 0 && id < len(e.Plan.Fragments) {
+			e.hashes[id] = h
+		}
+	}
+	for id, fm := range st.FuncMeta {
+		if id >= 0 && id < len(e.Plan.Fragments) && fm.FuncHashes != nil {
+			e.funcMeta[id] = &fragMeta{level: fm.Level, funcHashes: fm.FuncHashes}
+		}
+	}
+	for id, passes := range st.Quarantine {
+		for _, p := range passes {
+			if e.quarantine[id] == nil {
+				e.quarantine[id] = map[string]bool{}
+			}
+			e.quarantine[id][p] = true
+		}
+	}
+	for _, id := range st.Deferred {
+		if id >= 0 && id < len(e.Plan.Fragments) {
+			e.deferredFrags[id] = true
+		}
+	}
+	if len(st.VerifiedFuncs) > 0 {
+		vc := make(map[string]uint64, len(st.VerifiedFuncs))
+		for name, h := range st.VerifiedFuncs {
+			vc[name] = h
+		}
+		e.verifiedClean = vc
+	}
+	e.restoredSup = st.Supervisor
+	e.snapRestored = true
+}
+
+// SnapshotRestored reports whether engine state was restored from
+// Options.SnapshotPath at construction.
+func (e *Engine) SnapshotRestored() bool { return e.snapRestored }
+
+// PersistStats snapshots the persistent cache's counters; ok is false when
+// no store is attached (Options.CacheDir unset or the directory unusable).
+func (e *Engine) PersistStats() (persist.Stats, bool) {
+	if e.store == nil {
+		return persist.Stats{}, false
+	}
+	return e.store.Stats(), true
+}
+
+// loadPersisted consults the disk tier for a fragment whose in-memory lookup
+// missed. It returns nil — compile cold — whenever the store is absent, the
+// entry is missing or was evicted as corrupt, or the fragment carries
+// quarantined passes (a cold compile would route around them, so a clean
+// persisted object would no longer be byte-identical to it).
+func (e *Engine) loadPersisted(id int, hash uint64) *persist.Entry {
+	if e.store == nil {
+		return nil
+	}
+	if len(e.quarantinedPasses(id)) != 0 {
+		return nil
+	}
+	ent, _ := e.store.Get(e.persistKey(hash))
+	if ent == nil {
+		return nil
+	}
+	if ent.Level != e.opts.OptLevel {
+		// The key folds the level, so this cannot happen short of a hash
+		// collision; refuse rather than commit a wrong-level object.
+		return nil
+	}
+	return ent
+}
+
+// persistCommit publishes one committed fragment result to the disk tier.
+// Only fresh clean compiles carry meta; warm hits are already on disk, and
+// degraded, deferred, and cache-hit results are never persisted. Failures
+// are the store's to count — commit never fails on persistence.
+func (e *Engine) persistCommit(o *fragOut) {
+	if e.store == nil || o.deferred || o.meta == nil || o.fc.WarmHit {
+		return
+	}
+	_ = e.store.Put(e.persistKey(o.hash), &persist.Entry{
+		Object:     o.obj,
+		Level:      o.meta.level,
+		FuncHashes: o.meta.funcHashes,
+	})
+}
+
+// buildState captures the engine's persistable state under the engine lock.
+func (e *Engine) buildState() *persist.EngineState {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	st := &persist.EngineState{
+		ModuleHash: e.moduleHash,
+		Variant:    e.opts.Variant.String(),
+		OptLevel:   e.opts.OptLevel,
+		VerifyTier: int(e.opts.Verify),
+		Fragments:  len(e.Plan.Fragments),
+		Hashes:     make(map[int]uint64, len(e.hashes)),
+		FuncMeta:   make(map[int]persist.FuncMeta, len(e.funcMeta)),
+	}
+	for id, h := range e.hashes {
+		st.Hashes[id] = h
+	}
+	for id, fm := range e.funcMeta {
+		st.FuncMeta[id] = persist.FuncMeta{Level: fm.level, FuncHashes: fm.funcHashes}
+	}
+	for id, q := range e.quarantine {
+		if len(q) == 0 {
+			continue
+		}
+		if st.Quarantine == nil {
+			st.Quarantine = map[int][]string{}
+		}
+		st.Quarantine[id] = sortedKeys(q)
+	}
+	for id := range e.deferredFrags {
+		st.Deferred = append(st.Deferred, id)
+	}
+	st.Survey = surveyFromClassification(e.Plan.Class)
+	if vc := e.verifiedClean; len(vc) > 0 {
+		st.VerifiedFuncs = make(map[string]uint64, len(vc))
+		for name, h := range vc {
+			st.VerifiedFuncs[name] = h
+		}
+	}
+	return st
+}
+
+// SaveSnapshot atomically writes the engine's state snapshot to
+// Options.SnapshotPath (a no-op without one), including the supervisor's
+// breaker state when a Supervisor owns this engine. Safe to call
+// concurrently with rebuilds; the snapshot is a consistent view taken under
+// the engine lock.
+func (e *Engine) SaveSnapshot() error {
+	if e.opts.SnapshotPath == "" {
+		return nil
+	}
+	st := e.buildState()
+	e.supMu.Lock()
+	supState := e.supState
+	e.supMu.Unlock()
+	if supState != nil {
+		st.Supervisor = supState()
+	} else {
+		// No live supervisor: carry the restored state forward so breaker
+		// history survives engine-only restarts too.
+		st.Supervisor = e.restoredSup
+	}
+	if err := persist.SaveState(e.opts.SnapshotPath, st, e.persistOptions()); err != nil {
+		e.persistMetrics.Fallbacks.Inc()
+		return err
+	}
+	return nil
+}
+
+// registerSupervisorState installs the supervisor's state-capture callback,
+// consulted by SaveSnapshot.
+func (e *Engine) registerSupervisorState(fn func() *persist.SupervisorState) {
+	e.supMu.Lock()
+	e.supState = fn
+	e.supMu.Unlock()
+}
+
+// takeRestoredSupervisor hands the snapshot's supervisor state to the first
+// Supervise call on this engine.
+func (e *Engine) takeRestoredSupervisor() *persist.SupervisorState {
+	e.supMu.Lock()
+	defer e.supMu.Unlock()
+	st := e.restoredSup
+	return st
+}
+
+// persistState captures the supervisor's breaker and quarantine state for a
+// snapshot. Probe IDs are process-local (probes re-register after restart),
+// so quarantine restoration is best-effort by construction; the breaker and
+// its backoff are what must survive.
+func (s *Supervisor) persistState() *persist.SupervisorState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := &persist.SupervisorState{
+		Breaker:     int(s.state),
+		ConsecFails: s.consecFails,
+		BackoffNS:   int64(s.backoff),
+	}
+	if len(s.quarantined) > 0 {
+		st.Quarantined = make(map[int]string, len(s.quarantined))
+		for id, err := range s.quarantined {
+			st.Quarantined[id] = err.Error()
+		}
+	}
+	return st
+}
+
+// restoreSupervisorState seeds a fresh supervisor from a snapshot's state:
+// an open breaker stays open (with its grown backoff) across the restart
+// rather than being re-trusted just because the process bounced.
+func (s *Supervisor) restoreSupervisorState(st *persist.SupervisorState) {
+	if st == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st.Breaker >= int(BreakerClosed) && st.Breaker <= int(BreakerOpen) {
+		s.state = BreakerState(st.Breaker)
+	}
+	if st.ConsecFails > 0 {
+		s.consecFails = st.ConsecFails
+	}
+	if st.BackoffNS > 0 {
+		s.backoff = time.Duration(st.BackoffNS)
+		if s.backoff > s.opts.BreakerMaxBackoff {
+			s.backoff = s.opts.BreakerMaxBackoff
+		}
+	}
+	if s.state == BreakerOpen {
+		s.reopenAt = time.Now().Add(s.backoff)
+	}
+	for id, msg := range st.Quarantined {
+		s.quarantined[id] = fmt.Errorf("restored from snapshot: %s", msg)
+	}
+}

@@ -39,7 +39,12 @@ type Sched struct {
 // Schedule runs Algorithm 2: it detects changed probes, propagates changed
 // symbols to fragments, back-propagates fragments to probes, and extracts
 // the temporary IR.
-func (e *Engine) Schedule() (*Sched, error) {
+func (e *Engine) Schedule() (*Sched, error) { return e.schedule(false) }
+
+// schedule is Schedule's implementation. aliasPristine — set only by
+// BuildAll, which never hands the Sched to user patch logic — permits the
+// no-probes fast path that skips the extraction clone entirely.
+func (e *Engine) schedule(aliasPristine bool) (*Sched, error) {
 	// Lines 2-6: symbols with changed probes. The snapshot epoch makes the
 	// eventual clearDirtyThrough precise under concurrent probe requests.
 	dirtySyms, epoch := e.Manager.dirtySnapshot()
@@ -70,7 +75,18 @@ func (e *Engine) Schedule() (*Sched, error) {
 			sched.ActiveProbes = append(sched.ActiveProbes, p)
 		}
 	}
-	// Line 18: extract the temporary IR.
+	// Line 18: extract the temporary IR. When nothing will instrument it —
+	// BuildAll with no probes to (re-)apply — every downstream consumer
+	// (fingerprinting, verification, materialize) only reads the temporary
+	// IR, so the extraction clone is pure overhead: alias the pristine
+	// module instead, with the empty value map as the identity mapping.
+	// This is the dominant cost of a warm engine restart after the
+	// persistent tier absorbs compilation itself.
+	if aliasPristine && len(sched.ActiveProbes) == 0 {
+		sched.Temp = e.Pristine
+		sched.vmap = ir.NewValueMap()
+		return sched, nil
+	}
 	temp, vmap, err := extractIR(e.Pristine, extract)
 	if err != nil {
 		return nil, err
@@ -226,7 +242,10 @@ func (s *Sched) finish() (*link.Executable, *RebuildStats, error) {
 	// verification so the verifier can skip functions whose hash was
 	// already verified clean in an earlier rebuild.
 	fp := root.Child("fingerprint")
-	th := computeTempHashes(s.Temp)
+	th := e.pristineHashes
+	if s.Temp != e.Pristine || th == nil {
+		th = computeTempHashes(s.Temp)
+	}
 	fp.End()
 
 	// Boundary-tier verification of the instrumented temporary IR: strict
@@ -287,10 +306,17 @@ func (s *Sched) finish() (*link.Executable, *RebuildStats, error) {
 	for i := range outs {
 		o := &outs[i]
 		e.commitFragment(o)
+		// Publish fresh clean objects to the persistent tier. Failures are
+		// the store's to count; the in-memory commit above is the source of
+		// truth either way.
+		e.persistCommit(o)
 		stats.Fragments = append(stats.Fragments, o.fc)
 		stats.CompileCPU += o.fc.Materialize + o.fc.Opt + o.fc.CodeGen
 		if o.fc.CacheHit {
 			stats.CacheHits++
+		}
+		if o.fc.WarmHit {
+			stats.WarmHits++
 		}
 		stats.FuncCacheHits += o.fc.FuncCacheHits
 		stats.FuncsCompiled += o.fc.FuncsCompiled
@@ -319,6 +345,9 @@ func (s *Sched) finish() (*link.Executable, *RebuildStats, error) {
 	// introspection Snapshot never observes a torn update.
 	e.mu.Lock()
 	e.exe = exe
+	// A committed rebuild after InvalidateCache recompiled everything for
+	// real; the persistent tier may serve warm loads again.
+	e.persistBypass = false
 	e.History = append(e.History, *stats)
 	e.mu.Unlock()
 	e.recordRebuild(root, stats)

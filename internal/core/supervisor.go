@@ -262,6 +262,11 @@ func Supervise(e *Engine, opts SupervisorOptions) *Supervisor {
 		backoff:     opts.BreakerBackoff,
 		quarantined: map[int]error{},
 	}
+	// Seed the breaker and quarantine from a restored engine snapshot (if
+	// any) before the loop starts, and register the state-capture callback
+	// so Engine.SaveSnapshot includes live supervisor state from now on.
+	s.restoreSupervisorState(e.takeRestoredSupervisor())
+	e.registerSupervisorState(s.persistState)
 	s.sm = newSupervisorMetrics(e.Telemetry(), s)
 	go s.loop()
 	return s
@@ -405,6 +410,9 @@ func (s *Supervisor) breakerAdmit() error {
 func (s *Supervisor) Close() error {
 	s.shutdown(false)
 	<-s.loopDone
+	// Best-effort state persistence: breaker and quarantine survive the
+	// restart when the engine has a snapshot path configured.
+	s.eng.SaveSnapshot()
 	return nil
 }
 
@@ -418,6 +426,10 @@ func (s *Supervisor) Drain(ctx context.Context) error {
 	s.shutdown(true)
 	select {
 	case <-s.loopDone:
+		// The queue is fully processed: persist breaker and quarantine
+		// state before reporting the drain complete, so a restart sees the
+		// supervisor exactly as it ended.
+		s.eng.SaveSnapshot()
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()

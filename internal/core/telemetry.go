@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"odin/internal/persist"
 	"odin/internal/telemetry"
 )
 
@@ -245,6 +246,11 @@ type EngineSnapshot struct {
 	Quarantined   map[int][]string `json:"quarantined,omitempty"`
 	Rebuilds      int              `json:"rebuilds"`
 	LastRebuild   *RebuildStats    `json:"last_rebuild,omitempty"`
+	// Persist is the persistent artifact store's counters, present only
+	// when Options.CacheDir attached one. SnapshotRestored reports that
+	// engine state was restored from Options.SnapshotPath at construction.
+	Persist          *persist.Stats `json:"persist,omitempty"`
+	SnapshotRestored bool           `json:"snapshot_restored,omitempty"`
 }
 
 // Snapshot captures the engine's current state for introspection. It is
@@ -280,6 +286,11 @@ func (e *Engine) Snapshot() EngineSnapshot {
 		last := e.History[n-1]
 		s.LastRebuild = &last
 	}
+	if e.store != nil {
+		ps := e.store.Stats()
+		s.Persist = &ps
+	}
+	s.SnapshotRestored = e.snapRestored
 	return s
 }
 
@@ -328,6 +339,9 @@ func observeFragSpan(fs *telemetry.Span, out *fragOut) {
 	}
 	if out.fc.CacheHit {
 		fs.SetAttr("cache_hit", "true")
+	}
+	if out.fc.WarmHit {
+		fs.SetAttr("warm_hit", "true")
 	}
 	if out.fc.Spliced {
 		fs.SetAttr("spliced", "true")

@@ -97,6 +97,13 @@ func (e *Engine) verifyTemp(temp *ir.Module, th tempHashes) error {
 	if err := ir.VerifySymbols(temp); err != nil {
 		return err
 	}
+	// Snapshot-carried clean hashes (copy-on-write map: grab once, read
+	// freely). Functions that match skip strict verification exactly like an
+	// in-memory cache hit — the hash is the same FingerprintSym content hash
+	// the ancache keys on, just proven in a previous process.
+	e.mu.RLock()
+	carried := e.verifiedClean
+	e.mu.RUnlock()
 	for _, f := range temp.Funcs {
 		if f.IsDecl() {
 			continue
@@ -104,6 +111,10 @@ func (e *Engine) verifyTemp(temp *ir.Module, th tempHashes) error {
 		hash, hashed := th[f.Name]
 		if hashed {
 			if info := e.ancache.Get(f.Name, hash); info != nil && info.Verified {
+				e.metrics.verifyCacheHits.Inc()
+				continue
+			}
+			if h, ok := carried[f.Name]; ok && h == hash {
 				e.metrics.verifyCacheHits.Inc()
 				continue
 			}
@@ -123,6 +134,30 @@ func (e *Engine) verifyTemp(temp *ir.Module, th tempHashes) error {
 			info.Verified = true
 			e.ancache.Put(f.Name, hash, info)
 		}
+	}
+	// Everything hashed in temp is now verified clean (by cache, carryover,
+	// or the fresh check above). Fold the pass into the snapshot-bound map —
+	// copy-on-write, so concurrent readers never observe a mutating map.
+	// Losing a concurrent writer's entries is harmless: worst case is one
+	// extra re-verification after the next restart.
+	updated := false
+	next := make(map[string]uint64, len(carried)+checks)
+	for name, h := range carried {
+		next[name] = h
+	}
+	for _, f := range temp.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		if h, ok := th[f.Name]; ok && next[f.Name] != h {
+			next[f.Name] = h
+			updated = true
+		}
+	}
+	if updated {
+		e.mu.Lock()
+		e.verifiedClean = next
+		e.mu.Unlock()
 	}
 	return nil
 }

@@ -23,6 +23,16 @@
 //	supervisor:commit    before a supervisor rebuild generation schedules
 //	                     (fails the whole generation without touching
 //	                     engine state — breaker and bisection testing)
+//	persist:open         before opening the persistent artifact store
+//	persist:load         before each persistent-cache load
+//	persist:store        before each atomic publish to the store
+//	persist:evict        before evicting a corrupt or skewed entry
+//	persist:snapshot-save before writing an engine state snapshot
+//	persist:snapshot-load before reading an engine state snapshot
+//
+// Every persist:* fault degrades to a counted cold compile or fallback —
+// the persistence layer's verify-or-degrade contract — so a Rule with
+// Site: "persist:*" must never change executable output or crash.
 //
 // Decisions are deterministic: each site keeps a call counter, and the
 // decision for the k-th call at a site is a pure function of (seed, site, k).

@@ -230,3 +230,63 @@ func (e *Executable) CodeSize() int {
 	}
 	return n
 }
+
+// Fingerprint is a deterministic 64-bit FNV-1a hash of the linked image:
+// every function's name and full instruction encoding (every Inst field,
+// explicitly — Inst.String omits operands for some opcodes and map-order
+// encodings are nondeterministic) plus the data segment. Two executables
+// with equal fingerprints are byte-identical images; warm-start and
+// crash-restart tests compare images across process boundaries with it.
+func (e *Executable) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	u := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	str := func(s string) {
+		u(uint64(len(s)))
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+	}
+	u(uint64(len(e.Funcs)))
+	for _, f := range e.Funcs {
+		str(f.Name)
+		u(uint64(f.NumBlocks))
+		u(uint64(len(f.Code)))
+		for _, in := range f.Code {
+			u(uint64(in.Op))
+			u(uint64(in.Rd))
+			u(uint64(in.Rs1))
+			u(uint64(in.Rs2))
+			u(uint64(in.Imm))
+			u(uint64(in.ALUOp))
+			u(uint64(in.Pred))
+			u(uint64(in.Width))
+			if in.SignExt {
+				u(1)
+			} else {
+				u(0)
+			}
+			u(uint64(in.Size))
+			str(in.Sym)
+			u(uint64(in.Target))
+			u(uint64(in.FuncIdx))
+			u(uint64(in.ProbeAddr))
+		}
+	}
+	u(uint64(len(e.Data)))
+	for _, b := range e.Data {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}

@@ -1,0 +1,190 @@
+package persist
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// The journal is the store's metadata of record: an append-only sequence of
+// fixed-size self-checksummed records, one per publish or eviction. Its only
+// jobs are a fast index at Open (no directory walk on the hot path) and
+// byte accounting; the entries themselves are the source of truth, so the
+// journal can ALWAYS be discarded and rebuilt from a directory scan.
+//
+// Kill-9 tolerance: each record carries a CRC32 over its body, appended with
+// a single write. Replay stops at the first record that is short or fails
+// its checksum — a torn tail from a crash mid-append — and the writer
+// truncates the tail away before appending again. Records after a torn one
+// are unreachable by construction (appends are sequential), so stopping is
+// lossless up to the crash point, and any entry the lost records described
+// is rediscovered by the fallback scan or simply re-published.
+
+// Journal record: [op 1][key 8][size 8][crc 4] = 21 bytes. crc covers the
+// first 17 bytes.
+const (
+	journalRecSize = 21
+
+	journalOpPut = byte('p')
+	journalOpDel = byte('d')
+)
+
+type journalRec struct {
+	op   byte
+	key  uint64
+	size int64
+}
+
+func encodeJournalRec(r journalRec) [journalRecSize]byte {
+	var b [journalRecSize]byte
+	b[0] = r.op
+	binary.BigEndian.PutUint64(b[1:9], r.key)
+	binary.BigEndian.PutUint64(b[9:17], uint64(r.size))
+	binary.BigEndian.PutUint32(b[17:21], crc32.ChecksumIEEE(b[:17]))
+	return b
+}
+
+func decodeJournalRec(b []byte) (journalRec, bool) {
+	if len(b) < journalRecSize {
+		return journalRec{}, false
+	}
+	if crc32.ChecksumIEEE(b[:17]) != binary.BigEndian.Uint32(b[17:21]) {
+		return journalRec{}, false
+	}
+	op := b[0]
+	if op != journalOpPut && op != journalOpDel {
+		return journalRec{}, false
+	}
+	return journalRec{
+		op:   op,
+		key:  binary.BigEndian.Uint64(b[1:9]),
+		size: int64(binary.BigEndian.Uint64(b[9:17])),
+	}, true
+}
+
+// replayJournal reads the journal and folds its records into an index of
+// live keys (key → entry size). It returns the byte offset of the last good
+// record's end; anything past it is a torn tail the writer may truncate.
+// A missing journal returns an empty index at offset 0.
+func replayJournal(path string) (index map[uint64]int64, goodLen int64, err error) {
+	index = map[uint64]int64{}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return index, 0, nil
+		}
+		return nil, 0, err
+	}
+	off := 0
+	for off+journalRecSize <= len(data) {
+		rec, ok := decodeJournalRec(data[off : off+journalRecSize])
+		if !ok {
+			break // torn or corrupt tail: trust nothing past it
+		}
+		switch rec.op {
+		case journalOpPut:
+			index[rec.key] = rec.size
+		case journalOpDel:
+			delete(index, rec.key)
+		}
+		off += journalRecSize
+	}
+	return index, int64(off), nil
+}
+
+// openJournalForAppend opens the journal truncated to its last good record,
+// ready for appends.
+func openJournalForAppend(path string, goodLen int64) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if fi, err := f.Stat(); err == nil && fi.Size() != goodLen {
+		if err := f.Truncate(goodLen); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// appendJournal appends one record with a single write. Journal appends are
+// deliberately not fsynced per record: losing the last few records to a
+// crash costs a directory-scan rediscovery (or a redundant re-publish), not
+// correctness, and per-record fsync would put a disk flush on the commit
+// path of every fragment.
+func appendJournal(f *os.File, r journalRec) error {
+	if f == nil {
+		return nil
+	}
+	b := encodeJournalRec(r)
+	_, err := f.Write(b[:])
+	return err
+}
+
+// scanObjects rebuilds the index from the sharded entry layout — the
+// recovery path when the journal is unreadable or out of sync with reality.
+// Sizes come from file metadata; entry integrity is still verified per-load.
+func scanObjects(dir string) map[uint64]int64 {
+	index := map[uint64]int64{}
+	shards, err := os.ReadDir(dir)
+	if err != nil {
+		return index
+	}
+	for _, sh := range shards {
+		if !sh.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(dir, sh.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			name := f.Name()
+			if !strings.HasSuffix(name, entrySuffix) || strings.HasPrefix(name, tempPattern) {
+				continue
+			}
+			key, ok := parseEntryName(name)
+			if !ok {
+				continue
+			}
+			size := int64(0)
+			if fi, err := f.Info(); err == nil {
+				size = fi.Size()
+			}
+			index[key] = size
+		}
+	}
+	return index
+}
+
+// sweepTemps removes abandoned temp files (kill -9 between temp write and
+// rename) under the objects tree. Only the writer calls it.
+func sweepTemps(dir string) {
+	shards, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, sh := range shards {
+		if !sh.IsDir() {
+			continue
+		}
+		shDir := filepath.Join(dir, sh.Name())
+		files, err := os.ReadDir(shDir)
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if strings.HasPrefix(f.Name(), tempPattern) {
+				os.Remove(filepath.Join(shDir, f.Name()))
+			}
+		}
+	}
+}

@@ -1,0 +1,41 @@
+//go:build unix
+
+package persist
+
+import (
+	"os"
+	"syscall"
+)
+
+// acquireWriterLock takes the cache directory's exclusive writer lock
+// (flock on <dir>/lock) without blocking. It returns the held lock file, or
+// (nil, nil) when another process holds it — the caller degrades to
+// read-only. flock locks die with the process, so a kill -9 writer never
+// leaves the directory permanently locked.
+//
+// Readers take no lock at all: entries are immutable once published (atomic
+// rename), and an eviction unlinks a name while any open read descriptor
+// stays valid, so a reader can never observe a half-written or half-deleted
+// entry.
+func acquireWriterLock(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		if err == syscall.EWOULDBLOCK || err == syscall.EAGAIN {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return f, nil
+}
+
+// releaseWriterLock drops the lock; closing the descriptor releases flock.
+func releaseWriterLock(f *os.File) {
+	if f != nil {
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}
+}

@@ -22,9 +22,9 @@ echo "== go test (ODIN_VERIFY=all: strict IR verification after every optimizer 
 # error.
 ODIN_VERIFY=all go test ./internal/core/ ./internal/cov/ ./internal/bench/
 
-echo "== go test -race (core, link, faultinject, telemetry, rt, cov) =="
+echo "== go test -race (core, link, faultinject, telemetry, rt, cov, persist) =="
 go test -race ./internal/core/... ./internal/link/... ./internal/faultinject/... \
-	./internal/telemetry/... ./internal/rt/... ./internal/cov/...
+	./internal/telemetry/... ./internal/rt/... ./internal/cov/... ./internal/persist/...
 
 echo "== supervisor soak (-race, ~30s) =="
 # Bounded concurrent-supervisor soak: 8 goroutines of random probe toggles
@@ -70,26 +70,82 @@ done
 rm -f "$errlog" "$metrics"
 echo "metrics smoke: ok"
 
+echo "== persist crash-restart smoke =="
+# Kill-9 tolerance end to end, at process granularity: seed a persistent
+# cache + snapshot with a clean run (recording the reference image
+# fingerprint), SIGKILL fresh runs against the same cache dir at varying
+# points mid-build, then assert a final restart (a) does not crash on
+# whatever half-written state the kills left behind, (b) serves warm hits
+# from the surviving entries, and (c) produces a byte-identical image.
+pdir="$(mktemp -d)"
+go build -o "$pdir/odin-run" ./cmd/odin-run
+seed_log="$pdir/seed.log"
+"$pdir/odin-run" -odin -program libxml2 \
+	-cache-dir "$pdir/cache" -snapshot "$pdir/state.snap" >/dev/null 2>"$seed_log"
+ref="$(sed -n 's/.*image \([0-9a-f]\{16\}\).*/\1/p' "$seed_log")"
+if [ -z "$ref" ]; then
+	echo "crash-restart smoke: seed run printed no image fingerprint:"
+	cat "$seed_log"
+	exit 1
+fi
+for delay in 0 0.02 0.05 0.1; do
+	"$pdir/odin-run" -odin -program libxml2 \
+		-cache-dir "$pdir/cache" -snapshot "$pdir/state.snap" >/dev/null 2>&1 &
+	victim=$!
+	sleep "$delay"
+	kill -9 "$victim" 2>/dev/null || true
+	wait "$victim" 2>/dev/null || true
+done
+final_log="$pdir/final.log"
+"$pdir/odin-run" -odin -program libxml2 \
+	-cache-dir "$pdir/cache" -snapshot "$pdir/state.snap" >/dev/null 2>"$final_log"
+warm="$(sed -n 's/^; persist: \([0-9]*\)\/.*/\1/p' "$final_log")"
+img="$(sed -n 's/.*image \([0-9a-f]\{16\}\).*/\1/p' "$final_log")"
+if [ -z "$warm" ] || [ "$warm" -eq 0 ]; then
+	echo "crash-restart smoke: no warm hits after kill-9 storm:"
+	cat "$final_log"
+	exit 1
+fi
+if [ "$img" != "$ref" ]; then
+	echo "crash-restart smoke: image diverged after kill-9 storm: $img != $ref"
+	cat "$final_log"
+	exit 1
+fi
+rm -rf "$pdir"
+echo "crash-restart smoke: ok ($warm fragments warm, image $img unchanged)"
+
+echo "== persist fault sweep (persist:* sites) =="
+# The persistence arm of the faults experiment: engine restarts onto a
+# seeded cache with error/panic/stall faults armed at every persist:* site.
+# odin-bench exits nonzero on any build error or image divergence — the
+# verify-or-degrade contract at sweep scale. Bounded to three programs and
+# two rounds to keep CI wall time in check; the full suite runs via
+# `odin-bench -experiment faults`.
+go run ./cmd/odin-bench -experiment faults -programs json,sqlite,libxml2 -fault-rounds 2
+
 echo "== allocation budget (probe-toggle hot loop) =="
 # The function-granular splice path's steady-state allocation envelope,
 # pinned with testing.AllocsPerRun. Catches an accidental return to
 # whole-fragment cloning long before it shows up as latency.
 go test ./internal/core/ -run TestSpliceAllocBudget
 
-echo "== bench regression gate (probe-toggle + verify-overhead vs committed artifact) =="
+echo "== bench regression gate (probe-toggle + verify-overhead + cold-warm vs committed artifact) =="
 # Compare the current tree's trajectory against the committed BENCH
 # artifact: fail on >15% p50/p99 regression beyond a 2ms absolute floor
 # (machine-jitter immunity), on a shrinking function cache-hit rate, on the
 # structural invariant breaking (a single-function toggle must compile
-# exactly one function), or on boundaries-tier verification overhead above
-# its 5% p50 budget. Both experiments run in one invocation so the artifact
-# carries both (a missing experiment counts as a regression). Regenerate
-# with `make bench-record` when a deliberate change moves the trajectory.
-# Skipped when no artifact is committed.
+# exactly one function), on boundaries-tier verification overhead above its
+# 5% p50 budget, or on a warm start falling below its absolute speedup
+# floor (bench.WarmSpeedupFloor) or losing image byte-identity. All
+# experiments run in one invocation so the artifact carries all of them (a
+# missing experiment counts as a regression). Regenerate with `make
+# bench-record` when a deliberate change moves the trajectory. Skipped when
+# no artifact is committed.
 bench_artifact="$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)"
 if [ -n "$bench_artifact" ]; then
 	echo "comparing against $bench_artifact"
-	go run ./cmd/odin-bench -experiment probe-toggle,verify-overhead -toggle-rounds 60 -bench-compare "$bench_artifact"
+	go run ./cmd/odin-bench -experiment probe-toggle,verify-overhead,cold-warm \
+		-toggle-rounds 60 -coldwarm-rounds 5 -bench-compare "$bench_artifact"
 else
 	echo "no BENCH_*.json artifact committed; skipping regression gate"
 fi
