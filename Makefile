@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test verify-all race soak fmt-check bench-parallel bench-telemetry bench-record bench-check alloc-budget verify-budget warm-bench persist-faults ci
+.PHONY: all build vet test verify-all race soak fmt-check bench-parallel bench-telemetry bench-record bench-check alloc-budget verify-budget warm-bench persist-faults serve-storm ci
 
 all: build
 
@@ -21,11 +21,14 @@ verify-all:
 
 # The concurrency-sensitive packages: the fragment compile pool, the
 # incremental linker, the fault injector that stresses both, the telemetry
-# layer hit from concurrent compile workers and probe firings, and the
-# persistent artifact store shared by concurrent engines.
+# layer hit from concurrent compile workers and probe firings, the
+# persistent artifact store shared by concurrent engines, and the
+# multi-tenant probe-control plane routing concurrent HTTP traffic into
+# per-shard supervisors.
 race:
 	$(GO) test -race ./internal/core/... ./internal/link/... ./internal/faultinject/... \
-		./internal/telemetry/... ./internal/rt/... ./internal/cov/... ./internal/persist/...
+		./internal/telemetry/... ./internal/rt/... ./internal/cov/... ./internal/persist/... \
+		./internal/serve/...
 
 # Extended supervisor soak: 8 goroutines of random probe toggles against a
 # fault-injecting supervised engine under the race detector, asserting every
@@ -50,24 +53,27 @@ bench-parallel:
 	$(GO) test ./internal/bench/ -run XXX -bench BenchmarkParallelRebuild -benchtime 5x
 
 # Recorded performance trajectory: regenerate the committed benchmark
-# artifact from the probe-toggle, verify-overhead, and cold-warm experiments
-# (function-granular splice latency, cache-hit rates, allocs per toggle,
-# boundaries-tier verification overhead, warm-start restart speedup). Bump
-# BENCH when recording a new trajectory point rather than overwriting
+# artifact from the probe-toggle, verify-overhead, cold-warm, and
+# serve-storm experiments (function-granular splice latency, cache-hit
+# rates, allocs per toggle, boundaries-tier verification overhead,
+# warm-start restart speedup, multi-tenant isolation under hostile load).
+# Bump BENCH when recording a new trajectory point rather than overwriting
 # history's meaning.
-BENCH ?= BENCH_8.json
+BENCH ?= BENCH_9.json
 bench-record:
-	$(GO) run ./cmd/odin-bench -experiment probe-toggle,verify-overhead,cold-warm \
+	$(GO) run ./cmd/odin-bench -experiment probe-toggle,verify-overhead,cold-warm,serve-storm \
 		-toggle-rounds 60 -coldwarm-rounds 5 -bench-out $(BENCH)
 
 # Compare the current tree against the committed trajectory artifact
 # (skipped with a note when the artifact is absent). Fails on >15% p99
 # regression beyond a 2ms floor, on structural splice breakage, on
-# verification overhead above its 5% budget, or on a warm start below its
-# absolute speedup floor / losing image byte-identity.
+# verification overhead above its 5% budget, on a warm start below its
+# absolute speedup floor / losing image byte-identity, or on the serve
+# control plane dropping healthy tenants' work or exceeding the isolation
+# bound under hostile load.
 bench-check:
 	@if [ -f $(BENCH) ]; then \
-		$(GO) run ./cmd/odin-bench -experiment probe-toggle,verify-overhead,cold-warm \
+		$(GO) run ./cmd/odin-bench -experiment probe-toggle,verify-overhead,cold-warm,serve-storm \
 			-toggle-rounds 60 -coldwarm-rounds 5 -bench-compare $(BENCH); \
 	else \
 		echo "bench-check: $(BENCH) not present; skipping regression gate"; \
@@ -84,6 +90,12 @@ warm-bench:
 # exits nonzero on any surfaced build error or image divergence.
 persist-faults:
 	$(GO) run ./cmd/odin-bench -experiment faults -fault-rounds 3
+
+# Multi-tenant serve storm on its own: hostile-tenant isolation against a
+# two-shard control plane over loopback HTTP. Prints per-tenant latency
+# tables and the isolation verdict without touching the committed artifact.
+serve-storm:
+	$(GO) run ./cmd/odin-bench -experiment serve-storm
 
 # Allocation budget: the probe-toggle hot loop must stay within its pinned
 # allocs/op envelope (arena-backed cloning + lazy materialization).

@@ -3,16 +3,18 @@
 //
 // Usage:
 //
-//	odin-bench [-experiment all|fig3|fig8|fig9|fig10|fig11|fig12|headline|parallel|faults|storm|probe-toggle|verify-overhead|cold-warm]
+//	odin-bench [-experiment all|fig3|fig8|fig9|fig10|fig11|fig12|headline|parallel|faults|storm|probe-toggle|verify-overhead|cold-warm|serve-storm]
 //	           [-campaign N] [-programs a,b,c] [-parallel] [-workers N]
 //	           [-fault-rounds N] [-fault-seed N] [-json] [-metrics-addr HOST:PORT]
 //	           [-storm-goroutines N] [-storm-requests N] [-toggle-rounds N]
 //	           [-coldwarm-rounds N] [-verify off|boundaries|all]
+//	           [-serve-tenants N] [-serve-requests N] [-serve-programs a,b]
 //	           [-bench-out FILE] [-bench-compare FILE]
 //
 // -experiment also accepts a comma-separated list of the self-contained
-// experiments (probe-toggle, verify-overhead, cold-warm, fig3), so one
-// invocation can record a multi-experiment benchmark artifact:
+// experiments (probe-toggle, verify-overhead, cold-warm, fig3,
+// serve-storm), so one invocation can record a multi-experiment benchmark
+// artifact:
 //
 //	odin-bench -experiment probe-toggle,verify-overhead -bench-out BENCH_7.json
 //
@@ -50,7 +52,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: all, fig3, fig8, fig9, fig10, fig11, fig12, headline, ablation, codegen, parallel, faults, storm, probe-toggle")
+	experiment := flag.String("experiment", "all", "which experiment to run: all, fig3, fig8, fig9, fig10, fig11, fig12, headline, ablation, codegen, parallel, faults, storm, probe-toggle, verify-overhead, cold-warm, serve-storm")
 	campaign := flag.Int("campaign", 400, "fuzzing iterations used to generate each replay corpus")
 	programs := flag.String("programs", "", "comma-separated subset of programs (default: all 13)")
 	parallel := flag.Bool("parallel", false, "with fig11: also report wall-clock speedup of the concurrent recompile pipeline")
@@ -65,6 +67,9 @@ func main() {
 	coldWarmRounds := flag.Int("coldwarm-rounds", 5, "engine restarts per arm and workload in the cold-warm experiment")
 	cacheDir := flag.String("cache-dir", "", "with -experiment cold-warm: pin each workload's persistent cache to a subdirectory of this path and leave it on disk for inspection (default: fresh temp dirs, removed)")
 	snapshot := flag.String("snapshot", "", "with -experiment cold-warm and -cache-dir: base path for the per-workload engine state snapshots (default: state.snap inside each workload's cache)")
+	serveTenants := flag.Int("serve-tenants", 3, "healthy tenants in the serve-storm experiment (the hostile arm adds one more)")
+	serveRequests := flag.Int("serve-requests", 40, "probe add/remove cycles per healthy tenant in the serve-storm experiment")
+	servePrograms := flag.String("serve-programs", "json,woff2", "the two suite programs the serve-storm daemon shards host")
 	verify := flag.String("verify", "", "engine IR-verification tier for the run: off, boundaries, all (default: ODIN_VERIFY or boundaries)")
 	benchOut := flag.String("bench-out", "", "write a benchmark artifact (BENCH_<n>.json schema) to this file")
 	benchCompare := flag.String("bench-compare", "", "compare this run's artifact against a committed one; exit 1 on regression")
@@ -81,13 +86,26 @@ func main() {
 		os.Setenv("ODIN_VERIFY", *verify)
 	}
 
-	if err := run(*experiment, *campaign, *programs, *parallel, *workers, *faultRounds, *faultSeed, *jsonOut, *metricsAddr, *stormG, *stormN, *toggleRounds, *coldWarmRounds, *cacheDir, *snapshot, *benchOut, *benchCompare); err != nil {
+	serveCfg := serveStormCfg{tenants: *serveTenants, requests: *serveRequests}
+	for _, p := range strings.Split(*servePrograms, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			serveCfg.programs = append(serveCfg.programs, p)
+		}
+	}
+	if err := run(*experiment, *campaign, *programs, *parallel, *workers, *faultRounds, *faultSeed, *jsonOut, *metricsAddr, *stormG, *stormN, *toggleRounds, *coldWarmRounds, *cacheDir, *snapshot, *benchOut, *benchCompare, serveCfg); err != nil {
 		fmt.Fprintf(os.Stderr, "odin-bench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, campaign int, programs string, parallel bool, workers, faultRounds int, faultSeed uint64, jsonOut bool, metricsAddr string, stormG, stormN, toggleRounds, coldWarmRounds int, cacheDir, snapshot, benchOut, benchCompare string) (err error) {
+// serveStormCfg carries the serve-storm experiment's knobs.
+type serveStormCfg struct {
+	tenants  int
+	requests int
+	programs []string
+}
+
+func run(experiment string, campaign int, programs string, parallel bool, workers, faultRounds int, faultSeed uint64, jsonOut bool, metricsAddr string, stormG, stormN, toggleRounds, coldWarmRounds int, cacheDir, snapshot, benchOut, benchCompare string, serveCfg serveStormCfg) (err error) {
 	var w io.Writer = os.Stdout
 	report := map[string]any{}
 	if jsonOut {
@@ -131,7 +149,7 @@ func run(experiment string, campaign int, programs string, parallel bool, worker
 			if !isQuick(name) {
 				return fmt.Errorf("experiment %q cannot be combined; lists may only contain %s", name, quickExperiments)
 			}
-			if err := runQuick(name, w, report, art, toggleRounds, coldWarmRounds, cacheDir, snapshot); err != nil {
+			if err := runQuick(name, w, report, art, toggleRounds, coldWarmRounds, cacheDir, snapshot, serveCfg); err != nil {
 				return err
 			}
 			fmt.Fprintln(w)
@@ -299,11 +317,11 @@ func run(experiment string, campaign int, programs string, parallel bool, worker
 // quickExperiments are the self-contained experiments runQuick handles: they
 // synthesize their own workloads, so they skip suite preparation and may be
 // combined in a comma-separated -experiment list.
-const quickExperiments = "probe-toggle, verify-overhead, cold-warm, fig3"
+const quickExperiments = "probe-toggle, verify-overhead, cold-warm, fig3, serve-storm"
 
 func isQuick(name string) bool {
 	switch strings.TrimSpace(name) {
-	case "probe-toggle", "verify-overhead", "cold-warm", "fig3":
+	case "probe-toggle", "verify-overhead", "cold-warm", "fig3", "serve-storm":
 		return true
 	}
 	return false
@@ -311,7 +329,7 @@ func isQuick(name string) bool {
 
 // runQuick runs one self-contained experiment, folding its rows into the
 // JSON report and the benchmark artifact.
-func runQuick(name string, w io.Writer, report map[string]any, art *bench.Artifact, toggleRounds, coldWarmRounds int, cacheDir, snapshot string) error {
+func runQuick(name string, w io.Writer, report map[string]any, art *bench.Artifact, toggleRounds, coldWarmRounds int, cacheDir, snapshot string, serveCfg serveStormCfg) error {
 	switch name {
 	case "probe-toggle":
 		rows, err := bench.RunToggle(toggleRounds)
@@ -360,6 +378,21 @@ func runQuick(name string, w io.Writer, report map[string]any, art *bench.Artifa
 		}
 		report["fig3"] = r
 		bench.PrintFig3(w, r)
+	case "serve-storm":
+		sum, err := bench.RunServeStorm(serveCfg.programs, serveCfg.tenants, serveCfg.requests)
+		if err != nil {
+			return err
+		}
+		report["serve_storm"] = sum
+		bench.PrintServeStorm(w, sum)
+		art.AddServeStorm(sum)
+		if sum.DroppedHealthy > 0 {
+			return fmt.Errorf("serve-storm: %d healthy tickets dropped under hostile load", sum.DroppedHealthy)
+		}
+		if sum.IsolationX > bench.ServeIsolationFactor {
+			return fmt.Errorf("serve-storm: isolation %.2fx exceeds the %.1fx bound",
+				sum.IsolationX, bench.ServeIsolationFactor)
+		}
 	default:
 		return fmt.Errorf("unknown quick experiment %q", name)
 	}

@@ -28,7 +28,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"odin/internal/core"
@@ -99,6 +101,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "odin-fuzz: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// closeOnSignal runs cleanup when the process receives SIGINT or SIGTERM —
+// flushing the persistent artifact store and state snapshot a finished
+// campaign would have written — then exits with the conventional 128+signal
+// status. The returned function releases the handler on the normal path.
+func closeOnSignal(cleanup func() error) func() {
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case sig := <-sigCh:
+			fmt.Fprintf(os.Stderr, "odin-fuzz: %v, flushing persistence\n", sig)
+			if err := cleanup(); err != nil {
+				fmt.Fprintf(os.Stderr, "odin-fuzz: close: %v\n", err)
+			}
+			code := 130 // 128 + SIGINT
+			if sig == syscall.SIGTERM {
+				code = 143
+			}
+			os.Exit(code)
+		case <-done:
+		}
+	}()
+	return func() { signal.Stop(sigCh); close(done) }
 }
 
 // loadModule resolves the campaign target: a parsed IR file or a generated
@@ -239,6 +267,9 @@ func run(program, irFile string, iters int, seed uint64, prune bool, rebuildTime
 		return err
 	}
 	defer tool.Engine.Close()
+	// An interrupted campaign still flushes the artifact cache and snapshot:
+	// Close is Once-guarded, so the deferred call stays a no-op afterwards.
+	defer closeOnSignal(tool.Engine.Close)()
 	if addr := tool.Engine.TelemetryAddr(); addr != "" {
 		fmt.Fprintf(os.Stderr, "telemetry: serving on %s\n", addr)
 	}

@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"odin/internal/core"
@@ -156,6 +158,9 @@ func run(level int, useInterp bool, input, fn string, dump, odin, supervise bool
 		// Close flushes the persistent store and rewrites the state
 		// snapshot; without persistence it is a cheap no-op.
 		defer eng.Close()
+		// An interrupt must flush the same state: Close is Once-guarded, so
+		// the deferred call above stays a no-op if the handler fires first.
+		defer closeOnSignal("odin-run", eng.Close)()
 		if metricsAddr != "" {
 			srv, err := telemetry.Serve(metricsAddr, opts.Telemetry, func() any { return eng.Snapshot() })
 			if err != nil {
@@ -230,6 +235,33 @@ func run(level int, useInterp bool, input, fn string, dump, odin, supervise bool
 	fmt.Fprintf(os.Stderr, "; @%s = %d (%d cycles; build: opt %v, codegen %v, link %v)\n",
 		fn, ret, mach.Cycles, st.Optimize, st.CodeGen, st.Link)
 	return nil
+}
+
+// closeOnSignal runs cleanup when the process receives SIGINT or SIGTERM —
+// flushing the persistent artifact store and state snapshot that the normal
+// deferred Close would have written — then exits with the conventional
+// 128+signal status. The returned function releases the handler so the
+// normal exit path does not leave a dangling goroutine claiming signals.
+func closeOnSignal(prog string, cleanup func() error) func() {
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case sig := <-sigCh:
+			fmt.Fprintf(os.Stderr, "%s: %v, flushing persistence\n", prog, sig)
+			if err := cleanup(); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: close: %v\n", prog, err)
+			}
+			code := 130 // 128 + SIGINT
+			if sig == syscall.SIGTERM {
+				code = 143
+			}
+			os.Exit(code)
+		case <-done:
+		}
+	}()
+	return func() { signal.Stop(sigCh); close(done) }
 }
 
 // runOn executes fn on the machine, wiring the fuzz input buffer when the

@@ -1,0 +1,117 @@
+// Command odin-serve is the probe-control-plane daemon: it hosts suite
+// programs across independent engine shards (one core.Engine + Supervisor
+// per shard, each with its own persistent cache under -data) and exposes
+// the versioned JSON-over-HTTP control API with fleet admission control.
+//
+// Usage:
+//
+//	odin-serve -shard a=json -shard b=sqlite -data /var/lib/odin -addr 127.0.0.1:9180
+//	odin-ctl -addr http://127.0.0.1:9180 shards
+//
+// SIGINT/SIGTERM drain every shard supervisor (admitted work commits and
+// per-shard snapshots are written) before exit, so a restart warm-starts
+// each shard from its own cache.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"odin/internal/serve"
+)
+
+// shardFlags collects repeatable -shard name=program declarations.
+type shardFlags []serve.ShardSpec
+
+func (s *shardFlags) String() string {
+	var parts []string
+	for _, sp := range *s {
+		parts = append(parts, sp.Name+"="+sp.Program)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (s *shardFlags) Set(v string) error {
+	name, program, ok := strings.Cut(v, "=")
+	if !ok || name == "" || program == "" {
+		return fmt.Errorf("want name=program, got %q", v)
+	}
+	*s = append(*s, serve.ShardSpec{Name: name, Program: program})
+	return nil
+}
+
+func main() {
+	var shards shardFlags
+	flag.Var(&shards, "shard", "host a shard: name=program (repeatable; program is a suite profile name)")
+	addr := flag.String("addr", "127.0.0.1:0", "listen address (port 0 = pick a free port)")
+	data := flag.String("data", "", "persist root; each shard gets its own cache and snapshot under DATA/shards/<name>/")
+	workers := flag.Int("workers", 0, "fragment compile workers per shard (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue-depth", 0, "per-shard supervisor admission queue depth (0 = default)")
+	tenantRPS := flag.Float64("tenant-rps", 0, "per-tenant sustained admission rate (0 = default, <0 = off)")
+	tenantBurst := flag.Float64("tenant-burst", 0, "per-tenant admission burst (0 = default)")
+	maxInFlight := flag.Int("max-inflight", 0, "global in-flight request cap (0 = default, <0 = off)")
+	failThreshold := flag.Int("fail-threshold", 0, "consecutive probe failures that trip a tenant's breaker (0 = default, <0 = off)")
+	reqTimeout := flag.Duration("request-timeout", 0, "end-to-end bound for one probe operation (0 = 30s)")
+	drainTimeout := flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for shards to drain")
+	flag.Parse()
+
+	if err := run(shards, *addr, *data, *workers, *queueDepth, *tenantRPS, *tenantBurst, *maxInFlight, *failThreshold, *reqTimeout, *drainTimeout); err != nil {
+		fmt.Fprintf(os.Stderr, "odin-serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(shards shardFlags, addr, data string, workers, queueDepth int, tenantRPS, tenantBurst float64, maxInFlight, failThreshold int, reqTimeout, drainTimeout time.Duration) error {
+	if len(shards) == 0 {
+		return fmt.Errorf("at least one -shard name=program is required")
+	}
+	for i := range shards {
+		shards[i].Workers = workers
+		shards[i].QueueDepth = queueDepth
+	}
+	srv, err := serve.New(serve.Options{
+		Shards:  shards,
+		DataDir: data,
+		Admission: serve.AdmissionOptions{
+			TenantRPS:     tenantRPS,
+			TenantBurst:   tenantBurst,
+			MaxInFlight:   maxInFlight,
+			FailThreshold: failThreshold,
+		},
+		RequestTimeout: reqTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	for _, sh := range srv.Shards() {
+		fmt.Fprintf(os.Stderr, "odin-serve: shard %s hosting %s, warm hits %d\n",
+			sh.Name, sh.Program, srv.ShardWarmHits(sh.Name))
+	}
+
+	bound, err := srv.Start(addr)
+	if err != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		srv.Close(ctx)
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "odin-serve: listening on %s\n", bound)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	sig := <-sigCh
+	fmt.Fprintf(os.Stderr, "odin-serve: %v, draining %d shards\n", sig, len(shards))
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Close(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "odin-serve: drained, snapshots written\n")
+	return nil
+}

@@ -46,6 +46,12 @@ type ArtifactMetrics struct {
 	// start must keep paying for itself.
 	ColdP50MS float64 `json:"cold_p50_ms,omitempty"`
 	SpeedupX  float64 `json:"speedup_x,omitempty"`
+	// IsolationX is the serve-storm experiment's headline: worst healthy-
+	// tenant p99 with a hostile tenant storming, over the no-hostile
+	// baseline. CI gates it against the absolute ServeIsolationFactor, and
+	// DroppedHealthy must stay zero exactly.
+	IsolationX     float64 `json:"isolation_x,omitempty"`
+	DroppedHealthy int     `json:"dropped_healthy,omitempty"`
 }
 
 // Artifact is the schema of BENCH_<n>.json.
@@ -152,6 +158,24 @@ func (a *Artifact) AddStorm(rows []StormResult) {
 	a.Experiments["storm"] = m
 }
 
+// AddServeStorm folds the serve-storm summary into the artifact: the worst
+// healthy tenant's latency percentiles from the hostile arm (the number a
+// fleet operator lives with), plus the isolation ratio and drop count the
+// gate checks absolutely.
+func (a *Artifact) AddServeStorm(s *ServeStormSummary) {
+	if s == nil {
+		return
+	}
+	var m ArtifactMetrics
+	for _, r := range s.Hostile {
+		m.P50MS = maxf(m.P50MS, durMS(r.P50))
+		m.P99MS = maxf(m.P99MS, durMS(r.P99))
+	}
+	m.IsolationX = s.IsolationX
+	m.DroppedHealthy = s.DroppedHealthy
+	a.Experiments["serve-storm"] = m
+}
+
 // WriteFile writes the artifact as indented JSON. The write is atomic
 // (temp + fsync + rename), so a crashed or interrupted bench run can never
 // leave a torn BENCH_<n>.json for the CI gate to trip over.
@@ -254,6 +278,18 @@ func CompareArtifacts(ref, cur *Artifact, tolPct, floorMS float64) []string {
 		if c.SpeedupX > 0 && c.SpeedupX*(1+tolPct/100) < WarmSpeedupFloor {
 			bad = append(bad, fmt.Sprintf("%s: warm-start speedup %.1fx below the %.0fx floor (beyond %g%% tolerance)",
 				name, c.SpeedupX, WarmSpeedupFloor, tolPct))
+		}
+		// Tenant isolation is gated absolutely too: hostile-arm healthy p99
+		// within ServeIsolationFactor of baseline (with the usual jitter
+		// tolerance), and not one healthy ticket dropped — a drop means the
+		// admission ladder leaked hostile pressure onto a healthy tenant.
+		if c.IsolationX > 0 && c.IsolationX > ServeIsolationFactor*(1+tolPct/100) {
+			bad = append(bad, fmt.Sprintf("%s: hostile-tenant isolation %.2fx exceeds the %.1fx bound (beyond %g%% tolerance)",
+				name, c.IsolationX, ServeIsolationFactor, tolPct))
+		}
+		if c.DroppedHealthy > 0 {
+			bad = append(bad, fmt.Sprintf("%s: %d healthy tickets dropped under hostile load (must be 0)",
+				name, c.DroppedHealthy))
 		}
 	}
 	for name, r := range ref.Experiments {

@@ -143,8 +143,27 @@ func TestFig10Shape(t *testing.T) {
 	}
 	f12 := Fig12(rows)
 	for _, r := range f12 {
-		if r.WorstMS[core.VariantOne] < r.WorstMS[core.VariantOdin] {
-			t.Errorf("%s: whole-program compile should bound the worst fragment", r.Program)
+		if r.WorstMS[core.VariantOne] >= r.WorstMS[core.VariantOdin] {
+			continue
+		}
+		// WorstMS is a max over single-sample wall-clock fragment compiles,
+		// so one scheduler stall on a loaded box can push a small fragment
+		// past the whole-program time. Re-measure the program once and only
+		// fail when the violation reproduces.
+		var pd *ProgramData
+		for _, p := range pds {
+			if p.Name == r.Program {
+				pd = p
+			}
+		}
+		again, err := RunFig10([]*ProgramData{pd})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2 := Fig12(again)[0]
+		if r2.WorstMS[core.VariantOne] < r2.WorstMS[core.VariantOdin] {
+			t.Errorf("%s: whole-program compile should bound the worst fragment (%.2fms < %.2fms on re-measure)",
+				r.Program, r2.WorstMS[core.VariantOne], r2.WorstMS[core.VariantOdin])
 		}
 	}
 	var buf bytes.Buffer

@@ -404,6 +404,29 @@ func (s *Supervisor) breakerAdmit() error {
 	return nil
 }
 
+// BreakerRetryAfter reports how long callers should wait before retrying
+// while the breaker is open: the time remaining until the half-open trial
+// is allowed, rounded up to a whole second (the HTTP Retry-After grain),
+// with a 1s floor. It returns 0 when the breaker is closed or half-open,
+// letting serving layers map "non-zero" directly to a 503 + Retry-After.
+func (s *Supervisor) BreakerRetryAfter() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != BreakerOpen {
+		return 0
+	}
+	wait := time.Until(s.reopenAt)
+	if wait <= 0 {
+		// Backoff elapsed: the next admission flips to half-open, so a
+		// retry is worthwhile immediately; report the minimum grain.
+		return time.Second
+	}
+	if rem := wait % time.Second; rem != 0 {
+		wait += time.Second - rem
+	}
+	return wait
+}
+
 // Close stops admission, lets the in-flight generation finish, resolves
 // every still-queued ticket with ErrSupervisorClosed, and waits for the
 // rebuild loop to exit. Close is idempotent.

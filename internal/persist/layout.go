@@ -1,0 +1,68 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+)
+
+// shardNameRE restricts shard names to path-safe tokens so a shard name can
+// never escape the data root or collide with the store's own files.
+var shardNameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$`)
+
+// ShardPaths is the on-disk location of one engine shard under a shared
+// data root: a private cache directory for the object store and a private
+// snapshot file for engine state, so shards warm-start independently and a
+// corrupt shard can be wiped without touching its neighbours.
+type ShardPaths struct {
+	// CacheDir is the shard's persistent object store (core.Options.CacheDir).
+	CacheDir string
+	// SnapshotPath is the shard's engine-state snapshot
+	// (core.Options.SnapshotPath).
+	SnapshotPath string
+}
+
+// ShardLayout maps (root, shard) to that shard's cache directory and
+// snapshot path, creating the directories. The layout is
+//
+//	root/shards/<name>/cache/     object store
+//	root/shards/<name>/state.json engine snapshot
+//
+// Shard names must be path-safe ([A-Za-z0-9_.-], 64 chars max, not starting
+// with a separator-adjacent character); anything else is rejected rather
+// than sanitized so two distinct configured names can never alias one
+// directory.
+func ShardLayout(root, shard string) (ShardPaths, error) {
+	if !shardNameRE.MatchString(shard) {
+		return ShardPaths{}, fmt.Errorf("persist: invalid shard name %q", shard)
+	}
+	dir := filepath.Join(root, "shards", shard)
+	cache := filepath.Join(dir, "cache")
+	if err := os.MkdirAll(cache, 0o755); err != nil {
+		return ShardPaths{}, fmt.Errorf("persist: shard layout: %w", err)
+	}
+	return ShardPaths{
+		CacheDir:     cache,
+		SnapshotPath: filepath.Join(dir, "state.json"),
+	}, nil
+}
+
+// ListShards returns the shard names present under root, in lexical order.
+// A root with no shards directory yields an empty list, not an error.
+func ListShards(root string) ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(root, "shards"))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("persist: list shards: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() && shardNameRE.MatchString(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}

@@ -1,0 +1,287 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"odin/internal/core"
+)
+
+// TenantHeader names the request header carrying the tenant identity.
+// Absent means TenantAnonymous — admission still applies, under one shared
+// identity.
+const (
+	TenantHeader    = "X-Odin-Tenant"
+	TenantAnonymous = "anonymous"
+)
+
+// routes assembles the versioned control-plane mux.
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/fleet", s.handleFleet)
+	mux.HandleFunc("GET /v1/shards", s.handleShards)
+	mux.HandleFunc("GET /v1/shards/{shard}/functions", s.handleFunctions)
+	mux.HandleFunc("POST /v1/shards/{shard}/probes", s.handleProbeAdd)
+	mux.HandleFunc("POST /v1/shards/{shard}/probes/{id}/{action}", s.handleProbeAction)
+	mux.HandleFunc("POST /v1/shards/{shard}/sync", s.handleSync)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get(TenantHeader); t != "" {
+		return t
+	}
+	return TenantAnonymous
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError emits the JSON error envelope; retryAfter > 0 also sets the
+// Retry-After header (whole seconds, floored at 1).
+func writeError(w http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) {
+	e := apiError{Error: msg, Code: code}
+	if retryAfter > 0 {
+		retryAfter = ceilSecond(retryAfter)
+		w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter/time.Second)))
+		e.RetryAfterS = retryAfter.Seconds()
+	}
+	writeJSON(w, status, e)
+}
+
+// writeShed maps an admission rejection to 429 + Retry-After.
+func writeShed(w http.ResponseWriter, shed *Shed) {
+	writeError(w, http.StatusTooManyRequests, "shed",
+		"admission shed: "+shed.Reason, shed.RetryAfter)
+}
+
+// writeSubmitError maps supervisor admission errors — the ones returned
+// before a ticket exists.
+func (s *Server) writeSubmitError(w http.ResponseWriter, sh *shard, err error) {
+	var qe *core.ProbeQuarantinedError
+	switch {
+	case errors.Is(err, core.ErrCircuitOpen):
+		writeError(w, http.StatusServiceUnavailable, "breaker_open",
+			fmt.Sprintf("shard %s circuit breaker open", sh.name), sh.sup.BreakerRetryAfter())
+	case errors.Is(err, core.ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, "shed",
+			fmt.Sprintf("shard %s admission queue full", sh.name), time.Second)
+	case errors.Is(err, core.ErrSupervisorClosed):
+		writeError(w, http.StatusServiceUnavailable, "closed",
+			fmt.Sprintf("shard %s is shutting down", sh.name), 0)
+	case errors.As(err, &qe):
+		writeError(w, http.StatusUnprocessableEntity, "quarantined",
+			err.Error(), 0)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "closed",
+			"request cancelled during admission", 0)
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", err.Error(), 0)
+	}
+}
+
+// writeTicketError maps a committed generation's failure — the ticket
+// resolved, but against this request.
+func writeTicketError(w http.ResponseWriter, err error) {
+	var qe *core.ProbeQuarantinedError
+	if errors.As(err, &qe) {
+		writeError(w, http.StatusUnprocessableEntity, "quarantined", err.Error(), 0)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, "internal", err.Error(), 0)
+}
+
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Fleet())
+}
+
+func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Shards())
+}
+
+// handleFunctions lists a shard's instrumentable functions — the valid
+// probe targets.
+func (s *Server) handleFunctions(w http.ResponseWriter, r *http.Request) {
+	sh := s.shardOf(w, r)
+	if sh == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, sh.funcs)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.agg.WritePrometheus(w)
+}
+
+// shardOf resolves the {shard} path segment, writing 404 on a miss.
+func (s *Server) shardOf(w http.ResponseWriter, r *http.Request) *shard {
+	name := r.PathValue("shard")
+	sh, ok := s.byName[name]
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found",
+			fmt.Sprintf("unknown shard %q", name), 0)
+		return nil
+	}
+	return sh
+}
+
+// handleProbeAdd is POST /v1/shards/{shard}/probes: admit, register the
+// probe, wait out its activation generation, and attribute the outcome to
+// the tenant's failure breaker.
+func (s *Server) handleProbeAdd(w http.ResponseWriter, r *http.Request) {
+	sh := s.shardOf(w, r)
+	if sh == nil {
+		return
+	}
+	tenant := tenantOf(r)
+	release, shed := s.adm.admit(tenant)
+	if shed != nil {
+		writeShed(w, shed)
+		return
+	}
+	defer release()
+
+	var spec ProbeSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "invalid probe spec: "+err.Error(), 0)
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	id, tk, err := sh.sup.AddProbeCtx(ctx, buildProbe(spec, sh.site.Add(1)))
+	if err != nil {
+		s.writeSubmitError(w, sh, err)
+		return
+	}
+	sh.record(id, tenant, spec)
+	res, err := tk.Wait(ctx)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "closed",
+			"timed out waiting for generation: "+err.Error(), 0)
+		return
+	}
+	s.adm.report(tenant, res.Err == nil)
+	if res.Err != nil {
+		writeTicketError(w, res.Err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ProbeResult{
+		ID: id, Gen: res.Gen, Coalesced: res.Coalesced, Salvaged: res.Salvaged,
+	})
+}
+
+// handleProbeAction is POST /v1/shards/{shard}/probes/{id}/{action} with
+// action one of enable, remove, change. Tenants can only act on probes
+// they own; foreign or unknown IDs read as not found.
+func (s *Server) handleProbeAction(w http.ResponseWriter, r *http.Request) {
+	sh := s.shardOf(w, r)
+	if sh == nil {
+		return
+	}
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "probe id must be an integer", 0)
+		return
+	}
+	action := r.PathValue("action")
+	switch action {
+	case "enable", "remove", "change":
+	default:
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("unknown action %q (want enable, remove, or change)", action), 0)
+		return
+	}
+	tenant := tenantOf(r)
+	if sh.tenantOf(id) != tenant {
+		writeError(w, http.StatusNotFound, "not_found",
+			fmt.Sprintf("no probe %d for tenant %q on shard %s", id, tenant, sh.name), 0)
+		return
+	}
+	release, shed := s.adm.admit(tenant)
+	if shed != nil {
+		writeShed(w, shed)
+		return
+	}
+	defer release()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	var tk *core.Ticket
+	switch action {
+	case "enable":
+		tk, err = sh.sup.EnableProbeCtx(ctx, id)
+	case "remove":
+		tk, err = sh.sup.RemoveProbeCtx(ctx, id)
+	case "change":
+		tk, err = sh.sup.MarkChangedCtx(ctx, id)
+	}
+	if err != nil {
+		s.writeSubmitError(w, sh, err)
+		return
+	}
+	res, err := tk.Wait(ctx)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "closed",
+			"timed out waiting for generation: "+err.Error(), 0)
+		return
+	}
+	s.adm.report(tenant, res.Err == nil)
+	if res.Err != nil {
+		writeTicketError(w, res.Err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ProbeResult{
+		ID: id, Gen: res.Gen, Coalesced: res.Coalesced, Salvaged: res.Salvaged,
+	})
+}
+
+// handleSync is POST /v1/shards/{shard}/sync: a generation barrier over
+// everything enqueued before it. Sync outcomes are not attributed to the
+// tenant breaker — a failed generation at a barrier is the shard's story,
+// not the caller's.
+func (s *Server) handleSync(w http.ResponseWriter, r *http.Request) {
+	sh := s.shardOf(w, r)
+	if sh == nil {
+		return
+	}
+	release, shed := s.adm.admit(tenantOf(r))
+	if shed != nil {
+		writeShed(w, shed)
+		return
+	}
+	defer release()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	tk, err := sh.sup.SyncCtx(ctx)
+	if err != nil {
+		s.writeSubmitError(w, sh, err)
+		return
+	}
+	res, err := tk.Wait(ctx)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "closed",
+			"timed out waiting for generation: "+err.Error(), 0)
+		return
+	}
+	if res.Err != nil {
+		writeTicketError(w, res.Err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ProbeResult{Gen: res.Gen, Coalesced: res.Coalesced})
+}

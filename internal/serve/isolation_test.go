@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTenantIsolation is the hostile-tenant containment test: one tenant
+// storms poison probes at shard alpha while healthy tenants keep committing
+// counter probes on shards alpha and beta. Isolation holds when (a) every
+// healthy request eventually commits — zero dropped tickets, retries on
+// shed/backpressure included — (b) healthy tail latency stays bounded, and
+// (c) the hostile tenant is demonstrably contained by its failure breaker
+// rather than by the shard breaker everyone shares.
+func TestTenantIsolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-tenant storm")
+	}
+	srv, _, client := newTestServer(t, Options{
+		Shards: []ShardSpec{
+			{Name: "alpha", Module: testModule(t, 8)},
+			{Name: "beta", Module: testModule(t, 8)},
+		},
+		Admission: AdmissionOptions{
+			// Rate limiting off: the test wants the failure breaker, not the
+			// bucket, to do the containing.
+			TenantRPS:      -1,
+			FailThreshold:  2,
+			FailBackoff:    100 * time.Millisecond,
+			FailMaxBackoff: time.Second,
+		},
+	})
+
+	const healthyOps = 24
+	type tenantRun struct {
+		tenant  string
+		shard   string
+		lats    []time.Duration
+		dropped int
+	}
+	runs := []*tenantRun{
+		{tenant: "good-a", shard: "alpha"},
+		{tenant: "good-b", shard: "beta"},
+	}
+
+	var hostileWG, healthyWG sync.WaitGroup
+	// Hostile tenant: fire poison probes at alpha as fast as the control
+	// plane lets it, until the healthy tenants are done.
+	done := make(chan struct{})
+	hostileShed := 0
+	hostileWG.Add(1)
+	go func() {
+		defer hostileWG.Done()
+		c := client("evil")
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			_, err := c.AddProbe("alpha", ProbeSpec{Func: "f0", Kind: KindPoison})
+			var ae *APIError
+			if errors.As(err, &ae) && ae.Status == 429 {
+				hostileShed++
+				time.Sleep(10 * time.Millisecond)
+			}
+		}
+	}()
+
+	// Healthy tenants: add/remove/enable cycles; retry shed and
+	// backpressure verdicts, count a request dropped only if it never
+	// commits.
+	for _, run := range runs {
+		run := run
+		healthyWG.Add(1)
+		go func() {
+			defer healthyWG.Done()
+			c := client(run.tenant)
+			for i := 0; i < healthyOps; i++ {
+				fn := []string{"f1", "f2", "f3", "f4"}[i%4]
+				start := time.Now()
+				committed := false
+				for attempt := 0; attempt < 50; attempt++ {
+					res, err := c.AddProbe(run.shard, ProbeSpec{Func: fn})
+					if err == nil {
+						// Clean up so active probes don't accumulate
+						// unboundedly; removal failures are tolerated.
+						c.ProbeAction(run.shard, res.ID, "remove")
+						committed = true
+						break
+					}
+					var ae *APIError
+					if errors.As(err, &ae) && ae.Temporary() {
+						time.Sleep(20 * time.Millisecond)
+						continue
+					}
+					t.Errorf("%s: non-retryable error: %v", run.tenant, err)
+					break
+				}
+				if !committed {
+					run.dropped++
+					continue
+				}
+				run.lats = append(run.lats, time.Since(start))
+			}
+		}()
+	}
+
+	// Wait for the healthy tenants, then stop the hostile storm.
+	healthyWG.Wait()
+	close(done)
+	hostileWG.Wait()
+
+	for _, run := range runs {
+		if run.dropped != 0 {
+			t.Errorf("%s: %d healthy requests dropped", run.tenant, run.dropped)
+		}
+		sort.Slice(run.lats, func(i, j int) bool { return run.lats[i] < run.lats[j] })
+		if n := len(run.lats); n > 0 {
+			p99 := run.lats[n*99/100]
+			if p99 > 30*time.Second {
+				t.Errorf("%s: healthy p99 %v unbounded", run.tenant, p99)
+			}
+			t.Logf("%s on %s: p50=%v p99=%v", run.tenant, run.shard,
+				run.lats[n/2], p99)
+		}
+	}
+
+	// Containment evidence: the hostile tenant's failure breaker tripped
+	// (serve-layer shedding), and the shards' own breakers stayed closed so
+	// healthy traffic never saw fleet-wide fail-fast.
+	snap := srv.Fleet()
+	var evil *TenantStats
+	for i := range snap.Tenants {
+		if snap.Tenants[i].Tenant == "evil" {
+			evil = &snap.Tenants[i]
+		}
+	}
+	if evil == nil || evil.BreakerTrips == 0 {
+		t.Errorf("hostile tenant breaker never tripped: %+v", snap.Tenants)
+	}
+	for _, sh := range snap.Shards {
+		if sh.Supervisor.Breaker == "open" {
+			t.Errorf("shard %s breaker open at end of storm", sh.Name)
+		}
+	}
+	t.Logf("hostile: shed %d times, breaker trips %d", hostileShed, evil.BreakerTrips)
+}

@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"odin/internal/core"
+	"odin/internal/ir"
+	"odin/internal/persist"
+	"odin/internal/progen"
+	"odin/internal/telemetry"
+)
+
+// ShardSpec configures one engine shard: a program hosted behind its own
+// supervisor with its own persistent cache, so shards fail, warm-start, and
+// trip breakers independently.
+type ShardSpec struct {
+	// Name identifies the shard in routes, metrics labels, and the persist
+	// layout. Required, must be path-safe (persist.ShardLayout enforces it).
+	Name string
+	// Program names a progen suite profile to generate the hosted module
+	// from. Ignored when Module is set.
+	Program string
+	// Module hosts an explicit IR module instead of a generated profile.
+	Module *ir.Module
+	// CacheDir and SnapshotPath place the shard's persist tier. Normally
+	// derived from the server's DataDir via persist.ShardLayout; explicit
+	// values override. Empty means no persistence.
+	CacheDir     string
+	SnapshotPath string
+	// Workers sets the shard engine's compile pool size (0 = engine
+	// default).
+	Workers int
+	// QueueDepth bounds the shard supervisor's admission queue (0 =
+	// supervisor default).
+	QueueDepth int
+}
+
+// shard is one running engine: the unit of isolation in the fleet.
+type shard struct {
+	name    string
+	program string
+	eng     *core.Engine
+	sup     *core.Supervisor
+	reg     *telemetry.Registry
+	// warmHits is the persist-tier hit count observed right after the boot
+	// build — the shard's warm-start evidence, frozen so later traffic
+	// doesn't dilute it.
+	warmHits uint64
+	// funcs lists the instrumentable (defined, non-empty) functions of the
+	// hosted module, so clients can discover probe targets.
+	funcs []string
+	// site allocates shard-unique hit-site IDs for counter probes.
+	site atomic.Int64
+
+	// mu guards probes: probe ID → owning tenant, recorded at admission so
+	// the fleet snapshot can attribute quarantines and active probes.
+	mu     sync.Mutex
+	probes map[int]probeRec
+}
+
+// probeRec is the control plane's per-probe bookkeeping.
+type probeRec struct {
+	Tenant string
+	Spec   ProbeSpec
+}
+
+// newShard builds the shard's engine and supervisor and runs the boot build
+// so the persist tier's warm-start evidence is in hand before traffic.
+func newShard(spec ShardSpec) (*shard, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("serve: shard needs a name")
+	}
+	m := spec.Module
+	program := spec.Program
+	if m == nil {
+		prof, ok := progen.ByName(spec.Program)
+		if !ok {
+			return nil, fmt.Errorf("serve: shard %s: unknown program %q", spec.Name, spec.Program)
+		}
+		m = prof.Generate()
+		program = prof.Name
+	}
+	reg := telemetry.NewRegistry()
+	eng, err := core.New(m, core.Options{
+		Telemetry:     reg,
+		ExtraBuiltins: []string{HitBuiltin},
+		Workers:       spec.Workers,
+		CacheDir:      spec.CacheDir,
+		SnapshotPath:  spec.SnapshotPath,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: shard %s: %w", spec.Name, err)
+	}
+	sup := core.Supervise(eng, core.SupervisorOptions{QueueDepth: spec.QueueDepth})
+
+	// Boot build through the supervisor so the image exists (and the warm
+	// cache is consulted) before the shard takes traffic.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	tk, err := sup.SyncCtx(ctx)
+	if err == nil {
+		var res core.TicketResult
+		if res, err = tk.Wait(ctx); err == nil {
+			err = res.Err
+		}
+	}
+	if err != nil {
+		sup.Close()
+		eng.Close()
+		return nil, fmt.Errorf("serve: shard %s boot build: %w", spec.Name, err)
+	}
+
+	sh := &shard{
+		name:    spec.Name,
+		program: program,
+		eng:     eng,
+		sup:     sup,
+		reg:     reg,
+		probes:  map[int]probeRec{},
+	}
+	for _, f := range m.Funcs {
+		if !f.IsDecl() && len(f.Blocks) > 0 {
+			sh.funcs = append(sh.funcs, f.Name)
+		}
+	}
+	if ps, ok := eng.PersistStats(); ok {
+		sh.warmHits = ps.Hits
+	}
+	return sh, nil
+}
+
+// record remembers which tenant owns a freshly admitted probe.
+func (sh *shard) record(id int, tenant string, spec ProbeSpec) {
+	sh.mu.Lock()
+	sh.probes[id] = probeRec{Tenant: tenant, Spec: spec}
+	sh.mu.Unlock()
+}
+
+// tenantOf returns the owner of a probe ID, or "".
+func (sh *shard) tenantOf(id int) string {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.probes[id].Tenant
+}
+
+// persistStats snapshots the shard's persist tier, nil when persistence is
+// off.
+func (sh *shard) persistStats() *persist.Stats {
+	ps, ok := sh.eng.PersistStats()
+	if !ok {
+		return nil
+	}
+	return &ps
+}
+
+// close drains the supervisor (bounded by ctx) and closes the engine.
+// Draining rather than closing means already-admitted tickets still commit,
+// and the supervisor snapshot lands before engine teardown. If ctx expires
+// the drain keeps running in the background and the engine is deliberately
+// left open — tearing it down under an active rebuild loop would race; the
+// exiting process reclaims it.
+func (sh *shard) close(ctx context.Context) error {
+	if err := sh.sup.Drain(ctx); err != nil {
+		return err
+	}
+	sh.eng.Close()
+	return nil
+}

@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAggregateInjectsLabelAndGroupsFamilies(t *testing.T) {
+	a := NewRegistry()
+	b := NewRegistry()
+	a.Describe("odin_rebuilds_total", "rebuild generations")
+	a.Counter("odin_rebuilds_total").Add(3)
+	b.Counter("odin_rebuilds_total").Add(7)
+	a.Gauge("odin_queue_depth").Set(2)
+	b.Counter("odin_probe_hits_total", "probe", "p1").Add(5)
+
+	agg := NewAggregate("shard")
+	agg.Attach("alpha", a)
+	agg.Attach("beta", b)
+
+	var sb strings.Builder
+	if err := agg.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# HELP odin_rebuilds_total rebuild generations\n",
+		"# TYPE odin_rebuilds_total counter\n",
+		`odin_rebuilds_total{shard="alpha"} 3` + "\n",
+		`odin_rebuilds_total{shard="beta"} 7` + "\n",
+		`odin_queue_depth{shard="alpha"} 2` + "\n",
+		`odin_probe_hits_total{probe="p1",shard="beta"} 5` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE line per family even when members span registries.
+	if n := strings.Count(out, "# TYPE odin_rebuilds_total"); n != 1 {
+		t.Errorf("want 1 TYPE line for odin_rebuilds_total, got %d:\n%s", n, out)
+	}
+}
+
+func TestAggregateHistogramAndSnapshot(t *testing.T) {
+	a := NewRegistry()
+	h := a.Histogram("odin_ticket_seconds", nil)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(80 * time.Millisecond)
+
+	agg := NewAggregate("shard")
+	agg.Attach("s0", a)
+
+	var sb strings.Builder
+	if err := agg.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `odin_ticket_seconds_bucket{shard="s0",le="+Inf"} 2`) {
+		t.Errorf("missing +Inf bucket with shard label:\n%s", out)
+	}
+	if !strings.Contains(out, `odin_ticket_seconds_count{shard="s0"} 2`) {
+		t.Errorf("missing _count with shard label:\n%s", out)
+	}
+
+	snap := agg.Snapshot()
+	if len(snap["s0"]) != 1 || snap["s0"][0].Count != 2 {
+		t.Errorf("Snapshot: got %+v", snap)
+	}
+}
+
+func TestAggregateNilSafety(t *testing.T) {
+	var agg *Aggregate
+	agg.Attach("x", NewRegistry()) // must not panic
+	if err := agg.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatalf("nil aggregate WritePrometheus: %v", err)
+	}
+	if agg.Snapshot() != nil {
+		t.Error("nil aggregate Snapshot should be nil")
+	}
+	live := NewAggregate("shard")
+	live.Attach("x", nil) // nil registry ignored
+	if got := live.Registry("x"); got != nil {
+		t.Errorf("nil registry should not attach, got %v", got)
+	}
+}

@@ -224,17 +224,20 @@ type entry struct {
 }
 
 // labelString renders {k="v",...} or "".
-func (e *entry) labelString() string {
-	if len(e.labels) == 0 {
+func (e *entry) labelString() string { return renderLabels(e.labels) }
+
+// renderLabels renders alternating key/value pairs as {k="v",...} or "".
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
 		return ""
 	}
 	var sb strings.Builder
 	sb.WriteByte('{')
-	for i := 0; i+1 < len(e.labels); i += 2 {
+	for i := 0; i+1 < len(labels); i += 2 {
 		if i > 0 {
 			sb.WriteByte(',')
 		}
-		fmt.Fprintf(&sb, "%s=%q", e.labels[i], e.labels[i+1])
+		fmt.Fprintf(&sb, "%s=%q", labels[i], labels[i+1])
 	}
 	sb.WriteByte('}')
 	return sb.String()
@@ -467,7 +470,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		case kindHitVec:
 			_, err = fmt.Fprintf(w, "%s%s %d\n", e.name, ls, e.hv.Total())
 		case kindHistogram:
-			err = writePromHistogram(w, e, ls)
+			err = writePromHistogram(w, e.name, e.h, ls)
 		}
 		if err != nil {
 			return err
@@ -477,8 +480,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 // writePromHistogram emits one histogram family member.
-func writePromHistogram(w io.Writer, e *entry, ls string) error {
-	h := e.h
+func writePromHistogram(w io.Writer, name string, h *Histogram, ls string) error {
 	cum := uint64(0)
 	inner := strings.TrimSuffix(strings.TrimPrefix(ls, "{"), "}")
 	bucketLabels := func(le string) string {
@@ -489,18 +491,18 @@ func writePromHistogram(w io.Writer, e *entry, ls string) error {
 	}
 	for i, b := range h.bounds {
 		cum += h.buckets[i].Load()
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", e.name, bucketLabels(seconds(b)), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketLabels(seconds(b)), cum); err != nil {
 			return err
 		}
 	}
 	cum += h.buckets[len(h.bounds)].Load()
-	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", e.name, bucketLabels("+Inf"), cum); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketLabels("+Inf"), cum); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", e.name, ls, seconds(h.Sum())); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, ls, seconds(h.Sum())); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count%s %d\n", e.name, ls, h.Count())
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, ls, h.Count())
 	return err
 }
 

@@ -22,9 +22,10 @@ echo "== go test (ODIN_VERIFY=all: strict IR verification after every optimizer 
 # error.
 ODIN_VERIFY=all go test ./internal/core/ ./internal/cov/ ./internal/bench/
 
-echo "== go test -race (core, link, faultinject, telemetry, rt, cov, persist) =="
+echo "== go test -race (core, link, faultinject, telemetry, rt, cov, persist, serve) =="
 go test -race ./internal/core/... ./internal/link/... ./internal/faultinject/... \
-	./internal/telemetry/... ./internal/rt/... ./internal/cov/... ./internal/persist/...
+	./internal/telemetry/... ./internal/rt/... ./internal/cov/... ./internal/persist/... \
+	./internal/serve/...
 
 echo "== supervisor soak (-race, ~30s) =="
 # Bounded concurrent-supervisor soak: 8 goroutines of random probe toggles
@@ -114,6 +115,60 @@ fi
 rm -rf "$pdir"
 echo "crash-restart smoke: ok ($warm fragments warm, image $img unchanged)"
 
+echo "== serve control-plane smoke (2 shards, kill -9, warm restart) =="
+# The probe-control plane end to end, at process granularity: boot a
+# two-shard odin-serve daemon with a persist root, drive probe traffic into
+# both shards through odin-ctl, SIGKILL the daemon (no drain, no snapshot
+# rewrite — only the kill-9-tolerant object store survives), then restart on
+# the same -data root and assert both shards report warm hits > 0 on their
+# boot builds. Warm-starting through an unclean death is the property the
+# per-shard persist layout exists to provide.
+sdir="$(mktemp -d)"
+go build -o "$sdir/odin-serve" ./cmd/odin-serve
+go build -o "$sdir/odin-ctl" ./cmd/odin-ctl
+serve_log="$sdir/serve1.log"
+"$sdir/odin-serve" -shard a=json -shard b=woff2 -data "$sdir/data" \
+	-addr 127.0.0.1:0 >/dev/null 2>"$serve_log" &
+serve_pid=$!
+saddr=""
+for _ in $(seq 1 300); do
+	saddr="$(sed -n 's/^odin-serve: listening on //p' "$serve_log")"
+	[ -n "$saddr" ] && break
+	sleep 0.1
+done
+if [ -z "$saddr" ]; then
+	echo "serve smoke: daemon never came up; stderr:"
+	cat "$serve_log"
+	kill "$serve_pid" 2>/dev/null || true
+	exit 1
+fi
+"$sdir/odin-ctl" -addr "http://$saddr" -tenant ci storm a 10 >/dev/null
+"$sdir/odin-ctl" -addr "http://$saddr" -tenant ci storm b 10 >/dev/null
+"$sdir/odin-ctl" -addr "http://$saddr" fleet >/dev/null
+kill -9 "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+serve_log2="$sdir/serve2.log"
+"$sdir/odin-serve" -shard a=json -shard b=woff2 -data "$sdir/data" \
+	-addr 127.0.0.1:0 >/dev/null 2>"$serve_log2" &
+serve_pid=$!
+for _ in $(seq 1 300); do
+	grep -q '^odin-serve: listening on ' "$serve_log2" && break
+	sleep 0.1
+done
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+for shard in a b; do
+	warm="$(sed -n "s/^odin-serve: shard $shard hosting [^,]*, warm hits //p" "$serve_log2")"
+	if [ -z "$warm" ] || [ "$warm" -eq 0 ]; then
+		echo "serve smoke: shard $shard restarted cold after kill -9 (warm hits: ${warm:-none}):"
+		cat "$serve_log2"
+		exit 1
+	fi
+	echo "serve smoke: shard $shard warm hits $warm after kill -9 restart"
+done
+rm -rf "$sdir"
+echo "serve smoke: ok"
+
 echo "== persist fault sweep (persist:* sites) =="
 # The persistence arm of the faults experiment: engine restarts onto a
 # seeded cache with error/panic/stall faults armed at every persist:* site.
@@ -129,22 +184,24 @@ echo "== allocation budget (probe-toggle hot loop) =="
 # whole-fragment cloning long before it shows up as latency.
 go test ./internal/core/ -run TestSpliceAllocBudget
 
-echo "== bench regression gate (probe-toggle + verify-overhead + cold-warm vs committed artifact) =="
+echo "== bench regression gate (probe-toggle + verify-overhead + cold-warm + serve-storm vs committed artifact) =="
 # Compare the current tree's trajectory against the committed BENCH
 # artifact: fail on >15% p50/p99 regression beyond a 2ms absolute floor
 # (machine-jitter immunity), on a shrinking function cache-hit rate, on the
 # structural invariant breaking (a single-function toggle must compile
 # exactly one function), on boundaries-tier verification overhead above its
-# 5% p50 budget, or on a warm start falling below its absolute speedup
-# floor (bench.WarmSpeedupFloor) or losing image byte-identity. All
-# experiments run in one invocation so the artifact carries all of them (a
-# missing experiment counts as a regression). Regenerate with `make
-# bench-record` when a deliberate change moves the trajectory. Skipped when
-# no artifact is committed.
+# 5% p50 budget, on a warm start falling below its absolute speedup floor
+# (bench.WarmSpeedupFloor) or losing image byte-identity, or on the serve
+# control plane dropping healthy tenants' work / letting a hostile tenant
+# push healthy p99 past bench.ServeIsolationFactor. All experiments run in
+# one invocation so the artifact carries all of them (a missing experiment
+# counts as a regression). Regenerate with `make bench-record` when a
+# deliberate change moves the trajectory. Skipped when no artifact is
+# committed.
 bench_artifact="$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)"
 if [ -n "$bench_artifact" ]; then
 	echo "comparing against $bench_artifact"
-	go run ./cmd/odin-bench -experiment probe-toggle,verify-overhead,cold-warm \
+	go run ./cmd/odin-bench -experiment probe-toggle,verify-overhead,cold-warm,serve-storm \
 		-toggle-rounds 60 -coldwarm-rounds 5 -bench-compare "$bench_artifact"
 else
 	echo "no BENCH_*.json artifact committed; skipping regression gate"
