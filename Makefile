@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test verify-all race soak fmt-check bench-parallel bench-telemetry bench-record bench-check alloc-budget verify-budget warm-bench persist-faults serve-storm ci
+.PHONY: all build vet test verify-all race soak fmt-check bench-parallel bench-telemetry bench-record bench-check alloc-budget verify-budget warm-bench persist-faults serve-storm serve-chaos ci
 
 all: build
 
@@ -53,27 +53,29 @@ bench-parallel:
 	$(GO) test ./internal/bench/ -run XXX -bench BenchmarkParallelRebuild -benchtime 5x
 
 # Recorded performance trajectory: regenerate the committed benchmark
-# artifact from the probe-toggle, verify-overhead, cold-warm, and
-# serve-storm experiments (function-granular splice latency, cache-hit
+# artifact from the probe-toggle, verify-overhead, cold-warm, serve-storm,
+# and serve-chaos experiments (function-granular splice latency, cache-hit
 # rates, allocs per toggle, boundaries-tier verification overhead,
-# warm-start restart speedup, multi-tenant isolation under hostile load).
-# Bump BENCH when recording a new trajectory point rather than overwriting
-# history's meaning.
-BENCH ?= BENCH_9.json
+# warm-start restart speedup, multi-tenant isolation under hostile load,
+# shard-failover window and drop count under injected wedges). Bump BENCH
+# when recording a new trajectory point rather than overwriting history's
+# meaning.
+BENCH ?= BENCH_10.json
 bench-record:
-	$(GO) run ./cmd/odin-bench -experiment probe-toggle,verify-overhead,cold-warm,serve-storm \
+	$(GO) run ./cmd/odin-bench -experiment probe-toggle,verify-overhead,cold-warm,serve-storm,serve-chaos \
 		-toggle-rounds 60 -coldwarm-rounds 5 -bench-out $(BENCH)
 
 # Compare the current tree against the committed trajectory artifact
 # (skipped with a note when the artifact is absent). Fails on >15% p99
 # regression beyond a 2ms floor, on structural splice breakage, on
 # verification overhead above its 5% budget, on a warm start below its
-# absolute speedup floor / losing image byte-identity, or on the serve
+# absolute speedup floor / losing image byte-identity, on the serve
 # control plane dropping healthy tenants' work or exceeding the isolation
-# bound under hostile load.
+# bound under hostile load, or on a shard failover dropping a healthy
+# commit / overrunning bench.ChaosFailoverBudgetMS.
 bench-check:
 	@if [ -f $(BENCH) ]; then \
-		$(GO) run ./cmd/odin-bench -experiment probe-toggle,verify-overhead,cold-warm,serve-storm \
+		$(GO) run ./cmd/odin-bench -experiment probe-toggle,verify-overhead,cold-warm,serve-storm,serve-chaos \
 			-toggle-rounds 60 -coldwarm-rounds 5 -bench-compare $(BENCH); \
 	else \
 		echo "bench-check: $(BENCH) not present; skipping regression gate"; \
@@ -96,6 +98,14 @@ persist-faults:
 # tables and the isolation verdict without touching the committed artifact.
 serve-storm:
 	$(GO) run ./cmd/odin-bench -experiment serve-storm
+
+# Shard chaos experiment on its own: kill/wedge a shard mid-storm and
+# measure the self-healing ladder — hot-spare promotion on the replicated
+# arm, warm restart-in-place on the replica-less arm. Fails on any dropped
+# healthy commit or a failover window past the absolute budget. Prints the
+# per-arm table without touching the committed artifact.
+serve-chaos:
+	$(GO) run ./cmd/odin-bench -experiment serve-chaos
 
 # Allocation budget: the probe-toggle hot loop must stay within its pinned
 # allocs/op envelope (arena-backed cloning + lazy materialization).

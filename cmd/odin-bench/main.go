@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	odin-bench [-experiment all|fig3|fig8|fig9|fig10|fig11|fig12|headline|parallel|faults|storm|probe-toggle|verify-overhead|cold-warm|serve-storm]
+//	odin-bench [-experiment all|fig3|fig8|fig9|fig10|fig11|fig12|headline|parallel|faults|storm|probe-toggle|verify-overhead|cold-warm|serve-storm|serve-chaos]
 //	           [-campaign N] [-programs a,b,c] [-parallel] [-workers N]
 //	           [-fault-rounds N] [-fault-seed N] [-json] [-metrics-addr HOST:PORT]
 //	           [-storm-goroutines N] [-storm-requests N] [-toggle-rounds N]
@@ -13,8 +13,8 @@
 //
 // -experiment also accepts a comma-separated list of the self-contained
 // experiments (probe-toggle, verify-overhead, cold-warm, fig3,
-// serve-storm), so one invocation can record a multi-experiment benchmark
-// artifact:
+// serve-storm, serve-chaos), so one invocation can record a
+// multi-experiment benchmark artifact:
 //
 //	odin-bench -experiment probe-toggle,verify-overhead -bench-out BENCH_7.json
 //
@@ -52,7 +52,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: all, fig3, fig8, fig9, fig10, fig11, fig12, headline, ablation, codegen, parallel, faults, storm, probe-toggle, verify-overhead, cold-warm, serve-storm")
+	experiment := flag.String("experiment", "all", "which experiment to run: all, fig3, fig8, fig9, fig10, fig11, fig12, headline, ablation, codegen, parallel, faults, storm, probe-toggle, verify-overhead, cold-warm, serve-storm, serve-chaos")
 	campaign := flag.Int("campaign", 400, "fuzzing iterations used to generate each replay corpus")
 	programs := flag.String("programs", "", "comma-separated subset of programs (default: all 13)")
 	parallel := flag.Bool("parallel", false, "with fig11: also report wall-clock speedup of the concurrent recompile pipeline")
@@ -317,11 +317,11 @@ func run(experiment string, campaign int, programs string, parallel bool, worker
 // quickExperiments are the self-contained experiments runQuick handles: they
 // synthesize their own workloads, so they skip suite preparation and may be
 // combined in a comma-separated -experiment list.
-const quickExperiments = "probe-toggle, verify-overhead, cold-warm, fig3, serve-storm"
+const quickExperiments = "probe-toggle, verify-overhead, cold-warm, fig3, serve-storm, serve-chaos"
 
 func isQuick(name string) bool {
 	switch strings.TrimSpace(name) {
-	case "probe-toggle", "verify-overhead", "cold-warm", "fig3", "serve-storm":
+	case "probe-toggle", "verify-overhead", "cold-warm", "fig3", "serve-storm", "serve-chaos":
 		return true
 	}
 	return false
@@ -370,6 +370,25 @@ func runQuick(name string, w io.Writer, report map[string]any, art *bench.Artifa
 			if !r.RefMatch {
 				return fmt.Errorf("cold-warm: %s warm image diverged from its cold reference", r.Program)
 			}
+		}
+	case "serve-chaos":
+		prog := "json"
+		if len(serveCfg.programs) > 0 {
+			prog = serveCfg.programs[0]
+		}
+		sum, err := bench.RunServeChaos(prog, serveCfg.tenants, serveCfg.requests)
+		if err != nil {
+			return err
+		}
+		report["serve_chaos"] = sum
+		bench.PrintServeChaos(w, sum)
+		art.AddServeChaos(sum)
+		if sum.DroppedHealthy > 0 {
+			return fmt.Errorf("serve-chaos: %d healthy commits dropped during failover (must be 0)", sum.DroppedHealthy)
+		}
+		if sum.FailoverP99MS > bench.ChaosFailoverBudgetMS {
+			return fmt.Errorf("serve-chaos: failover p99 %.0fms exceeds the %dms budget",
+				sum.FailoverP99MS, bench.ChaosFailoverBudgetMS)
 		}
 	case "fig3":
 		r, err := bench.RunFig3()

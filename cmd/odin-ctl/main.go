@@ -9,6 +9,7 @@
 //	shards                       list hosted shards
 //	funcs SHARD                  list a shard's instrumentable functions
 //	fleet                        fleet snapshot (per-shard queue/breaker/persist, tenants)
+//	health                       fleet health view: shard state, breaker, spare, failovers
 //	metrics                      aggregated Prometheus exposition
 //	probe-add SHARD FUNC [KIND]  add + activate a probe (kind: counter|poison)
 //	probe-enable SHARD ID        re-enable a removed probe
@@ -23,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"strconv"
 	"time"
@@ -35,7 +37,7 @@ func main() {
 	tenant := flag.String("tenant", "", "tenant identity sent as "+serve.TenantHeader)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: odin-ctl [-addr URL] [-tenant NAME] COMMAND [args]\n")
-		fmt.Fprintf(os.Stderr, "commands: shards, funcs, fleet, metrics, probe-add, probe-enable, probe-remove, probe-change, sync, storm\n")
+		fmt.Fprintf(os.Stderr, "commands: shards, funcs, fleet, health, metrics, probe-add, probe-enable, probe-remove, probe-change, sync, storm\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -85,6 +87,13 @@ func dispatch(c *serve.Client, cmd string, args []string) error {
 		enc.SetIndent("", "  ")
 		return enc.Encode(snap)
 
+	case "health":
+		snap, err := c.Fleet()
+		if err != nil {
+			return err
+		}
+		return printHealth(os.Stdout, snap)
+
 	case "metrics":
 		text, err := c.Metrics()
 		if err != nil {
@@ -112,7 +121,7 @@ func dispatch(c *serve.Client, cmd string, args []string) error {
 		if len(args) != 2 {
 			return fmt.Errorf("usage: %s SHARD ID", cmd)
 		}
-		id, err := strconv.Atoi(args[1])
+		id, err := strconv.ParseInt(args[1], 10, 64)
 		if err != nil {
 			return fmt.Errorf("probe ID %q must be an integer", args[1])
 		}
@@ -152,6 +161,30 @@ func dispatch(c *serve.Client, cmd string, args []string) error {
 	}
 }
 
+// printHealth renders the operator-facing fleet health view: one line per
+// shard with the watchdog state, breaker, hot-spare presence, and recovery
+// history, then recent failover events.
+func printHealth(w *os.File, snap serve.FleetSnapshot) error {
+	for _, sh := range snap.Shards {
+		spare := "no-spare"
+		if sh.Replica {
+			spare = "spare-ready"
+		}
+		mode := ""
+		if sh.ReadOnly {
+			mode = " read-only"
+		}
+		fmt.Fprintf(w, "%-12s %-10s breaker=%-9s queue=%d probes=%d %s%s restarts=%d promotions=%d journal=%d\n",
+			sh.Name, sh.State, sh.Supervisor.Breaker, sh.Health.QueueDepth,
+			sh.ActiveProbes, spare, mode, sh.Restarts, sh.Promotions, sh.JournalRecords)
+		for _, ev := range sh.Failovers {
+			fmt.Fprintf(w, "  %s %.0fms at %s (%s)\n",
+				ev.Kind, ev.DurationMS, time.Unix(ev.At, 0).Format(time.TimeOnly), ev.Cause)
+		}
+	}
+	return nil
+}
+
 // storm is a serial load generator: n add+remove probe cycles round-robin
 // over the shard's functions, retrying shed verdicts, reporting throughput.
 func storm(c *serve.Client, shard string, n int) error {
@@ -186,8 +219,16 @@ func storm(c *serve.Client, shard string, n int) error {
 	return nil
 }
 
-// retryTemporary retries shed/backpressure verdicts, honoring Retry-After
-// up to a bound so a storm against a busy daemon makes progress.
+// retryMaxBackoff clamps the exponential retry ceiling: a fleet of clients
+// honoring a long Retry-After verbatim would re-converge on the same
+// instant, so waits are capped and fully jittered instead.
+const retryMaxBackoff = 5 * time.Second
+
+// retryTemporary retries shed/backpressure verdicts with full jitter:
+// the server's Retry-After (floored at 100ms) doubles per attempt up to
+// retryMaxBackoff, and the actual sleep is drawn uniformly from (0, cap] —
+// decorrelating a thundering herd of retrying clients instead of marching
+// them back in lockstep.
 func retryTemporary(op func() (serve.ProbeResult, error)) (serve.ProbeResult, error) {
 	for attempt := 0; ; attempt++ {
 		res, err := op()
@@ -198,10 +239,14 @@ func retryTemporary(op func() (serve.ProbeResult, error)) (serve.ProbeResult, er
 		if !ok || !ae.Temporary() {
 			return res, err
 		}
-		wait := ae.RetryAfter
-		if wait <= 0 || wait > 2*time.Second {
-			wait = 100 * time.Millisecond
+		base := ae.RetryAfter
+		if base < 100*time.Millisecond {
+			base = 100 * time.Millisecond
 		}
-		time.Sleep(wait)
+		capped := base << attempt
+		if capped > retryMaxBackoff || capped <= 0 {
+			capped = retryMaxBackoff
+		}
+		time.Sleep(time.Duration(1 + rand.Int63n(int64(capped))))
 	}
 }

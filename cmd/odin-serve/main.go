@@ -8,6 +8,14 @@
 //	odin-serve -shard a=json -shard b=sqlite -data /var/lib/odin -addr 127.0.0.1:9180
 //	odin-ctl -addr http://127.0.0.1:9180 shards
 //
+// Each shard runs under a health watchdog with a recovery ladder: a wedged
+// engine is restarted in place warm from its snapshot, or — with -replicas
+// N — replaced by a hot-spare replica in one atomic swap. The watchdog
+// thresholds are tunable (-watchdog-interval, -gen-deadline,
+// -stuck-queue-age, -restart-attempts) and the -chaos-* flags arm a
+// one-shot injected fault after boot so CI can rehearse a failover against
+// a real daemon.
+//
 // SIGINT/SIGTERM drain every shard supervisor (admitted work commits and
 // per-shard snapshots are written) before exit, so a restart warm-starts
 // each shard from its own cache.
@@ -23,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"odin/internal/faultinject"
 	"odin/internal/serve"
 )
 
@@ -59,21 +68,57 @@ func main() {
 	failThreshold := flag.Int("fail-threshold", 0, "consecutive probe failures that trip a tenant's breaker (0 = default, <0 = off)")
 	reqTimeout := flag.Duration("request-timeout", 0, "end-to-end bound for one probe operation (0 = 30s)")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for shards to drain")
+	lcCfg := lifecycleCfg{}
+	flag.IntVar(&lcCfg.replicas, "replicas", 0, "hot-spare replicas per shard (promoted on failover)")
+	flag.DurationVar(&lcCfg.interval, "watchdog-interval", 0, "health watchdog sample interval (0 = default 500ms)")
+	flag.DurationVar(&lcCfg.genDeadline, "gen-deadline", 0, "a generation running longer than this wedges the shard (0 = default 60s)")
+	flag.DurationVar(&lcCfg.stuckQueueAge, "stuck-queue-age", 0, "a ticket queued longer than this wedges the shard (0 = default 30s)")
+	flag.IntVar(&lcCfg.restartAttempts, "restart-attempts", 0, "restarts in place before promoting the hot spare (0 = default 2, -1 = promote immediately)")
+	flag.StringVar(&lcCfg.chaosSite, "chaos-site", "", "arm a one-shot injected fault at this site after boot (e.g. supervisor:commit; CI failover rehearsal)")
+	flag.DurationVar(&lcCfg.chaosStall, "chaos-stall", 2*time.Second, "stall duration for the -chaos-site fault")
+	flag.DurationVar(&lcCfg.chaosDelay, "chaos-delay", time.Second, "delay after listen before arming the -chaos-site fault")
 	flag.Parse()
 
-	if err := run(shards, *addr, *data, *workers, *queueDepth, *tenantRPS, *tenantBurst, *maxInFlight, *failThreshold, *reqTimeout, *drainTimeout); err != nil {
+	if err := run(shards, *addr, *data, *workers, *queueDepth, *tenantRPS, *tenantBurst, *maxInFlight, *failThreshold, *reqTimeout, *drainTimeout, lcCfg); err != nil {
 		fmt.Fprintf(os.Stderr, "odin-serve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(shards shardFlags, addr, data string, workers, queueDepth int, tenantRPS, tenantBurst float64, maxInFlight, failThreshold int, reqTimeout, drainTimeout time.Duration) error {
+// lifecycleCfg carries the shard-lifecycle and chaos-rehearsal flags.
+type lifecycleCfg struct {
+	replicas        int
+	interval        time.Duration
+	genDeadline     time.Duration
+	stuckQueueAge   time.Duration
+	restartAttempts int
+	chaosSite       string
+	chaosStall      time.Duration
+	chaosDelay      time.Duration
+}
+
+func run(shards shardFlags, addr, data string, workers, queueDepth int, tenantRPS, tenantBurst float64, maxInFlight, failThreshold int, reqTimeout, drainTimeout time.Duration, lcCfg lifecycleCfg) error {
 	if len(shards) == 0 {
 		return fmt.Errorf("at least one -shard name=program is required")
+	}
+	var inj *faultinject.Injector
+	if lcCfg.chaosSite != "" {
+		inj = faultinject.New(1)
+		inj.SetStall(lcCfg.chaosStall)
 	}
 	for i := range shards {
 		shards[i].Workers = workers
 		shards[i].QueueDepth = queueDepth
+		shards[i].Replicas = lcCfg.replicas
+		shards[i].Watchdog = serve.WatchdogOptions{
+			Interval:        lcCfg.interval,
+			GenDeadline:     lcCfg.genDeadline,
+			StuckQueueAge:   lcCfg.stuckQueueAge,
+			RestartAttempts: lcCfg.restartAttempts,
+		}
+		if inj != nil {
+			shards[i].FaultHook = inj.At
+		}
 	}
 	srv, err := serve.New(serve.Options{
 		Shards:  shards,
@@ -102,6 +147,16 @@ func run(shards shardFlags, addr, data string, workers, queueDepth int, tenantRP
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "odin-serve: listening on %s\n", bound)
+	if inj != nil {
+		// Arm after the delay, not at boot: the boot builds and replica
+		// seeding must land on a healthy shard so the rehearsal wedges the
+		// serving slot, mirroring a mid-storm failure.
+		site, stall, delay := lcCfg.chaosSite, lcCfg.chaosStall, lcCfg.chaosDelay
+		time.AfterFunc(delay, func() {
+			inj.Arm(faultinject.Rule{Site: site, Kind: faultinject.KindStall, Rate: 1, Times: 1})
+			fmt.Fprintf(os.Stderr, "odin-serve: chaos fault armed at %s (stall %v, one shot)\n", site, stall)
+		})
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)

@@ -52,6 +52,12 @@ type ArtifactMetrics struct {
 	// DroppedHealthy must stay zero exactly.
 	IsolationX     float64 `json:"isolation_x,omitempty"`
 	DroppedHealthy int     `json:"dropped_healthy,omitempty"`
+	// FailoverP99MS is the serve-chaos experiment's headline: the worst
+	// shard-failover unavailability window (begin-swap to end-swap) across
+	// the kill and wedge arms. CI gates it against the absolute
+	// ChaosFailoverBudgetMS budget, and DroppedHealthy must stay zero —
+	// failover parks in-flight requests, it never sheds them.
+	FailoverP99MS float64 `json:"failover_p99_ms,omitempty"`
 }
 
 // Artifact is the schema of BENCH_<n>.json.
@@ -242,8 +248,10 @@ func CompareArtifacts(ref, cur *Artifact, tolPct, floorMS float64) []string {
 		// latency drift bands: restart latencies are machine-dependent, and
 		// the cold/warm ratio — both arms measured on the same machine in
 		// the same run — is the jitter-immune invariant, gated absolutely
-		// below.
-		if r.SpeedupX == 0 {
+		// below. serve-chaos (records FailoverP99MS) likewise: its commit
+		// tail is dominated by the injected stall plus the failover window,
+		// both gated absolutely, so drift bands would only add noise.
+		if r.SpeedupX == 0 && r.FailoverP99MS == 0 {
 			if worse(c.P99MS, r.P99MS, floorMS) {
 				bad = append(bad, fmt.Sprintf("%s: p99 %.3fms exceeds recorded %.3fms by >%g%% (+%.1fms floor)",
 					name, c.P99MS, r.P99MS, tolPct, floorMS))
@@ -290,6 +298,13 @@ func CompareArtifacts(ref, cur *Artifact, tolPct, floorMS float64) []string {
 		if c.DroppedHealthy > 0 {
 			bad = append(bad, fmt.Sprintf("%s: %d healthy tickets dropped under hostile load (must be 0)",
 				name, c.DroppedHealthy))
+		}
+		// Failover windows are gated absolutely: a shard kill or wedge must
+		// resolve — watchdog detection, drain, warm reboot or spare
+		// promotion, parked-request re-admission — inside the budget.
+		if c.FailoverP99MS > ChaosFailoverBudgetMS {
+			bad = append(bad, fmt.Sprintf("%s: failover p99 %.0fms exceeds the %dms budget",
+				name, c.FailoverP99MS, ChaosFailoverBudgetMS))
 		}
 	}
 	for name, r := range ref.Experiments {

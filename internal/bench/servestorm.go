@@ -269,7 +269,7 @@ func runServeArm(programs []string, healthy, perTenant int, hostile bool) ([]Ser
 
 // serveCommit adds one counter probe, retrying shed/backpressure verdicts
 // until it commits or the retry budget is spent.
-func serveCommit(c *serve.Client, shard, fn string) (id, retries int, err error) {
+func serveCommit(c *serve.Client, shard, fn string) (id int64, retries int, err error) {
 	for attempt := 0; attempt < 100; attempt++ {
 		res, err := c.AddProbe(shard, serve.ProbeSpec{Func: fn})
 		if err == nil {
@@ -285,7 +285,7 @@ func serveCommit(c *serve.Client, shard, fn string) (id, retries int, err error)
 }
 
 // serveAction applies a probe action with the same retry policy.
-func serveAction(c *serve.Client, shard string, id int, action string) error {
+func serveAction(c *serve.Client, shard string, id int64, action string) error {
 	var err error
 	for attempt := 0; attempt < 100; attempt++ {
 		_, err = c.ProbeAction(shard, id, action)

@@ -46,6 +46,7 @@ func (e *Engine) persistOptions() persist.Options {
 		BuildID:   persistBuildID(),
 		Telemetry: e.opts.Telemetry,
 		FaultHook: e.opts.FaultHook,
+		ReadOnly:  e.opts.CacheReadOnly,
 	}
 }
 
@@ -107,6 +108,7 @@ func preloadSnapshot(m *ir.Module, opts Options) (moduleHash uint64, symHashes t
 		BuildID:   persistBuildID(),
 		Telemetry: opts.Telemetry,
 		FaultHook: opts.FaultHook,
+		ReadOnly:  opts.CacheReadOnly,
 	})
 	if err != nil {
 		pm.Fallbacks.Inc()
@@ -340,7 +342,9 @@ func (e *Engine) buildState() *persist.EngineState {
 // concurrently with rebuilds; the snapshot is a consistent view taken under
 // the engine lock.
 func (e *Engine) SaveSnapshot() error {
-	if e.opts.SnapshotPath == "" {
+	if e.opts.SnapshotPath == "" || e.opts.CacheReadOnly {
+		// Read-only engines (hot-spare replicas) observe a primary's
+		// snapshot; writing it back would clobber the owner's state.
 		return nil
 	}
 	st := e.buildState()
@@ -422,6 +426,7 @@ func (s *Supervisor) restoreSupervisorState(st *persist.SupervisorState) {
 	}
 	if s.state == BreakerOpen {
 		s.reopenAt = time.Now().Add(s.backoff)
+		s.openSince = time.Now()
 	}
 	for id, msg := range st.Quarantined {
 		s.quarantined[id] = fmt.Errorf("restored from snapshot: %s", msg)

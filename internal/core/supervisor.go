@@ -231,8 +231,24 @@ type Supervisor struct {
 	consecFails int
 	backoff     time.Duration
 	reopenAt    time.Time
+	openSince   time.Time
 	gen         uint64
 	quarantined map[int]error
+
+	// pendMu guards pending, a FIFO of enqueue timestamps mirroring the
+	// admission queue so Health can report the oldest queued request's age
+	// without draining the channel. Pushes and pops are count-balanced with
+	// channel sends and receives; ordering between concurrent submitters is
+	// approximate, which is fine for health introspection.
+	pendMu  sync.Mutex
+	pending []time.Time
+
+	// Health bookkeeping: wall-clock of the last committed generation, the
+	// in-flight generation's start (0 when the loop is idle), and how many
+	// generations ended in a panic the loop had to absorb.
+	lastCommitNS atomic.Int64
+	genStartNS   atomic.Int64
+	nLoopPanics  atomic.Uint64
 
 	// Monotonic counters, sampled by the telemetry gauges and Stats.
 	nRequests       atomic.Uint64
@@ -367,6 +383,10 @@ func (s *Supervisor) submit(ctx context.Context, kind reqKind, probeID int, bloc
 	if s.closing {
 		return nil, ErrSupervisorClosed
 	}
+	// Mirror the enqueue into the health FIFO before the channel send so the
+	// loop's pop can never observe a send without its timestamp; a rejected
+	// send withdraws the mirror entry.
+	s.pushPending(r.enqueued)
 	if blocking {
 		if ctx == nil {
 			ctx = context.Background()
@@ -374,18 +394,53 @@ func (s *Supervisor) submit(ctx context.Context, kind reqKind, probeID int, bloc
 		select {
 		case s.queue <- r:
 		case <-ctx.Done():
+			s.unpushPending()
 			return nil, ctx.Err()
 		}
 	} else {
 		select {
 		case s.queue <- r:
 		default:
+			s.unpushPending()
 			s.nRejectedFull.Add(1)
 			return nil, ErrQueueFull
 		}
 	}
 	s.nRequests.Add(1)
 	return r.t, nil
+}
+
+// pushPending/unpushPending/popPending maintain the enqueue-timestamp FIFO
+// behind Health's oldest-queued-age reading.
+func (s *Supervisor) pushPending(t time.Time) {
+	s.pendMu.Lock()
+	s.pending = append(s.pending, t)
+	s.pendMu.Unlock()
+}
+
+func (s *Supervisor) unpushPending() {
+	s.pendMu.Lock()
+	if n := len(s.pending); n > 0 {
+		s.pending = s.pending[:n-1]
+	}
+	s.pendMu.Unlock()
+}
+
+func (s *Supervisor) popPending() {
+	s.pendMu.Lock()
+	if len(s.pending) > 0 {
+		s.pending = s.pending[1:]
+	}
+	s.pendMu.Unlock()
+}
+
+func (s *Supervisor) oldestPending() time.Duration {
+	s.pendMu.Lock()
+	defer s.pendMu.Unlock()
+	if len(s.pending) == 0 {
+		return 0
+	}
+	return time.Since(s.pending[0])
 }
 
 // breakerAdmit fails fast while the breaker is open, transitioning to
@@ -488,6 +543,7 @@ func (s *Supervisor) loop() {
 		var first *request
 		select {
 		case first = <-s.queue:
+			s.popPending()
 		case <-s.stop:
 			s.finalDrain()
 			return
@@ -498,7 +554,7 @@ func (s *Supervisor) loop() {
 			s.finalDrain()
 			return
 		}
-		s.runGeneration(batch)
+		s.runGenerationSafe(batch)
 	}
 }
 
@@ -509,6 +565,7 @@ func (s *Supervisor) coalesce(first *request) []*request {
 	for len(batch) < s.opts.QueueDepth {
 		select {
 		case r := <-s.queue:
+			s.popPending()
 			batch = append(batch, r)
 		default:
 			return batch
@@ -561,10 +618,11 @@ func (s *Supervisor) finalDrain() {
 	for {
 		select {
 		case r := <-s.queue:
+			s.popPending()
 			if s.drainMode {
 				batch := s.coalesce(r)
 				if s.awaitBreaker() {
-					s.runGeneration(batch)
+					s.runGenerationSafe(batch)
 				} else {
 					s.failBatch(batch, ErrSupervisorClosed)
 				}
@@ -593,6 +651,25 @@ func (s *Supervisor) resolveTicket(r *request, res TicketResult) {
 		return
 	}
 	s.sm.ticketDur.Observe(time.Since(r.enqueued))
+}
+
+// runGenerationSafe shields the rebuild loop from a panicking generation:
+// tryRebuild and the Apply hook already run under capture, but a panic
+// anywhere else in the generation path (apply/rollback bookkeeping, a
+// corrupted engine) would otherwise kill the loop goroutine and wedge every
+// queued ticket forever. The recover fails the batch, counts the panic for
+// Health, and charges the breaker — the watchdog's signal to escalate.
+func (s *Supervisor) runGenerationSafe(batch []*request) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.nLoopPanics.Add(1)
+			s.failBatch(batch, fmt.Errorf("core: supervisor generation panic: %v", r))
+			s.breakerFailure()
+		}
+		s.genStartNS.Store(0)
+	}()
+	s.genStartNS.Store(time.Now().UnixNano())
+	s.runGeneration(batch)
 }
 
 // runGeneration applies the whole batch, rebuilds once, and on failure
@@ -770,6 +847,7 @@ func (s *Supervisor) tryRebuild() (*link.Executable, *RebuildStats, error) {
 // "fails" when none did.
 
 func (s *Supervisor) breakerSuccess() {
+	s.lastCommitNS.Store(time.Now().UnixNano())
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.consecFails = 0
@@ -801,6 +879,9 @@ func (s *Supervisor) breakerFailure() {
 func (s *Supervisor) setStateLocked(st BreakerState) {
 	if s.state == st {
 		return
+	}
+	if st == BreakerOpen {
+		s.openSince = time.Now()
 	}
 	s.state = st
 	s.nTransitions.Add(1)
@@ -870,4 +951,62 @@ func (s *Supervisor) Stats() SupervisorStats {
 		st.CoalescingRatio = float64(st.CoalescedRequests) / float64(st.Generations)
 	}
 	return st
+}
+
+// SupervisorHealth is the cheap "are you stuck?" snapshot a lifecycle
+// watchdog polls: queue pressure, breaker posture with how long it has been
+// open, when work last committed, whether a generation is in flight (and for
+// how long), and how many generation panics the loop has absorbed. Every
+// field is O(1) to read; durations are measured at snapshot time.
+type SupervisorHealth struct {
+	// QueueDepth is the number of requests waiting in the admission queue.
+	QueueDepth int `json:"queue_depth"`
+	// OldestQueuedAge is how long the oldest still-queued request has been
+	// waiting (0 when the queue is empty). A large value while the loop is
+	// supposedly running means the loop is stuck.
+	OldestQueuedAge time.Duration `json:"oldest_queued_age_ns"`
+	// Breaker is the circuit breaker's state string; BreakerOpenFor is how
+	// long it has been continuously open (0 unless open).
+	Breaker        string        `json:"breaker"`
+	BreakerOpenFor time.Duration `json:"breaker_open_for_ns,omitempty"`
+	// LastCommitAge is the time since a generation last committed at least
+	// one request; 0 means nothing has committed yet.
+	LastCommitAge time.Duration `json:"last_commit_age_ns,omitempty"`
+	// GenInFlight reports a rebuild generation currently running, and
+	// GenRunningFor how long it has been at it — the rebuild-deadline
+	// overrun signal.
+	GenInFlight   bool          `json:"gen_in_flight,omitempty"`
+	GenRunningFor time.Duration `json:"gen_running_for_ns,omitempty"`
+	// LoopPanics counts generations that ended in a recovered panic.
+	LoopPanics uint64 `json:"loop_panics,omitempty"`
+	// Closing reports that Close or Drain has stopped admission.
+	Closing bool `json:"closing,omitempty"`
+}
+
+// Health snapshots the supervisor's liveness signals. It takes only the
+// cheap internal locks (never the engine lock) and is safe to poll at
+// watchdog frequency from any goroutine.
+func (s *Supervisor) Health() SupervisorHealth {
+	h := SupervisorHealth{
+		QueueDepth:      len(s.queue),
+		OldestQueuedAge: s.oldestPending(),
+		LoopPanics:      s.nLoopPanics.Load(),
+	}
+	if ns := s.lastCommitNS.Load(); ns > 0 {
+		h.LastCommitAge = time.Since(time.Unix(0, ns))
+	}
+	if ns := s.genStartNS.Load(); ns > 0 {
+		h.GenInFlight = true
+		h.GenRunningFor = time.Since(time.Unix(0, ns))
+	}
+	s.mu.Lock()
+	h.Breaker = s.state.String()
+	if s.state == BreakerOpen && !s.openSince.IsZero() {
+		h.BreakerOpenFor = time.Since(s.openSince)
+	}
+	s.mu.Unlock()
+	s.admitMu.RLock()
+	h.Closing = s.closing
+	s.admitMu.RUnlock()
+	return h
 }

@@ -21,13 +21,18 @@ type ShardPaths struct {
 	// SnapshotPath is the shard's engine-state snapshot
 	// (core.Options.SnapshotPath).
 	SnapshotPath string
+	// JournalPath is the shard's replayable tenant-probe journal (an
+	// append-only Log): the record the serve layer replays to reconstruct
+	// probe state on an engine restart or hot-spare promotion.
+	JournalPath string
 }
 
-// ShardLayout maps (root, shard) to that shard's cache directory and
-// snapshot path, creating the directories. The layout is
+// ShardLayout maps (root, shard) to that shard's cache directory, snapshot
+// path, and probe journal, creating the directories. The layout is
 //
-//	root/shards/<name>/cache/     object store
-//	root/shards/<name>/state.json engine snapshot
+//	root/shards/<name>/cache/       object store
+//	root/shards/<name>/state.json   engine snapshot
+//	root/shards/<name>/journal.log  tenant-probe journal
 //
 // Shard names must be path-safe ([A-Za-z0-9_.-], 64 chars max, not starting
 // with a separator-adjacent character); anything else is rejected rather
@@ -45,6 +50,7 @@ func ShardLayout(root, shard string) (ShardPaths, error) {
 	return ShardPaths{
 		CacheDir:     cache,
 		SnapshotPath: filepath.Join(dir, "state.json"),
+		JournalPath:  filepath.Join(dir, "journal.log"),
 	}, nil
 }
 

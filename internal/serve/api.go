@@ -64,14 +64,27 @@ func writeShed(w http.ResponseWriter, shed *Shed) {
 		"admission shed: "+shed.Reason, shed.RetryAfter)
 }
 
+// writeAcquireError maps a slot-acquisition failure: a dead shard fails
+// fast with a long Retry-After (recovery needs an operator), a context
+// expiry means the request sat out the whole failover window.
+func writeAcquireError(w http.ResponseWriter, sh *shard, err error) {
+	if errors.Is(err, ErrShardDead) {
+		writeError(w, http.StatusServiceUnavailable, "dead",
+			fmt.Sprintf("shard %s is dead: %v", sh.name, err), deadRetryAfter)
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable, "closed",
+		"request expired waiting for shard: "+err.Error(), 0)
+}
+
 // writeSubmitError maps supervisor admission errors — the ones returned
 // before a ticket exists.
-func (s *Server) writeSubmitError(w http.ResponseWriter, sh *shard, err error) {
+func (s *Server) writeSubmitError(w http.ResponseWriter, sh *shard, slot *engineSlot, err error) {
 	var qe *core.ProbeQuarantinedError
 	switch {
 	case errors.Is(err, core.ErrCircuitOpen):
 		writeError(w, http.StatusServiceUnavailable, "breaker_open",
-			fmt.Sprintf("shard %s circuit breaker open", sh.name), sh.sup.BreakerRetryAfter())
+			fmt.Sprintf("shard %s circuit breaker open", sh.name), slot.sup.BreakerRetryAfter())
 	case errors.Is(err, core.ErrQueueFull):
 		writeError(w, http.StatusTooManyRequests, "shed",
 			fmt.Sprintf("shard %s admission queue full", sh.name), time.Second)
@@ -98,6 +111,18 @@ func writeTicketError(w http.ResponseWriter, err error) {
 		return
 	}
 	writeError(w, http.StatusInternalServerError, "internal", err.Error(), 0)
+}
+
+// retryableFailover reports whether an operation that failed with err
+// should be parked and re-admitted: the slot it ran on was swapped out (or
+// is being swapped out) by a failover, so the failure is the old engine's
+// teardown, not the request's fault. The caller loops back through acquire,
+// which parks on the swap gate.
+func retryableFailover(sh *shard, slot *engineSlot, err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, core.ErrSupervisorClosed) && sh.stale(slot)
 }
 
 func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
@@ -137,7 +162,10 @@ func (s *Server) shardOf(w http.ResponseWriter, r *http.Request) *shard {
 
 // handleProbeAdd is POST /v1/shards/{shard}/probes: admit, register the
 // probe, wait out its activation generation, and attribute the outcome to
-// the tenant's failure breaker.
+// the tenant's failure breaker. The committed op is journaled and forwarded
+// to the hot spare. A request that lands in a failover window parks on the
+// shard gate and is re-admitted against the new slot — delayed, not
+// dropped.
 func (s *Server) handleProbeAdd(w http.ResponseWriter, r *http.Request) {
 	sh := s.shardOf(w, r)
 	if sh == nil {
@@ -163,51 +191,75 @@ func (s *Server) handleProbeAdd(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
-	id, tk, err := sh.sup.AddProbeCtx(ctx, buildProbe(spec, sh.site.Add(1)))
-	if err != nil {
-		s.writeSubmitError(w, sh, err)
+	id := sh.nextProbeID()
+	for {
+		slot, err := sh.acquire(ctx)
+		if err != nil {
+			writeAcquireError(w, sh, err)
+			return
+		}
+		engID, tk, err := slot.sup.AddProbeCtx(ctx, buildProbe(spec, sh.site.Add(1)))
+		if err != nil {
+			if retryableFailover(sh, slot, err) {
+				continue
+			}
+			s.writeSubmitError(w, sh, slot, err)
+			return
+		}
+		sh.record(slot, id, engID, tenant, spec)
+		res, err := tk.Wait(ctx)
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, "closed",
+				"timed out waiting for generation: "+err.Error(), 0)
+			return
+		}
+		if retryableFailover(sh, slot, res.Err) {
+			continue
+		}
+		s.adm.report(tenant, res.Err == nil)
+		if res.Err != nil {
+			writeTicketError(w, res.Err)
+			return
+		}
+		sh.committed(slot, journalOp{Op: jopAdd, ID: id, Tenant: tenant, Spec: &spec})
+		writeJSON(w, http.StatusOK, ProbeResult{
+			ID: id, Gen: res.Gen, Coalesced: res.Coalesced, Salvaged: res.Salvaged,
+		})
 		return
 	}
-	sh.record(id, tenant, spec)
-	res, err := tk.Wait(ctx)
-	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, "closed",
-			"timed out waiting for generation: "+err.Error(), 0)
-		return
-	}
-	s.adm.report(tenant, res.Err == nil)
-	if res.Err != nil {
-		writeTicketError(w, res.Err)
-		return
-	}
-	writeJSON(w, http.StatusOK, ProbeResult{
-		ID: id, Gen: res.Gen, Coalesced: res.Coalesced, Salvaged: res.Salvaged,
-	})
 }
 
 // handleProbeAction is POST /v1/shards/{shard}/probes/{id}/{action} with
 // action one of enable, remove, change. Tenants can only act on probes
-// they own; foreign or unknown IDs read as not found.
+// they own; foreign or unknown IDs read as not found. IDs are serve-level:
+// stable across engine restarts and hot-spare promotions.
 func (s *Server) handleProbeAction(w http.ResponseWriter, r *http.Request) {
 	sh := s.shardOf(w, r)
 	if sh == nil {
 		return
 	}
-	id, err := strconv.Atoi(r.PathValue("id"))
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad_request", "probe id must be an integer", 0)
 		return
 	}
 	action := r.PathValue("action")
+	var jop string
 	switch action {
-	case "enable", "remove", "change":
+	case "enable":
+		jop = jopEnable
+	case "remove":
+		jop = jopRemove
+	case "change":
+		jop = jopChange
 	default:
 		writeError(w, http.StatusBadRequest, "bad_request",
 			fmt.Sprintf("unknown action %q (want enable, remove, or change)", action), 0)
 		return
 	}
 	tenant := tenantOf(r)
-	if sh.tenantOf(id) != tenant {
+	rec, ok := sh.lookupProbe(id)
+	if !ok || rec.Tenant != tenant {
 		writeError(w, http.StatusNotFound, "not_found",
 			fmt.Sprintf("no probe %d for tenant %q on shard %s", id, tenant, sh.name), 0)
 		return
@@ -221,39 +273,61 @@ func (s *Server) handleProbeAction(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
-	var tk *core.Ticket
-	switch action {
-	case "enable":
-		tk, err = sh.sup.EnableProbeCtx(ctx, id)
-	case "remove":
-		tk, err = sh.sup.RemoveProbeCtx(ctx, id)
-	case "change":
-		tk, err = sh.sup.MarkChangedCtx(ctx, id)
-	}
-	if err != nil {
-		s.writeSubmitError(w, sh, err)
+	for {
+		slot, err := sh.acquire(ctx)
+		if err != nil {
+			writeAcquireError(w, sh, err)
+			return
+		}
+		// Re-resolve the engine ID each attempt: a failover rewrites it.
+		rec, ok := sh.lookupProbe(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, "not_found",
+				fmt.Sprintf("no probe %d on shard %s", id, sh.name), 0)
+			return
+		}
+		var tk *core.Ticket
+		switch action {
+		case "enable":
+			tk, err = slot.sup.EnableProbeCtx(ctx, rec.EngID)
+		case "remove":
+			tk, err = slot.sup.RemoveProbeCtx(ctx, rec.EngID)
+		case "change":
+			tk, err = slot.sup.MarkChangedCtx(ctx, rec.EngID)
+		}
+		if err != nil {
+			if retryableFailover(sh, slot, err) {
+				continue
+			}
+			s.writeSubmitError(w, sh, slot, err)
+			return
+		}
+		res, err := tk.Wait(ctx)
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, "closed",
+				"timed out waiting for generation: "+err.Error(), 0)
+			return
+		}
+		if retryableFailover(sh, slot, res.Err) {
+			continue
+		}
+		s.adm.report(tenant, res.Err == nil)
+		if res.Err != nil {
+			writeTicketError(w, res.Err)
+			return
+		}
+		sh.committed(slot, journalOp{Op: jop, ID: id, Tenant: tenant})
+		writeJSON(w, http.StatusOK, ProbeResult{
+			ID: id, Gen: res.Gen, Coalesced: res.Coalesced, Salvaged: res.Salvaged,
+		})
 		return
 	}
-	res, err := tk.Wait(ctx)
-	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, "closed",
-			"timed out waiting for generation: "+err.Error(), 0)
-		return
-	}
-	s.adm.report(tenant, res.Err == nil)
-	if res.Err != nil {
-		writeTicketError(w, res.Err)
-		return
-	}
-	writeJSON(w, http.StatusOK, ProbeResult{
-		ID: id, Gen: res.Gen, Coalesced: res.Coalesced, Salvaged: res.Salvaged,
-	})
 }
 
 // handleSync is POST /v1/shards/{shard}/sync: a generation barrier over
 // everything enqueued before it. Sync outcomes are not attributed to the
 // tenant breaker — a failed generation at a barrier is the shard's story,
-// not the caller's.
+// not the caller's. Syncs are not journaled (they carry no state).
 func (s *Server) handleSync(w http.ResponseWriter, r *http.Request) {
 	sh := s.shardOf(w, r)
 	if sh == nil {
@@ -268,20 +342,34 @@ func (s *Server) handleSync(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
-	tk, err := sh.sup.SyncCtx(ctx)
-	if err != nil {
-		s.writeSubmitError(w, sh, err)
+	for {
+		slot, err := sh.acquire(ctx)
+		if err != nil {
+			writeAcquireError(w, sh, err)
+			return
+		}
+		tk, err := slot.sup.SyncCtx(ctx)
+		if err != nil {
+			if retryableFailover(sh, slot, err) {
+				continue
+			}
+			s.writeSubmitError(w, sh, slot, err)
+			return
+		}
+		res, err := tk.Wait(ctx)
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, "closed",
+				"timed out waiting for generation: "+err.Error(), 0)
+			return
+		}
+		if retryableFailover(sh, slot, res.Err) {
+			continue
+		}
+		if res.Err != nil {
+			writeTicketError(w, res.Err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ProbeResult{Gen: res.Gen, Coalesced: res.Coalesced})
 		return
 	}
-	res, err := tk.Wait(ctx)
-	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, "closed",
-			"timed out waiting for generation: "+err.Error(), 0)
-		return
-	}
-	if res.Err != nil {
-		writeTicketError(w, res.Err)
-		return
-	}
-	writeJSON(w, http.StatusOK, ProbeResult{Gen: res.Gen, Coalesced: res.Coalesced})
 }

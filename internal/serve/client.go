@@ -121,7 +121,7 @@ func (c *Client) AddProbe(shard string, spec ProbeSpec) (ProbeResult, error) {
 }
 
 // ProbeAction applies enable, remove, or change to an owned probe.
-func (c *Client) ProbeAction(shard string, id int, action string) (ProbeResult, error) {
+func (c *Client) ProbeAction(shard string, id int64, action string) (ProbeResult, error) {
 	var res ProbeResult
 	err := c.do(http.MethodPost,
 		fmt.Sprintf("/v1/shards/%s/probes/%d/%s", shard, id, action), nil, &res)

@@ -9,10 +9,15 @@ import (
 const APIVersion = "v1"
 
 // ShardStatus is one shard's row in the fleet snapshot: what it hosts, how
-// its admission queue and breaker are doing, and its persist-tier health.
+// its admission queue and breaker are doing, its persist-tier health, and
+// the lifecycle manager's view — watchdog state, hot-spare presence, and
+// the failover history.
 type ShardStatus struct {
 	Name    string `json:"name"`
 	Program string `json:"program"`
+	// State is the watchdog classification: healthy, degraded, wedged,
+	// recovering, or dead.
+	State string `json:"state"`
 	// ActiveProbes counts currently active probes on the shard.
 	ActiveProbes int `json:"active_probes"`
 	// WarmHits is the persist-tier hit count observed during the boot
@@ -21,12 +26,31 @@ type ShardStatus struct {
 	// Supervisor carries queue depth, breaker state, coalescing ratio, and
 	// quarantine inventory straight from the shard's supervisor.
 	Supervisor core.SupervisorStats `json:"supervisor"`
+	// Health is the cheap supervisor health snapshot the watchdog
+	// classifies from: queue age, breaker open duration, generation in
+	// flight, loop panics.
+	Health core.SupervisorHealth `json:"health"`
 	// BreakerRetryAfterMS is how long callers should back off while the
 	// shard breaker is open (0 when closed).
 	BreakerRetryAfterMS float64 `json:"breaker_retry_after_ms,omitempty"`
 	// Persist is the shard's cache-tier counters, absent when the shard
 	// runs without persistence.
 	Persist *persist.Stats `json:"persist,omitempty"`
+	// ReadOnly marks a slot serving from a read-only persist tier (a
+	// promoted hot spare, or a shard that lost the writer-lock race).
+	ReadOnly bool `json:"read_only,omitempty"`
+	// Replica reports whether a hot spare is currently standing by.
+	Replica bool `json:"replica,omitempty"`
+	// Restarts and Promotions count recovery-ladder actions over the
+	// shard's lifetime; Failovers is the bounded recent-event history.
+	Restarts   uint64          `json:"restarts,omitempty"`
+	Promotions uint64          `json:"promotions,omitempty"`
+	Failovers  []FailoverEvent `json:"failovers,omitempty"`
+	// JournalRecords and JournalDropped describe the tenant-probe journal:
+	// how many committed ops it holds, and how many appends were lost to
+	// persistent write failure.
+	JournalRecords int    `json:"journal_records,omitempty"`
+	JournalDropped uint64 `json:"journal_dropped,omitempty"`
 }
 
 // FleetSnapshot is the GET /v1/fleet document: every shard's status plus
@@ -51,9 +75,11 @@ type ShardInfo struct {
 
 // ProbeResult is the response body of probe and sync operations: the probe
 // ID (add only), the generation that applied the change, and how the
-// supervisor handled the request.
+// supervisor handled the request. Probe IDs are serve-level — stable across
+// engine restarts and hot-spare promotions, unlike the engine's own probe
+// IDs.
 type ProbeResult struct {
-	ID  int    `json:"id"`
+	ID  int64  `json:"id"`
 	Gen uint64 `json:"gen"`
 	// Coalesced is how many requests shared the rebuild generation that
 	// resolved this one; Salvaged reports it was rescued by poison-probe
@@ -66,7 +92,7 @@ type ProbeResult struct {
 type apiError struct {
 	Error string `json:"error"`
 	// Code is a stable machine-readable discriminator: bad_request,
-	// not_found, quarantined, shed, breaker_open, closed, internal.
+	// not_found, quarantined, shed, breaker_open, closed, dead, internal.
 	Code string `json:"code"`
 	// RetryAfterS mirrors the Retry-After header for JSON-only clients.
 	RetryAfterS float64 `json:"retry_after_s,omitempty"`

@@ -1,0 +1,293 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"odin/internal/core"
+)
+
+// A replica is a hot-spare standby engine for one shard. It boots read-only
+// from the same persist cache and snapshot as the primary — never taking
+// the writer flock, never writing state — so the spare's warm start is free
+// riding on the primary's artifacts. After boot it is seeded from the
+// shard's probe ledger and then converges through the forwarded stream of
+// committed probe ops (the same records the tenant-probe journal holds).
+// Promotion is therefore a drain + barrier, not a rebuild: stop the intake,
+// finish applying what's buffered, run one sync generation, and the spare's
+// engine image is the primary's.
+
+// replicaIntakeDepth bounds the forwarded-op buffer. A spare that falls
+// further behind than this is lagging: promotion reseeds it from the ledger
+// instead of trusting the stream.
+const replicaIntakeDepth = 4096
+
+type replica struct {
+	sh   *shard
+	slot *engineSlot
+
+	intake  chan journalOp
+	stopCh  chan struct{}
+	done    chan struct{}
+	lagging atomic.Bool
+
+	mu     sync.Mutex
+	engIDs map[int64]int
+	broken bool
+}
+
+// ctxTimeout is context.WithTimeout from Background, for recovery paths
+// that outlive any request.
+func ctxTimeout(d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), d)
+}
+
+// bootReplica boots a shard's hot spare and registers it as sh.replica.
+// Registration and the ledger seed snapshot happen under one lock, so no
+// committed op can fall between the seed and the forwarded stream.
+func bootReplica(sh *shard) (*replica, error) {
+	ctx, cancel := ctxTimeout(sh.spec.Watchdog.BootTimeout)
+	defer cancel()
+	slot, err := sh.bootEngine(ctx, true)
+	if err != nil {
+		return nil, err
+	}
+	rep := &replica{
+		sh:     sh,
+		slot:   slot,
+		intake: make(chan journalOp, replicaIntakeDepth),
+		stopCh: make(chan struct{}),
+		done:   make(chan struct{}),
+		engIDs: map[int64]int{},
+	}
+	sh.mu.Lock()
+	if sh.deadErr != nil || sh.replica != nil {
+		err := sh.deadErr
+		sh.mu.Unlock()
+		slot.sup.Close()
+		slot.eng.Close()
+		if err == nil {
+			err = fmt.Errorf("serve: shard %s already has a hot spare", sh.name)
+		}
+		return nil, err
+	}
+	seed := make([]probeState, 0, len(sh.probes))
+	for id, rec := range sh.probes {
+		seed = append(seed, probeState{ID: id, Tenant: rec.Tenant, Spec: rec.Spec, Active: rec.Active})
+	}
+	sh.replica = rep
+	sh.mu.Unlock()
+	go rep.run(seed)
+	return rep, nil
+}
+
+// run seeds the spare from the ledger snapshot, then applies forwarded ops
+// until stopped. A failed seed detaches the spare (the shard is merely
+// degraded; the next promotion attempt will find no spare and the ladder
+// ends at dead instead).
+func (rep *replica) run(seed []probeState) {
+	defer close(rep.done)
+	ctx, cancel := ctxTimeout(rep.sh.spec.Watchdog.BootTimeout)
+	engIDs, err := replayInto(ctx, rep.slot, seed, &rep.sh.site)
+	cancel()
+	if err != nil {
+		rep.mu.Lock()
+		rep.broken = true
+		rep.mu.Unlock()
+		rep.detach()
+		rep.sh.metrics.replicaFailures.Inc()
+		return
+	}
+	rep.mu.Lock()
+	rep.engIDs = engIDs
+	rep.mu.Unlock()
+	for {
+		select {
+		case op := <-rep.intake:
+			rep.apply(op)
+		case <-rep.stopCh:
+			// Drain what's buffered so promotion sees every forwarded op.
+			for {
+				select {
+				case op := <-rep.intake:
+					rep.apply(op)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// detach removes the replica from its shard if still registered.
+func (rep *replica) detach() {
+	sh := rep.sh
+	sh.mu.Lock()
+	if sh.replica == rep {
+		sh.replica = nil
+	}
+	sh.mu.Unlock()
+	rep.slot.sup.Close()
+	rep.slot.eng.Close()
+}
+
+// forward hands one committed op to the spare's applier. Non-blocking: a
+// full intake marks the spare lagging rather than stalling the commit
+// path; promotion reseeds a lagging spare from the ledger.
+func (rep *replica) forward(op journalOp) {
+	if rep == nil {
+		return
+	}
+	select {
+	case rep.intake <- op:
+		rep.sh.metrics.replicaForwarded.Inc()
+	default:
+		rep.lagging.Store(true)
+	}
+}
+
+// apply converges the spare with one committed op. Ops were validated and
+// committed on the primary, so failures here (a probe racing quarantine on
+// the spare) degrade the spare to lagging rather than erroring.
+func (rep *replica) apply(op journalOp) {
+	ctx, cancel := ctxTimeout(time.Minute)
+	defer cancel()
+	rep.mu.Lock()
+	engID, known := rep.engIDs[op.ID]
+	rep.mu.Unlock()
+	switch op.Op {
+	case jopAdd:
+		if known || op.Spec == nil {
+			return
+		}
+		newID, tk, err := rep.slot.sup.AddProbeCtx(ctx, buildProbe(*op.Spec, rep.sh.site.Add(1)))
+		if err != nil {
+			rep.lagging.Store(true)
+			return
+		}
+		rep.mu.Lock()
+		rep.engIDs[op.ID] = newID
+		rep.mu.Unlock()
+		if _, err := tk.Wait(ctx); err != nil {
+			rep.lagging.Store(true)
+		}
+	case jopEnable:
+		if !known {
+			rep.lagging.Store(true)
+			return
+		}
+		rep.waitOp(ctx, func() (*core.Ticket, error) { return rep.slot.sup.EnableProbeCtx(ctx, engID) })
+	case jopRemove:
+		if !known {
+			rep.lagging.Store(true)
+			return
+		}
+		rep.waitOp(ctx, func() (*core.Ticket, error) { return rep.slot.sup.RemoveProbeCtx(ctx, engID) })
+	case jopChange:
+		if !known {
+			return
+		}
+		rep.waitOp(ctx, func() (*core.Ticket, error) { return rep.slot.sup.MarkChangedCtx(ctx, engID) })
+	}
+}
+
+func (rep *replica) waitOp(ctx context.Context, submit func() (*core.Ticket, error)) {
+	tk, err := submit()
+	if err != nil {
+		rep.lagging.Store(true)
+		return
+	}
+	if _, err := tk.Wait(ctx); err != nil {
+		rep.lagging.Store(true)
+	}
+}
+
+// promote turns the spare into a serving slot: stop the applier (draining
+// every buffered op), reseed from the ledger if the stream ever overflowed,
+// and run one sync generation as the barrier. Returns the slot and the
+// serve-ID → engine-ID mapping for the ledger rewrite. On error the spare
+// is torn down; the caller escalates.
+func (rep *replica) promote(ctx context.Context) (*engineSlot, map[int64]int, error) {
+	close(rep.stopCh)
+	select {
+	case <-rep.done:
+	case <-ctx.Done():
+		rep.teardown()
+		return nil, nil, ctx.Err()
+	}
+	rep.mu.Lock()
+	broken := rep.broken
+	rep.mu.Unlock()
+	if broken {
+		return nil, nil, fmt.Errorf("serve: shard %s: hot spare broke during seeding", rep.sh.name)
+	}
+	if rep.lagging.Load() {
+		if err := rep.reseed(ctx); err != nil {
+			rep.teardown()
+			return nil, nil, err
+		}
+	}
+	// Barrier: one sync generation proves the engine loop is live and the
+	// image reflects every applied op.
+	tk, err := rep.slot.sup.SyncCtx(ctx)
+	if err == nil {
+		var res core.TicketResult
+		if res, err = tk.Wait(ctx); err == nil {
+			err = res.Err
+		}
+	}
+	if err != nil {
+		rep.teardown()
+		return nil, nil, fmt.Errorf("serve: shard %s: promotion barrier: %w", rep.sh.name, err)
+	}
+	return rep.slot, rep.engIDs, nil
+}
+
+// reseed rebuilds the spare's probe state from the ledger after the
+// forwarded stream overflowed: remove everything it knows, replay the
+// ledger fresh. Rare (the intake holds thousands of ops) and still far
+// cheaper than a cold boot — the engine image and cache stay warm.
+func (rep *replica) reseed(ctx context.Context) error {
+	rep.mu.Lock()
+	old := rep.engIDs
+	rep.engIDs = map[int64]int{}
+	rep.mu.Unlock()
+	for _, engID := range old {
+		if tk, err := rep.slot.sup.RemoveProbeCtx(ctx, engID); err == nil {
+			tk.Wait(ctx)
+		}
+	}
+	engIDs, err := replayInto(ctx, rep.slot, rep.sh.ledgerStates(), &rep.sh.site)
+	if err != nil {
+		return fmt.Errorf("serve: shard %s: spare reseed: %w", rep.sh.name, err)
+	}
+	rep.mu.Lock()
+	rep.engIDs = engIDs
+	rep.mu.Unlock()
+	rep.lagging.Store(false)
+	return nil
+}
+
+func (rep *replica) teardown() {
+	rep.slot.sup.Close()
+	rep.slot.eng.Close()
+}
+
+// shutdown stops and tears down a spare that will not be promoted.
+func (rep *replica) shutdown() {
+	select {
+	case <-rep.stopCh:
+	default:
+		close(rep.stopCh)
+	}
+	<-rep.done
+	rep.mu.Lock()
+	broken := rep.broken
+	rep.mu.Unlock()
+	if !broken {
+		rep.teardown()
+	}
+}

@@ -77,6 +77,7 @@ func New(opts Options) (*Server, error) {
 			}
 			spec.CacheDir = paths.CacheDir
 			spec.SnapshotPath = paths.SnapshotPath
+			spec.JournalPath = paths.JournalPath
 		}
 		sh, err := newShard(spec)
 		if err != nil {
@@ -95,8 +96,7 @@ func New(opts Options) (*Server, error) {
 // on construction failure).
 func (s *Server) teardown() {
 	for _, sh := range s.shards {
-		sh.sup.Close()
-		sh.eng.Close()
+		sh.quickClose()
 	}
 }
 
@@ -113,9 +113,26 @@ func (s *Server) Shards() []ShardInfo {
 // unknown shards) — the warm-start evidence CI asserts on.
 func (s *Server) ShardWarmHits(name string) uint64 {
 	if sh, ok := s.byName[name]; ok {
-		return sh.warmHits
+		return sh.warmHits()
 	}
 	return 0
+}
+
+// ShardState reports the lifecycle classification of a shard (ShardDead for
+// unknown names, so health checks fail safe).
+func (s *Server) ShardState(name string) ShardState {
+	if sh, ok := s.byName[name]; ok && sh.lc != nil {
+		return sh.lc.State()
+	}
+	return ShardDead
+}
+
+// ShardFailovers returns a shard's recent failover events, newest last.
+func (s *Server) ShardFailovers(name string) []FailoverEvent {
+	if sh, ok := s.byName[name]; ok && sh.lc != nil {
+		return sh.lc.Events()
+	}
+	return nil
 }
 
 // Handler returns the control-plane HTTP handler, for embedding the server
@@ -130,16 +147,31 @@ func (s *Server) Fleet() FleetSnapshot {
 	}
 	for _, sh := range s.shards {
 		st := ShardStatus{
-			Name:         sh.name,
-			Program:      sh.program,
-			ActiveProbes: sh.eng.Manager.NumActive(),
-			WarmHits:     sh.warmHits,
-			Supervisor:   sh.sup.Stats(),
-			Persist:      sh.persistStats(),
+			Name:    sh.name,
+			Program: sh.program,
+			Persist: sh.persistStats(),
 		}
-		if ra := sh.sup.BreakerRetryAfter(); ra > 0 {
-			st.BreakerRetryAfterMS = float64(ra) / float64(time.Millisecond)
+		if sh.lc != nil {
+			st.State = sh.lc.State().String()
+			st.Failovers = sh.lc.Events()
 		}
+		if slot := sh.current(); slot != nil {
+			st.ActiveProbes = slot.eng.Manager.NumActive()
+			st.WarmHits = slot.warmHits
+			st.Supervisor = slot.sup.Stats()
+			st.Health = slot.sup.Health()
+			st.ReadOnly = slot.readOnly
+			if ra := slot.sup.BreakerRetryAfter(); ra > 0 {
+				st.BreakerRetryAfterMS = float64(ra) / float64(time.Millisecond)
+			}
+		}
+		sh.mu.Lock()
+		st.Replica = sh.replica != nil
+		sh.mu.Unlock()
+		st.Restarts = sh.metrics.restarts.Value()
+		st.Promotions = sh.metrics.promotions.Value()
+		st.JournalRecords = sh.journal.records()
+		st.JournalDropped = sh.journal.dropped()
 		snap.Shards = append(snap.Shards, st)
 	}
 	return snap

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -13,6 +14,16 @@ import (
 	"odin/internal/progen"
 	"odin/internal/telemetry"
 )
+
+// ErrShardDead reports that the shard exhausted its recovery ladder —
+// restarts, then hot-spare promotion — and was marked dead. Requests fail
+// fast with 503 + Retry-After until an operator restarts the process.
+var ErrShardDead = errors.New("serve: shard dead (recovery ladder exhausted)")
+
+// deadRetryAfter is the Retry-After a dead shard advertises. Recovery needs
+// an operator, so the interval is long — its job is only to stop retry
+// storms, not to promise recovery.
+const deadRetryAfter = 30 * time.Second
 
 // ShardSpec configures one engine shard: a program hosted behind its own
 // supervisor with its own persistent cache, so shards fail, warm-start, and
@@ -26,50 +37,210 @@ type ShardSpec struct {
 	Program string
 	// Module hosts an explicit IR module instead of a generated profile.
 	Module *ir.Module
-	// CacheDir and SnapshotPath place the shard's persist tier. Normally
-	// derived from the server's DataDir via persist.ShardLayout; explicit
-	// values override. Empty means no persistence.
+	// CacheDir, SnapshotPath, and JournalPath place the shard's persist
+	// tier. Normally derived from the server's DataDir via
+	// persist.ShardLayout; explicit values override. Empty means no
+	// persistence (and no journal: probe state dies with the engine).
 	CacheDir     string
 	SnapshotPath string
+	JournalPath  string
 	// Workers sets the shard engine's compile pool size (0 = engine
 	// default).
 	Workers int
 	// QueueDepth bounds the shard supervisor's admission queue (0 =
 	// supervisor default).
 	QueueDepth int
+	// Replicas is the number of hot-spare standby engines kept booted
+	// read-only from the same persist cache and converged through the
+	// tenant-probe journal stream. Only 0 and 1 are meaningful today;
+	// larger values clamp to 1.
+	Replicas int
+	// FaultHook threads a fault-injection hook into the writer engine
+	// instances this shard boots (the serving primary and its restarts) —
+	// the chaos-drill substrate (internal/faultinject sites, e.g.
+	// supervisor:commit). Read-only hot spares run clean: a one-shot
+	// injected fault must wedge the primary deterministically, not race
+	// into the standby that is supposed to rescue it.
+	FaultHook func(site string) error
+	// Watchdog tunes the shard's health watchdog and recovery ladder.
+	Watchdog WatchdogOptions
 }
 
-// shard is one running engine: the unit of isolation in the fleet.
+// engineSlot is one live engine + supervisor instance. The shard serves
+// from exactly one slot at a time; lifecycle recovery swaps the whole slot
+// atomically (restart in place, or hot-spare promotion).
+type engineSlot struct {
+	eng *core.Engine
+	sup *core.Supervisor
+	// warmHits is the persist-tier hit count observed right after the boot
+	// build — warm-start evidence, frozen so later traffic doesn't dilute
+	// it.
+	warmHits uint64
+	// readOnly marks a slot whose persist tier is read-only: a promoted
+	// replica keeps serving from the primary's cache without ever taking
+	// the writer lock. Commits stop being persisted until the next process
+	// restart; correctness is unaffected.
+	readOnly bool
+	// booted is when the slot went live.
+	booted time.Time
+	// gen is the slot's installation generation (assigned when the slot
+	// becomes the serving slot). Probe records carry the generation of the
+	// slot they were registered on, so late commits that raced a swap can
+	// tell whether the current slot already knows the probe.
+	gen int64
+}
+
+// shard is one hosted program: a swappable engine slot plus the stable
+// serve-level state that survives engine instances — the probe ledger, the
+// tenant-probe journal, the telemetry registry, and the lifecycle manager.
 type shard struct {
 	name    string
 	program string
-	eng     *core.Engine
-	sup     *core.Supervisor
-	reg     *telemetry.Registry
-	// warmHits is the persist-tier hit count observed right after the boot
-	// build — the shard's warm-start evidence, frozen so later traffic
-	// doesn't dilute it.
-	warmHits uint64
+	spec    ShardSpec
+	// module is the pristine hosted module, retained (never adopted by an
+	// engine) so restarts and replicas can boot new engines from it.
+	module *ir.Module
+	// reg is the shard's telemetry registry, shared by every engine
+	// instance: handles are reused and gauge functions rebind on restart,
+	// so fleet aggregation stays attached across failovers.
+	reg *telemetry.Registry
 	// funcs lists the instrumentable (defined, non-empty) functions of the
 	// hosted module, so clients can discover probe targets.
 	funcs []string
-	// site allocates shard-unique hit-site IDs for counter probes.
-	site atomic.Int64
+	// site allocates shard-unique hit-site IDs for counter probes; nextID
+	// allocates serve-level probe IDs, which — unlike engine probe IDs —
+	// are stable across engine restarts and promotions.
+	site   atomic.Int64
+	nextID atomic.Int64
 
-	// mu guards probes: probe ID → owning tenant, recorded at admission so
-	// the fleet snapshot can attribute quarantines and active probes.
-	mu     sync.Mutex
-	probes map[int]probeRec
+	journal *probeJournal
+
+	// mu guards the slot machinery (slot, swapping, gate, deadErr), the
+	// probe ledger, and the replica pointer.
+	mu       sync.Mutex
+	slot     *engineSlot
+	slotGen  int64
+	swapping bool
+	gate     chan struct{}
+	deadErr  error
+	probes   map[int64]*probeRec
+	replica  *replica
+	// pendingOps collects ops that commit while a swap is in flight; the
+	// swap's endSwap replays them onto the incoming slot (and forwards
+	// them to the hot spare), so no committed op is lost to a failover.
+	pendingOps []journalOp
+
+	lc      *lifecycle
+	metrics *shardMetrics
 }
 
-// probeRec is the control plane's per-probe bookkeeping.
+// probeRec is the control plane's per-probe bookkeeping, keyed by the
+// serve-level probe ID. EngID is the probe's ID on the *current* engine
+// slot; replays and promotions rewrite it.
 type probeRec struct {
 	Tenant string
 	Spec   ProbeSpec
+	EngID  int
+	Active bool
+	// gen is the generation of the slot EngID is valid on.
+	gen int64
 }
 
-// newShard builds the shard's engine and supervisor and runs the boot build
-// so the persist tier's warm-start evidence is in hand before traffic.
+// bootEngine builds one engine + supervisor over the shard's module and
+// runs the boot build. readOnly engines never take the persist writer lock
+// and never write snapshots — the hot-spare mode.
+func (sh *shard) bootEngine(ctx context.Context, readOnly bool) (*engineSlot, error) {
+	// Spares don't get the fault hook (see ShardSpec.FaultHook): chaos
+	// faults target the writer so a drill wedges the serving slot, never
+	// the standby meant to replace it.
+	hook := sh.spec.FaultHook
+	if readOnly {
+		hook = nil
+	}
+	eng, err := core.New(sh.module, core.Options{
+		Telemetry:     sh.reg,
+		ExtraBuiltins: []string{HitBuiltin},
+		Workers:       sh.spec.Workers,
+		CacheDir:      sh.spec.CacheDir,
+		SnapshotPath:  sh.spec.SnapshotPath,
+		CacheReadOnly: readOnly,
+		FaultHook:     hook,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: shard %s: %w", sh.name, err)
+	}
+	sup := core.Supervise(eng, core.SupervisorOptions{QueueDepth: sh.spec.QueueDepth})
+	// Boot build through the supervisor so the image exists (and the warm
+	// cache is consulted) before the slot takes traffic.
+	tk, err := sup.SyncCtx(ctx)
+	if err == nil {
+		var res core.TicketResult
+		if res, err = tk.Wait(ctx); err == nil {
+			err = res.Err
+		}
+	}
+	if err != nil {
+		sup.Close()
+		eng.Close()
+		return nil, fmt.Errorf("serve: shard %s boot build: %w", sh.name, err)
+	}
+	slot := &engineSlot{eng: eng, sup: sup, readOnly: readOnly, booted: time.Now()}
+	if ps, ok := eng.PersistStats(); ok {
+		slot.warmHits = ps.Hits
+		if !readOnly {
+			slot.readOnly = ps.ReadOnly
+		}
+	}
+	return slot, nil
+}
+
+// replayInto reapplies reduced journal states to a fresh slot, returning
+// the serve-ID → engine-ID mapping. Activation goes through the slot's
+// supervisor (coalesced into one or two generations); probes whose final
+// state is inactive are registered and then removed so later enables can
+// find them. Individual failures (a poison probe re-quarantining itself)
+// are tolerated — the probe stays registered, just not active.
+func replayInto(ctx context.Context, slot *engineSlot, states []probeState, site *atomic.Int64) (map[int64]int, error) {
+	engIDs := make(map[int64]int, len(states))
+	type pending struct {
+		id int64
+		tk *core.Ticket
+	}
+	var adds, removes []pending
+	for _, st := range states {
+		engID, tk, err := slot.sup.AddProbeCtx(ctx, buildProbe(st.Spec, site.Add(1)))
+		if err != nil {
+			return nil, fmt.Errorf("replay add probe %d: %w", st.ID, err)
+		}
+		engIDs[st.ID] = engID
+		adds = append(adds, pending{st.ID, tk})
+	}
+	for _, p := range adds {
+		if _, err := p.tk.Wait(ctx); err != nil {
+			return nil, fmt.Errorf("replay probe %d: %w", p.id, err)
+		}
+	}
+	for _, st := range states {
+		if st.Active {
+			continue
+		}
+		tk, err := slot.sup.RemoveProbeCtx(ctx, engIDs[st.ID])
+		if err != nil {
+			continue // quarantined or racing; registration is what matters
+		}
+		removes = append(removes, pending{st.ID, tk})
+	}
+	for _, p := range removes {
+		if _, err := p.tk.Wait(ctx); err != nil {
+			return nil, fmt.Errorf("replay probe %d removal: %w", p.id, err)
+		}
+	}
+	return engIDs, nil
+}
+
+// newShard builds the shard's first engine slot, replays the tenant-probe
+// journal so probes survive process restarts, boots the configured hot
+// spare, and starts the health watchdog.
 func newShard(spec ShardSpec) (*shard, error) {
 	if spec.Name == "" {
 		return nil, fmt.Errorf("serve: shard needs a name")
@@ -84,89 +255,394 @@ func newShard(spec ShardSpec) (*shard, error) {
 		m = prof.Generate()
 		program = prof.Name
 	}
-	reg := telemetry.NewRegistry()
-	eng, err := core.New(m, core.Options{
-		Telemetry:     reg,
-		ExtraBuiltins: []string{HitBuiltin},
-		Workers:       spec.Workers,
-		CacheDir:      spec.CacheDir,
-		SnapshotPath:  spec.SnapshotPath,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("serve: shard %s: %w", spec.Name, err)
-	}
-	sup := core.Supervise(eng, core.SupervisorOptions{QueueDepth: spec.QueueDepth})
-
-	// Boot build through the supervisor so the image exists (and the warm
-	// cache is consulted) before the shard takes traffic.
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
-	defer cancel()
-	tk, err := sup.SyncCtx(ctx)
-	if err == nil {
-		var res core.TicketResult
-		if res, err = tk.Wait(ctx); err == nil {
-			err = res.Err
-		}
-	}
-	if err != nil {
-		sup.Close()
-		eng.Close()
-		return nil, fmt.Errorf("serve: shard %s boot build: %w", spec.Name, err)
-	}
-
+	spec.Watchdog = spec.Watchdog.withDefaults()
 	sh := &shard{
 		name:    spec.Name,
 		program: program,
-		eng:     eng,
-		sup:     sup,
-		reg:     reg,
-		probes:  map[int]probeRec{},
+		spec:    spec,
+		module:  m,
+		reg:     telemetry.NewRegistry(),
+		probes:  map[int64]*probeRec{},
 	}
+	sh.metrics = newShardMetrics(sh.reg)
 	for _, f := range m.Funcs {
 		if !f.IsDecl() && len(f.Blocks) > 0 {
 			sh.funcs = append(sh.funcs, f.Name)
 		}
 	}
-	if ps, ok := eng.PersistStats(); ok {
-		sh.warmHits = ps.Hits
+
+	var replayOps []journalOp
+	if spec.JournalPath != "" {
+		j, ops, err := openProbeJournal(spec.JournalPath, spec.FaultHook)
+		if err != nil {
+			// A broken journal must not keep the shard down: serve without
+			// one (probe state won't survive the next restart) and count it.
+			sh.metrics.journalFallbacks.Inc()
+		} else {
+			sh.journal = j
+			replayOps = ops
+		}
 	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), spec.Watchdog.BootTimeout)
+	defer cancel()
+	slot, err := sh.bootEngine(ctx, false)
+	if err != nil {
+		sh.journal.close()
+		return nil, err
+	}
+	if states := reduceJournal(replayOps); len(states) > 0 {
+		engIDs, rerr := replayInto(ctx, slot, states, &sh.site)
+		if rerr != nil {
+			slot.sup.Close()
+			slot.eng.Close()
+			sh.journal.close()
+			return nil, fmt.Errorf("serve: shard %s journal replay: %w", spec.Name, rerr)
+		}
+		for _, st := range states {
+			sh.probes[st.ID] = &probeRec{Tenant: st.Tenant, Spec: st.Spec, EngID: engIDs[st.ID], Active: st.Active, gen: 1}
+			if st.ID > sh.nextID.Load() {
+				sh.nextID.Store(st.ID)
+			}
+		}
+	}
+	sh.slotGen = 1
+	slot.gen = 1
+	sh.slot = slot
+
+	if spec.Replicas > 0 {
+		// bootReplica registers itself as sh.replica; a shard without its
+		// spare is degraded, not down.
+		if _, rerr := bootReplica(sh); rerr != nil {
+			sh.metrics.replicaFailures.Inc()
+		}
+	}
+
+	sh.lc = newLifecycle(sh, spec.Watchdog)
 	return sh, nil
 }
 
-// record remembers which tenant owns a freshly admitted probe.
-func (sh *shard) record(id int, tenant string, spec ProbeSpec) {
+// current returns the serving slot without parking (nil while a swap is in
+// flight with no slot installed). Introspection paths use it.
+func (sh *shard) current() *engineSlot {
 	sh.mu.Lock()
-	sh.probes[id] = probeRec{Tenant: tenant, Spec: spec}
+	defer sh.mu.Unlock()
+	return sh.slot
+}
+
+// acquire returns the serving slot, parking the caller while a failover
+// swap is in flight: requests arriving during the window wait for the swap
+// to complete (bounded by their own ctx) and are then re-admitted against
+// the new slot — never dropped. A dead shard fails fast with ErrShardDead.
+func (sh *shard) acquire(ctx context.Context) (*engineSlot, error) {
+	parked := false
+	for {
+		sh.mu.Lock()
+		if sh.deadErr != nil {
+			err := sh.deadErr
+			sh.mu.Unlock()
+			return nil, err
+		}
+		if !sh.swapping && sh.slot != nil {
+			slot := sh.slot
+			sh.mu.Unlock()
+			return slot, nil
+		}
+		gate := sh.gate
+		sh.mu.Unlock()
+		if !parked {
+			parked = true
+			sh.metrics.parked.Inc()
+		}
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// stale reports whether slot is no longer the serving slot (a swap started
+// or completed since the caller acquired it) — the signal to park and
+// re-admit instead of failing a request that hit ErrSupervisorClosed.
+func (sh *shard) stale(slot *engineSlot) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.swapping || sh.slot != slot
+}
+
+// beginSwap closes the admission gate: acquire parks until endSwap.
+func (sh *shard) beginSwap() {
+	sh.mu.Lock()
+	sh.swapping = true
+	sh.gate = make(chan struct{})
 	sh.mu.Unlock()
 }
 
-// tenantOf returns the owner of a probe ID, or "".
-func (sh *shard) tenantOf(id int) string {
+// endSwap installs the new slot (nil keeps the old one, e.g. a failed
+// recovery that will retry) and reopens the gate. engIDs is the serve-ID →
+// engine-ID mapping the swap's replay produced; the ledger is rewritten to
+// it under the same lock that installs the slot. Ops that committed during
+// the swap window are then replayed onto the new slot and forwarded to the
+// hot spare, in commit order.
+func (sh *shard) endSwap(slot *engineSlot, engIDs map[int64]int) {
+	var pending []journalOp
+	var rep *replica
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.probes[id].Tenant
+	if slot != nil {
+		sh.slotGen++
+		slot.gen = sh.slotGen
+		for id, engID := range engIDs {
+			if rec := sh.probes[id]; rec != nil {
+				rec.EngID = engID
+				rec.gen = sh.slotGen
+			}
+		}
+		sh.slot = slot
+		pending = sh.pendingOps
+		sh.pendingOps = nil
+		rep = sh.replica
+	}
+	sh.swapping = false
+	if sh.gate != nil {
+		close(sh.gate)
+		sh.gate = nil
+	}
+	sh.mu.Unlock()
+	if len(pending) > 0 {
+		go func() {
+			sh.applyOps(pending)
+			if rep != nil {
+				for _, op := range pending {
+					rep.forward(op)
+				}
+			}
+		}()
+	}
 }
 
-// persistStats snapshots the shard's persist tier, nil when persistence is
-// off.
+// markDead records the terminal rung of the recovery ladder and unparks
+// every waiter into the dead-shard fast path.
+func (sh *shard) markDead(cause error) {
+	sh.mu.Lock()
+	sh.deadErr = fmt.Errorf("%w: %v", ErrShardDead, cause)
+	sh.swapping = false
+	sh.pendingOps = nil
+	if sh.gate != nil {
+		close(sh.gate)
+		sh.gate = nil
+	}
+	sh.mu.Unlock()
+}
+
+// nextProbeID allocates a serve-level probe ID.
+func (sh *shard) nextProbeID() int64 { return sh.nextID.Add(1) }
+
+// record remembers a freshly admitted probe before its activation commits,
+// so quarantine attribution works even when the activation fails. slot is
+// the slot the probe was registered on.
+func (sh *shard) record(slot *engineSlot, id int64, engID int, tenant string, spec ProbeSpec) {
+	sh.mu.Lock()
+	sh.probes[id] = &probeRec{Tenant: tenant, Spec: spec, EngID: engID, gen: slot.gen}
+	sh.mu.Unlock()
+}
+
+// lookupProbe resolves a serve-level probe ID to its record (copy).
+func (sh *shard) lookupProbe(id int64) (probeRec, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rec, ok := sh.probes[id]
+	if !ok {
+		return probeRec{}, false
+	}
+	return *rec, true
+}
+
+// committed journals one committed probe op, updates the ledger, and feeds
+// the hot spare. slot is the slot the op committed on. Two races with
+// failover are closed here: an op committing while a swap is in flight is
+// parked in pendingOps (endSwap replays it onto the incoming slot), and an
+// op that committed on a slot that has already been swapped out is
+// re-applied to the current slot in the background. Either way the journal
+// has the op first, so a crash mid-convergence is repaired by replay.
+func (sh *shard) committed(slot *engineSlot, op journalOp) {
+	sh.journal.append(op)
+	sh.metrics.journalAppends.Inc()
+	sh.mu.Lock()
+	if rec := sh.probes[op.ID]; rec != nil {
+		switch op.Op {
+		case jopAdd, jopEnable:
+			rec.Active = true
+		case jopRemove:
+			rec.Active = false
+		}
+	}
+	if sh.swapping {
+		sh.pendingOps = append(sh.pendingOps, op)
+		sh.mu.Unlock()
+		return
+	}
+	rep := sh.replica
+	cur := sh.slot
+	sh.mu.Unlock()
+	if rep != nil {
+		rep.forward(op)
+	}
+	if cur != nil && cur != slot {
+		go sh.applyOps([]journalOp{op})
+	}
+}
+
+// applyOps replays committed ops onto the current serving slot, in order.
+// Used for late commits that raced a swap; best-effort (see committed).
+func (sh *shard) applyOps(ops []journalOp) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	for _, op := range ops {
+		sh.applyOp(ctx, op)
+	}
+}
+
+// applyOp converges the current slot with one committed op. The record's
+// slot generation says whether the slot already knows the probe: an add
+// whose record is already on the current generation was covered by the
+// swap's replay and is skipped; a non-add op whose record is on an older
+// generation targets a probe the slot never registered, so it is left for
+// journal replay to repair.
+func (sh *shard) applyOp(ctx context.Context, op journalOp) {
+	sh.mu.Lock()
+	slot := sh.slot
+	rec := sh.probes[op.ID]
+	if slot == nil || rec == nil {
+		sh.mu.Unlock()
+		return
+	}
+	current := rec.gen == slot.gen
+	engID := rec.EngID
+	spec := rec.Spec
+	sh.mu.Unlock()
+	switch op.Op {
+	case jopAdd:
+		if current {
+			return
+		}
+		newID, tk, err := slot.sup.AddProbeCtx(ctx, buildProbe(spec, sh.site.Add(1)))
+		if err != nil {
+			return
+		}
+		sh.mu.Lock()
+		if r := sh.probes[op.ID]; r != nil {
+			r.EngID = newID
+			r.gen = slot.gen
+		}
+		sh.mu.Unlock()
+		tk.Wait(ctx)
+	case jopEnable:
+		if !current {
+			return
+		}
+		if tk, err := slot.sup.EnableProbeCtx(ctx, engID); err == nil {
+			tk.Wait(ctx)
+		}
+	case jopRemove:
+		if !current {
+			return
+		}
+		if tk, err := slot.sup.RemoveProbeCtx(ctx, engID); err == nil {
+			tk.Wait(ctx)
+		}
+	case jopChange:
+		if !current {
+			return
+		}
+		if tk, err := slot.sup.MarkChangedCtx(ctx, engID); err == nil {
+			tk.Wait(ctx)
+		}
+	}
+}
+
+// ledgerStates reduces the in-memory probe ledger to replayable states (the
+// same shape a journal reduction yields) — the source for replica seeding
+// and lagging-replica recovery.
+func (sh *shard) ledgerStates() []probeState {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	out := make([]probeState, 0, len(sh.probes))
+	for id, rec := range sh.probes {
+		out = append(out, probeState{ID: id, Tenant: rec.Tenant, Spec: rec.Spec, Active: rec.Active})
+	}
+	return out
+}
+
+// warmHits reports the serving slot's boot-time warm-hit count.
+func (sh *shard) warmHits() uint64 {
+	if slot := sh.current(); slot != nil {
+		return slot.warmHits
+	}
+	return 0
+}
+
+// persistStats snapshots the serving slot's persist tier, nil when
+// persistence is off or no slot is live.
 func (sh *shard) persistStats() *persist.Stats {
-	ps, ok := sh.eng.PersistStats()
+	slot := sh.current()
+	if slot == nil {
+		return nil
+	}
+	ps, ok := slot.eng.PersistStats()
 	if !ok {
 		return nil
 	}
 	return &ps
 }
 
-// close drains the supervisor (bounded by ctx) and closes the engine.
-// Draining rather than closing means already-admitted tickets still commit,
-// and the supervisor snapshot lands before engine teardown. If ctx expires
-// the drain keeps running in the background and the engine is deliberately
-// left open — tearing it down under an active rebuild loop would race; the
-// exiting process reclaims it.
+// quickClose tears the shard down without draining — construction-failure
+// cleanup.
+func (sh *shard) quickClose() {
+	if sh.lc != nil {
+		sh.lc.stopWatchdog()
+	}
+	sh.mu.Lock()
+	rep := sh.replica
+	sh.replica = nil
+	slot := sh.slot
+	sh.slot = nil
+	sh.mu.Unlock()
+	if rep != nil {
+		rep.shutdown()
+	}
+	if slot != nil {
+		slot.sup.Close()
+		slot.eng.Close()
+	}
+	sh.journal.close()
+}
+
+// close stops the watchdog and replica, drains the serving supervisor
+// (bounded by ctx), and closes the engine. Draining rather than closing
+// means already-admitted tickets still commit, and the supervisor snapshot
+// lands before engine teardown. If ctx expires the drain keeps running in
+// the background and the engine is deliberately left open — tearing it down
+// under an active rebuild would race; the exiting process reclaims it.
 func (sh *shard) close(ctx context.Context) error {
-	if err := sh.sup.Drain(ctx); err != nil {
+	if sh.lc != nil {
+		sh.lc.stopWatchdog()
+	}
+	sh.mu.Lock()
+	rep := sh.replica
+	sh.replica = nil
+	slot := sh.slot
+	sh.mu.Unlock()
+	if rep != nil {
+		rep.shutdown()
+	}
+	defer sh.journal.close()
+	if slot == nil {
+		return nil
+	}
+	if err := slot.sup.Drain(ctx); err != nil {
 		return err
 	}
-	sh.eng.Close()
+	slot.eng.Close()
 	return nil
 }

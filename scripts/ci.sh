@@ -169,6 +169,69 @@ done
 rm -rf "$sdir"
 echo "serve smoke: ok"
 
+echo "== serve chaos smoke (hot-spare promotion under injected wedge) =="
+# The self-healing ladder end to end, at process granularity: boot a
+# one-shard daemon with a hot-spare replica and a tight watchdog, arm a
+# one-shot 2s stall at the supervisor commit site (via -chaos-site), and
+# keep probe traffic flowing. The stall wedges the primary past its
+# generation deadline; the watchdog must promote the spare without dropping
+# a single probe commit (every odin-ctl storm invocation must exit 0 — its
+# retry loop only absorbs shed/backpressure verdicts, not failures).
+cdir="$(mktemp -d)"
+go build -o "$cdir/odin-serve" ./cmd/odin-serve
+go build -o "$cdir/odin-ctl" ./cmd/odin-ctl
+chaos_log="$cdir/serve.log"
+"$cdir/odin-serve" -shard s=json -data "$cdir/data" -addr 127.0.0.1:0 \
+	-replicas 1 -restart-attempts -1 \
+	-watchdog-interval 50ms -gen-deadline 300ms -stuck-queue-age 500ms \
+	-chaos-site supervisor:commit -chaos-stall 2s -chaos-delay 1s \
+	>/dev/null 2>"$chaos_log" &
+chaos_pid=$!
+caddr=""
+for _ in $(seq 1 300); do
+	caddr="$(sed -n 's/^odin-serve: listening on //p' "$chaos_log")"
+	[ -n "$caddr" ] && break
+	sleep 0.1
+done
+if [ -z "$caddr" ]; then
+	echo "chaos smoke: daemon never came up; stderr:"
+	cat "$chaos_log"
+	kill "$chaos_pid" 2>/dev/null || true
+	exit 1
+fi
+# Wait for the spare to converge before wedging the primary.
+for _ in $(seq 1 300); do
+	"$cdir/odin-ctl" -addr "http://$caddr" health | grep -q 'spare-ready' && break
+	sleep 0.1
+done
+# Storm until the watchdog has promoted; every storm must commit cleanly
+# even while the wedge and the failover swap are in flight.
+promoted=""
+for _ in $(seq 1 40); do
+	"$cdir/odin-ctl" -addr "http://$caddr" -tenant ci storm s 20 >/dev/null
+	if "$cdir/odin-ctl" -addr "http://$caddr" health | grep -q 'promotions=1'; then
+		promoted=yes
+		break
+	fi
+	sleep 0.2
+done
+health_out="$("$cdir/odin-ctl" -addr "http://$caddr" health)"
+kill "$chaos_pid" 2>/dev/null || true
+wait "$chaos_pid" 2>/dev/null || true
+if [ -z "$promoted" ]; then
+	echo "chaos smoke: watchdog never promoted the hot spare:"
+	echo "$health_out"
+	cat "$chaos_log"
+	exit 1
+fi
+if ! echo "$health_out" | grep -q 'healthy'; then
+	echo "chaos smoke: shard not healthy after promotion:"
+	echo "$health_out"
+	exit 1
+fi
+rm -rf "$cdir"
+echo "chaos smoke: ok (spare promoted under wedge, zero dropped commits)"
+
 echo "== persist fault sweep (persist:* sites) =="
 # The persistence arm of the faults experiment: engine restarts onto a
 # seeded cache with error/panic/stall faults armed at every persist:* site.
@@ -184,24 +247,26 @@ echo "== allocation budget (probe-toggle hot loop) =="
 # whole-fragment cloning long before it shows up as latency.
 go test ./internal/core/ -run TestSpliceAllocBudget
 
-echo "== bench regression gate (probe-toggle + verify-overhead + cold-warm + serve-storm vs committed artifact) =="
+echo "== bench regression gate (probe-toggle + verify-overhead + cold-warm + serve-storm + serve-chaos vs committed artifact) =="
 # Compare the current tree's trajectory against the committed BENCH
 # artifact: fail on >15% p50/p99 regression beyond a 2ms absolute floor
 # (machine-jitter immunity), on a shrinking function cache-hit rate, on the
 # structural invariant breaking (a single-function toggle must compile
 # exactly one function), on boundaries-tier verification overhead above its
 # 5% p50 budget, on a warm start falling below its absolute speedup floor
-# (bench.WarmSpeedupFloor) or losing image byte-identity, or on the serve
+# (bench.WarmSpeedupFloor) or losing image byte-identity, on the serve
 # control plane dropping healthy tenants' work / letting a hostile tenant
-# push healthy p99 past bench.ServeIsolationFactor. All experiments run in
-# one invocation so the artifact carries all of them (a missing experiment
+# push healthy p99 past bench.ServeIsolationFactor, or on a shard failover
+# (restart or promotion under an injected wedge) dropping a healthy commit
+# or overrunning bench.ChaosFailoverBudgetMS. All experiments run in one
+# invocation so the artifact carries all of them (a missing experiment
 # counts as a regression). Regenerate with `make bench-record` when a
 # deliberate change moves the trajectory. Skipped when no artifact is
 # committed.
 bench_artifact="$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)"
 if [ -n "$bench_artifact" ]; then
 	echo "comparing against $bench_artifact"
-	go run ./cmd/odin-bench -experiment probe-toggle,verify-overhead,cold-warm,serve-storm \
+	go run ./cmd/odin-bench -experiment probe-toggle,verify-overhead,cold-warm,serve-storm,serve-chaos \
 		-toggle-rounds 60 -coldwarm-rounds 5 -bench-compare "$bench_artifact"
 else
 	echo "no BENCH_*.json artifact committed; skipping regression gate"
